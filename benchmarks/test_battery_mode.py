@@ -1,0 +1,52 @@
+"""E10 — paper section V-B battery note: Java +14%, C++ unchanged.
+
+The paper observes that running on battery slows the Java implementation
+by about 14% while the C++ implementation is unaffected.  This bench
+regenerates the battery-mode predictions for both MNIST architectures on
+all three devices.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.embedded import InferenceProfiler
+from repro.zoo import ARCH1_INPUT_SIDE, ARCH2_INPUT_SIDE, build_arch1, build_arch2
+
+PLATFORMS = ("nexus5", "xu3", "honor6x")
+
+
+@pytest.fixture(scope="module")
+def profilers():
+    rng = np.random.default_rng(0)
+    return {
+        "Arch. 1": InferenceProfiler(build_arch1(rng=rng), (ARCH1_INPUT_SIDE**2,)),
+        "Arch. 2": InferenceProfiler(build_arch2(rng=rng), (ARCH2_INPUT_SIDE**2,)),
+    }
+
+
+def test_battery_mode_shapes(profilers, benchmark):
+    lines = [
+        "E10 / section V-B — battery mode impact (us/image)",
+        "",
+        f"{'Arch':8s} {'Impl':5s} {'Platform':9s} {'plugged':>9s} "
+        f"{'battery':>9s} {'delta':>7s}",
+    ]
+    for arch, profiler in profilers.items():
+        for impl in ("java", "cpp"):
+            for platform in PLATFORMS:
+                plugged = profiler.runtime_us(platform, impl)
+                battery = profiler.runtime_us(platform, impl, battery=True)
+                delta = battery / plugged - 1.0
+                lines.append(
+                    f"{arch:8s} {impl:5s} {platform:9s} {plugged:9.1f} "
+                    f"{battery:9.1f} {delta:+6.1%}"
+                )
+                if impl == "java":
+                    assert delta == pytest.approx(0.14, abs=1e-9)
+                else:
+                    assert delta == pytest.approx(0.0, abs=1e-9)
+    write_result("battery_mode", lines)
+
+    profiler = profilers["Arch. 1"]
+    benchmark(lambda: profiler.sweep(battery=True))

@@ -1,0 +1,74 @@
+"""E11 — ablation: block size vs accuracy vs compression (paper claim (1)).
+
+The paper's stated advantage of *block*-circulant over whole-circulant
+matrices [19] is a tunable trade-off between compression ratio and
+accuracy.  This ablation trains Arch. 1 at several block sizes on the
+synthetic MNIST stand-in and reports accuracy alongside compression,
+including the whole-circulant extreme (block = 128).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.analysis import storage_report
+from repro.data import DataLoader
+from repro.nn import Adam, CrossEntropyLoss, Trainer, accuracy, predict_in_batches
+from repro.zoo import ARCH1_INPUT_SIDE, build_arch1
+
+BLOCK_SIZES = (8, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def ablation(mnist_data):
+    train_set, test_set = mnist_data[ARCH1_INPUT_SIDE]
+    results = []
+    for block in BLOCK_SIZES:
+        model = build_arch1(block_size=block, rng=np.random.default_rng(1))
+        loader = DataLoader(train_set, batch_size=64, shuffle=True, seed=0)
+        trainer = Trainer(
+            model, CrossEntropyLoss(), Adam(model.parameters(), lr=0.003)
+        )
+        trainer.fit(loader, epochs=8)
+        model.eval()
+        logits = predict_in_batches(model, test_set.inputs)
+        score = accuracy(logits, test_set.labels)
+        compression = storage_report(model).compression
+        results.append((block, score, compression))
+    return results
+
+
+def test_block_size_accuracy_tradeoff(ablation, benchmark, mnist_data):
+    lines = [
+        "E11 — Arch. 1 block-size ablation (synthetic MNIST)",
+        "",
+        f"{'block':>6s} {'accuracy %':>11s} {'compression':>12s}",
+    ]
+    for block, score, compression in ablation:
+        lines.append(f"{block:6d} {100 * score:11.2f} {compression:11.1f}x")
+    write_result("block_size_ablation", lines)
+
+    accuracies = {block: score for block, score, _ in ablation}
+    compressions = {block: c for block, _, c in ablation}
+    # Compression grows with block size.
+    values = [compressions[b] for b in BLOCK_SIZES]
+    assert all(a < b for a, b in zip(values, values[1:]))
+    # Every configuration still learns the task decisively.
+    assert min(accuracies.values()) > 0.70
+    # The mildest compression must be at least as good as the harshest
+    # (allowing noise): the trade-off direction of the paper's claim.
+    assert accuracies[8] >= accuracies[128] - 0.03
+
+    _, test_set = mnist_data[ARCH1_INPUT_SIDE]
+    model = build_arch1(block_size=32, rng=np.random.default_rng(1))
+    model.eval()
+    benchmark(predict_in_batches, model, test_set.inputs[:64])
+
+
+def test_bench_arch1_small_block_epoch(benchmark, mnist_data):
+    """One training epoch at block 32 — the ablation's unit of work."""
+    train_set, _ = mnist_data[ARCH1_INPUT_SIDE]
+    model = build_arch1(block_size=32, rng=np.random.default_rng(1))
+    loader = DataLoader(train_set, batch_size=64, shuffle=True, seed=0)
+    trainer = Trainer(model, CrossEntropyLoss(), Adam(model.parameters(), lr=0.003))
+    benchmark.pedantic(lambda: trainer.train_epoch(loader), rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""E6 — paper Fig. 2 / Eqn. 3: FFT circulant matvec vs dense matvec.
+
+Measures the "FFT -> componentwise multiplication -> IFFT" product against
+a dense BLAS matvec at matched sizes, reports the measured crossover, and
+checks the theoretical op-count crossover from
+:func:`repro.analysis.crossover_block_size`.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.analysis import crossover_block_size, fc_speedup
+from repro.structured import CirculantMatrix
+
+SIZES = (64, 256, 1024, 4096)
+
+
+def _best_of(fn, repeats=7):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_circulant_vs_dense_matvec(benchmark):
+    rng = np.random.default_rng(0)
+    lines = [
+        "E6 / Eqn. 3 — circulant FFT matvec vs dense matvec",
+        "",
+        f"{'n':>6s} {'dense us':>10s} {'fft us':>10s} {'speedup':>9s} "
+        f"{'theory ops ratio':>17s}",
+    ]
+    measured = []
+    for n in SIZES:
+        w = rng.normal(size=n)
+        circulant = CirculantMatrix(w)
+        dense = circulant.to_dense()
+        x = rng.normal(size=n)
+        circulant.matvec(x)  # warm
+        dense @ x
+        t_fft = _best_of(lambda: circulant.matvec(x))
+        t_dense = _best_of(lambda: dense @ x)
+        speedup = t_dense / t_fft
+        measured.append(speedup)
+        lines.append(
+            f"{n:6d} {t_dense * 1e6:10.2f} {t_fft * 1e6:10.2f} "
+            f"{speedup:8.2f}x {fc_speedup(n, n, n):16.1f}x"
+        )
+    theory_cross = crossover_block_size(512, 512)
+    lines += ["", f"theoretical op-count crossover block size: {theory_cross}"]
+    write_result("circulant_matvec", lines)
+
+    # At n = 4096 the FFT path must win on wall-clock despite BLAS.
+    assert measured[-1] > 1.0
+    # And the trend must grow over the two largest sizes.
+    assert measured[-1] > measured[-2] * 0.8
+
+    circulant = CirculantMatrix(rng.normal(size=SIZES[-1]))
+    x = rng.normal(size=SIZES[-1])
+    benchmark(circulant.matvec, x)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_circulant_matvec(benchmark, n):
+    rng = np.random.default_rng(0)
+    circulant = CirculantMatrix(rng.normal(size=n))
+    x = rng.normal(size=n)
+    benchmark(circulant.matvec, x)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_dense_matvec(benchmark, n):
+    rng = np.random.default_rng(0)
+    dense = CirculantMatrix(rng.normal(size=n)).to_dense()
+    x = rng.normal(size=n)
+    benchmark(lambda: dense @ x)

@@ -1,0 +1,73 @@
+"""E8 — section IV-A storage claim: O(n) weights and compression sweep.
+
+Reports, for each paper architecture, dense vs stored vs deployed bytes,
+and sweeps the block size on Arch. 1 to expose the compression knob
+(paper section II, contribution (1)).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.analysis import storage_report
+from repro.embedded import DeployedModel
+from repro.zoo import build_arch1, build_arch2, build_arch3
+
+
+def test_storage_report_all_architectures(benchmark):
+    rng = np.random.default_rng(0)
+    lines = [
+        "E8 / section IV-A — storage: dense vs block-circulant",
+        "",
+        f"{'Model':8s} {'dense params':>13s} {'stored params':>14s} "
+        f"{'compression':>12s} {'deployed KB':>12s} {'dense KB':>10s}",
+    ]
+    models = {
+        "Arch. 1": (build_arch1(rng=rng), (256,)),
+        "Arch. 2": (build_arch2(rng=rng), (121,)),
+        "Arch. 3": (build_arch3(rng=rng), (3, 32, 32)),
+    }
+    for name, (model, _) in models.items():
+        report = storage_report(model)
+        lines.append(
+            f"{name:8s} {report.dense_params:13d} {report.stored_params:14d} "
+            f"{report.compression:11.1f}x "
+            f"{report.deployed_bytes / 1024:12.1f} "
+            f"{report.dense_bytes / 1024:10.1f}"
+        )
+        assert report.compression > 3.0, name
+    write_result("compression_models", lines)
+
+    benchmark(storage_report, models["Arch. 3"][0])
+
+
+def test_block_size_compression_sweep(benchmark):
+    lines = [
+        "E8b — Arch. 1 block-size sweep (the compression knob)",
+        "",
+        f"{'block':>6s} {'stored params':>14s} {'compression':>12s} "
+        f"{'deployed KB':>12s}",
+    ]
+    previous_params = None
+    for block in (8, 16, 32, 64, 128):
+        model = build_arch1(block_size=block, rng=np.random.default_rng(0))
+        report = storage_report(model)
+        deployed = DeployedModel.from_model(model)
+        lines.append(
+            f"{block:6d} {report.stored_params:14d} "
+            f"{report.compression:11.1f}x "
+            f"{deployed.storage_bytes() / 1024:12.1f}"
+        )
+        if previous_params is not None:
+            assert report.stored_params < previous_params
+        previous_params = report.stored_params
+    write_result("compression_sweep", lines)
+
+    model = build_arch1(block_size=64, rng=np.random.default_rng(0))
+    benchmark(storage_report, model)
+
+
+@pytest.mark.parametrize("block", (16, 64))
+def test_bench_deployment_export(benchmark, block):
+    model = build_arch1(block_size=block, rng=np.random.default_rng(0))
+    benchmark(DeployedModel.from_model, model)

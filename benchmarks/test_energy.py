@@ -1,0 +1,67 @@
+"""E14 — energy per inference on the Table I devices (extension).
+
+The paper motivates embedded deployment with energy efficiency and
+compares against TrueNorth, whose hallmark is mW-scale inference.  This
+bench extends the runtime reproduction with the first-order race-to-idle
+energy model: per-image microjoules for every (platform, implementation)
+cell of Tables II-III.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.embedded import EnergyModel
+from repro.zoo import build_arch1, build_arch3
+
+
+@pytest.fixture(scope="module")
+def energy_models():
+    rng = np.random.default_rng(0)
+    return {
+        "Arch. 1 (MNIST)": EnergyModel(build_arch1(rng=rng), (256,)),
+        "Arch. 3 (CIFAR-10)": EnergyModel(build_arch3(rng=rng), (3, 32, 32)),
+    }
+
+
+def test_energy_table(energy_models, benchmark):
+    lines = [
+        "E14 — energy per inference (race-to-idle, uJ/image)",
+        "",
+        f"{'Model':18s} {'platform':9s} {'Java uJ':>9s} {'C++ uJ':>9s} "
+        f"{'C++ img/J':>10s}",
+    ]
+    for name, model in energy_models.items():
+        for platform in ("nexus5", "xu3", "honor6x"):
+            java = model.estimate(platform, "java")
+            cpp = model.estimate(platform, "cpp")
+            lines.append(
+                f"{name:18s} {platform:9s} {java.energy_uj:9.0f} "
+                f"{cpp.energy_uj:9.0f} {cpp.images_per_joule:10.1f}"
+            )
+    best1 = energy_models["Arch. 1 (MNIST)"].most_efficient()
+    lines += [
+        "",
+        f"most efficient MNIST deployment: {best1.platform} / "
+        f"{best1.implementation} at {best1.energy_uj:.0f} uJ/image",
+    ]
+    write_result("energy", lines)
+
+    # Honor 6X (16 nm A53) must be the energy winner despite XU3 having
+    # similar latency: lower power at similar speed.
+    assert best1.platform == "honor6x"
+    assert best1.implementation == "cpp"
+    # C++ beats Java on energy everywhere (same device, shorter runtime).
+    for model in energy_models.values():
+        for platform in ("nexus5", "xu3", "honor6x"):
+            assert (
+                model.estimate(platform, "cpp").energy_uj
+                < model.estimate(platform, "java").energy_uj
+            )
+
+    benchmark(energy_models["Arch. 1 (MNIST)"].sweep)
+
+
+def test_bench_energy_estimate(benchmark, energy_models):
+    model = energy_models["Arch. 3 (CIFAR-10)"]
+    benchmark(model.estimate, "honor6x", "cpp")

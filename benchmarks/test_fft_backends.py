@@ -1,0 +1,84 @@
+"""E12 — ablation: pure Cooley-Tukey/Bluestein backend vs numpy backend.
+
+The reproduction ships its own FFT kernels (the paper's computing kernel)
+plus a numpy fast path.  This bench confirms bit-level-close parity and
+quantifies the speed gap so users know what the ``pure`` backend costs.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.fft import fft, rfft, use_backend
+
+SIZES = (128, 121, 1024)  # power of two, Bluestein (11^2), large
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_backend_parity_and_cost(benchmark):
+    rng = np.random.default_rng(0)
+    lines = [
+        "E12 — FFT backend ablation: pure kernels vs numpy",
+        "",
+        f"{'n':>6s} {'numpy us':>10s} {'pure us':>10s} {'ratio':>7s} "
+        f"{'max |diff|':>12s}",
+    ]
+    for n in SIZES:
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        with use_backend("numpy"):
+            reference = fft(x)
+            t_numpy = _best_of(lambda: fft(x))
+        with use_backend("pure"):
+            ours = fft(x)
+            t_pure = _best_of(lambda: fft(x))
+        error = np.abs(ours - reference).max()
+        lines.append(
+            f"{n:6d} {t_numpy * 1e6:10.2f} {t_pure * 1e6:10.2f} "
+            f"{t_pure / t_numpy:6.1f}x {error:12.2e}"
+        )
+        assert error < 1e-9 * max(1.0, np.abs(reference).max())
+    write_result("fft_backends", lines)
+
+    x = rng.normal(size=1024) + 1j * rng.normal(size=1024)
+
+    def run_pure():
+        with use_backend("pure"):
+            return fft(x)
+
+    benchmark(run_pure)
+
+
+@pytest.mark.parametrize("backend", ("numpy", "pure"))
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_fft_backend(benchmark, backend, n):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+
+    def run():
+        with use_backend(backend):
+            return fft(x)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("backend", ("numpy", "pure"))
+def test_bench_rfft_block128(benchmark, backend):
+    """The deployed kernel's hot call: rfft over a (p, q, 128) grid."""
+    rng = np.random.default_rng(0)
+    grid = rng.normal(size=(2, 2, 128))
+
+    def run():
+        with use_backend(backend):
+            return rfft(grid)
+
+    benchmark(run)

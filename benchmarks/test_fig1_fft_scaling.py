@@ -1,0 +1,73 @@
+"""E5 — paper Fig. 1 / section III-B: FFT O(n log n) vs naive DFT O(n^2).
+
+Times the package's own radix-2 Cooley-Tukey kernel against the dense
+DFT-matrix reference across sizes and checks the paper's claim that the
+advantage grows like ``n / log2(n)``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.fft import fft_radix2, naive_dft
+
+SIZES = (64, 256, 1024, 4096)
+
+
+def _time_callable(fn, *args, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fft_vs_dft_scaling(benchmark):
+    """Measure the speedup curve and confirm it grows with n."""
+    rng = np.random.default_rng(0)
+    lines = [
+        "E5 / Fig. 1 — Cooley-Tukey FFT vs naive DFT (our kernels)",
+        "",
+        f"{'n':>6s} {'DFT ms':>10s} {'FFT ms':>10s} {'speedup':>9s} "
+        f"{'n/log2(n)':>10s}",
+    ]
+    speedups = []
+    for n in SIZES:
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        naive_dft(x)  # warm (builds the DFT matrix)
+        fft_radix2(x)
+        t_dft = _time_callable(naive_dft, x)
+        t_fft = _time_callable(fft_radix2, x)
+        speedup = t_dft / t_fft
+        speedups.append(speedup)
+        lines.append(
+            f"{n:6d} {t_dft * 1e3:10.3f} {t_fft * 1e3:10.3f} "
+            f"{speedup:8.1f}x {n / np.log2(n):10.1f}"
+        )
+    write_result("fig1_fft_scaling", lines)
+
+    # The advantage must grow monotonically over the measured range and be
+    # decisive at n = 4096 (paper: "reduced by a factor of n/log2 n").
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 10.0
+
+    x = rng.normal(size=SIZES[-1]) + 1j * rng.normal(size=SIZES[-1])
+    benchmark(fft_radix2, x)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_fft_radix2(benchmark, n):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    benchmark(fft_radix2, x)
+
+
+@pytest.mark.parametrize("n", (64, 256, 1024))
+def test_bench_naive_dft(benchmark, n):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    naive_dft(x)  # warm the cached DFT matrix
+    benchmark(naive_dft, x)

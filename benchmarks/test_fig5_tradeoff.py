@@ -1,0 +1,72 @@
+"""E4 — paper Fig. 5: accuracy-vs-performance comparison with TrueNorth.
+
+Assembles the four scatter points (our method + IBM TrueNorth on MNIST
+and CIFAR-10) using the best-device C++ runtimes from the Table II/III
+simulations and the measured synthetic-data accuracies, and checks the
+paper's headline ratios: ~10x faster than TrueNorth on MNIST, ~10x slower
+on CIFAR-10.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.analysis import fig5_points, speedup_vs_truenorth
+from repro.embedded import InferenceProfiler
+from repro.zoo import ARCH1_INPUT_SIDE, build_arch3
+
+
+@pytest.fixture(scope="module")
+def our_points(trained_arch1, trained_arch3_reduced):
+    model1, acc1 = trained_arch1
+    _, acc3 = trained_arch3_reduced
+    mnist_us = InferenceProfiler(model1, (ARCH1_INPUT_SIDE**2,)).runtime_us(
+        "honor6x", "cpp"
+    )
+    cifar_us = InferenceProfiler(
+        build_arch3(rng=np.random.default_rng(0)), (3, 32, 32)
+    ).runtime_us("honor6x", "cpp")
+    return (100.0 * acc1, mnist_us, 100.0 * acc3, cifar_us)
+
+
+def test_fig5_points_and_ratios(our_points, benchmark):
+    mnist_acc, mnist_us, cifar_acc, cifar_us = our_points
+    points = benchmark(fig5_points, mnist_acc, mnist_us, cifar_acc, cifar_us)
+
+    lines = [
+        "E4 / Fig. 5 — performance vs accuracy (us/image, %)",
+        "",
+        f"{'System':15s} {'Dataset':9s} {'Runtime us':>11s} {'Acc %':>7s} {'Cores':>6s}",
+    ]
+    for point in points:
+        lines.append(
+            f"{point.system:15s} {point.dataset:9s} "
+            f"{point.runtime_us_per_image:11.1f} "
+            f"{point.accuracy_percent:7.2f} {point.cores:6d}"
+        )
+    mnist_speedup = speedup_vs_truenorth("MNIST", mnist_us)
+    cifar_speedup = speedup_vs_truenorth("CIFAR-10", cifar_us)
+    lines += [
+        "",
+        f"MNIST: ours vs TrueNorth speedup = {mnist_speedup:.1f}x "
+        "(paper: ~10x faster)",
+        f"CIFAR-10: ours vs TrueNorth speedup = {cifar_speedup:.2f}x "
+        "(paper: ~10x slower, i.e. ~0.1x)",
+    ]
+    write_result("fig5_tradeoff", lines)
+
+    assert len(points) == 4
+    # Paper headline: ~10x faster on MNIST with a little accuracy drop.
+    assert 5.0 < mnist_speedup < 20.0
+    # Paper headline: ~10x slower on CIFAR-10.
+    assert 0.05 < cifar_speedup < 0.2
+    # Accuracy relationships of the scatter: TrueNorth slightly above us
+    # on CIFAR-10, comparable on MNIST.
+    by_key = {(p.system, p.dataset): p for p in points}
+    assert (
+        abs(
+            by_key[("Our Method", "MNIST")].accuracy_percent
+            - by_key[("IBM TrueNorth", "MNIST")].accuracy_percent
+        )
+        < 8.0
+    )

@@ -1,0 +1,55 @@
+"""E13 — paper section III-B: FFT round-off error vs the direct DFT.
+
+The paper claims computation time *and round-off error* are both reduced
+by roughly ``n / log2(n)``.  This bench measures float64 relative errors
+of this package's FFT kernels and the O(n^2) DFT-matrix evaluation
+against an extended-precision reference.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.analysis import (
+    dft_roundoff_error,
+    fft_roundoff_error,
+    matvec_roundoff_comparison,
+)
+
+SIZES = (64, 256, 1024, 4096)
+
+
+def test_roundoff_error_table(benchmark):
+    lines = [
+        "E13 / section III-B — float64 round-off error vs extended precision",
+        "",
+        f"{'n':>6s} {'DFT err':>10s} {'FFT err':>10s} {'ratio':>8s} "
+        f"{'n/log2 n':>9s}",
+    ]
+    ratios = []
+    for n in SIZES:
+        fft_err = fft_roundoff_error(n, np.random.default_rng(7))
+        dft_err = dft_roundoff_error(n, np.random.default_rng(7))
+        ratio = dft_err / fft_err
+        ratios.append(ratio)
+        lines.append(
+            f"{n:6d} {dft_err:10.2e} {fft_err:10.2e} {ratio:7.0f}x "
+            f"{n / np.log2(n):9.1f}"
+        )
+    lines += [
+        "",
+        "circulant matvec error (dense pairwise-sum product vs FFT path):",
+        f"{'n':>6s} {'dense err':>10s} {'FFT err':>10s}",
+    ]
+    for n in (256, 4096):
+        dense_err, fft_err = matvec_roundoff_comparison(
+            n, np.random.default_rng(3)
+        )
+        lines.append(f"{n:6d} {dense_err:10.2e} {fft_err:10.2e}")
+    write_result("numerics_roundoff", lines)
+
+    # The error advantage must grow with n and be decisive at n = 4096.
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 100.0
+
+    benchmark(fft_roundoff_error, 1024, np.random.default_rng(0))

@@ -1,0 +1,61 @@
+"""E15 — prime-size FFT kernels: Rader vs Bluestein (extension).
+
+Arch. 2's 121-dimensional input (11x11) makes non-power-of-two transforms
+relevant.  This bench compares the two prime-capable kernels this package
+ships — Bluestein's chirp-z (the dispatcher default) and Rader's
+primitive-root reindexing — for correctness-matched timing across prime
+sizes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.fft import fft_bluestein, fft_rader
+
+PRIMES = (11, 101, 257, 1009)
+
+
+def _best_of(fn, *args, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_rader_vs_bluestein(benchmark):
+    rng = np.random.default_rng(0)
+    lines = [
+        "E15 — prime-size FFT kernels: Rader vs Bluestein",
+        "",
+        f"{'p':>6s} {'Bluestein us':>13s} {'Rader us':>10s} {'max |diff|':>12s}",
+    ]
+    for p in PRIMES:
+        x = rng.normal(size=p) + 1j * rng.normal(size=p)
+        fft_rader(x)  # warm plans
+        fft_bluestein(x)
+        t_blue = _best_of(fft_bluestein, x)
+        t_rader = _best_of(fft_rader, x)
+        diff = np.abs(fft_rader(x) - fft_bluestein(x)).max()
+        lines.append(
+            f"{p:6d} {t_blue * 1e6:13.2f} {t_rader * 1e6:10.2f} {diff:12.2e}"
+        )
+        assert diff < 1e-9
+    write_result("prime_kernels", lines)
+
+    x = rng.normal(size=PRIMES[-1]) + 1j * rng.normal(size=PRIMES[-1])
+    benchmark(fft_rader, x)
+
+
+@pytest.mark.parametrize("p", (101, 1009))
+@pytest.mark.parametrize("kernel", (fft_rader, fft_bluestein),
+                         ids=("rader", "bluestein"))
+def test_bench_prime_kernel(benchmark, kernel, p):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=p) + 1j * rng.normal(size=p)
+    kernel(x)  # warm cached plans
+    benchmark(kernel, x)

@@ -1,0 +1,48 @@
+"""E1 — paper Table I: platforms under test and their specifications.
+
+Regenerates the table from the :data:`repro.embedded.PLATFORMS` registry
+and benchmarks a full profiler construction to keep the registry honest
+about cost.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.embedded import PLATFORMS, InferenceProfiler
+from repro.zoo import build_arch1
+
+HEADERS = (
+    "Platform",
+    "Android",
+    "Primary CPU",
+    "Companion CPU",
+    "CPU Arch",
+    "GPU",
+    "RAM (GB)",
+)
+
+#: Paper Table I, verbatim.
+PAPER_TABLE1 = [
+    ("LG Nexus 5", "6 (Marshmallow)", "4 x 2.3GHz Krait 400", "-",
+     "ARMv7-A", "Adreno 330", "2"),
+    ("Odroid XU3", "7 (Nougat)", "4 x 2.1GHz Cortex-A15",
+     "4 x 1.5GHz Cortex-A7", "ARMv7-A", "Mali T628", "2"),
+    ("Huawei Honor 6X", "7 (Nougat)", "4 x 2.1GHz Cortex-A53",
+     "4 x 1.7GHz Cortex-A53", "ARMv8-A", "Mali T830", "3"),
+]
+
+
+def test_table1_platform_registry(benchmark):
+    """Print Table I and verify the registry reproduces it exactly."""
+    rows = [spec.table_row() for spec in PLATFORMS.values()]
+    assert sorted(rows) == sorted(PAPER_TABLE1)
+
+    widths = [max(len(str(r[i])) for r in rows + [HEADERS]) for i in range(7)]
+    lines = ["E1 / Table I — platforms under test", ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(HEADERS, widths)))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    write_result("table1_platforms", lines)
+
+    model = build_arch1(rng=np.random.default_rng(0))
+    benchmark(lambda: InferenceProfiler(model, (256,)).sweep())

@@ -1,0 +1,94 @@
+"""E9 — paper Algorithm 2: FFT-based training step vs dense backprop.
+
+Times one forward + backward + SGD step of a block-circulant FC layer
+against a dense FC layer of the same logical size, across sizes.  The
+paper's claim is O(n log n) vs O(n^2) per update; the wall-clock crossover
+appears once layers are large enough for arithmetic to dominate.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.nn import SGD, BlockCirculantLinear, Linear, Tensor
+
+SIZES = (256, 1024, 4096)
+
+
+def _train_step_factory(layer, x, target):
+    optimizer = SGD(layer.parameters(), lr=0.01)
+
+    def step():
+        optimizer.zero_grad()
+        out = layer(Tensor(x))
+        loss = ((out - Tensor(target)) ** 2).mean()
+        loss.backward()
+        optimizer.step()
+
+    return step
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_training_step_comparison(benchmark):
+    rng = np.random.default_rng(0)
+    lines = [
+        "E9 / Algorithm 2 — one training step: dense vs block-circulant",
+        "",
+        f"{'n':>6s} {'dense ms':>10s} {'BC ms':>10s} {'speedup':>9s} "
+        f"{'params dense':>13s} {'params BC':>10s}",
+    ]
+    speedups = []
+    for n in SIZES:
+        x = rng.normal(size=(8, n))
+        target = rng.normal(size=(8, n))
+        dense = Linear(n, n, rng=rng)
+        bc = BlockCirculantLinear(n, n, n // 4, rng=rng)
+        dense_step = _train_step_factory(dense, x, target)
+        bc_step = _train_step_factory(bc, x, target)
+        dense_step()
+        bc_step()
+        t_dense = _best_of(dense_step)
+        t_bc = _best_of(bc_step)
+        speedups.append(t_dense / t_bc)
+        lines.append(
+            f"{n:6d} {t_dense * 1e3:10.2f} {t_bc * 1e3:10.2f} "
+            f"{t_dense / t_bc:8.2f}x {n * n + n:13d} "
+            f"{bc.weight.size + n:10d}"
+        )
+    write_result("training_step", lines)
+
+    # At n = 4096 the FFT training path must win on wall-clock.
+    assert speedups[-1] > 1.0
+
+    layer = BlockCirculantLinear(1024, 1024, 256, rng=rng)
+    x = rng.normal(size=(8, 1024))
+    target = rng.normal(size=(8, 1024))
+    benchmark(_train_step_factory(layer, x, target))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_bc_training_step(benchmark, n):
+    rng = np.random.default_rng(0)
+    layer = BlockCirculantLinear(n, n, n // 4, rng=rng)
+    x = rng.normal(size=(8, n))
+    target = rng.normal(size=(8, n))
+    benchmark(_train_step_factory(layer, x, target))
+
+
+@pytest.mark.parametrize("n", (256, 1024))
+def test_bench_dense_training_step(benchmark, n):
+    rng = np.random.default_rng(0)
+    layer = Linear(n, n, rng=rng)
+    x = rng.normal(size=(8, n))
+    target = rng.normal(size=(8, n))
+    benchmark(_train_step_factory(layer, x, target))

@@ -1,0 +1,92 @@
+"""Paper Fig. 4 end to end: parse -> train -> deploy -> infer -> profile.
+
+Walks the complete software pipeline of the paper's section V:
+
+1. the architecture parser reads the network description string,
+2. the model trains on the synthetic MNIST stand-in,
+3. the parameters are exported in FFT form (section IV-A) and the whole
+   model frozen into a deployment artifact,
+4. the inputs parser loads a test batch from a file,
+5. the standalone inference engine predicts labels from the artifact,
+6. the platform simulator prices the engine on the Table I devices,
+   including battery mode.
+
+Run:  python examples/deploy_embedded.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    bilinear_resize,
+    flatten_images,
+    load_synthetic_mnist,
+)
+from repro.embedded import DeployedModel, InferenceProfiler
+from repro.io import build_model_from_string, load_inputs, save_inputs
+from repro.nn import Adam, CrossEntropyLoss, Trainer
+
+ARCHITECTURE = "256-128CFb64-128CFb64-10F"  # paper Arch. 1
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="repro_deploy_"))
+
+    # 1. Architecture parser (Fig. 4, module 1).
+    print(f"architecture: {ARCHITECTURE}")
+    model = build_model_from_string(ARCHITECTURE, rng=np.random.default_rng(1))
+
+    # 2. Training on synthetic MNIST resized to 16x16.
+    train, test = load_synthetic_mnist(
+        train_size=2000, test_size=400, seed=0, noise=0.15
+    )
+
+    def preprocess(images):
+        return flatten_images(bilinear_resize(images, 16, 16))
+
+    loader = DataLoader(
+        ArrayDataset(preprocess(train.inputs), train.labels),
+        batch_size=64, shuffle=True, seed=0,
+    )
+    trainer = Trainer(model, CrossEntropyLoss(), Adam(model.parameters(), lr=0.003))
+    history = trainer.fit(loader, epochs=8)
+    print(f"trained: final train accuracy {history.final.train_accuracy:.3f}")
+
+    # 3. Freeze to the FFT-domain deployment artifact (Fig. 4, module 2).
+    model.eval()
+    deployed = DeployedModel.from_model(model)
+    model_path = workdir / "arch1_deployed.npz"
+    deployed.save(model_path)
+    print(f"deployed artifact: {model_path} "
+          f"({deployed.storage_bytes() / 1024:.1f} KB, FFT-domain weights)")
+
+    # 4. Inputs parser (Fig. 4, module 3).
+    inputs_path = workdir / "test_inputs.npz"
+    save_inputs(inputs_path, preprocess(test.inputs), test.labels)
+    inputs, labels = load_inputs(inputs_path)
+
+    # 5. Standalone inference engine (Fig. 4, module 4).
+    engine = DeployedModel.load(model_path)
+    predictions = engine.predict(inputs)
+    test_accuracy = (predictions == labels).mean()
+    host_us = engine.time_inference(inputs[:200], repeats=3)
+    print(f"inference engine: accuracy {100 * test_accuracy:.2f}%, "
+          f"host latency {host_us:.1f} us/image")
+
+    # 6. Embedded platform predictions (Tables I/II).
+    profiler = InferenceProfiler(model, (256,))
+    print("\npredicted on-device latency (us/image):")
+    print(f"{'platform':10s} {'Java':>8s} {'C++':>8s} {'Java+battery':>13s}")
+    for platform in ("nexus5", "xu3", "honor6x"):
+        java = profiler.runtime_us(platform, "java")
+        cpp = profiler.runtime_us(platform, "cpp")
+        battery = profiler.runtime_us(platform, "java", battery=True)
+        print(f"{platform:10s} {java:8.1f} {cpp:8.1f} {battery:13.1f}")
+
+
+if __name__ == "__main__":
+    main()

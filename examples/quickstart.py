@@ -1,0 +1,41 @@
+"""Quickstart: the paper's core idea in thirty lines.
+
+Builds a block-circulant FC layer, shows that its FFT-based product
+matches the dense expansion exactly (paper Eqn. 3), trains it for a few
+steps (paper Algorithm 2), and reports the compression ratio.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.nn import SGD, BlockCirculantLinear, MSELoss, Tensor
+
+rng = np.random.default_rng(0)
+
+# A 512 -> 256 fully-connected layer stored as 8 x 16 circulant blocks of
+# size 32: 4096 weights instead of 131072.
+layer = BlockCirculantLinear(512, 256, block_size=32, rng=rng)
+print(f"layer:             {layer}")
+print(f"stored parameters: {layer.weight.size + layer.bias.size}")
+print(f"dense equivalent:  {512 * 256 + 256}")
+print(f"compression:       {layer.compression_ratio:.0f}x")
+
+# Eqn. 3: FFT -> componentwise multiply -> IFFT equals the dense product.
+x = rng.normal(size=(4, 512))
+fft_out = layer(Tensor(x)).data
+dense_out = x @ layer.dense_weight().T + layer.bias.data
+print(f"FFT vs dense max |diff|: {np.abs(fft_out - dense_out).max():.2e}")
+
+# Algorithm 2: train with FFT-domain gradients.
+target = rng.normal(size=(4, 256))
+loss_fn = MSELoss()
+optimizer = SGD(layer.parameters(), lr=0.05)
+for step in range(10):
+    optimizer.zero_grad()
+    loss = loss_fn(layer(Tensor(x)), Tensor(target))
+    loss.backward()
+    optimizer.step()
+    if step % 3 == 0:
+        print(f"step {step}: loss {loss.item():.4f}")
+print("loss decreases through the FFT-based backward pass — done.")

@@ -1,0 +1,51 @@
+"""repro — reproduction of "FFT-Based Deep Learning Deployment in
+Embedded Systems" (Lin et al., DATE 2018).
+
+Subpackages:
+
+* :mod:`repro.fft` — the FFT computing kernel (Cooley-Tukey, Bluestein,
+  circular convolution),
+* :mod:`repro.structured` — circulant / block-circulant / Toeplitz
+  matrix algebra,
+* :mod:`repro.nn` — autograd, layers (including the paper's
+  block-circulant FC and CONV layers), losses, optimizers, trainer,
+* :mod:`repro.data` — synthetic MNIST / CIFAR-10 stand-ins and transforms,
+* :mod:`repro.io` — architecture / parameters / inputs parsers (Fig. 4),
+* :mod:`repro.embedded` — platform specs (Table I), cost + runtime models
+  (Tables II-III), and the FFT-domain deployment engine,
+* :mod:`repro.analysis` — complexity / storage analysis and the
+  TrueNorth comparison (Fig. 5),
+* :mod:`repro.quantize` — fixed-point weight quantization extension,
+* :mod:`repro.zoo` — the paper's Arch. 1 / Arch. 2 / Arch. 3 builders.
+"""
+
+from . import analysis, data, embedded, fft, io, nn, quantize, structured, zoo
+from .exceptions import (
+    BackendError,
+    ConfigurationError,
+    DeploymentError,
+    ParseError,
+    ReproError,
+    ShapeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "fft",
+    "structured",
+    "nn",
+    "data",
+    "io",
+    "embedded",
+    "analysis",
+    "quantize",
+    "zoo",
+    "ReproError",
+    "ShapeError",
+    "BackendError",
+    "ParseError",
+    "DeploymentError",
+    "ConfigurationError",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""Theoretical complexity formulas (paper sections IV-A and IV-B).
+
+Closed-form operation counts for dense vs block-circulant FC and CONV
+layers, used by the complexity benchmarks (E5/E6) and to check the
+paper's asymptotic claims:
+
+* FC: ``O(n^2)`` dense vs ``O(n log n)`` block-circulant (Eqn. 3),
+* CONV: ``O(W H r^2 C P)`` dense vs ``O(W H Q log Q)``,
+  ``Q = max(r^2 C, P)`` (section IV-B).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dense_fc_ops",
+    "bc_fc_ops",
+    "dense_conv_ops",
+    "bc_conv_ops",
+    "fc_speedup",
+    "conv_speedup",
+    "crossover_block_size",
+]
+
+
+def dense_fc_ops(out_features: int, in_features: int) -> float:
+    """Multiply-add count of a dense FC layer: ``2 m n``."""
+    _check_positive(out_features=out_features, in_features=in_features)
+    return 2.0 * out_features * in_features
+
+
+def bc_fc_ops(out_features: int, in_features: int, block_size: int) -> float:
+    """Operation count of the FFT-based block-circulant FC layer.
+
+    ``q`` forward FFTs, ``p q`` spectrum products with accumulation, and
+    ``p`` inverse FFTs, with ``p = ceil(m/b)``, ``q = ceil(n/b)`` — the
+    ``O((m n / b) log b)`` of paper Eqn. 3 with explicit constants
+    (real-FFT cost ``2.5 b log2 b``).
+    """
+    _check_positive(
+        out_features=out_features, in_features=in_features, block_size=block_size
+    )
+    p = -(-out_features // block_size)
+    q = -(-in_features // block_size)
+    bins = block_size // 2 + 1
+    fft_cost = 2.5 * block_size * math.log2(block_size) if block_size > 1 else 0.0
+    return (q + p) * fft_cost + p * q * 6.0 * bins + p * (q - 1) * 2.0 * bins
+
+
+def dense_conv_ops(
+    height: int, width: int, kernel: int, in_channels: int, out_channels: int
+) -> float:
+    """Multiply-add count of a dense valid CONV layer (paper Eqn. 5)."""
+    _check_positive(
+        height=height,
+        width=width,
+        kernel=kernel,
+        in_channels=in_channels,
+        out_channels=out_channels,
+    )
+    positions = (height - kernel + 1) * (width - kernel + 1)
+    return 2.0 * positions * out_channels * in_channels * kernel * kernel
+
+
+def bc_conv_ops(
+    height: int,
+    width: int,
+    kernel: int,
+    in_channels: int,
+    out_channels: int,
+    block_size: int,
+) -> float:
+    """Operation count of the block-circulant CONV layer (section IV-B)."""
+    _check_positive(
+        height=height,
+        width=width,
+        kernel=kernel,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        block_size=block_size,
+    )
+    positions = (height - kernel + 1) * (width - kernel + 1)
+    per_position = bc_fc_ops(
+        out_channels, in_channels * kernel * kernel, block_size
+    )
+    return positions * per_position
+
+
+def fc_speedup(out_features: int, in_features: int, block_size: int) -> float:
+    """Dense-over-block-circulant op ratio for an FC layer."""
+    return dense_fc_ops(out_features, in_features) / bc_fc_ops(
+        out_features, in_features, block_size
+    )
+
+
+def conv_speedup(
+    height: int,
+    width: int,
+    kernel: int,
+    in_channels: int,
+    out_channels: int,
+    block_size: int,
+) -> float:
+    """Dense-over-block-circulant op ratio for a CONV layer."""
+    return dense_conv_ops(
+        height, width, kernel, in_channels, out_channels
+    ) / bc_conv_ops(height, width, kernel, in_channels, out_channels, block_size)
+
+
+def crossover_block_size(out_features: int, in_features: int) -> int | None:
+    """Smallest block size at which the FFT path beats the dense path.
+
+    Returns None when no block size up to ``min(m, n)`` wins (tiny
+    layers where FFT constants dominate).
+    """
+    _check_positive(out_features=out_features, in_features=in_features)
+    limit = min(out_features, in_features)
+    for block in range(2, limit + 1):
+        if fc_speedup(out_features, in_features, block) > 1.0:
+            return block
+    return None
+
+
+def _check_positive(**values: int) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")

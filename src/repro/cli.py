@@ -1,0 +1,187 @@
+"""Command-line interface: the paper's deployment workflow as a tool.
+
+Mirrors the paper's Fig. 4 pipeline from a shell:
+
+* ``train``   — build a model from an architecture string, train it on a
+  dataset bundle (``.npz`` with ``inputs``/``labels``), save a checkpoint,
+* ``deploy``  — convert a checkpoint into the FFT-domain deployment
+  artifact (section IV-A),
+* ``predict`` — run the standalone inference engine on an input bundle,
+* ``profile`` — predict per-image latency and energy on the Table I
+  devices,
+* ``info``    — parameter/storage/compression report for an architecture.
+
+Usage: ``python -m repro <command> ...`` (see ``--help`` per command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import storage_report
+from .data import ArrayDataset, DataLoader
+from .embedded import DeployedModel, EnergyModel, InferenceProfiler, PLATFORMS
+from .io import (
+    build_model_from_string,
+    load_inputs,
+    load_weights,
+    parse_architecture,
+    save_weights,
+)
+from .nn import Adam, CrossEntropyLoss, Trainer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FFT-based block-circulant DNN training and deployment",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a model from an architecture string")
+    train.add_argument("architecture", help="e.g. 256-128CFb64-128CFb64-10F")
+    train.add_argument("--data", required=True, help=".npz with inputs+labels")
+    train.add_argument("--out", required=True, help="checkpoint path (.npz)")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--lr", type=float, default=0.003)
+    train.add_argument("--seed", type=int, default=0)
+
+    deploy = sub.add_parser(
+        "deploy", help="freeze a checkpoint into an FFT-domain artifact"
+    )
+    deploy.add_argument("architecture")
+    deploy.add_argument("--weights", required=True, help="checkpoint from `train`")
+    deploy.add_argument("--out", required=True, help="artifact path (.npz)")
+
+    predict = sub.add_parser("predict", help="run the deployed inference engine")
+    predict.add_argument("model", help="artifact from `deploy`")
+    predict.add_argument("--data", required=True, help=".npz/.npy/.csv inputs")
+    predict.add_argument(
+        "--proba", action="store_true", help="print class probabilities"
+    )
+
+    profile = sub.add_parser(
+        "profile", help="predict on-device latency and energy"
+    )
+    profile.add_argument("architecture")
+    profile.add_argument(
+        "--battery", action="store_true", help="simulate unplugged operation"
+    )
+
+    info = sub.add_parser("info", help="storage / compression report")
+    info.add_argument("architecture")
+    return parser
+
+
+def _input_shape(architecture: str) -> tuple[int, ...]:
+    return parse_architecture(architecture).input_shape
+
+
+def _cmd_train(args) -> int:
+    inputs, labels = load_inputs(args.data)
+    if labels is None:
+        print("error: training data must include labels", file=sys.stderr)
+        return 2
+    model = build_model_from_string(
+        args.architecture, rng=np.random.default_rng(args.seed)
+    )
+    loader = DataLoader(
+        ArrayDataset(inputs, labels),
+        batch_size=args.batch_size,
+        shuffle=True,
+        seed=args.seed,
+    )
+    trainer = Trainer(model, CrossEntropyLoss(), Adam(model.parameters(), lr=args.lr))
+    history = trainer.fit(loader, epochs=args.epochs, verbose=True)
+    save_weights(model, args.out)
+    print(
+        f"saved checkpoint to {args.out} "
+        f"(final train accuracy {history.final.train_accuracy:.4f})"
+    )
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    model = build_model_from_string(args.architecture)
+    load_weights(model, args.weights)
+    model.eval()
+    deployed = DeployedModel.from_model(model)
+    deployed.save(args.out)
+    print(
+        f"saved deployment artifact to {args.out} "
+        f"({deployed.storage_bytes() / 1024:.1f} KB, FFT-domain weights)"
+    )
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    engine = DeployedModel.load(args.model)
+    inputs, labels = load_inputs(args.data)
+    if args.proba:
+        for row in engine.predict_proba(inputs):
+            print(" ".join(f"{p:.4f}" for p in row))
+    else:
+        predictions = engine.predict(inputs)
+        print(" ".join(str(int(p)) for p in predictions))
+        if labels is not None:
+            score = float((predictions == labels).mean())
+            print(f"accuracy: {score:.4f}", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    model = build_model_from_string(args.architecture)
+    shape = _input_shape(args.architecture)
+    profiler = InferenceProfiler(model, shape)
+    energy = EnergyModel(model, shape)
+    mode = " (battery)" if args.battery else ""
+    print(f"{'platform':12s} {'impl':5s} {'us/image':>10s} {'uJ/image':>10s}{mode}")
+    for impl in ("java", "cpp"):
+        for key in sorted(PLATFORMS):
+            runtime = profiler.runtime_us(key, impl, battery=args.battery)
+            joules = energy.estimate(key, impl, battery=args.battery).energy_uj
+            print(f"{key:12s} {impl:5s} {runtime:10.1f} {joules:10.1f}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    model = build_model_from_string(args.architecture)
+    report = storage_report(model)
+    print(f"architecture: {args.architecture}")
+    print(f"{'layer':55s} {'dense':>10s} {'stored':>10s} {'ratio':>7s}")
+    for row in report.rows:
+        print(
+            f"{row.layer[:55]:55s} {row.dense_params:10d} "
+            f"{row.stored_params:10d} {row.compression:6.1f}x"
+        )
+    print(
+        f"total: {report.dense_params} dense -> {report.stored_params} stored "
+        f"({report.compression:.1f}x), deployed {report.deployed_bytes / 1024:.1f} KB"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "deploy": _cmd_deploy,
+    "predict": _cmd_predict,
+    "profile": _cmd_profile,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

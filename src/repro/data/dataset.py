@@ -1,0 +1,105 @@
+"""Dataset container and mini-batch loader.
+
+Minimal equivalents of the usual Dataset/DataLoader pair: an in-memory
+array dataset with deterministic shuffling, batching, and train/test
+splitting — the third building block (inputs parser / test data loading)
+of the paper's Fig. 4 pipeline feeds through these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_test_split"]
+
+
+class ArrayDataset:
+    """Paired arrays of inputs and integer labels."""
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray):
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if len(inputs) != len(labels):
+            raise ValueError(
+                f"inputs and labels disagree on length: "
+                f"{len(inputs)} vs {len(labels)}"
+            )
+        if len(inputs) == 0:
+            raise ValueError("dataset must be non-empty")
+        self.inputs = inputs
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index) -> tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.labels[index]
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """New dataset restricted to ``indices``."""
+        return ArrayDataset(self.inputs[indices], self.labels[indices])
+
+    def map_inputs(self, fn) -> "ArrayDataset":
+        """New dataset with ``fn`` applied to the whole input array."""
+        return ArrayDataset(fn(self.inputs), self.labels)
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches.
+
+    Shuffling uses a dedicated generator seeded at construction, and each
+    epoch reshuffles deterministically from that stream, so two loaders
+    built with the same seed replay identical batch sequences.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: int | None = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return -(-n // self.batch_size)
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            index = order[start : start + self.batch_size]
+            if self.drop_last and len(index) < self.batch_size:
+                return
+            yield self.dataset[index]
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float,
+    rng: np.random.Generator | None = None,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Random split into (train, test) with ``test_fraction`` held out."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = rng or np.random.default_rng()
+    n = len(dataset)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError(
+            f"test_fraction {test_fraction} leaves no training data for n={n}"
+        )
+    order = rng.permutation(n)
+    return dataset.subset(order[n_test:]), dataset.subset(order[:n_test])

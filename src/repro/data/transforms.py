@@ -1,0 +1,133 @@
+"""Image transforms.
+
+The paper resizes MNIST with a *bilinear transformation* before feeding
+the FC networks (section V-B): 28x28 -> 16x16 for Arch. 1 (256 inputs)
+and 28x28 -> 11x11 for Arch. 2 (121 inputs).  :func:`bilinear_resize`
+reproduces that step exactly; the remaining helpers normalize and flatten
+batches for the FC layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bilinear_resize",
+    "normalize",
+    "flatten_images",
+    "affine_warp",
+    "Compose",
+]
+
+
+def bilinear_resize(images: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Resize ``(batch, H, W)`` or ``(H, W)`` images by bilinear sampling.
+
+    Uses the align-corners-free convention (pixel centers at
+    ``(i + 0.5) * scale - 0.5``), matching common image libraries.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    single = images.ndim == 2
+    if single:
+        images = images[None]
+    if images.ndim != 3:
+        raise ValueError(
+            f"expected (batch, H, W) or (H, W) images, got shape {images.shape}"
+        )
+    if height <= 0 or width <= 0:
+        raise ValueError(f"target size must be positive, got ({height}, {width})")
+    batch, in_h, in_w = images.shape
+    row_pos = np.clip(
+        (np.arange(height) + 0.5) * (in_h / height) - 0.5, 0.0, in_h - 1.0
+    )
+    col_pos = np.clip(
+        (np.arange(width) + 0.5) * (in_w / width) - 0.5, 0.0, in_w - 1.0
+    )
+    r0 = np.floor(row_pos).astype(np.int64)
+    c0 = np.floor(col_pos).astype(np.int64)
+    r1 = np.minimum(r0 + 1, in_h - 1)
+    c1 = np.minimum(c0 + 1, in_w - 1)
+    wr = (row_pos - r0)[None, :, None]
+    wc = (col_pos - c0)[None, None, :]
+    top = images[:, r0][:, :, c0] * (1 - wc) + images[:, r0][:, :, c1] * wc
+    bottom = images[:, r1][:, :, c0] * (1 - wc) + images[:, r1][:, :, c1] * wc
+    out = top * (1 - wr) + bottom * wr
+    return out[0] if single else out
+
+
+def affine_warp(
+    image: np.ndarray,
+    matrix: np.ndarray,
+    offset: np.ndarray,
+) -> np.ndarray:
+    """Inverse-map an affine transform over a 2-D image with bilinear sampling.
+
+    Output pixel ``(r, c)`` samples input position ``matrix @ [r, c] +
+    offset``; out-of-range samples read as 0.  Used by the synthetic
+    dataset generators for rotation/scale/shift augmentation.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"affine_warp expects a 2-D image, got {image.shape}")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    offset = np.asarray(offset, dtype=np.float64)
+    if matrix.shape != (2, 2) or offset.shape != (2,):
+        raise ValueError("matrix must be (2, 2) and offset (2,)")
+    h, w = image.shape
+    rows, cols = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    coords = np.stack([rows.ravel(), cols.ravel()])  # (2, h*w)
+    src = matrix @ coords + offset[:, None]
+    sr, sc = src[0], src[1]
+    r0 = np.floor(sr).astype(np.int64)
+    c0 = np.floor(sc).astype(np.int64)
+    fr = sr - r0
+    fc = sc - c0
+
+    def sample(ri: np.ndarray, ci: np.ndarray) -> np.ndarray:
+        valid = (ri >= 0) & (ri < h) & (ci >= 0) & (ci < w)
+        out = np.zeros_like(sr)
+        out[valid] = image[ri[valid], ci[valid]]
+        return out
+
+    value = (
+        sample(r0, c0) * (1 - fr) * (1 - fc)
+        + sample(r0, c0 + 1) * (1 - fr) * fc
+        + sample(r0 + 1, c0) * fr * (1 - fc)
+        + sample(r0 + 1, c0 + 1) * fr * fc
+    )
+    return value.reshape(h, w)
+
+
+def normalize(
+    images: np.ndarray, mean: float | None = None, std: float | None = None
+) -> np.ndarray:
+    """Standardize to zero mean / unit variance (statistics from the data
+    when not provided)."""
+    images = np.asarray(images, dtype=np.float64)
+    mean = images.mean() if mean is None else mean
+    std = images.std() if std is None else std
+    if std == 0.0:
+        raise ValueError("cannot normalize with zero standard deviation")
+    return (images - mean) / std
+
+
+def flatten_images(images: np.ndarray) -> np.ndarray:
+    """Flatten ``(batch, ...)`` to ``(batch, n)`` for FC inputs."""
+    images = np.asarray(images)
+    if images.ndim < 2:
+        raise ValueError(f"expected batched images, got shape {images.shape}")
+    return images.reshape(images.shape[0], -1)
+
+
+class Compose:
+    """Apply a sequence of array transforms left to right."""
+
+    def __init__(self, *transforms):
+        if not transforms:
+            raise ValueError("Compose requires at least one transform")
+        self.transforms = transforms
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images)
+        return images

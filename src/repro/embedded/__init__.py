@@ -1,0 +1,55 @@
+"""Embedded-platform simulation and deployment (paper sections V, Fig. 4).
+
+* :data:`PLATFORMS` — the devices of paper Table I,
+* :func:`count_model` — per-layer operation counts,
+* :class:`InferenceProfiler` — predicted per-image latency per platform
+  and implementation (Java / C++), calibrated against Tables II-III,
+* :class:`DeployedModel` — the standalone FFT-domain inference engine.
+"""
+
+from .cost_model import (
+    LayerCost,
+    ModelCost,
+    complex_fft_ops,
+    count_model,
+    real_fft_ops,
+)
+from .deploy import DeployedModel
+from .energy import POWER_PROFILES, EnergyEstimate, EnergyModel, PowerProfile
+from .memory import MemoryFootprint, estimate_memory, fits_on_platform
+from .platform import PLATFORMS, CpuCluster, PlatformSpec, get_platform
+from .profiler import InferenceProfiler, ProfileEntry
+from .runtime_model import (
+    CPP,
+    IMPLEMENTATIONS,
+    JAVA,
+    ImplementationProfile,
+    estimate_runtime_us,
+)
+
+__all__ = [
+    "PLATFORMS",
+    "CpuCluster",
+    "PlatformSpec",
+    "get_platform",
+    "LayerCost",
+    "ModelCost",
+    "count_model",
+    "real_fft_ops",
+    "complex_fft_ops",
+    "ImplementationProfile",
+    "JAVA",
+    "CPP",
+    "IMPLEMENTATIONS",
+    "estimate_runtime_us",
+    "InferenceProfiler",
+    "ProfileEntry",
+    "DeployedModel",
+    "PowerProfile",
+    "POWER_PROFILES",
+    "EnergyEstimate",
+    "EnergyModel",
+    "MemoryFootprint",
+    "estimate_memory",
+    "fits_on_platform",
+]

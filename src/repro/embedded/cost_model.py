@@ -1,0 +1,264 @@
+"""Per-inference operation counting for every layer type.
+
+The runtime simulator needs, for each layer, how many arithmetic
+operations one forward pass costs and how many library calls it issues
+(the per-call overhead of OpenCV through Java/JNI vs native C++ turns out
+to dominate at the paper's network sizes — see
+:mod:`repro.embedded.runtime_model`).
+
+FFT cost conventions (standard split-radix estimates):
+
+* complex FFT of length n: ``5 n log2 n`` real ops,
+* real FFT (rfft/irfft): half that, ``2.5 n log2 n``,
+* complex multiply: 6 real ops; complex add: 2.
+
+Block-circulant layers are costed per paper Algorithm 1: one rfft per
+input block, one spectrum product + accumulation per block pair (weight
+spectra are precomputed at deployment, section IV-A), one irfft per
+output block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    BlockCirculantConv2d,
+    BlockCirculantLinear,
+    Conv2d,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from ..nn.module import Module, Sequential
+
+__all__ = ["LayerCost", "ModelCost", "real_fft_ops", "complex_fft_ops", "count_model"]
+
+
+def complex_fft_ops(n: int) -> float:
+    """Real-operation count of one complex FFT of length ``n``."""
+    if n <= 0:
+        raise ValueError(f"FFT length must be positive, got {n}")
+    if n == 1:
+        return 0.0
+    return 5.0 * n * math.log2(n)
+
+
+def real_fft_ops(n: int) -> float:
+    """Real-operation count of one real-input FFT (or inverse) of length n."""
+    return 0.5 * complex_fft_ops(n)
+
+
+@dataclass
+class LayerCost:
+    """Cost of one layer's forward pass for a single input sample."""
+
+    name: str
+    flops: float  # arithmetic real operations
+    library_calls: int  # coarse-grained kernel invocations (OpenCV-style)
+    weight_bytes: int  # parameter storage read per inference (float32)
+    output_shape: tuple[int, ...]
+
+
+@dataclass
+class ModelCost:
+    """Aggregate cost over all layers."""
+
+    layers: list[LayerCost] = field(default_factory=list)
+
+    @property
+    def flops(self) -> float:
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def library_calls(self) -> int:
+        return sum(layer.library_calls for layer in self.layers)
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        if not self.layers:
+            raise ValueError("model produced no layers")
+        return self.layers[-1].output_shape
+
+
+_FLOAT_BYTES = 4  # deployed weights are float32 (section V: OpenCV Mats)
+
+
+def _cost_linear(layer: Linear, shape: tuple[int, ...]) -> LayerCost:
+    (n,) = shape
+    m = layer.out_features
+    flops = 2.0 * m * n + (m if layer.bias is not None else 0)
+    return LayerCost(
+        name=repr(layer),
+        flops=flops,
+        library_calls=2,  # gemv + bias add
+        weight_bytes=(m * n + (m if layer.bias is not None else 0)) * _FLOAT_BYTES,
+        output_shape=(m,),
+    )
+
+
+def _cost_bc_linear(layer: BlockCirculantLinear, shape: tuple[int, ...]) -> LayerCost:
+    b = layer.block_size
+    p, q = layer.block_rows, layer.block_cols
+    bins = b // 2 + 1
+    flops = (
+        q * real_fft_ops(b)  # FFT(x_i)
+        + p * q * 6.0 * bins  # spectrum products
+        + p * (q - 1) * 2.0 * bins  # block accumulation
+        + p * real_fft_ops(b)  # IFFT per output block
+        + (layer.out_features if layer.bias is not None else 0)
+    )
+    # One FFT call per input block, one fused multiply-accumulate pass per
+    # output block, one inverse FFT per output block, plus the bias add.
+    calls = q + 2 * p + 1
+    # Deployed storage: the rfft spectra (complex64: 8 bytes/bin).
+    weight_bytes = p * q * bins * 2 * _FLOAT_BYTES + (
+        layer.out_features * _FLOAT_BYTES if layer.bias is not None else 0
+    )
+    return LayerCost(
+        name=repr(layer),
+        flops=flops,
+        library_calls=calls,
+        weight_bytes=weight_bytes,
+        output_shape=(layer.out_features,),
+    )
+
+
+def _cost_conv(layer: Conv2d, shape: tuple[int, ...]) -> LayerCost:
+    channels, height, width = shape
+    out_c, out_h, out_w = layer.output_shape(height, width)
+    positions = out_h * out_w
+    k = layer.kernel_size
+    flops = 2.0 * positions * out_c * channels * k * k + (
+        positions * out_c if layer.bias is not None else 0
+    )
+    weights = out_c * channels * k * k + (out_c if layer.bias is not None else 0)
+    return LayerCost(
+        name=repr(layer),
+        flops=flops,
+        library_calls=3,  # im2col + gemm + bias
+        weight_bytes=weights * _FLOAT_BYTES,
+        output_shape=(out_c, out_h, out_w),
+    )
+
+
+def _cost_bc_conv(layer: BlockCirculantConv2d, shape: tuple[int, ...]) -> LayerCost:
+    channels, height, width = shape
+    out_c, out_h, out_w = layer.output_shape(height, width)
+    positions = out_h * out_w
+    b = layer.block_size
+    p, q = layer.block_rows, layer.block_cols
+    bins = b // 2 + 1
+    per_position = (
+        q * real_fft_ops(b)
+        + p * q * 6.0 * bins
+        + p * (q - 1) * 2.0 * bins
+        + p * real_fft_ops(b)
+    )
+    flops = positions * per_position + (
+        positions * out_c if layer.bias is not None else 0
+    )
+    calls = 1 + q + 2 * p + 1  # im2col + batched FFT/MAC/IFFT passes + bias
+    weight_bytes = p * q * bins * 2 * _FLOAT_BYTES + (
+        out_c * _FLOAT_BYTES if layer.bias is not None else 0
+    )
+    return LayerCost(
+        name=repr(layer),
+        flops=flops,
+        library_calls=calls,
+        weight_bytes=weight_bytes,
+        output_shape=(out_c, out_h, out_w),
+    )
+
+
+def _elementwise_cost(
+    layer: Module, shape: tuple[int, ...], ops_per_element: float
+) -> LayerCost:
+    count = math.prod(shape)
+    return LayerCost(
+        name=repr(layer),
+        flops=ops_per_element * count,
+        library_calls=1,
+        weight_bytes=0,
+        output_shape=shape,
+    )
+
+
+def _cost_pool(layer, shape: tuple[int, ...], ops_per_window_element: float) -> LayerCost:
+    channels, height, width = shape
+    k, s = layer.kernel_size, layer.stride
+    out_h = (height - k) // s + 1
+    out_w = (width - k) // s + 1
+    windows = channels * out_h * out_w
+    return LayerCost(
+        name=repr(layer),
+        flops=windows * k * k * ops_per_window_element,
+        library_calls=1,
+        weight_bytes=0,
+        output_shape=(channels, out_h, out_w),
+    )
+
+
+def _cost_layer(layer: Module, shape: tuple[int, ...]) -> LayerCost:
+    if isinstance(layer, BlockCirculantLinear):
+        return _cost_bc_linear(layer, shape)
+    if isinstance(layer, Linear):
+        return _cost_linear(layer, shape)
+    if isinstance(layer, BlockCirculantConv2d):
+        return _cost_bc_conv(layer, shape)
+    if isinstance(layer, Conv2d):
+        return _cost_conv(layer, shape)
+    if isinstance(layer, (ReLU, LeakyReLU)):
+        return _elementwise_cost(layer, shape, 1.0)
+    if isinstance(layer, (Sigmoid, Tanh)):
+        return _elementwise_cost(layer, shape, 4.0)
+    if isinstance(layer, Softmax):
+        return _elementwise_cost(layer, shape, 5.0)
+    if isinstance(layer, Dropout):
+        # Inference no-op: dropout disappears at deployment.
+        return LayerCost(repr(layer), 0.0, 0, 0, shape)
+    if isinstance(layer, Flatten):
+        return LayerCost(repr(layer), 0.0, 0, 0, (math.prod(shape),))
+    if isinstance(layer, MaxPool2d):
+        return _cost_pool(layer, shape, 1.0)
+    if isinstance(layer, AvgPool2d):
+        return _cost_pool(layer, shape, 1.0)
+    if isinstance(layer, (BatchNorm1d, BatchNorm2d)):
+        # Folded scale+shift at inference.
+        cost = _elementwise_cost(layer, shape, 2.0)
+        cost.weight_bytes = 2 * layer.num_features * _FLOAT_BYTES
+        return cost
+    raise TypeError(f"no cost model for layer type {type(layer).__name__}")
+
+
+def count_model(model: Module, input_shape: tuple[int, ...]) -> ModelCost:
+    """Per-layer and total single-image inference cost of ``model``.
+
+    ``input_shape`` excludes the batch axis: ``(features,)`` for FC models,
+    ``(channels, H, W)`` for CONV models.
+    """
+    if not isinstance(model, Sequential):
+        raise TypeError(
+            "count_model requires a Sequential model; wrap custom modules"
+        )
+    cost = ModelCost()
+    shape = tuple(input_shape)
+    for layer in model:
+        layer_cost = _cost_layer(layer, shape)
+        cost.layers.append(layer_cost)
+        shape = layer_cost.output_shape
+    return cost

@@ -1,0 +1,382 @@
+"""Deployment artifacts and the standalone inference engine (paper Fig. 4).
+
+The paper's deployment flow stores, for every block-circulant layer, the
+*FFT of the defining vectors* rather than the weights themselves
+("we can simply keep the FFT result FFT(w_i)", section IV-A).  This module
+implements that flow:
+
+* :meth:`DeployedModel.from_model` converts a trained
+  :class:`~repro.nn.module.Sequential` into a flat list of layer records
+  whose block-circulant weights are ``rfft`` half-spectra (complex64),
+* :meth:`DeployedModel.predict_proba` runs pure-numpy inference straight
+  from the spectra — no autograd, no weight reconstruction — which is the
+  engine whose op counts the runtime simulator prices,
+* :meth:`DeployedModel.save` / :meth:`DeployedModel.load` round-trip the
+  artifact through a single ``.npz`` file (the "Parameters" file of
+  Fig. 4).
+
+Dropout layers vanish at deployment; batch-norm folds into a per-feature
+affine transform.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DeploymentError
+from ..fft import rfft
+from ..nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    BlockCirculantConv2d,
+    BlockCirculantLinear,
+    Conv2d,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from ..nn.module import Sequential
+from ..structured import block_circulant_forward_batch
+from ..nn.functional import im2col
+
+__all__ = ["DeployedModel", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _pool_windows(x, kernel, stride):
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    base_r = np.repeat(np.arange(out_h) * stride, out_w)
+    base_c = np.tile(np.arange(out_w) * stride, out_h)
+    offset_r = np.repeat(np.arange(kernel), kernel)
+    offset_c = np.tile(np.arange(kernel), kernel)
+    rows = base_r[:, None] + offset_r[None, :]
+    cols = base_c[:, None] + offset_c[None, :]
+    return x[:, :, rows, cols], out_h, out_w
+
+
+class DeployedModel:
+    """Frozen inference-only model built from layer records.
+
+    Each record is a dict with a ``kind`` plus kind-specific arrays and
+    scalars; construct via :meth:`from_model` or :meth:`load`.
+    """
+
+    def __init__(self, records: list[dict]):
+        if not records:
+            raise DeploymentError("deployed model has no layers")
+        self.records = records
+
+    # ------------------------------------------------------------------
+    # Conversion from a trained model
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: Sequential) -> "DeployedModel":
+        """Freeze a trained Sequential into deployment records."""
+        records: list[dict] = []
+        for layer in model:
+            if isinstance(layer, BlockCirculantLinear):
+                records.append(
+                    {
+                        "kind": "bc_linear",
+                        "spectra": rfft(layer.weight.data).astype(np.complex64),
+                        "bias": None
+                        if layer.bias is None
+                        else layer.bias.data.astype(np.float32),
+                        "in_features": layer.in_features,
+                        "out_features": layer.out_features,
+                        "block_size": layer.block_size,
+                    }
+                )
+            elif isinstance(layer, Linear):
+                records.append(
+                    {
+                        "kind": "linear",
+                        "weight": layer.weight.data.astype(np.float32),
+                        "bias": None
+                        if layer.bias is None
+                        else layer.bias.data.astype(np.float32),
+                    }
+                )
+            elif isinstance(layer, BlockCirculantConv2d):
+                records.append(
+                    {
+                        "kind": "bc_conv",
+                        "spectra": rfft(layer.weight.data).astype(np.complex64),
+                        "bias": None
+                        if layer.bias is None
+                        else layer.bias.data.astype(np.float32),
+                        "in_channels": layer.in_channels,
+                        "out_channels": layer.out_channels,
+                        "kernel_size": layer.kernel_size,
+                        "block_size": layer.block_size,
+                        "stride": layer.stride,
+                        "padding": layer.padding,
+                        "channel_blocks": layer.channel_blocks,
+                    }
+                )
+            elif isinstance(layer, Conv2d):
+                records.append(
+                    {
+                        "kind": "conv",
+                        "weight": layer.weight.data.astype(np.float32),
+                        "bias": None
+                        if layer.bias is None
+                        else layer.bias.data.astype(np.float32),
+                        "stride": layer.stride,
+                        "padding": layer.padding,
+                    }
+                )
+            elif isinstance(layer, ReLU):
+                records.append({"kind": "relu"})
+            elif isinstance(layer, LeakyReLU):
+                records.append({"kind": "leaky_relu", "slope": layer.negative_slope})
+            elif isinstance(layer, Sigmoid):
+                records.append({"kind": "sigmoid"})
+            elif isinstance(layer, Tanh):
+                records.append({"kind": "tanh"})
+            elif isinstance(layer, Softmax):
+                records.append({"kind": "softmax"})
+            elif isinstance(layer, Flatten):
+                records.append({"kind": "flatten"})
+            elif isinstance(layer, MaxPool2d):
+                records.append(
+                    {"kind": "maxpool", "kernel": layer.kernel_size,
+                     "stride": layer.stride}
+                )
+            elif isinstance(layer, AvgPool2d):
+                records.append(
+                    {"kind": "avgpool", "kernel": layer.kernel_size,
+                     "stride": layer.stride}
+                )
+            elif isinstance(layer, Dropout):
+                continue  # identity at inference
+            elif isinstance(layer, (BatchNorm1d, BatchNorm2d)):
+                std = np.sqrt(layer.running_var + layer.eps)
+                scale = layer.gamma.data / std
+                shift = layer.beta.data - layer.running_mean * scale
+                records.append(
+                    {
+                        "kind": "affine",
+                        "scale": scale.astype(np.float32),
+                        "shift": shift.astype(np.float32),
+                        "per_channel": isinstance(layer, BatchNorm2d),
+                    }
+                )
+            else:
+                raise DeploymentError(
+                    f"cannot deploy layer type {type(layer).__name__}"
+                )
+        return cls(records)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _run_layer(self, record: dict, x: np.ndarray) -> np.ndarray:
+        kind = record["kind"]
+        if kind == "bc_linear":
+            spectra = record["spectra"].astype(np.complex128)
+            b = record["block_size"]
+            batch = x.shape[0]
+            q = spectra.shape[1]
+            padded = np.zeros((batch, q * b))
+            padded[:, : record["in_features"]] = x
+            blocks = padded.reshape(batch, q, b)
+            out = block_circulant_forward_batch(spectra, blocks)
+            out = out.reshape(batch, -1)[:, : record["out_features"]]
+            if record["bias"] is not None:
+                out = out + record["bias"]
+            return out
+        if kind == "linear":
+            out = x @ record["weight"].astype(np.float64).T
+            if record["bias"] is not None:
+                out = out + record["bias"]
+            return out
+        if kind == "conv":
+            weight = record["weight"].astype(np.float64)
+            out_c, in_c, k, _ = weight.shape
+            stride, padding = record["stride"], record["padding"]
+            batch, _, height, width = x.shape
+            out_h = (height + 2 * padding - k) // stride + 1
+            out_w = (width + 2 * padding - k) // stride + 1
+            cols = im2col(x, k, stride, padding)
+            out = cols @ weight.reshape(out_c, -1).T
+            out = out.transpose(0, 2, 1).reshape(batch, out_c, out_h, out_w)
+            if record["bias"] is not None:
+                out = out + record["bias"].astype(np.float64)[None, :, None, None]
+            return out
+        if kind == "bc_conv":
+            spectra = record["spectra"].astype(np.complex128)
+            b = record["block_size"]
+            k = record["kernel_size"]
+            stride, padding = record["stride"], record["padding"]
+            in_c, out_c = record["in_channels"], record["out_channels"]
+            channel_blocks = record["channel_blocks"]
+            batch, _, height, width = x.shape
+            out_h = (height + 2 * padding - k) // stride + 1
+            out_w = (width + 2 * padding - k) // stride + 1
+            positions = out_h * out_w
+            cols = im2col(x, k, stride, padding)
+            by_pos = cols.reshape(batch, positions, in_c, k * k).transpose(0, 1, 3, 2)
+            padded_c = channel_blocks * b
+            if padded_c != in_c:
+                padded = np.zeros((batch, positions, k * k, padded_c))
+                padded[..., :in_c] = by_pos
+                by_pos = padded
+            blocks = by_pos.reshape(batch * positions, -1, b)
+            out = block_circulant_forward_batch(spectra, blocks)
+            out = out.reshape(batch * positions, -1)[:, :out_c]
+            out = out.reshape(batch, positions, out_c).transpose(0, 2, 1)
+            out = out.reshape(batch, out_c, out_h, out_w)
+            if record["bias"] is not None:
+                out = out + record["bias"].astype(np.float64)[None, :, None, None]
+            return out
+        if kind == "relu":
+            return np.maximum(x, 0.0)
+        if kind == "leaky_relu":
+            return np.where(x > 0.0, x, record["slope"] * x)
+        if kind == "sigmoid":
+            return 1.0 / (1.0 + np.exp(-x))
+        if kind == "tanh":
+            return np.tanh(x)
+        if kind == "softmax":
+            return _softmax(x)
+        if kind == "flatten":
+            return x.reshape(x.shape[0], -1)
+        if kind == "maxpool":
+            windows, out_h, out_w = _pool_windows(
+                x, record["kernel"], record["stride"]
+            )
+            return windows.max(axis=-1).reshape(
+                x.shape[0], x.shape[1], out_h, out_w
+            )
+        if kind == "avgpool":
+            windows, out_h, out_w = _pool_windows(
+                x, record["kernel"], record["stride"]
+            )
+            return windows.mean(axis=-1).reshape(
+                x.shape[0], x.shape[1], out_h, out_w
+            )
+        if kind == "affine":
+            scale = record["scale"].astype(np.float64)
+            shift = record["shift"].astype(np.float64)
+            if record["per_channel"]:
+                return x * scale[None, :, None, None] + shift[None, :, None, None]
+            return x * scale + shift
+        raise DeploymentError(f"unknown layer kind {kind!r}")
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Raw engine output (logits, or probabilities after a softmax
+        record) for a batch of inputs."""
+        x = np.asarray(inputs, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None]
+        for record in self.records:
+            x = self._run_layer(record, x)
+        return x
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Class probabilities; applies softmax if the record list does not
+        end with one (training-time models output logits)."""
+        out = self.forward(inputs)
+        if self.records[-1]["kind"] != "softmax":
+            out = _softmax(out)
+        return out
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predicted integer labels."""
+        return self.predict_proba(inputs).argmax(axis=-1)
+
+    def time_inference(
+        self, inputs: np.ndarray, repeats: int = 3
+    ) -> float:
+        """Host wall-clock microseconds per image (best of ``repeats``).
+
+        This measures *this machine*, complementing the Table I platform
+        predictions from :class:`~repro.embedded.profiler.InferenceProfiler`.
+        """
+        if repeats <= 0:
+            raise ValueError(f"repeats must be positive, got {repeats}")
+        inputs = np.asarray(inputs)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            self.forward(inputs)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        count = 1 if inputs.ndim == 1 else inputs.shape[0]
+        return best / count * 1e6
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Total bytes of all stored arrays (the deployed model size)."""
+        total = 0
+        for record in self.records:
+            for value in record.values():
+                if isinstance(value, np.ndarray):
+                    total += value.nbytes
+        return total
+
+    def save(self, path: str | Path) -> None:
+        """Write the artifact to a single ``.npz`` file."""
+        path = Path(path)
+        header = []
+        arrays: dict[str, np.ndarray] = {}
+        for index, record in enumerate(self.records):
+            meta = {}
+            for key, value in record.items():
+                if isinstance(value, np.ndarray):
+                    arrays[f"layer{index}_{key}"] = value
+                    meta[key] = f"@layer{index}_{key}"
+                else:
+                    meta[key] = value
+            header.append(meta)
+        arrays["__header__"] = np.frombuffer(
+            json.dumps({"version": FORMAT_VERSION, "layers": header}).encode(),
+            dtype=np.uint8,
+        )
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DeployedModel":
+        """Read an artifact written by :meth:`save`."""
+        path = Path(path)
+        with np.load(path) as data:
+            if "__header__" not in data:
+                raise DeploymentError(f"{path} is not a deployed-model file")
+            header = json.loads(bytes(data["__header__"].tobytes()).decode())
+            if header.get("version") != FORMAT_VERSION:
+                raise DeploymentError(
+                    f"unsupported format version {header.get('version')}"
+                )
+            records = []
+            for meta in header["layers"]:
+                record = {}
+                for key, value in meta.items():
+                    if isinstance(value, str) and value.startswith("@"):
+                        record[key] = data[value[1:]]
+                    else:
+                        record[key] = value
+                records.append(record)
+        return cls(records)

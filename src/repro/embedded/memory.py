@@ -1,0 +1,97 @@
+"""Memory-footprint model for deployment (paper challenges (i) and (ii)).
+
+The paper's introduction names two embedded constraints: the *download
+size* of the model (communication bandwidth, challenge (i)) and the
+*memory requirement* at inference time (challenge (ii)); its Java-vs-C++
+discussion further blames Android's per-app Java heap limits for part of
+the Java slowdown.  This module quantifies all three:
+
+* download/storage size of the deployed artifact,
+* peak working-set during one inference: resident weights plus the two
+  largest adjacent activation buffers (layers execute sequentially, so
+  only consecutive input/output activations coexist),
+* a check against a platform's RAM and against a Java-heap-style cap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..nn.module import Sequential
+from .cost_model import count_model
+from .platform import PlatformSpec, get_platform
+
+__all__ = ["MemoryFootprint", "estimate_memory", "fits_on_platform"]
+
+_FLOAT_BYTES = 4
+#: Default Android per-app Java heap cap of the paper's device era (MB).
+DEFAULT_JAVA_HEAP_MB = 192.0
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Memory accounting for one deployed model."""
+
+    weight_bytes: int
+    peak_activation_bytes: int
+    activation_bytes_per_layer: tuple[int, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        """Weights + peak pair of adjacent activation buffers."""
+        return self.weight_bytes + self.peak_activation_bytes
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+
+def estimate_memory(
+    model: Sequential, input_shape: tuple[int, ...], batch_size: int = 1
+) -> MemoryFootprint:
+    """Estimate the inference working set of ``model``.
+
+    Activation sizes are traced through the cost model's shape
+    propagation; the peak is the largest sum of two consecutive buffers
+    (input of a layer + its output), times ``batch_size``.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    cost = count_model(model, tuple(input_shape))
+    activation_sizes = [math.prod(input_shape) * _FLOAT_BYTES * batch_size]
+    for layer in cost.layers:
+        activation_sizes.append(
+            math.prod(layer.output_shape) * _FLOAT_BYTES * batch_size
+        )
+    peak = max(
+        activation_sizes[i] + activation_sizes[i + 1]
+        for i in range(len(activation_sizes) - 1)
+    )
+    return MemoryFootprint(
+        weight_bytes=cost.weight_bytes,
+        peak_activation_bytes=peak,
+        activation_bytes_per_layer=tuple(activation_sizes),
+    )
+
+
+def fits_on_platform(
+    footprint: MemoryFootprint,
+    platform: str | PlatformSpec,
+    java: bool = False,
+    java_heap_mb: float = DEFAULT_JAVA_HEAP_MB,
+) -> bool:
+    """Whether the working set fits the device (and the Java heap cap).
+
+    The C++ path is limited only by device RAM ("applications written in
+    C++ have an unlimited heap size", paper section V-B); the Java path
+    must additionally fit the per-app heap cap.
+    """
+    if isinstance(platform, str):
+        platform = get_platform(platform)
+    ram_bytes = platform.ram_gb * 1024**3
+    if footprint.total_bytes > ram_bytes:
+        return False
+    if java and footprint.total_mb > java_heap_mb:
+        return False
+    return True

@@ -1,0 +1,89 @@
+"""Inference profiler: model x platform x implementation -> latency.
+
+Combines the operation counts of :mod:`repro.embedded.cost_model` with
+the runtime model of :mod:`repro.embedded.runtime_model` to regenerate the
+runtime columns of paper Tables II and III, including battery mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.module import Sequential
+from .cost_model import ModelCost, count_model
+from .platform import PLATFORMS, PlatformSpec, get_platform
+from .runtime_model import IMPLEMENTATIONS, ImplementationProfile, estimate_runtime_us
+
+__all__ = ["ProfileEntry", "InferenceProfiler"]
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One predicted latency measurement."""
+
+    platform: str
+    implementation: str
+    battery: bool
+    runtime_us: float
+
+
+class InferenceProfiler:
+    """Predict per-image inference latency of a model on Table I devices.
+
+    >>> profiler = InferenceProfiler(build_arch1(), input_shape=(256,))
+    >>> profiler.runtime_us("honor6x", "cpp")
+    """
+
+    def __init__(self, model: Sequential, input_shape: tuple[int, ...]):
+        self.model = model
+        self.input_shape = tuple(input_shape)
+        self.cost: ModelCost = count_model(model, self.input_shape)
+
+    def runtime_us(
+        self,
+        platform: str | PlatformSpec,
+        implementation: str | ImplementationProfile,
+        battery: bool = False,
+    ) -> float:
+        """Predicted latency in microseconds per image."""
+        if isinstance(platform, str):
+            platform = get_platform(platform)
+        if isinstance(implementation, str):
+            if implementation not in IMPLEMENTATIONS:
+                raise KeyError(
+                    f"unknown implementation {implementation!r}; "
+                    f"available: {sorted(IMPLEMENTATIONS)}"
+                )
+            implementation = IMPLEMENTATIONS[implementation]
+        return estimate_runtime_us(self.cost, platform, implementation, battery)
+
+    def sweep(
+        self,
+        platforms: list[str] | None = None,
+        implementations: list[str] | None = None,
+        battery: bool = False,
+    ) -> list[ProfileEntry]:
+        """Latencies for every (platform, implementation) pair requested."""
+        platforms = platforms or sorted(PLATFORMS)
+        implementations = implementations or sorted(IMPLEMENTATIONS)
+        entries = []
+        for impl_key in implementations:
+            for platform_key in platforms:
+                entries.append(
+                    ProfileEntry(
+                        platform=platform_key,
+                        implementation=impl_key,
+                        battery=battery,
+                        runtime_us=self.runtime_us(
+                            platform_key, impl_key, battery
+                        ),
+                    )
+                )
+        return entries
+
+    def speedup(self, platform: str, battery: bool = False) -> float:
+        """Java-over-C++ latency ratio on ``platform`` (paper reports
+        'C++ is about 60-130% faster')."""
+        java = self.runtime_us(platform, "java", battery)
+        cpp = self.runtime_us(platform, "cpp", battery)
+        return java / cpp

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible or unsupported shape."""
+
+
+class BackendError(ReproError, ValueError):
+    """An unknown or unavailable FFT backend was requested."""
+
+
+class ParseError(ReproError, ValueError):
+    """An architecture string, parameter file, or input file is malformed."""
+
+
+class DeploymentError(ReproError, RuntimeError):
+    """A deployment artifact is inconsistent or cannot be executed."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A layer, model, or simulator was configured with invalid settings."""

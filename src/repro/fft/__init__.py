@@ -1,0 +1,75 @@
+"""FFT computing kernel (paper section III-B).
+
+Public surface:
+
+* :func:`fft` / :func:`ifft` / :func:`rfft` / :func:`irfft` — 1-D
+  transforms with backend dispatch,
+* :func:`fft2` / :func:`ifft2` — 2-D transforms,
+* convolution / correlation helpers implementing the circular convolution
+  theorem (paper Eqn. 3),
+* algorithm kernels (:func:`fft_radix2`, :func:`fft_mixed_radix`,
+  :func:`fft_bluestein`, :func:`naive_dft`) for benchmarking,
+* backend selection (:func:`set_backend`, :func:`use_backend`).
+"""
+
+from .backend import available_backends, get_backend, set_backend, use_backend
+from .bluestein import fft_bluestein
+from .convolution import (
+    circular_convolve,
+    circular_convolve_direct,
+    circular_correlate,
+    circular_correlate_direct,
+    convolve2d,
+    convolve2d_direct,
+    linear_convolve,
+    linear_convolve_direct,
+    overlap_add_convolve,
+)
+from .cooley_tukey import fft_mixed_radix, fft_radix2, ifft_radix2
+from .core import fft, ifft, irfft, rfft
+from .dft import dft_matrix, naive_dft, naive_idft
+from .fft2 import fft2, ifft2
+from .rader import fft_rader, primitive_root
+from .twiddle import (
+    bit_reversal_permutation,
+    is_power_of_two,
+    next_power_of_two,
+    smallest_prime_factor,
+    twiddle_factors,
+)
+
+__all__ = [
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "fft",
+    "ifft",
+    "rfft",
+    "irfft",
+    "fft2",
+    "ifft2",
+    "fft_radix2",
+    "ifft_radix2",
+    "fft_mixed_radix",
+    "fft_bluestein",
+    "fft_rader",
+    "primitive_root",
+    "dft_matrix",
+    "naive_dft",
+    "naive_idft",
+    "circular_convolve",
+    "circular_convolve_direct",
+    "circular_correlate",
+    "circular_correlate_direct",
+    "linear_convolve",
+    "linear_convolve_direct",
+    "overlap_add_convolve",
+    "convolve2d",
+    "convolve2d_direct",
+    "bit_reversal_permutation",
+    "is_power_of_two",
+    "next_power_of_two",
+    "smallest_prime_factor",
+    "twiddle_factors",
+]

@@ -1,0 +1,67 @@
+"""Bluestein chirp-z FFT for arbitrary (including prime) lengths.
+
+The block sizes used by block-circulant layers are not always powers of two
+(e.g. the paper's Arch. 2 uses 121-dimensional inputs), so the pure backend
+needs an O(n log n) transform for every ``n``.  Bluestein's algorithm
+re-expresses a length-``n`` DFT as a length-``m`` circular convolution with
+``m >= 2n - 1`` a power of two, which the radix-2 kernel handles.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from .cooley_tukey import fft_radix2
+from .twiddle import next_power_of_two
+
+__all__ = ["fft_bluestein"]
+
+
+@functools.lru_cache(maxsize=128)
+def _chirp(n: int, inverse: bool) -> np.ndarray:
+    """Return the chirp sequence ``exp(sign * i*pi*k^2/n)`` for k in [0, n)."""
+    sign = 1j if inverse else -1j
+    k = np.arange(n, dtype=np.float64)
+    # k^2 mod 2n keeps the argument small and the chirp numerically exact.
+    exponent = (k * k) % (2.0 * n)
+    chirp = np.exp(sign * np.pi * exponent / n)
+    chirp.setflags(write=False)
+    return chirp
+
+
+@functools.lru_cache(maxsize=128)
+def _kernel_spectrum(n: int, m: int, inverse: bool) -> np.ndarray:
+    """Radix-2 spectrum of the length-``m`` wrapped conjugate chirp kernel."""
+    chirp = _chirp(n, inverse)
+    kernel = np.zeros(m, dtype=np.complex128)
+    kernel[:n] = np.conj(chirp)
+    # Wrap the tail so the circular convolution of length m realizes the
+    # linear convolution of the two length-n chirped sequences.
+    kernel[m - n + 1:] = np.conj(chirp[1:][::-1])
+    spectrum = fft_radix2(kernel)
+    spectrum.setflags(write=False)
+    return spectrum
+
+
+def fft_bluestein(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Compute the DFT of ``x`` along the last axis for any length.
+
+    Uses the identity ``j*k = (j^2 + k^2 - (k-j)^2) / 2`` to turn the DFT
+    into a convolution.  No ``1/n`` normalization is applied for
+    ``inverse=True`` (the dispatcher applies it).
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    m = next_power_of_two(2 * n - 1)
+
+    chirp = _chirp(n, inverse)
+    padded = np.zeros(x.shape[:-1] + (m,), dtype=np.complex128)
+    padded[..., :n] = x * chirp
+
+    spectrum = fft_radix2(padded) * _kernel_spectrum(n, m, inverse)
+    convolved = np.conj(fft_radix2(np.conj(spectrum))) / m
+    return convolved[..., :n] * chirp

@@ -1,0 +1,117 @@
+"""Cooley-Tukey FFT kernels (paper section III-B, Fig. 1).
+
+Two variants are provided:
+
+* :func:`fft_radix2` — the iterative decimation-in-time radix-2 algorithm
+  illustrated in the paper's Fig. 1: bit-reversal reordering followed by
+  ``log2(n)`` butterfly stages, each combining half-size DFTs with twiddle
+  factors ``W^0 .. W^{N/2-1}``.
+* :func:`fft_mixed_radix` — the general recursive Cooley-Tukey split
+  ``N = N1 * N2`` for composite sizes, falling back to the O(n^2) DFT for
+  prime factors (prime lengths themselves are better served by Bluestein,
+  see :mod:`repro.fft.bluestein`).
+
+Both operate along the last axis and accept arbitrary leading batch axes;
+the butterfly arithmetic itself is the textbook algorithm, expressed with
+vectorized elementwise numpy operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dft import naive_dft
+from .twiddle import (
+    bit_reversal_permutation,
+    is_power_of_two,
+    smallest_prime_factor,
+    twiddle_factors,
+)
+
+__all__ = ["fft_radix2", "ifft_radix2", "fft_mixed_radix"]
+
+
+def fft_radix2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Iterative radix-2 decimation-in-time FFT along the last axis.
+
+    ``x.shape[-1]`` must be a power of two.  With ``inverse=True`` the
+    conjugate-twiddle transform is computed *without* the ``1/n``
+    normalization; callers are expected to divide by ``n`` themselves
+    (as :func:`ifft_radix2` does).
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    if not is_power_of_two(n):
+        raise ValueError(f"radix-2 FFT requires power-of-two length, got {n}")
+    if n == 1:
+        return x.copy()
+
+    # Stage 0: permute input into bit-reversed order so every butterfly
+    # stage can operate on contiguous halves.
+    out = x[..., bit_reversal_permutation(n)]
+
+    # Stages 1..log2(n): combine DFTs of size `half` into size `size`.
+    size = 2
+    while size <= n:
+        half = size // 2
+        # Twiddles W_size^k for k in [0, half): the factors on the lower
+        # wing of each butterfly in Fig. 1.
+        twiddles = twiddle_factors(size, inverse=inverse)[:half]
+        grouped = out.reshape(x.shape[:-1] + (n // size, size))
+        even = grouped[..., :half]
+        odd = grouped[..., half:] * twiddles
+        combined = np.concatenate([even + odd, even - odd], axis=-1)
+        out = combined.reshape(x.shape)
+        size *= 2
+    return out
+
+
+def ifft_radix2(x: np.ndarray) -> np.ndarray:
+    """Inverse radix-2 FFT along the last axis, including 1/n scaling."""
+    n = np.asarray(x).shape[-1]
+    return fft_radix2(x, inverse=True) / n
+
+
+def fft_mixed_radix(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Recursive Cooley-Tukey FFT for arbitrary composite lengths.
+
+    Splits ``N = N1 * N2`` with ``N1`` the smallest prime factor, computes
+    ``N1`` interleaved transforms of length ``N2`` recursively, then
+    recombines with twiddle factors.  Prime lengths degrade to the O(n^2)
+    reference DFT, which keeps this function exact for every ``n`` while the
+    dispatcher in :mod:`repro.fft.core` routes large primes to Bluestein
+    instead.  No normalization is applied for ``inverse=True``.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    if is_power_of_two(n):
+        return fft_radix2(x, inverse=inverse)
+
+    radix = smallest_prime_factor(n)
+    if radix == n:
+        # Prime length: direct DFT (conjugate trick for the inverse sign).
+        if inverse:
+            return np.conj(naive_dft(np.conj(x)))
+        return naive_dft(x)
+
+    n2 = n // radix
+    # Decimate in time: sub-transform r collects x[r], x[r+radix], ...
+    sub = np.stack(
+        [fft_mixed_radix(x[..., r::radix], inverse=inverse) for r in range(radix)],
+        axis=-2,
+    )  # shape (..., radix, n2)
+
+    twiddles = twiddle_factors(n, inverse=inverse)
+    k2 = np.arange(n2)
+    out = np.empty(x.shape[:-1] + (n,), dtype=np.complex128)
+    for q in range(radix):
+        # Output bin k = q*n2 + k2; sum over the radix sub-transforms with
+        # twiddle W_n^{r*k} = W_n^{r*(q*n2 + k2)}.
+        k = q * n2 + k2
+        acc = np.zeros(x.shape[:-1] + (n2,), dtype=np.complex128)
+        for r in range(radix):
+            acc += sub[..., r, :] * twiddles[(r * k) % n]
+        out[..., k] = acc
+    return out

@@ -1,0 +1,118 @@
+"""Public FFT entry points with size/axis handling and backend dispatch.
+
+These are the only transform functions the rest of the package calls.  The
+pure backend routes power-of-two lengths to the iterative radix-2
+Cooley-Tukey kernel (paper Fig. 1) and everything else to Bluestein's
+chirp-z algorithm, so every length runs in O(n log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .backend import get_backend
+from .bluestein import fft_bluestein
+from .cooley_tukey import fft_radix2
+from .twiddle import is_power_of_two
+
+__all__ = ["fft", "ifft", "rfft", "irfft"]
+
+
+def _prepare(x: np.ndarray, n: int | None, axis: int) -> np.ndarray:
+    """Move ``axis`` last and zero-pad or truncate it to length ``n``."""
+    x = np.asarray(x)
+    moved = np.moveaxis(x, axis, -1)
+    if n is None:
+        return moved
+    if n <= 0:
+        raise ValueError(f"transform length must be positive, got {n}")
+    current = moved.shape[-1]
+    if current == n:
+        return moved
+    if current > n:
+        return moved[..., :n]
+    padded = np.zeros(moved.shape[:-1] + (n,), dtype=moved.dtype)
+    padded[..., :current] = moved
+    return padded
+
+
+def _pure_fft(x: np.ndarray, inverse: bool) -> np.ndarray:
+    """Unnormalized pure-backend transform along the last axis."""
+    if is_power_of_two(x.shape[-1]):
+        return fft_radix2(x, inverse=inverse)
+    return fft_bluestein(x, inverse=inverse)
+
+
+def fft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
+    """Discrete Fourier transform of ``x`` along ``axis``.
+
+    ``n`` zero-pads or truncates the transformed axis first, matching the
+    ``numpy.fft`` convention.  Returns ``complex128``.
+    """
+    moved = _prepare(x, n, axis)
+    if get_backend() == "numpy":
+        result = np.fft.fft(moved, axis=-1)
+    else:
+        result = _pure_fft(np.asarray(moved, dtype=np.complex128), inverse=False)
+    return np.moveaxis(result, -1, axis)
+
+
+def ifft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
+    """Inverse DFT of ``x`` along ``axis`` (with ``1/n`` normalization)."""
+    moved = _prepare(x, n, axis)
+    if get_backend() == "numpy":
+        result = np.fft.ifft(moved, axis=-1)
+    else:
+        length = moved.shape[-1]
+        result = _pure_fft(np.asarray(moved, dtype=np.complex128), inverse=True)
+        result = result / length
+    return np.moveaxis(result, -1, axis)
+
+
+def rfft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
+    """FFT of real input, returning the ``n // 2 + 1`` non-redundant bins.
+
+    This is the transform the deployment format stores for each circulant
+    block (paper section IV-A: "simply keep the FFT result FFT(w_i)"),
+    halving both storage and per-inference multiply count.
+    """
+    moved = _prepare(x, n, axis)
+    if np.iscomplexobj(moved):
+        raise TypeError("rfft requires real input; use fft for complex data")
+    length = moved.shape[-1]
+    if get_backend() == "numpy":
+        result = np.fft.rfft(moved, axis=-1)
+    else:
+        result = _pure_fft(moved.astype(np.complex128), inverse=False)
+        result = result[..., : length // 2 + 1]
+    return np.moveaxis(result, -1, axis)
+
+
+def irfft(x: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
+    """Inverse of :func:`rfft`: half-spectrum back to a length-``n`` real signal.
+
+    ``n`` is required because both even and odd lengths map to the same
+    half-spectrum size.
+    """
+    x = np.asarray(x)
+    if n <= 0:
+        raise ValueError(f"output length must be positive, got {n}")
+    expected_bins = n // 2 + 1
+    moved = np.moveaxis(x, axis, -1)
+    if moved.shape[-1] != expected_bins:
+        raise ValueError(
+            f"irfft expected {expected_bins} bins for n={n}, "
+            f"got {moved.shape[-1]}"
+        )
+    if get_backend() == "numpy":
+        result = np.fft.irfft(moved, n=n, axis=-1)
+    else:
+        # Rebuild the full Hermitian spectrum, inverse-transform, take the
+        # real part (the imaginary residue is round-off only).
+        full = np.zeros(moved.shape[:-1] + (n,), dtype=np.complex128)
+        full[..., :expected_bins] = moved
+        if n > 1:
+            tail = np.conj(moved[..., 1 : (n + 1) // 2])
+            full[..., n - tail.shape[-1] :] = tail[..., ::-1]
+        result = _pure_fft(full, inverse=True).real / n
+    return np.moveaxis(result, -1, axis)

@@ -1,0 +1,48 @@
+"""Reference O(n^2) discrete Fourier transform.
+
+This is the ground truth every fast algorithm in :mod:`repro.fft` is tested
+against, and the baseline for the Fig. 1 / section III-B complexity
+benchmark (``benchmarks/bench_fig1_fft_scaling.py``).  It implements the DFT
+definition directly via the full ``n x n`` DFT matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dft_matrix", "naive_dft", "naive_idft"]
+
+
+def dft_matrix(n: int, inverse: bool = False) -> np.ndarray:
+    """Return the dense ``n x n`` DFT matrix ``W[j, k] = exp(-2i*pi*j*k/n)``.
+
+    With ``inverse=True`` the conjugate matrix is returned *without* the
+    ``1/n`` normalization (applied by :func:`naive_idft`).
+    """
+    if n <= 0:
+        raise ValueError(f"DFT size must be positive, got {n}")
+    sign = 2j if inverse else -2j
+    indices = np.arange(n)
+    return np.exp(sign * np.pi * np.outer(indices, indices) / n)
+
+
+def naive_dft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Compute the DFT of ``x`` along ``axis`` by direct matrix multiply.
+
+    Complexity is O(n^2) per transform, which is exactly what the paper's
+    FFT kernel is designed to beat.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[axis]
+    moved = np.moveaxis(x, axis, -1)
+    result = moved @ dft_matrix(n).T
+    return np.moveaxis(result, -1, axis)
+
+
+def naive_idft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Compute the inverse DFT of ``x`` along ``axis`` (O(n^2) reference)."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[axis]
+    moved = np.moveaxis(x, axis, -1)
+    result = (moved @ dft_matrix(n, inverse=True).T) / n
+    return np.moveaxis(result, -1, axis)

@@ -1,0 +1,40 @@
+"""Two-dimensional transforms, built by row-column decomposition.
+
+A 2-D DFT factors into 1-D DFTs along each axis; these helpers exist for
+the CONV-layer experiments and for validating the im2col reformulation
+(paper Fig. 3) against frequency-domain 2-D convolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core import fft, ifft
+
+__all__ = ["fft2", "ifft2"]
+
+
+def fft2(
+    x: np.ndarray,
+    shape: tuple[int, int] | None = None,
+    axes: tuple[int, int] = (-2, -1),
+) -> np.ndarray:
+    """2-D DFT over ``axes``, optionally zero-padding to ``shape`` first."""
+    if len(axes) != 2 or axes[0] == axes[1]:
+        raise ValueError(f"fft2 requires two distinct axes, got {axes}")
+    sizes = (None, None) if shape is None else shape
+    result = fft(x, n=sizes[0], axis=axes[0])
+    return fft(result, n=sizes[1], axis=axes[1])
+
+
+def ifft2(
+    x: np.ndarray,
+    shape: tuple[int, int] | None = None,
+    axes: tuple[int, int] = (-2, -1),
+) -> np.ndarray:
+    """Inverse 2-D DFT over ``axes`` (with full ``1/(n1*n2)`` scaling)."""
+    if len(axes) != 2 or axes[0] == axes[1]:
+        raise ValueError(f"ifft2 requires two distinct axes, got {axes}")
+    sizes = (None, None) if shape is None else shape
+    result = ifft(x, n=sizes[0], axis=axes[0])
+    return ifft(result, n=sizes[1], axis=axes[1])

@@ -1,0 +1,130 @@
+"""Rader's FFT algorithm for prime transform sizes.
+
+Complements Bluestein: where Bluestein turns *any* size into a chirp
+convolution, Rader maps a prime-size-``p`` DFT onto a length-``(p-1)``
+circular convolution by reindexing through a primitive root of the
+multiplicative group mod ``p``:
+
+    X[g^{-m}] = x[0] + sum_q x[g^q] * W^{g^{q-m}}   (a circular convolution)
+
+The convolution itself is evaluated with zero-padded radix-2 transforms
+(wrapped kernel), so the whole transform is O(p log p).  Included as the
+classic alternative prime-size kernel; the dispatcher defaults to
+Bluestein, and the benchmarks compare the two.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from .cooley_tukey import fft_radix2
+from .twiddle import next_power_of_two, smallest_prime_factor
+
+__all__ = ["primitive_root", "fft_rader"]
+
+
+@functools.lru_cache(maxsize=256)
+def primitive_root(p: int) -> int:
+    """Smallest primitive root modulo the prime ``p``.
+
+    A generator ``g`` of the multiplicative group (Z/pZ)*: its powers
+    enumerate 1..p-1.  Found by checking, for each candidate, that no
+    proper prime-quotient power collapses to 1.
+    """
+    if p < 2 or smallest_prime_factor(p) != p:
+        raise ValueError(f"primitive_root requires a prime, got {p}")
+    if p == 2:
+        return 1
+    order = p - 1
+    factors = _prime_factors(order)
+    for candidate in range(2, p):
+        if all(pow(candidate, order // f, p) != 1 for f in factors):
+            return candidate
+    raise RuntimeError(f"no primitive root found for {p}")  # unreachable
+
+
+def _prime_factors(n: int) -> tuple[int, ...]:
+    factors = []
+    remaining = n
+    while remaining > 1:
+        factor = smallest_prime_factor(remaining)
+        factors.append(factor)
+        while remaining % factor == 0:
+            remaining //= factor
+    return tuple(factors)
+
+
+@functools.lru_cache(maxsize=128)
+def _rader_plan(p: int, inverse: bool):
+    """Precomputed permutations and kernel spectrum for prime ``p``."""
+    g = primitive_root(p)
+    order = p - 1
+    # forward_idx[m] = g^m mod p ; inverse_idx[m] = g^{-m} mod p.
+    forward_idx = np.empty(order, dtype=np.int64)
+    value = 1
+    for m in range(order):
+        forward_idx[m] = value
+        value = (value * g) % p
+    inverse_idx = np.empty(order, dtype=np.int64)
+    g_inv = pow(g, p - 2, p)
+    value = 1
+    for m in range(order):
+        inverse_idx[m] = value
+        value = (value * g_inv) % p
+
+    sign = 2j if inverse else -2j
+    kernel = np.exp(sign * np.pi * inverse_idx / p)  # W^{g^{-m}}
+
+    # Wrapped kernel spectrum for a length-(p-1) circular convolution
+    # realized inside a power-of-two transform.
+    m_size = order if _is_pow2(order) else next_power_of_two(2 * order - 1)
+    padded_kernel = np.zeros(m_size, dtype=np.complex128)
+    if m_size == order:
+        padded_kernel[:] = kernel
+    else:
+        padded_kernel[:order] = kernel
+        padded_kernel[m_size - order + 1 :] = kernel[1:]
+    spectrum = fft_radix2(padded_kernel)
+    spectrum.setflags(write=False)
+    forward_idx.setflags(write=False)
+    inverse_idx.setflags(write=False)
+    return forward_idx, inverse_idx, spectrum, m_size
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def fft_rader(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """DFT of prime length along the last axis via Rader's reindexing.
+
+    No ``1/n`` normalization is applied for ``inverse=True``, matching
+    the other kernel-level functions.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    p = x.shape[-1]
+    if p == 1:
+        return x.copy()
+    if p == 2:
+        return np.stack(
+            [x[..., 0] + x[..., 1], x[..., 0] - x[..., 1]], axis=-1
+        )
+    if smallest_prime_factor(p) != p:
+        raise ValueError(f"Rader's algorithm requires a prime length, got {p}")
+
+    forward_idx, inverse_idx, kernel_spectrum, m_size = _rader_plan(p, inverse)
+    order = p - 1
+
+    a = x[..., forward_idx]  # x[g^m]
+    padded = np.zeros(x.shape[:-1] + (m_size,), dtype=np.complex128)
+    padded[..., :order] = a
+    conv_spectrum = fft_radix2(padded) * kernel_spectrum
+    convolved = np.conj(fft_radix2(np.conj(conv_spectrum))) / m_size
+    convolved = convolved[..., :order]
+
+    out = np.empty_like(x)
+    out[..., 0] = x.sum(axis=-1)
+    out[..., inverse_idx] = x[..., :1] + convolved
+    return out

@@ -1,0 +1,85 @@
+"""Twiddle-factor and bit-reversal utilities shared by the FFT kernels.
+
+The Cooley-Tukey butterflies repeatedly need the primitive roots of unity
+``W_N^k = exp(-2*pi*i*k/N)`` (paper Fig. 1 labels them ``W^0 .. W^{N/2-1}``).
+Recomputing them per call dominates the cost of small transforms, so this
+module memoizes them per transform size, which is the software analogue of
+an FFT "plan".
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+__all__ = [
+    "twiddle_factors",
+    "bit_reversal_permutation",
+    "is_power_of_two",
+    "next_power_of_two",
+    "smallest_prime_factor",
+]
+
+
+@functools.lru_cache(maxsize=256)
+def twiddle_factors(n: int, inverse: bool = False) -> np.ndarray:
+    """Return the length-``n`` vector ``exp(sign * 2j*pi*k/n)`` for k in [0, n).
+
+    ``inverse=False`` gives the forward-transform sign (-), ``inverse=True``
+    the inverse-transform sign (+).  Results are cached because layers call
+    the FFT with a small set of fixed block sizes.
+    """
+    if n <= 0:
+        raise ValueError(f"twiddle factor count must be positive, got {n}")
+    sign = 2j if inverse else -2j
+    k = np.arange(n)
+    factors = np.exp(sign * np.pi * k / n)
+    factors.setflags(write=False)
+    return factors
+
+
+@functools.lru_cache(maxsize=256)
+def bit_reversal_permutation(n: int) -> np.ndarray:
+    """Return the bit-reversal index permutation for a power-of-two ``n``.
+
+    The iterative radix-2 decimation-in-time FFT consumes its input in
+    bit-reversed order; applying this permutation up front lets the
+    butterfly stages write results in natural order.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"bit reversal requires a power-of-two size, got {n}")
+    bits = n.bit_length() - 1
+    indices = np.arange(n, dtype=np.int64)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        reversed_indices = (reversed_indices << 1) | (indices & 1)
+        indices >>= 1
+    reversed_indices.setflags(write=False)
+    return reversed_indices
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when ``n`` is a positive integral power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Return the smallest power of two that is >= ``n``."""
+    if n <= 0:
+        raise ValueError(f"next_power_of_two requires a positive size, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def smallest_prime_factor(n: int) -> int:
+    """Return the smallest prime factor of ``n`` (``n`` itself when prime)."""
+    if n < 2:
+        raise ValueError(f"smallest_prime_factor requires n >= 2, got {n}")
+    if n % 2 == 0:
+        return 2
+    factor = 3
+    while factor * factor <= n:
+        if n % factor == 0:
+            return factor
+        factor += 2
+    return n

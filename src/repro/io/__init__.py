@@ -1,0 +1,39 @@
+"""Software-deployment I/O: the parsers of paper Fig. 4.
+
+* architecture parser (:func:`parse_architecture`,
+  :func:`build_model_from_string`),
+* parameters parser (:func:`save_weights`, :func:`load_weights`,
+  FFT-domain export),
+* inputs parser (:func:`load_inputs`, :func:`validate_inputs`).
+"""
+
+from .arch_parser import (
+    ArchitectureSpec,
+    LayerSpec,
+    format_architecture,
+    parse_architecture,
+)
+from .inputs import load_inputs, save_inputs, validate_inputs
+from .model_builder import build_model, build_model_from_string
+from .params import (
+    export_fft_weights,
+    import_fft_weights,
+    load_weights,
+    save_weights,
+)
+
+__all__ = [
+    "ArchitectureSpec",
+    "LayerSpec",
+    "parse_architecture",
+    "format_architecture",
+    "build_model",
+    "build_model_from_string",
+    "save_weights",
+    "load_weights",
+    "export_fft_weights",
+    "import_fft_weights",
+    "load_inputs",
+    "save_inputs",
+    "validate_inputs",
+]

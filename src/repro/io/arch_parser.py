@@ -1,0 +1,175 @@
+"""Parser for the paper's architecture-string notation (Fig. 4, module 1).
+
+The paper describes networks in a compact dash-separated notation, e.g.::
+
+    128x3x32x32-64Conv3-64Conv3-128Conv3-128Conv3-512F-1024F-1024F-10F
+
+This module parses that notation (and small extensions needed to express
+block-circulant layers and pooling) into a structured
+:class:`ArchitectureSpec`:
+
+* input: ``256`` (flat), ``3x32x32`` (C x H x W), or
+  ``128x3x32x32`` (batch x C x H x W — the batch size is recorded but the
+  built model is batch-agnostic),
+* ``<n>F`` — dense FC layer with ``n`` neurons,
+* ``<n>CFb<b>`` — block-circulant FC layer, block size ``b``,
+* ``<P>Conv<k>`` — dense CONV, ``P`` filters of size ``k x k``,
+* ``<P>CConv<k>b<b>`` — block-circulant CONV, block size ``b``,
+* ``MP<k>`` / ``AP<k>`` — max / average pooling with ``k x k`` windows.
+
+ReLU activations are implied between consecutive weight layers (the
+paper's convention); the final FC layer produces logits for the softmax.
+:func:`format_architecture` renders a spec back to its string, and the
+round-trip is tested property-style.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..exceptions import ParseError
+
+__all__ = ["LayerSpec", "ArchitectureSpec", "parse_architecture", "format_architecture"]
+
+_FC_RE = re.compile(r"^(\d+)F$")
+_BCFC_RE = re.compile(r"^(\d+)CFb(\d+)$")
+_CONV_RE = re.compile(r"^(\d+)Conv(\d+)$")
+_BCCONV_RE = re.compile(r"^(\d+)CConv(\d+)b(\d+)$")
+_POOL_RE = re.compile(r"^(MP|AP)(\d+)$")
+_INPUT_RE = re.compile(r"^\d+(x\d+)*$")
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One parsed layer: ``kind`` plus its integer parameters.
+
+    Kinds: ``fc`` (units), ``bc_fc`` (units, block), ``conv``
+    (filters, kernel), ``bc_conv`` (filters, kernel, block), ``maxpool`` /
+    ``avgpool`` (kernel).
+    """
+
+    kind: str
+    units: int = 0
+    kernel: int = 0
+    block: int = 0
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A parsed architecture string."""
+
+    input_shape: tuple[int, ...]  # (features,) or (C, H, W)
+    batch_size: int | None
+    layers: tuple[LayerSpec, ...] = field(default_factory=tuple)
+
+    @property
+    def is_convolutional(self) -> bool:
+        return len(self.input_shape) == 3
+
+
+def _parse_input(token: str) -> tuple[tuple[int, ...], int | None]:
+    if not _INPUT_RE.match(token):
+        raise ParseError(f"malformed input specification {token!r}")
+    parts = tuple(int(p) for p in token.split("x"))
+    if any(p <= 0 for p in parts):
+        raise ParseError(f"input dimensions must be positive: {token!r}")
+    if len(parts) == 1:
+        return parts, None
+    if len(parts) == 3:
+        return parts, None
+    if len(parts) == 4:
+        return parts[1:], parts[0]
+    raise ParseError(
+        f"input must have 1, 3, or 4 'x'-separated dims, got {len(parts)}: "
+        f"{token!r}"
+    )
+
+
+def _parse_layer(token: str) -> LayerSpec:
+    match = _BCCONV_RE.match(token)
+    if match:
+        filters, kernel, block = map(int, match.groups())
+        return LayerSpec("bc_conv", units=filters, kernel=kernel, block=block)
+    match = _CONV_RE.match(token)
+    if match:
+        filters, kernel = map(int, match.groups())
+        return LayerSpec("conv", units=filters, kernel=kernel)
+    match = _BCFC_RE.match(token)
+    if match:
+        units, block = map(int, match.groups())
+        return LayerSpec("bc_fc", units=units, block=block)
+    match = _FC_RE.match(token)
+    if match:
+        return LayerSpec("fc", units=int(match.group(1)))
+    match = _POOL_RE.match(token)
+    if match:
+        kind = "maxpool" if match.group(1) == "MP" else "avgpool"
+        return LayerSpec(kind, kernel=int(match.group(2)))
+    raise ParseError(f"unrecognized layer token {token!r}")
+
+
+def parse_architecture(text: str) -> ArchitectureSpec:
+    """Parse a dash-separated architecture string (see module docstring)."""
+    if not isinstance(text, str) or not text.strip():
+        raise ParseError("architecture string is empty")
+    tokens = [t for t in text.strip().split("-") if t]
+    if len(tokens) < 2:
+        raise ParseError(
+            f"architecture needs an input spec and at least one layer: {text!r}"
+        )
+    input_shape, batch_size = _parse_input(tokens[0])
+    layers = []
+    for token in tokens[1:]:
+        spec = _parse_layer(token)
+        if spec.kind in ("conv", "bc_conv", "maxpool", "avgpool") and len(
+            input_shape
+        ) != 3:
+            raise ParseError(
+                f"layer {token!r} requires a CxHxW input specification"
+            )
+        for value, name in ((spec.units, "units"), (spec.kernel, "kernel"),
+                            (spec.block, "block")):
+            if value < 0:
+                raise ParseError(f"{name} must be non-negative in {token!r}")
+        layers.append(spec)
+    if layers[-1].kind not in ("fc", "bc_fc"):
+        raise ParseError(
+            "the final layer must be a fully-connected classifier "
+            f"(got {layers[-1].kind!r})"
+        )
+    # CONV-family layers may not follow the first FC layer.
+    seen_fc = False
+    for spec in layers:
+        if spec.kind in ("fc", "bc_fc"):
+            seen_fc = True
+        elif seen_fc:
+            raise ParseError("convolution/pooling cannot follow an FC layer")
+    return ArchitectureSpec(
+        input_shape=input_shape, batch_size=batch_size, layers=tuple(layers)
+    )
+
+
+def format_architecture(spec: ArchitectureSpec) -> str:
+    """Render a spec back to its canonical string (inverse of parsing)."""
+    if spec.batch_size is not None:
+        head = "x".join(str(d) for d in (spec.batch_size, *spec.input_shape))
+    else:
+        head = "x".join(str(d) for d in spec.input_shape)
+    tokens = [head]
+    for layer in spec.layers:
+        if layer.kind == "fc":
+            tokens.append(f"{layer.units}F")
+        elif layer.kind == "bc_fc":
+            tokens.append(f"{layer.units}CFb{layer.block}")
+        elif layer.kind == "conv":
+            tokens.append(f"{layer.units}Conv{layer.kernel}")
+        elif layer.kind == "bc_conv":
+            tokens.append(f"{layer.units}CConv{layer.kernel}b{layer.block}")
+        elif layer.kind == "maxpool":
+            tokens.append(f"MP{layer.kernel}")
+        elif layer.kind == "avgpool":
+            tokens.append(f"AP{layer.kernel}")
+        else:
+            raise ParseError(f"cannot format layer kind {layer.kind!r}")
+    return "-".join(tokens)

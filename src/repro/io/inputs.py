@@ -1,0 +1,98 @@
+"""Input loading and validation (Fig. 4, module 3: the "Inputs Parser").
+
+The paper's third building block reads test data (input features plus
+predefined labels) from a file.  This module loads ``.npy`` / ``.npz`` /
+``.csv`` payloads into the ``(inputs, labels)`` pair the engine consumes,
+with shape and range validation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ParseError
+
+__all__ = ["load_inputs", "save_inputs", "validate_inputs"]
+
+
+def save_inputs(
+    path: str | Path, inputs: np.ndarray, labels: np.ndarray | None = None
+) -> None:
+    """Write an input file: ``.npz`` with ``inputs`` and optional ``labels``."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        raise ParseError(f"input bundles are .npz files, got {path.suffix!r}")
+    payload = {"inputs": np.asarray(inputs)}
+    if labels is not None:
+        payload["labels"] = np.asarray(labels)
+    np.savez(path, **payload)
+
+
+def load_inputs(path: str | Path) -> tuple[np.ndarray, np.ndarray | None]:
+    """Load ``(inputs, labels)`` from ``.npz``, ``.npy``, or ``.csv``.
+
+    * ``.npz`` — keys ``inputs`` (required) and ``labels`` (optional),
+    * ``.npy`` — a bare input array (labels ``None``),
+    * ``.csv`` — rows of features, with the label in the last column when
+      the file's header line ends with ``label``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ParseError(f"input file does not exist: {path}")
+    if path.suffix == ".npz":
+        with np.load(path) as data:
+            if "inputs" not in data:
+                raise ParseError(f"{path} has no 'inputs' array")
+            inputs = data["inputs"]
+            labels = data["labels"] if "labels" in data else None
+        return inputs, labels
+    if path.suffix == ".npy":
+        return np.load(path), None
+    if path.suffix == ".csv":
+        return _load_csv(path)
+    raise ParseError(f"unsupported input format {path.suffix!r}")
+
+
+def _load_csv(path: Path) -> tuple[np.ndarray, np.ndarray | None]:
+    with open(path) as handle:
+        first = handle.readline().strip()
+    has_header = any(c.isalpha() for c in first)
+    has_labels = has_header and first.lower().split(",")[-1].strip() == "label"
+    data = np.loadtxt(path, delimiter=",", skiprows=1 if has_header else 0, ndmin=2)
+    if data.size == 0:
+        raise ParseError(f"{path} contains no data rows")
+    if has_labels:
+        return data[:, :-1], data[:, -1].astype(np.int64)
+    return data, None
+
+
+def validate_inputs(
+    inputs: np.ndarray,
+    expected_shape: tuple[int, ...],
+    value_range: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Check a batch against the model's expected per-sample shape.
+
+    Accepts a single sample or a batch; returns a 2-D-or-higher batch.
+    Raises :class:`ParseError` on shape or range violations.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if inputs.shape == tuple(expected_shape):
+        inputs = inputs[None]
+    if inputs.shape[1:] != tuple(expected_shape):
+        raise ParseError(
+            f"expected per-sample shape {tuple(expected_shape)}, "
+            f"got batch of {inputs.shape[1:]}"
+        )
+    if value_range is not None:
+        low, high = value_range
+        if not np.all(np.isfinite(inputs)):
+            raise ParseError("input contains NaN or infinite values")
+        if inputs.min() < low or inputs.max() > high:
+            raise ParseError(
+                f"input values [{inputs.min():.4g}, {inputs.max():.4g}] "
+                f"outside expected range [{low}, {high}]"
+            )
+    return inputs

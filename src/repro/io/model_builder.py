@@ -1,0 +1,106 @@
+"""Build trainable models from parsed architecture specs (Fig. 4, module 1).
+
+Turns an :class:`~repro.io.arch_parser.ArchitectureSpec` into a
+:class:`~repro.nn.module.Sequential`: ReLU after every hidden weight
+layer, an automatic :class:`Flatten` at the CONV -> FC transition, and the
+final FC producing logits (softmax lives in the loss / deployment engine).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn import (
+    AvgPool2d,
+    BlockCirculantConv2d,
+    BlockCirculantLinear,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from .arch_parser import ArchitectureSpec, parse_architecture
+
+__all__ = ["build_model", "build_model_from_string"]
+
+
+def build_model(
+    spec: ArchitectureSpec,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Instantiate the network described by ``spec``.
+
+    Raises :class:`ConfigurationError` when the geometry is inconsistent
+    (e.g. a kernel no longer fits after pooling).
+    """
+    rng = rng or np.random.default_rng()
+    layers: list = []
+    shape: tuple[int, ...] = spec.input_shape
+    total = len(spec.layers)
+    for index, layer_spec in enumerate(spec.layers):
+        is_last = index == total - 1
+        if layer_spec.kind in ("conv", "bc_conv"):
+            channels, height, width = shape
+            if height < layer_spec.kernel or width < layer_spec.kernel:
+                raise ConfigurationError(
+                    f"layer {index}: kernel {layer_spec.kernel} does not fit "
+                    f"spatial size ({height}, {width})"
+                )
+            if layer_spec.kind == "conv":
+                conv = Conv2d(
+                    channels, layer_spec.units, layer_spec.kernel, rng=rng
+                )
+            else:
+                conv = BlockCirculantConv2d(
+                    channels,
+                    layer_spec.units,
+                    layer_spec.kernel,
+                    block_size=layer_spec.block,
+                    rng=rng,
+                )
+            layers.append(conv)
+            layers.append(ReLU())
+            shape = conv.output_shape(height, width)
+        elif layer_spec.kind in ("maxpool", "avgpool"):
+            channels, height, width = shape
+            k = layer_spec.kernel
+            if height < k or width < k:
+                raise ConfigurationError(
+                    f"layer {index}: pool window {k} does not fit "
+                    f"spatial size ({height}, {width})"
+                )
+            pool_cls = MaxPool2d if layer_spec.kind == "maxpool" else AvgPool2d
+            layers.append(pool_cls(k))
+            shape = (channels, height // k, width // k)
+        else:  # fc / bc_fc
+            if len(shape) == 3:
+                layers.append(Flatten())
+                shape = (math.prod(shape),)
+            (in_features,) = shape
+            if layer_spec.kind == "fc":
+                layers.append(Linear(in_features, layer_spec.units, rng=rng))
+            else:
+                layers.append(
+                    BlockCirculantLinear(
+                        in_features,
+                        layer_spec.units,
+                        layer_spec.block,
+                        rng=rng,
+                    )
+                )
+            if not is_last:
+                layers.append(ReLU())
+            shape = (layer_spec.units,)
+    return Sequential(*layers)
+
+
+def build_model_from_string(
+    text: str, rng: np.random.Generator | None = None
+) -> Sequential:
+    """Parse an architecture string and build the model in one step."""
+    return build_model(parse_architecture(text), rng=rng)

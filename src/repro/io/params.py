@@ -1,0 +1,103 @@
+"""Parameter serialization (Fig. 4, module 2: the "Parameters Parser").
+
+Two formats:
+
+* **training checkpoint** — the raw ``state_dict`` of a model
+  (:func:`save_weights` / :func:`load_weights`), lossless round-trip,
+* **FFT-domain export** — for every block-circulant layer the half
+  spectrum ``rfft(w)`` instead of ``w`` (:func:`export_fft_weights`),
+  the storage format the paper prescribes for deployment (section IV-A);
+  :class:`~repro.embedded.deploy.DeployedModel` builds on the same idea
+  for complete artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ParseError
+from ..fft import irfft, rfft
+from ..nn.layers import BlockCirculantConv2d, BlockCirculantLinear
+from ..nn.module import Module
+
+__all__ = [
+    "save_weights",
+    "load_weights",
+    "export_fft_weights",
+    "import_fft_weights",
+]
+
+_KEY_PREFIX = "param::"
+
+
+def save_weights(model: Module, path: str | Path) -> None:
+    """Write the model ``state_dict`` to an ``.npz`` checkpoint."""
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to save")
+    np.savez(Path(path), **{_KEY_PREFIX + name: value for name, value in state.items()})
+
+
+def load_weights(model: Module, path: str | Path) -> None:
+    """Load an ``.npz`` checkpoint written by :func:`save_weights`."""
+    path = Path(path)
+    with np.load(path) as data:
+        state = {}
+        for key in data.files:
+            if not key.startswith(_KEY_PREFIX):
+                raise ParseError(f"{path} contains a non-checkpoint key {key!r}")
+            state[key[len(_KEY_PREFIX) :]] = data[key]
+    model.load_state_dict(state)
+
+
+def export_fft_weights(model: Module) -> dict[str, np.ndarray]:
+    """FFT-domain weights of every block-circulant layer in ``model``.
+
+    Returns a mapping from the layer's dotted parameter name to the
+    complex half-spectrum array of shape ``(p, q, b // 2 + 1)``.  The
+    spectra contain exactly the information of the defining vectors while
+    already being in the form the inference kernel consumes.
+    """
+    spectra: dict[str, np.ndarray] = {}
+    for name, module in _named_modules(model):
+        if isinstance(module, (BlockCirculantLinear, BlockCirculantConv2d)):
+            key = f"{name}.weight" if name else "weight"
+            spectra[key] = rfft(module.weight.data)
+    if not spectra:
+        raise ValueError("model contains no block-circulant layers")
+    return spectra
+
+
+def import_fft_weights(model: Module, spectra: dict[str, np.ndarray]) -> None:
+    """Restore block-circulant weights from :func:`export_fft_weights` output."""
+    targets = {
+        (f"{name}.weight" if name else "weight"): module
+        for name, module in _named_modules(model)
+        if isinstance(module, (BlockCirculantLinear, BlockCirculantConv2d))
+    }
+    missing = sorted(set(targets) - set(spectra))
+    extra = sorted(set(spectra) - set(targets))
+    if missing or extra:
+        raise ParseError(
+            f"FFT weight mismatch: missing={missing} unexpected={extra}"
+        )
+    for key, module in targets.items():
+        block = module.weight.data.shape[-1]
+        restored = irfft(np.asarray(spectra[key]), n=block)
+        if restored.shape != module.weight.data.shape:
+            raise ParseError(
+                f"spectrum for {key} restores to {restored.shape}, "
+                f"expected {module.weight.data.shape}"
+            )
+        module.weight.data = restored
+
+
+def _named_modules(model: Module):
+    """(dotted name, module) pairs, the root having the empty name."""
+    yield "", model
+    for child_name, child in model._modules.items():
+        for name, module in _named_modules(child):
+            full = f"{child_name}.{name}" if name else child_name
+            yield full, module

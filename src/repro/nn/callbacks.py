@@ -1,0 +1,108 @@
+"""Training callbacks and gradient utilities.
+
+Production conveniences on top of the core :class:`~repro.nn.trainer.Trainer`:
+early stopping on validation accuracy, best-weights checkpointing in
+memory, and global-norm gradient clipping (useful for the deeper CIFAR
+network).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .module import Module, Parameter
+from .trainer import EpochStats
+
+__all__ = ["EarlyStopping", "BestWeightsKeeper", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm.  Parameters without gradients are skipped.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = math.sqrt(sum(float(np.sum(g * g)) for g in grads))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return total
+
+
+class EarlyStopping:
+    """Stop training when validation accuracy stops improving.
+
+    Use as the trainer's ``on_epoch_end`` callback and consult
+    :attr:`should_stop` inside a manual epoch loop, or let
+    :meth:`wrap` raise ``StopIteration`` semantics via the trainer's
+    callback (the Trainer itself keeps running; callers check the flag).
+
+    >>> stopper = EarlyStopping(patience=3)
+    >>> trainer = Trainer(..., on_epoch_end=stopper)
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0):
+        if patience <= 0:
+            raise ValueError(f"patience must be positive, got {patience}")
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be >= 0, got {min_delta}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_score: float | None = None
+        self.best_epoch: int | None = None
+        self.stale_epochs = 0
+        self.should_stop = False
+
+    def __call__(self, stats: EpochStats) -> None:
+        score = stats.val_accuracy
+        if score is None:
+            raise ValueError(
+                "EarlyStopping requires validation accuracy; pass "
+                "val_loader to Trainer.fit"
+            )
+        if self.best_score is None or score > self.best_score + self.min_delta:
+            self.best_score = score
+            self.best_epoch = stats.epoch
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+            if self.stale_epochs >= self.patience:
+                self.should_stop = True
+
+
+class BestWeightsKeeper:
+    """Keep an in-memory copy of the best-validation-accuracy weights.
+
+    Compose with other callbacks by calling it from ``on_epoch_end``;
+    restore at the end with :meth:`restore`.
+    """
+
+    def __init__(self, model: Module):
+        self.model = model
+        self.best_score: float | None = None
+        self._best_state: dict[str, np.ndarray] | None = None
+
+    def __call__(self, stats: EpochStats) -> None:
+        score = stats.val_accuracy
+        if score is None:
+            raise ValueError(
+                "BestWeightsKeeper requires validation accuracy; pass "
+                "val_loader to Trainer.fit"
+            )
+        if self.best_score is None or score > self.best_score:
+            self.best_score = score
+            self._best_state = self.model.state_dict()
+
+    def restore(self) -> None:
+        """Load the best recorded weights back into the model."""
+        if self._best_state is None:
+            raise RuntimeError("no weights recorded yet")
+        self.model.load_state_dict(self._best_state)

@@ -1,0 +1,75 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is reproducible end to end (the benchmark harness fixes one
+seed per experiment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "circulant_spectral",
+]
+
+
+def _check_fans(fan_in: int, fan_out: int) -> None:
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be positive: fan_in={fan_in} fan_out={fan_out}")
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with ``a = sqrt(6 / (fan_in + fan_out))``."""
+    _check_fans(fan_in, fan_out)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    _check_fans(fan_in, fan_out)
+    return rng.normal(scale=np.sqrt(2.0 / (fan_in + fan_out)), size=shape)
+
+
+def he_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He/Kaiming uniform for ReLU networks: U(-a, a), a = sqrt(6/fan_in)."""
+    _check_fans(fan_in, 1)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def he_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He/Kaiming normal for ReLU networks: N(0, 2/fan_in)."""
+    _check_fans(fan_in, 1)
+    return rng.normal(scale=np.sqrt(2.0 / fan_in), size=shape)
+
+
+def circulant_spectral(
+    grid_shape: tuple[int, int, int], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Initializer for block-circulant weight grids ``(p, q, b)``.
+
+    A circulant block built from N(0, s^2) entries contributes variance
+    ``b * s^2`` per output (every defining-vector entry touches every
+    output once), so the dense-equivalent He scaling requires
+    ``s = sqrt(2 / fan_in)`` with ``fan_in`` the *logical* input width —
+    the same criterion as :func:`he_normal` applied to the dense
+    expansion.
+    """
+    if len(grid_shape) != 3:
+        raise ValueError(f"grid_shape must be (p, q, b), got {grid_shape}")
+    _check_fans(fan_in, 1)
+    return rng.normal(scale=np.sqrt(2.0 / fan_in), size=grid_shape)

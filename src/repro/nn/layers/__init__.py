@@ -1,0 +1,41 @@
+"""Neural-network layers.
+
+The two ``BlockCirculant*`` layers are the paper's contribution; the rest
+form the dense baseline and the supporting cast (activations, pooling,
+normalization, dropout).
+"""
+
+from .batchnorm import BatchNorm1d, BatchNorm2d
+from .block_circulant_conv2d import BlockCirculantConv2d
+from .block_circulant_linear import BlockCirculantLinear
+from .common import (
+    AvgPool2d,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .conv2d import Conv2d
+from .linear import Linear
+
+__all__ = [
+    "Linear",
+    "BlockCirculantLinear",
+    "Conv2d",
+    "BlockCirculantConv2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+]

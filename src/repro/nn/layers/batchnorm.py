@@ -1,0 +1,104 @@
+"""Batch normalization layers.
+
+Not used by the paper's three evaluated architectures, but a standard part
+of any deployable DNN substrate; training the deeper CIFAR network is far
+more stable with it available.  Running statistics follow the usual
+exponential-moving-average scheme and are used verbatim in eval mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["BatchNorm1d", "BatchNorm2d"]
+
+
+class _BatchNormBase(Module):
+    """Shared implementation; subclasses fix which axes are reduced."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError(f"momentum must be in (0, 1], got {momentum}")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def _axes(self, x: Tensor) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _shape(self, x: Tensor) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._axes(x)
+        shape = self._shape(x)
+        gamma = self.gamma.reshape(shape)
+        beta = self.beta.reshape(shape)
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * var
+            )
+            # Normalize through the graph so gradients flow into the batch
+            # statistics as well as gamma/beta.
+            mean_t = x.mean(axis=axes, keepdims=True)
+            centered = x - mean_t
+            var_t = (centered * centered).mean(axis=axes, keepdims=True)
+            normalized = centered / ((var_t + self.eps) ** 0.5)
+        else:
+            running_mean = self.running_mean.reshape(shape)
+            running_std = np.sqrt(self.running_var + self.eps).reshape(shape)
+            normalized = (x - running_mean) / running_std
+        return normalized * gamma + beta
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch normalization over (batch, features) inputs."""
+
+    def _axes(self, x: Tensor) -> tuple[int, ...]:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (batch, features), got {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {x.shape[1]}"
+            )
+        return (0,)
+
+    def _shape(self, x: Tensor) -> tuple[int, ...]:
+        return (1, self.num_features)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d({self.num_features})"
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch normalization over (batch, C, H, W) inputs, per channel."""
+
+    def _axes(self, x: Tensor) -> tuple[int, ...]:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (batch, C, H, W), got {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} channels, got {x.shape[1]}"
+            )
+        return (0, 2, 3)
+
+    def _shape(self, x: Tensor) -> tuple[int, ...]:
+        return (1, self.num_features, 1, 1)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"

@@ -1,0 +1,121 @@
+"""Dense 2-D convolution layer via the im2col reformulation.
+
+Implements paper Eqn. 5 exactly: sliding cross-correlation of a
+``(P, C, r, r)`` filter bank over ``(batch, C, H, W)`` inputs.  The
+computation is carried out as the matrix product ``Y = X @ F`` of
+paper Fig. 3, with ``X`` the im2col patch matrix — the same reformulation
+the block-circulant CONV layer accelerates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional import col2im, im2col
+from ..init import he_normal
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2-D convolution with square kernels.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        ``C`` and ``P`` in the paper's tensor notation.
+    kernel_size:
+        ``r``; filters are ``r x r``.
+    stride, padding:
+        Standard geometry knobs (the paper uses stride 1, no padding; both
+        are supported for the wider model zoo).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0 or padding < 0:
+            raise ValueError(
+                "invalid Conv2d geometry: "
+                f"C={in_channels} P={out_channels} r={kernel_size} "
+                f"stride={stride} padding={padding}"
+            )
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in=fan_in,
+                rng=rng,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2d expects (batch, C, H, W), got {x.shape}")
+        if x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {x.shape[1]}"
+            )
+        weight = self.weight
+        k, stride, padding = self.kernel_size, self.stride, self.padding
+        batch, _, height, width = x.shape
+        out_h = (height + 2 * padding - k) // stride + 1
+        out_w = (width + 2 * padding - k) // stride + 1
+
+        cols = im2col(x.data, k, stride, padding)  # (batch, L, C*k*k)
+        flat_weight = weight.data.reshape(self.out_channels, -1)  # (P, C*k*k)
+        out_cols = cols @ flat_weight.T  # (batch, L, P)
+        out_data = out_cols.transpose(0, 2, 1).reshape(
+            batch, self.out_channels, out_h, out_w
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            grad_cols = grad.reshape(batch, self.out_channels, -1).transpose(
+                0, 2, 1
+            )  # (batch, L, P)
+            if weight.requires_grad:
+                grad_flat = np.einsum("nlp,nlc->pc", grad_cols, cols)
+                weight.accumulate_grad(grad_flat.reshape(weight.data.shape))
+            if x.requires_grad:
+                grad_patches = grad_cols @ flat_weight  # (batch, L, C*k*k)
+                x.accumulate_grad(
+                    col2im(grad_patches, x.data.shape, k, stride, padding)
+                )
+
+        out = Tensor.from_op(out_data, (x, weight), backward)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, self.out_channels, 1, 1)
+        return out
+
+    def output_shape(self, height: int, width: int) -> tuple[int, int, int]:
+        """``(P, out_h, out_w)`` for an input of spatial size (H, W)."""
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return (
+            self.out_channels,
+            (height + 2 * p - k) // s + 1,
+            (width + 2 * p - k) // s + 1,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.bias is not None})"
+        )

@@ -1,0 +1,65 @@
+"""Dense fully-connected layer (the paper's uncompressed baseline).
+
+Implements ``y = x @ W.T + b`` — the matrix-vector bottleneck the paper's
+block-circulant layer replaces.  Its O(m*n) multiply count and ``m*n``
+parameters are the reference points for every compression and speed
+comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..init import he_normal
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Fully-connected layer mapping ``in_features`` to ``out_features``.
+
+    Weight shape is ``(out_features, in_features)``; He-normal initialized
+    for the ReLU networks used throughout the paper.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"features must be positive: in={in_features} out={out_features}"
+            )
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            he_normal((out_features, in_features), fan_in=in_features, rng=rng)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected input with {self.in_features} features, "
+                f"got shape {x.shape}"
+            )
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, "
+            f"out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

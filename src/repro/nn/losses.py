@@ -1,0 +1,78 @@
+"""Loss functions.
+
+Cross-entropy (on logits, fused with log-softmax for stability) is the
+training objective for all three paper architectures; MSE and NLL round
+out the substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax
+from .module import Module
+from .tensor import Tensor, as_tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "NLLLoss"]
+
+
+def _check_labels(labels: np.ndarray, batch: int, classes: int) -> np.ndarray:
+    labels = np.asarray(labels)
+    if labels.shape != (batch,):
+        raise ValueError(f"expected labels of shape ({batch},), got {labels.shape}")
+    labels = labels.astype(np.int64)
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= classes:
+        raise ValueError(
+            f"labels out of range [0, {classes}): [{labels.min()}, {labels.max()}]"
+        )
+    return labels
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy between logits and integer class labels.
+
+    Equivalent to ``NLLLoss(log_softmax(logits))`` but fused, so the
+    gradient is the numerically-friendly ``softmax(logits) - onehot``.
+    """
+
+    def forward(self, logits: Tensor, labels: np.ndarray | None = None) -> Tensor:
+        raise NotImplementedError("call the loss as loss(logits, labels)")
+
+    def __call__(self, logits, labels) -> Tensor:
+        logits = as_tensor(logits)
+        if logits.ndim != 2:
+            raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
+        batch, classes = logits.shape
+        labels = _check_labels(labels, batch, classes)
+        log_probs = log_softmax(logits, axis=-1)
+        picked = log_probs[np.arange(batch), labels]
+        return -picked.mean()
+
+
+class NLLLoss(Module):
+    """Mean negative log-likelihood of pre-computed log-probabilities."""
+
+    def __call__(self, log_probs, labels) -> Tensor:
+        log_probs = as_tensor(log_probs)
+        if log_probs.ndim != 2:
+            raise ValueError(
+                f"expected (batch, classes) log-probs, got {log_probs.shape}"
+            )
+        batch, classes = log_probs.shape
+        labels = _check_labels(labels, batch, classes)
+        picked = log_probs[np.arange(batch), labels]
+        return -picked.mean()
+
+
+class MSELoss(Module):
+    """Mean squared error between predictions and targets."""
+
+    def __call__(self, predictions, targets) -> Tensor:
+        predictions = as_tensor(predictions)
+        targets = as_tensor(targets)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: {predictions.shape} vs {targets.shape}"
+            )
+        diff = predictions - targets
+        return (diff * diff).mean()

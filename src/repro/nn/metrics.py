@@ -1,0 +1,49 @@
+"""Classification metrics used by the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["accuracy", "top_k_accuracy", "confusion_matrix"]
+
+
+def _logits_array(logits) -> np.ndarray:
+    if isinstance(logits, Tensor):
+        logits = logits.data
+    logits = np.asarray(logits)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, classes) scores, got {logits.shape}")
+    return logits
+
+
+def accuracy(logits, labels) -> float:
+    """Fraction of samples whose argmax score matches the label."""
+    logits = _logits_array(logits)
+    labels = np.asarray(labels)
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"expected labels of shape ({logits.shape[0]},), got {labels.shape}"
+        )
+    return float(np.mean(logits.argmax(axis=1) == labels))
+
+
+def top_k_accuracy(logits, labels, k: int) -> float:
+    """Fraction of samples whose label is among the top-``k`` scores."""
+    logits = _logits_array(logits)
+    labels = np.asarray(labels)
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    top_k = np.argsort(logits, axis=1)[:, -k:]
+    return float(np.mean([label in row for label, row in zip(labels, top_k)]))
+
+
+def confusion_matrix(logits, labels, num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` count matrix, rows = true class."""
+    logits = _logits_array(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    predictions = logits.argmax(axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix

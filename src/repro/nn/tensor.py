@@ -1,0 +1,416 @@
+"""Reverse-mode automatic differentiation tensor.
+
+PyTorch is not available in this offline environment, so the DNN substrate
+the paper's layers sit on is implemented here: a numpy-backed ``Tensor``
+with a dynamic computation graph and reverse-mode backpropagation.  The
+surface intentionally mirrors the small subset of the familiar API the
+rest of the package needs (arithmetic, matmul, reductions, reshaping,
+indexing), plus :meth:`Tensor.from_op` for layers that implement custom
+forward/backward pairs (the FFT-based block-circulant products, im2col
+convolution, pooling).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "unbroadcast"]
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast axes.
+
+    Numpy broadcasting replicates values along new or size-1 axes in the
+    forward pass; the adjoint of replication is summation, applied here.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were expanded from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, array, or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy array plus gradient bookkeeping.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts; floats are kept at float64.
+    requires_grad:
+        When True, gradients flow into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward_fn")
+
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False):
+        array = np.asarray(data)
+        if array.dtype.kind in "uib":
+            array = array.astype(np.float64)
+        elif array.dtype == np.float32:
+            array = array.astype(np.float64)
+        self.data: np.ndarray = array
+        self.requires_grad: bool = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction of graph nodes
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_op(
+        cls,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a graph node from a custom operation.
+
+        ``backward_fn`` receives the upstream gradient (an ndarray with the
+        node's shape) and must call :meth:`accumulate_grad` on each parent
+        that requires a gradient.  The node requires grad iff any parent
+        does; otherwise the graph edge is dropped entirely.
+        """
+        node = cls(data)
+        if any(p.requires_grad for p in parents):
+            node.requires_grad = True
+            node._parents = tuple(parents)
+            node._backward_fn = backward_fn
+        return node
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if not self.requires_grad:
+            return
+        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Dtype of the underlying array."""
+        return self.data.dtype
+
+    def item(self) -> float:
+        """Python scalar for a one-element tensor."""
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (not a copy); treat as read-only."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer."""
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_note})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Backpropagation
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this node through the recorded graph.
+
+        ``grad`` defaults to 1 for scalar outputs (the usual loss case)
+        and must be supplied explicitly otherwise.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "grad must be provided for non-scalar backward "
+                    f"(shape {self.shape})"
+                )
+            grad = np.ones_like(self.data)
+        self.accumulate_grad(np.asarray(grad, dtype=np.float64))
+
+        for node in reversed(self._topological_order()):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    def _topological_order(self) -> list["Tensor"]:
+        """Nodes reachable from self, parents before children."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad)
+            other.accumulate_grad(grad)
+
+        return Tensor.from_op(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(-grad)
+
+        return Tensor.from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad * other.data)
+            other.accumulate_grad(grad * self.data)
+
+        return Tensor.from_op(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad / other.data)
+            other.accumulate_grad(-grad * self.data / (other.data**2))
+
+        return Tensor.from_op(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad * out_data)
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad / self.data)
+
+        return Tensor.from_op(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad * 0.5 / out_data)
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad * (1.0 - out_data**2))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (subgradient 0 at the kink)."""
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad * np.sign(self.data))
+
+        return Tensor.from_op(np.abs(self.data), (self,), backward)
+
+    def maximum(self, threshold: float) -> "Tensor":
+        """Elementwise ``max(x, threshold)`` — ReLU is ``maximum(0.0)``."""
+        mask = self.data > threshold
+        out_data = np.where(mask, self.data, threshold)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad * mask)
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self.accumulate_grad(np.outer(grad, other.data))
+                else:
+                    self.accumulate_grad(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other.accumulate_grad(np.outer(self.data, grad))
+                else:
+                    other.accumulate_grad(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return Tensor.from_op(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes by default)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis)
+            self.accumulate_grad(np.broadcast_to(expanded, self.data.shape))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis``."""
+        count = self.data.size if axis is None else np.prod(
+            [self.data.shape[a] for a in np.atleast_1d(axis)]
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; gradient flows to the (first) argmax."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded_out = out_data
+            expanded_grad = grad
+            if axis is not None and not keepdims:
+                expanded_out = np.expand_dims(out_data, axis)
+                expanded_grad = np.expand_dims(grad, axis)
+            mask = self.data == expanded_out
+            # Split gradient between ties to keep the op well-defined.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self.accumulate_grad(mask * expanded_grad / counts)
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        """Reshape, gradient reshapes back."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad.reshape(self.data.shape))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def transpose(self, axes: Iterable[int] | None = None) -> "Tensor":
+        """Permute axes (reverse by default)."""
+        axes = tuple(axes) if axes is not None else tuple(
+            reversed(range(self.data.ndim))
+        )
+        out_data = np.transpose(self.data, axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(np.transpose(grad, inverse))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        """Transpose of a 2-D tensor."""
+        return self.transpose()
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            self.accumulate_grad(full)
+
+        return Tensor.from_op(out_data, (self,), backward)

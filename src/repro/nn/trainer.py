@@ -1,0 +1,168 @@
+"""Training-loop harness.
+
+A thin, dependency-free loop: batches from a
+:class:`~repro.data.dataset.DataLoader`, forward, loss, backward, step,
+with per-epoch metrics and optional validation — enough to train all three
+paper architectures reproducibly from the benchmark scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .metrics import accuracy
+from .module import Module
+from .optim import Optimizer, _Scheduler
+from .tensor import Tensor
+
+__all__ = ["EpochStats", "TrainingHistory", "Trainer"]
+
+
+@dataclass
+class EpochStats:
+    """Metrics for one epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    val_loss: float | None = None
+    val_accuracy: float | None = None
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated per-epoch statistics."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        self.epochs.append(stats)
+
+    @property
+    def final(self) -> EpochStats:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1]
+
+    def best_val_accuracy(self) -> float:
+        scores = [e.val_accuracy for e in self.epochs if e.val_accuracy is not None]
+        if not scores:
+            raise ValueError("no validation accuracy recorded")
+        return max(scores)
+
+
+class Trainer:
+    """Train a model with a loss and an optimizer.
+
+    Parameters
+    ----------
+    model, loss_fn, optimizer:
+        The training triple.  ``loss_fn(logits, labels)`` must return a
+        scalar :class:`Tensor`.
+    scheduler:
+        Optional LR schedule stepped once per epoch.
+    on_epoch_end:
+        Optional callback ``(EpochStats) -> None`` for logging.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn,
+        optimizer: Optimizer,
+        scheduler: _Scheduler | None = None,
+        on_epoch_end: Callable[[EpochStats], None] | None = None,
+    ):
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.on_epoch_end = on_epoch_end
+
+    def train_epoch(self, loader) -> tuple[float, float]:
+        """One pass over ``loader``; returns (mean loss, accuracy)."""
+        self.model.train()
+        total_loss = 0.0
+        total_correct = 0.0
+        total_count = 0
+        for batch_x, batch_y in loader:
+            self.optimizer.zero_grad()
+            logits = self.model(Tensor(batch_x))
+            loss = self.loss_fn(logits, batch_y)
+            loss.backward()
+            self.optimizer.step()
+            size = len(batch_y)
+            total_loss += loss.item() * size
+            total_correct += accuracy(logits, batch_y) * size
+            total_count += size
+        if total_count == 0:
+            raise ValueError("loader produced no batches")
+        return total_loss / total_count, total_correct / total_count
+
+    def evaluate(self, loader) -> tuple[float, float]:
+        """Loss and accuracy over ``loader`` in eval mode (no updates)."""
+        self.model.eval()
+        total_loss = 0.0
+        total_correct = 0.0
+        total_count = 0
+        for batch_x, batch_y in loader:
+            logits = self.model(Tensor(batch_x))
+            loss = self.loss_fn(logits, batch_y)
+            size = len(batch_y)
+            total_loss += loss.item() * size
+            total_correct += accuracy(logits, batch_y) * size
+            total_count += size
+        if total_count == 0:
+            raise ValueError("loader produced no batches")
+        self.model.train()
+        return total_loss / total_count, total_correct / total_count
+
+    def fit(
+        self,
+        train_loader,
+        epochs: int,
+        val_loader=None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Run ``epochs`` training epochs, optionally validating each one."""
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        history = TrainingHistory()
+        for epoch in range(1, epochs + 1):
+            train_loss, train_acc = self.train_epoch(train_loader)
+            stats = EpochStats(epoch, train_loss, train_acc)
+            if val_loader is not None:
+                stats.val_loss, stats.val_accuracy = self.evaluate(val_loader)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            history.append(stats)
+            if self.on_epoch_end is not None:
+                self.on_epoch_end(stats)
+            if verbose:
+                message = (
+                    f"epoch {epoch:3d}  loss {train_loss:.4f}  "
+                    f"acc {train_acc:.4f}"
+                )
+                if stats.val_accuracy is not None:
+                    message += (
+                        f"  val_loss {stats.val_loss:.4f}  "
+                        f"val_acc {stats.val_accuracy:.4f}"
+                    )
+                print(message)
+        return history
+
+
+def predict_in_batches(
+    model: Module, inputs: np.ndarray, batch_size: int = 256
+) -> np.ndarray:
+    """Run ``model`` over ``inputs`` in eval mode, concatenating outputs."""
+    model.eval()
+    outputs = []
+    for start in range(0, len(inputs), batch_size):
+        chunk = inputs[start : start + batch_size]
+        outputs.append(model(Tensor(chunk)).data)
+    model.train()
+    return np.concatenate(outputs, axis=0)

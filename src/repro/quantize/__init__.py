@@ -1,0 +1,17 @@
+"""Fixed-point quantization extension (paper related work [14])."""
+
+from .fixed_point import (
+    QFormat,
+    choose_qformat,
+    quantization_error,
+    quantize_array,
+    quantize_model,
+)
+
+__all__ = [
+    "QFormat",
+    "choose_qformat",
+    "quantize_array",
+    "quantization_error",
+    "quantize_model",
+]

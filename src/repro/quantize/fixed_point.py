@@ -1,0 +1,112 @@
+"""Fixed-point weight quantization (related-work extension, paper [14]).
+
+The paper's related-work section surveys precision reduction as a
+complementary compression axis.  This module implements symmetric
+Q-format quantization so the two techniques can be composed: a
+block-circulant model's defining vectors (or any model's weights) are
+quantized to ``total_bits`` with an automatically chosen binary point,
+and the accuracy impact is measurable through the normal evaluation
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = [
+    "QFormat",
+    "choose_qformat",
+    "quantize_array",
+    "quantization_error",
+    "quantize_model",
+]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Signed fixed-point format Q(``integer_bits``.``fraction_bits``).
+
+    One sign bit is implied: total width = 1 + integer_bits +
+    fraction_bits.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self):
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise ValueError(
+                f"bit counts must be non-negative: {self.integer_bits}, "
+                f"{self.fraction_bits}"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        return 1 + self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0**-self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self.integer_bits + self.fraction_bits) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self.integer_bits + self.fraction_bits)) * self.scale
+
+
+def choose_qformat(values: np.ndarray, total_bits: int) -> QFormat:
+    """Pick the Q-format of width ``total_bits`` covering ``values``.
+
+    Allocates just enough integer bits for the largest magnitude and
+    gives the rest to the fraction, the standard dynamic-range rule.
+    """
+    if total_bits < 2:
+        raise ValueError(f"total_bits must be >= 2, got {total_bits}")
+    values = np.asarray(values, dtype=np.float64)
+    peak = float(np.max(np.abs(values), initial=0.0))
+    if peak == 0.0:
+        return QFormat(0, total_bits - 1)
+    integer_bits = max(0, int(np.ceil(np.log2(peak + 1e-12))) + 1)
+    integer_bits = min(integer_bits, total_bits - 1)
+    return QFormat(integer_bits, total_bits - 1 - integer_bits)
+
+
+def quantize_array(values: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Round ``values`` to the representable grid of ``fmt`` (saturating)."""
+    values = np.asarray(values, dtype=np.float64)
+    quantized = np.round(values / fmt.scale) * fmt.scale
+    return np.clip(quantized, fmt.min_value, fmt.max_value)
+
+
+def quantization_error(values: np.ndarray, fmt: QFormat) -> float:
+    """Relative L2 error introduced by quantizing ``values`` with ``fmt``."""
+    values = np.asarray(values, dtype=np.float64)
+    norm = np.linalg.norm(values)
+    if norm == 0.0:
+        return 0.0
+    return float(np.linalg.norm(values - quantize_array(values, fmt)) / norm)
+
+
+def quantize_model(model: Module, total_bits: int) -> dict[str, QFormat]:
+    """Quantize every parameter of ``model`` in place, per-tensor Q-format.
+
+    Returns the chosen format per parameter name so callers can report
+    the effective bit allocation.  Use ``model.state_dict()`` beforehand
+    to keep a float backup.
+    """
+    formats: dict[str, QFormat] = {}
+    for name, param in model.named_parameters():
+        fmt = choose_qformat(param.data, total_bits)
+        param.data = quantize_array(param.data, fmt)
+        formats[name] = fmt
+    if not formats:
+        raise ValueError("model has no parameters to quantize")
+    return formats

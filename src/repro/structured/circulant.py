@@ -1,0 +1,192 @@
+"""Circulant matrix class (paper section III-C).
+
+A circulant matrix is fully defined by its first column ``w``; every matrix
+operation this class exposes runs through the FFT in O(n log n) time and
+O(n) storage, which is the storage/computation reduction the paper builds
+on.  The eigenvalues of ``C(w)`` are exactly ``FFT(w)``, which makes
+inversion, powers, and products diagonal operations in the Fourier basis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..fft import fft, ifft
+from .ops import circulant_matvec, circulant_transpose_matvec
+
+__all__ = ["CirculantMatrix"]
+
+
+class CirculantMatrix:
+    """An ``n x n`` circulant matrix defined by its first column.
+
+    Parameters
+    ----------
+    first_column:
+        Length-``n`` defining vector ``w``.  Row ``i`` of the dense matrix
+        is ``w`` rotated down by ``i`` — the layout displayed in paper
+        section III-C.
+    """
+
+    def __init__(self, first_column: np.ndarray):
+        w = np.asarray(first_column, dtype=np.float64)
+        if w.ndim != 1 or w.shape[0] == 0:
+            raise ShapeError(
+                f"circulant defining vector must be 1-D and non-empty, "
+                f"got shape {w.shape}"
+            )
+        self._w = w
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def first_column(self) -> np.ndarray:
+        """The defining vector ``w`` (a copy; the matrix is immutable)."""
+        return self._w.copy()
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self._w.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Dense shape ``(n, n)``."""
+        return (self.n, self.n)
+
+    @property
+    def parameter_count(self) -> int:
+        """Independent parameters: ``n`` instead of ``n^2``."""
+        return self.n
+
+    def eigenvalues(self) -> np.ndarray:
+        """Eigenvalues of the matrix, which are ``FFT(w)``."""
+        return fft(self._w)
+
+    # ------------------------------------------------------------------
+    # Products
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``C @ x`` via FFT -> componentwise multiply -> IFFT (Eqn. 3)."""
+        return circulant_matvec(self._w, np.asarray(x, dtype=np.float64))
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``C.T @ y`` via circular correlation."""
+        return circulant_transpose_matvec(self._w, np.asarray(y, dtype=np.float64))
+
+    def __matmul__(self, other):
+        if isinstance(other, CirculantMatrix):
+            return self.compose(other)
+        other = np.asarray(other, dtype=np.float64)
+        if other.ndim == 1:
+            return self.matvec(other)
+        if other.ndim == 2:
+            if other.shape[0] != self.n:
+                raise ShapeError(
+                    f"cannot multiply {self.shape} circulant by {other.shape}"
+                )
+            # Columns transform independently; convolve along axis 0.
+            return np.stack(
+                [self.matvec(other[:, j]) for j in range(other.shape[1])], axis=1
+            )
+        raise ShapeError(f"unsupported operand ndim {other.ndim}")
+
+    def compose(self, other: "CirculantMatrix") -> "CirculantMatrix":
+        """Matrix product of two circulants (circulants form a commutative
+        algebra: the product is circulant with spectra multiplied)."""
+        if other.n != self.n:
+            raise ShapeError(f"size mismatch: {self.n} vs {other.n}")
+        spectrum = self.eigenvalues() * other.eigenvalues()
+        return CirculantMatrix(ifft(spectrum).real)
+
+    # ------------------------------------------------------------------
+    # Algebraic structure
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CirculantMatrix":
+        """The transpose, itself circulant with ``w'[k] = w[(-k) mod n]``."""
+        w = self._w
+        return CirculantMatrix(np.concatenate([w[:1], w[1:][::-1]]))
+
+    @property
+    def T(self) -> "CirculantMatrix":
+        """Alias for :meth:`transpose`."""
+        return self.transpose()
+
+    def inverse(self) -> "CirculantMatrix":
+        """The inverse circulant via reciprocal eigenvalues.
+
+        Raises ``np.linalg.LinAlgError`` when any FFT bin of ``w`` is
+        (numerically) zero, i.e. the matrix is singular.
+        """
+        spectrum = self.eigenvalues()
+        tiny = np.finfo(np.float64).eps * self.n * np.max(np.abs(spectrum) + 1.0)
+        if np.any(np.abs(spectrum) <= tiny):
+            raise np.linalg.LinAlgError("circulant matrix is singular")
+        return CirculantMatrix(ifft(1.0 / spectrum).real)
+
+    def solve(self, y: np.ndarray) -> np.ndarray:
+        """Solve ``C x = y`` in O(n log n) via spectral division."""
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape[-1] != self.n:
+            raise ShapeError(f"rhs length {y.shape[-1]} != {self.n}")
+        spectrum = self.eigenvalues()
+        tiny = np.finfo(np.float64).eps * self.n * np.max(np.abs(spectrum) + 1.0)
+        if np.any(np.abs(spectrum) <= tiny):
+            raise np.linalg.LinAlgError("circulant matrix is singular")
+        return ifft(fft(y) / spectrum).real
+
+    def determinant(self) -> float:
+        """Determinant: product of eigenvalues (real for real ``w``)."""
+        return float(np.prod(self.eigenvalues()).real)
+
+    # ------------------------------------------------------------------
+    # Arithmetic with other circulants
+    # ------------------------------------------------------------------
+    def __add__(self, other: "CirculantMatrix") -> "CirculantMatrix":
+        if not isinstance(other, CirculantMatrix):
+            return NotImplemented
+        if other.n != self.n:
+            raise ShapeError(f"size mismatch: {self.n} vs {other.n}")
+        return CirculantMatrix(self._w + other._w)
+
+    def __sub__(self, other: "CirculantMatrix") -> "CirculantMatrix":
+        if not isinstance(other, CirculantMatrix):
+            return NotImplemented
+        if other.n != self.n:
+            raise ShapeError(f"size mismatch: {self.n} vs {other.n}")
+        return CirculantMatrix(self._w - other._w)
+
+    def __mul__(self, scalar: float) -> "CirculantMatrix":
+        return CirculantMatrix(self._w * float(scalar))
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full ``n x n`` matrix (for testing / display)."""
+        n = self.n
+        shift = (np.arange(n)[:, None] - np.arange(n)[None, :]) % n
+        return self._w[shift]
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray) -> "CirculantMatrix":
+        """Exact conversion of a dense circulant matrix.
+
+        Raises :class:`ShapeError` when the matrix is not circulant; for a
+        least-squares fit of an arbitrary matrix use
+        :func:`repro.structured.projection.nearest_circulant`.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ShapeError(f"expected a square matrix, got {matrix.shape}")
+        candidate = cls(matrix[:, 0].copy())
+        if not np.allclose(candidate.to_dense(), matrix):
+            raise ShapeError("matrix is not circulant; use nearest_circulant")
+        return candidate
+
+    def __repr__(self) -> str:
+        return f"CirculantMatrix(n={self.n})"

@@ -1,0 +1,211 @@
+"""Functional kernels for circulant and block-circulant linear algebra.
+
+These functions are the computational heart of the paper: every product
+with a (block-)circulant matrix is executed as
+``FFT -> component-wise multiplication -> IFFT`` (paper Eqn. 3, Fig. 2),
+and the gradients needed by the training algorithm (paper Eqn. 4,
+Algorithm 2) are circular correlations computed the same way.
+
+Conventions (also in DESIGN.md section 6):
+
+* ``C(w)`` is the circulant matrix whose **first column** is ``w``;
+  ``C(w) @ x == circular_convolve(w, x)``.
+* A block-circulant matrix is a ``p x q`` grid of ``b x b`` circulant
+  blocks, stored as a ``(p, q, b)`` array of defining vectors.  Logical
+  shape is ``(p*b, q*b)``; callers zero-pad ragged operands (the paper's
+  footnote: "we can apply zero padding such that the definition of
+  block-circulant matrices can be applied").
+
+The batched kernels work directly on half-spectra (``rfft`` outputs) so a
+layer can hoist ``FFT(w)`` out of the loop — exactly the deployment trick
+of section IV-A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fft import circular_convolve, circular_correlate, irfft, rfft
+
+__all__ = [
+    "circulant_matvec",
+    "circulant_transpose_matvec",
+    "circulant_gradients",
+    "blockify",
+    "unblockify",
+    "block_circulant_matvec",
+    "block_circulant_transpose_matvec",
+    "block_circulant_forward_batch",
+    "block_circulant_backward_batch",
+    "block_circulant_to_dense",
+]
+
+
+def circulant_matvec(w: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Compute ``C(w) @ x`` in O(n log n) (paper Eqn. 3 with k = 1)."""
+    w = np.asarray(w)
+    x = np.asarray(x)
+    if w.ndim != 1 or x.shape[-1] != w.shape[0]:
+        raise ValueError(
+            f"incompatible shapes for circulant matvec: w {w.shape}, x {x.shape}"
+        )
+    return circular_convolve(w, x)
+
+
+def circulant_transpose_matvec(w: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Compute ``C(w).T @ y`` as a circular correlation in O(n log n)."""
+    w = np.asarray(w)
+    y = np.asarray(y)
+    if w.ndim != 1 or y.shape[-1] != w.shape[0]:
+        raise ValueError(
+            f"incompatible shapes for transpose matvec: w {w.shape}, y {y.shape}"
+        )
+    return circular_correlate(w, y)
+
+
+def circulant_gradients(
+    w: np.ndarray, x: np.ndarray, grad_y: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gradients of ``y = C(w) @ x`` given ``grad_y = dL/dy``.
+
+    Returns ``(dL/dw, dL/dx)``; both are circular correlations (the FFT
+    form of paper Eqn. 4):
+
+    * ``dL/dw = correlate(x, grad_y)`` because ``dy_i/dw_k = x_{(i-k) % n}``,
+    * ``dL/dx = C(w).T grad_y = correlate(w, grad_y)``.
+    """
+    grad_w = circular_correlate(x, grad_y)
+    grad_x = circular_correlate(w, grad_y)
+    return grad_w, grad_x
+
+
+def blockify(x: np.ndarray, block_size: int) -> np.ndarray:
+    """Zero-pad the last axis to a multiple of ``block_size`` and fold it.
+
+    ``(..., n)`` becomes ``(..., ceil(n / b), b)``.
+    """
+    x = np.asarray(x)
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    n = x.shape[-1]
+    blocks = -(-n // block_size)
+    padded_len = blocks * block_size
+    if padded_len != n:
+        padded = np.zeros(x.shape[:-1] + (padded_len,), dtype=x.dtype)
+        padded[..., :n] = x
+        x = padded
+    return x.reshape(x.shape[:-1] + (blocks, block_size))
+
+
+def unblockify(x_blocks: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`blockify`: flatten blocks and trim padding to ``n``."""
+    x_blocks = np.asarray(x_blocks)
+    if x_blocks.ndim < 2:
+        raise ValueError("unblockify expects at least 2 dims (blocks, block)")
+    flat = x_blocks.reshape(x_blocks.shape[:-2] + (-1,))
+    if n > flat.shape[-1]:
+        raise ValueError(
+            f"cannot trim to {n}; only {flat.shape[-1]} padded entries exist"
+        )
+    return flat[..., :n]
+
+
+def block_circulant_matvec(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Compute ``W @ x`` for ``W`` given as a ``(p, q, b)`` block grid.
+
+    ``x`` has length ``q*b``; the result has length ``p*b``.  Each output
+    block is ``sum_q C(w[p, q]) x_q`` — the inner loop of paper
+    Algorithm 1, executed for all blocks at once in the frequency domain.
+    """
+    weights = np.asarray(weights)
+    x = np.asarray(x)
+    p, q, b = _check_block_grid(weights)
+    if x.shape != (q * b,):
+        raise ValueError(f"expected x of length {q * b}, got shape {x.shape}")
+    spectra = rfft(weights)  # (p, q, nb)
+    x_spec = rfft(x.reshape(q, b))  # (q, nb)
+    y_spec = np.einsum("pqf,qf->pf", spectra, x_spec)
+    return irfft(y_spec, n=b).reshape(p * b)
+
+
+def block_circulant_transpose_matvec(
+    weights: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Compute ``W.T @ y`` for a ``(p, q, b)`` block grid (length ``p*b`` in)."""
+    weights = np.asarray(weights)
+    y = np.asarray(y)
+    p, q, b = _check_block_grid(weights)
+    if y.shape != (p * b,):
+        raise ValueError(f"expected y of length {p * b}, got shape {y.shape}")
+    spectra = rfft(weights)
+    y_spec = rfft(y.reshape(p, b))
+    x_spec = np.einsum("pqf,pf->qf", np.conj(spectra), y_spec)
+    return irfft(x_spec, n=b).reshape(q * b)
+
+
+def block_circulant_forward_batch(
+    weight_spectra: np.ndarray, x_blocks: np.ndarray
+) -> np.ndarray:
+    """Batched forward product in the frequency domain.
+
+    ``weight_spectra`` is ``rfft`` of the ``(p, q, b)`` grid (shape
+    ``(p, q, nb)``); ``x_blocks`` is ``(batch, q, b)``.  Returns the output
+    blocks ``(batch, p, b)``.  This is the inference kernel: the weight
+    spectra are precomputed once (paper section IV-A).
+    """
+    weight_spectra = np.asarray(weight_spectra)
+    x_blocks = np.asarray(x_blocks)
+    b = x_blocks.shape[-1]
+    x_spec = rfft(x_blocks)  # (batch, q, nb)
+    y_spec = np.einsum("pqf,nqf->npf", weight_spectra, x_spec)
+    return irfft(y_spec, n=b)
+
+
+def block_circulant_backward_batch(
+    weight_spectra: np.ndarray,
+    x_blocks: np.ndarray,
+    grad_blocks: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched gradients of the block-circulant product (paper Algorithm 2).
+
+    Arguments: precomputed ``rfft`` of the ``(p, q, b)`` weight grid, the
+    saved input blocks ``(batch, q, b)``, and the upstream gradient blocks
+    ``(batch, p, b)``.  Returns ``(grad_weights, grad_x_blocks)`` in the
+    time domain with shapes ``(p, q, b)`` and ``(batch, q, b)``.  Both are
+    single frequency-domain contractions — O(n log n) per block versus the
+    O(n^2) of dense backprop.
+    """
+    x_blocks = np.asarray(x_blocks)
+    grad_blocks = np.asarray(grad_blocks)
+    b = x_blocks.shape[-1]
+    x_spec = rfft(x_blocks)  # (batch, q, nb)
+    g_spec = rfft(grad_blocks)  # (batch, p, nb)
+    # dL/dw[p, q] = sum_batch correlate(x_q, g_p): conj(X) * G in frequency.
+    grad_w_spec = np.einsum("nqf,npf->pqf", np.conj(x_spec), g_spec)
+    # dL/dx[q] = sum_p correlate(w_pq, g_p): conj(W) * G in frequency.
+    grad_x_spec = np.einsum("pqf,npf->nqf", np.conj(weight_spectra), g_spec)
+    return irfft(grad_w_spec, n=b), irfft(grad_x_spec, n=b)
+
+
+def block_circulant_to_dense(weights: np.ndarray) -> np.ndarray:
+    """Expand a ``(p, q, b)`` block grid to its dense ``(p*b, q*b)`` matrix."""
+    weights = np.asarray(weights)
+    p, q, b = _check_block_grid(weights)
+    dense = np.zeros((p * b, q * b), dtype=weights.dtype)
+    shift = (np.arange(b)[:, None] - np.arange(b)[None, :]) % b
+    for i in range(p):
+        for j in range(q):
+            dense[i * b : (i + 1) * b, j * b : (j + 1) * b] = weights[i, j][shift]
+    return dense
+
+
+def _check_block_grid(weights: np.ndarray) -> tuple[int, int, int]:
+    """Validate a ``(p, q, b)`` block grid and return its dimensions."""
+    if weights.ndim != 3:
+        raise ValueError(
+            f"block grid must be 3-D (p, q, block); got shape {weights.shape}"
+        )
+    p, q, b = weights.shape
+    if min(p, q, b) < 1:
+        raise ValueError(f"block grid dimensions must be positive: {weights.shape}")
+    return p, q, b

@@ -1,0 +1,112 @@
+"""Tests for ArrayDataset, DataLoader, and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader, train_test_split
+
+
+def make_dataset(rng, n=20):
+    return ArrayDataset(rng.normal(size=(n, 4)), np.arange(n) % 3)
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self, rng):
+        ds = make_dataset(rng)
+        assert len(ds) == 20
+        x, y = ds[3]
+        assert x.shape == (4,)
+        assert y == 0
+
+    def test_fancy_indexing(self, rng):
+        ds = make_dataset(rng)
+        x, y = ds[np.array([0, 5, 7])]
+        assert x.shape == (3, 4)
+        assert list(y) == [0, 2, 1]
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(4, 2)), np.zeros(5))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((0, 3)), np.zeros(0))
+
+    def test_subset(self, rng):
+        ds = make_dataset(rng)
+        sub = ds.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        assert np.allclose(sub.inputs[0], ds.inputs[1])
+
+    def test_map_inputs(self, rng):
+        ds = make_dataset(rng)
+        doubled = ds.map_inputs(lambda x: x * 2)
+        assert np.allclose(doubled.inputs, ds.inputs * 2)
+        assert np.array_equal(doubled.labels, ds.labels)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, rng):
+        loader = DataLoader(make_dataset(rng), batch_size=8)
+        batches = list(loader)
+        assert [len(b[1]) for b in batches] == [8, 8, 4]
+
+    def test_len(self, rng):
+        assert len(DataLoader(make_dataset(rng), batch_size=8)) == 3
+        assert len(DataLoader(make_dataset(rng), batch_size=8, drop_last=True)) == 2
+
+    def test_drop_last(self, rng):
+        loader = DataLoader(make_dataset(rng), batch_size=8, drop_last=True)
+        assert [len(b[1]) for b in loader] == [8, 8]
+
+    def test_covers_all_samples_without_shuffle(self, rng):
+        ds = make_dataset(rng)
+        loader = DataLoader(ds, batch_size=6)
+        seen = np.concatenate([b[0] for b in loader])
+        assert np.allclose(seen, ds.inputs)
+
+    def test_shuffle_permutes(self, rng):
+        ds = make_dataset(rng, n=50)
+        loader = DataLoader(ds, batch_size=50, shuffle=True, seed=1)
+        (batch_x, _), = list(loader)
+        assert not np.allclose(batch_x, ds.inputs)
+        assert np.allclose(np.sort(batch_x, axis=0), np.sort(ds.inputs, axis=0))
+
+    def test_seeded_loaders_replay(self, rng):
+        ds = make_dataset(rng, n=30)
+        a = [b[1] for b in DataLoader(ds, batch_size=10, shuffle=True, seed=7)]
+        b = [b[1] for b in DataLoader(ds, batch_size=10, shuffle=True, seed=7)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_epochs_reshuffle(self, rng):
+        ds = make_dataset(rng, n=40)
+        loader = DataLoader(ds, batch_size=40, shuffle=True, seed=3)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(rng), batch_size=0)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        train, test = train_test_split(make_dataset(rng, 100), 0.2, rng=rng)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_disjoint_and_complete(self, rng):
+        ds = ArrayDataset(np.arange(50)[:, None].astype(float), np.zeros(50))
+        train, test = train_test_split(ds, 0.3, rng=rng)
+        combined = np.sort(
+            np.concatenate([train.inputs[:, 0], test.inputs[:, 0]])
+        )
+        assert np.array_equal(combined, np.arange(50))
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(rng), 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(rng), 1.0)

@@ -1,0 +1,153 @@
+"""Tests for the synthetic MNIST / CIFAR-10 stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    digit_template,
+    generate_cifar,
+    generate_mnist,
+    load_synthetic_cifar,
+    load_synthetic_mnist,
+)
+
+
+class TestDigitTemplates:
+    def test_shape_and_range(self):
+        for digit in range(10):
+            template = digit_template(digit)
+            assert template.shape == (28, 28)
+            assert template.min() >= 0.0 and template.max() <= 1.0
+
+    def test_templates_nonempty(self):
+        for digit in range(10):
+            assert digit_template(digit).sum() > 5.0
+
+    def test_templates_pairwise_distinct(self):
+        templates = [digit_template(d) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                difference = np.abs(templates[i] - templates[j]).sum()
+                assert difference > 3.0, (i, j)
+
+    def test_rejects_bad_digit(self):
+        with pytest.raises(ValueError):
+            digit_template(10)
+
+    def test_rejects_tiny_size(self):
+        with pytest.raises(ValueError):
+            digit_template(0, size=4)
+
+    def test_eight_contains_zero_segments(self):
+        # 8 uses a superset of 0's segments, so its ink covers 0's.
+        zero, eight = digit_template(0), digit_template(8)
+        assert np.all(eight >= zero - 1e-9)
+
+
+class TestGenerateMnist:
+    def test_shapes_and_range(self, rng):
+        images, labels = generate_mnist(20, rng)
+        assert images.shape == (20, 28, 28)
+        assert labels.shape == (20,)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        assert labels.min() >= 0 and labels.max() <= 9
+
+    def test_deterministic_with_seed(self):
+        a = generate_mnist(10, np.random.default_rng(5))
+        b = generate_mnist(10, np.random.default_rng(5))
+        assert np.allclose(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_augmentation_varies_same_class(self):
+        rng = np.random.default_rng(0)
+        images, labels = generate_mnist(200, rng)
+        for digit in range(3):
+            same = images[labels == digit]
+            if len(same) >= 2:
+                assert not np.allclose(same[0], same[1])
+
+    def test_noise_parameter(self):
+        clean, _ = generate_mnist(5, np.random.default_rng(1), noise=0.0)
+        noisy, _ = generate_mnist(5, np.random.default_rng(1), noise=0.3)
+        assert noisy.std() > 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_mnist(0, rng)
+        with pytest.raises(ValueError):
+            generate_mnist(5, rng, noise=-0.1)
+
+    def test_images_classifiable_by_nearest_template(self, rng):
+        # A trivial nearest-template classifier must beat chance by a lot,
+        # guaranteeing the dataset carries class signal.
+        images, labels = generate_mnist(100, rng, noise=0.05)
+        templates = np.stack([digit_template(d) for d in range(10)])
+        flat_templates = templates.reshape(10, -1)
+        flat_images = images.reshape(100, -1)
+        predictions = np.argmin(
+            ((flat_images[:, None, :] - flat_templates[None]) ** 2).sum(-1), axis=1
+        )
+        assert (predictions == labels).mean() > 0.5
+
+
+class TestLoadSyntheticMnist:
+    def test_split_sizes(self):
+        train, test = load_synthetic_mnist(train_size=50, test_size=20, seed=0)
+        assert len(train) == 50
+        assert len(test) == 20
+
+    def test_train_test_independent(self):
+        train, test = load_synthetic_mnist(train_size=30, test_size=30, seed=0)
+        assert not np.allclose(train.inputs[:10], test.inputs[:10])
+
+    def test_seed_reproducibility(self):
+        a, _ = load_synthetic_mnist(train_size=10, test_size=5, seed=3)
+        b, _ = load_synthetic_mnist(train_size=10, test_size=5, seed=3)
+        assert np.allclose(a.inputs, b.inputs)
+
+
+class TestGenerateCifar:
+    def test_shapes_and_range(self, rng):
+        images, labels = generate_cifar(12, rng)
+        assert images.shape == (12, 3, 32, 32)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        assert labels.min() >= 0 and labels.max() <= 9
+
+    def test_deterministic_with_seed(self):
+        a = generate_cifar(8, np.random.default_rng(2))
+        b = generate_cifar(8, np.random.default_rng(2))
+        assert np.allclose(a[0], b[0])
+
+    def test_all_classes_generatable(self):
+        rng = np.random.default_rng(0)
+        images, labels = generate_cifar(300, rng)
+        assert set(labels) == set(range(10))
+
+    def test_classes_have_distinct_statistics(self):
+        # Class-mean images must differ between classes (colour/pattern
+        # separation the classifier exploits).
+        rng = np.random.default_rng(1)
+        images, labels = generate_cifar(400, rng)
+        means = np.stack(
+            [images[labels == c].mean(axis=0) for c in range(10)]
+        )
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(means[i] - means[j]).mean() > 0.01, (i, j)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_cifar(0, rng)
+        with pytest.raises(ValueError):
+            generate_cifar(5, rng, noise=-1)
+
+
+class TestLoadSyntheticCifar:
+    def test_split_sizes(self):
+        train, test = load_synthetic_cifar(train_size=40, test_size=10, seed=0)
+        assert len(train) == 40
+        assert len(test) == 10
+
+    def test_channel_first_layout(self):
+        train, _ = load_synthetic_cifar(train_size=4, test_size=2, seed=0)
+        assert train.inputs.shape[1:] == (3, 32, 32)

@@ -1,0 +1,112 @@
+"""Tests for image transforms (paper's bilinear resize and helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Compose, affine_warp, bilinear_resize, flatten_images, normalize
+
+
+class TestBilinearResize:
+    def test_identity_resize(self, rng):
+        image = rng.normal(size=(8, 8))
+        assert np.allclose(bilinear_resize(image, 8, 8), image)
+
+    def test_paper_sizes(self, rng):
+        # The paper's MNIST preprocessing: 28 -> 16 (Arch. 1), 28 -> 11 (Arch. 2).
+        images = rng.normal(size=(5, 28, 28))
+        assert bilinear_resize(images, 16, 16).shape == (5, 16, 16)
+        assert bilinear_resize(images, 11, 11).shape == (5, 11, 11)
+
+    def test_constant_image_stays_constant(self):
+        image = np.full((10, 10), 3.5)
+        assert np.allclose(bilinear_resize(image, 7, 13), 3.5)
+
+    def test_preserves_value_range(self, rng):
+        images = rng.uniform(0, 1, size=(3, 28, 28))
+        resized = bilinear_resize(images, 16, 16)
+        assert resized.min() >= 0.0 and resized.max() <= 1.0
+
+    def test_upscale_downscale_roundtrip_smooth(self):
+        # A smooth gradient survives a down-up round trip approximately.
+        rows = np.linspace(0, 1, 16)
+        image = np.tile(rows[:, None], (1, 16))
+        down = bilinear_resize(image, 8, 8)
+        up = bilinear_resize(down, 16, 16)
+        assert np.abs(up - image).max() < 0.1
+
+    def test_single_image_shape(self, rng):
+        assert bilinear_resize(rng.normal(size=(28, 28)), 16, 16).shape == (16, 16)
+
+    def test_rejects_bad_target(self, rng):
+        with pytest.raises(ValueError):
+            bilinear_resize(rng.normal(size=(8, 8)), 0, 4)
+
+    def test_rejects_4d(self, rng):
+        with pytest.raises(ValueError):
+            bilinear_resize(rng.normal(size=(2, 3, 8, 8)), 4, 4)
+
+    def test_mean_approximately_preserved(self, rng):
+        image = rng.uniform(0, 1, size=(28, 28))
+        resized = bilinear_resize(image, 14, 14)
+        assert resized.mean() == pytest.approx(image.mean(), abs=0.05)
+
+
+class TestAffineWarp:
+    def test_identity_transform(self, rng):
+        image = rng.normal(size=(10, 10))
+        warped = affine_warp(image, np.eye(2), np.zeros(2))
+        assert np.allclose(warped, image)
+
+    def test_translation(self):
+        image = np.zeros((8, 8))
+        image[2, 3] = 1.0
+        # Inverse mapping: output (r, c) samples input (r + 1, c).
+        warped = affine_warp(image, np.eye(2), np.array([1.0, 0.0]))
+        assert warped[1, 3] == pytest.approx(1.0)
+
+    def test_out_of_range_reads_zero(self):
+        image = np.ones((4, 4))
+        warped = affine_warp(image, np.eye(2), np.array([10.0, 0.0]))
+        assert np.allclose(warped, 0.0)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            affine_warp(rng.normal(size=(4,)), np.eye(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            affine_warp(rng.normal(size=(4, 4)), np.eye(3), np.zeros(2))
+
+
+class TestNormalizeAndFlatten:
+    def test_normalize_statistics(self, rng):
+        data = rng.normal(loc=5, scale=3, size=(100, 10))
+        normalized = normalize(data)
+        assert normalized.mean() == pytest.approx(0.0, abs=1e-10)
+        assert normalized.std() == pytest.approx(1.0, abs=1e-10)
+
+    def test_normalize_explicit_stats(self, rng):
+        data = rng.normal(size=(5, 5))
+        assert np.allclose(normalize(data, mean=1.0, std=2.0), (data - 1) / 2)
+
+    def test_normalize_zero_std_raises(self):
+        with pytest.raises(ValueError):
+            normalize(np.ones((3, 3)), std=0.0)
+
+    def test_flatten_images(self, rng):
+        assert flatten_images(rng.normal(size=(4, 7, 7))).shape == (4, 49)
+        assert flatten_images(rng.normal(size=(4, 3, 5, 5))).shape == (4, 75)
+
+    def test_flatten_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            flatten_images(rng.normal(size=9))
+
+    def test_compose(self, rng):
+        pipeline = Compose(
+            lambda x: bilinear_resize(x, 16, 16),
+            flatten_images,
+        )
+        out = pipeline(rng.uniform(size=(3, 28, 28)))
+        assert out.shape == (3, 256)
+
+    def test_compose_requires_transform(self):
+        with pytest.raises(ValueError):
+            Compose()

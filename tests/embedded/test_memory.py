@@ -1,0 +1,81 @@
+"""Tests for the memory-footprint model."""
+
+import numpy as np
+import pytest
+
+from repro.embedded import estimate_memory, fits_on_platform
+from repro.nn import Flatten, Linear, ReLU, Sequential
+from repro.zoo import build_arch1, build_arch3
+
+
+class TestEstimateMemory:
+    def test_weights_match_cost_model(self, rng):
+        from repro.embedded import count_model
+
+        model = build_arch1(rng=rng)
+        footprint = estimate_memory(model, (256,))
+        assert footprint.weight_bytes == count_model(model, (256,)).weight_bytes
+
+    def test_activation_chain_shapes(self, rng):
+        model = Sequential(Linear(8, 32, rng=rng), ReLU(), Linear(32, 2, rng=rng))
+        footprint = estimate_memory(model, (8,))
+        assert footprint.activation_bytes_per_layer == (
+            8 * 4, 32 * 4, 32 * 4, 2 * 4
+        )
+
+    def test_peak_is_largest_adjacent_pair(self, rng):
+        model = Sequential(Linear(8, 32, rng=rng), ReLU(), Linear(32, 2, rng=rng))
+        footprint = estimate_memory(model, (8,))
+        assert footprint.peak_activation_bytes == (32 + 32) * 4
+
+    def test_batch_scaling(self, rng):
+        model = build_arch1(rng=rng)
+        single = estimate_memory(model, (256,), batch_size=1)
+        batched = estimate_memory(model, (256,), batch_size=8)
+        assert batched.peak_activation_bytes == 8 * single.peak_activation_bytes
+        assert batched.weight_bytes == single.weight_bytes
+
+    def test_total_mb(self, rng):
+        footprint = estimate_memory(build_arch3(rng=rng), (3, 32, 32))
+        assert footprint.total_mb == pytest.approx(
+            footprint.total_bytes / 1024 / 1024
+        )
+        assert 0.1 < footprint.total_mb < 100.0
+
+    def test_rejects_bad_batch(self, rng):
+        with pytest.raises(ValueError):
+            estimate_memory(build_arch1(rng=rng), (256,), batch_size=0)
+
+
+class TestFitsOnPlatform:
+    def test_paper_models_fit_everywhere(self, rng):
+        for build, shape in ((build_arch1, (256,)), (build_arch3, (3, 32, 32))):
+            footprint = estimate_memory(build(rng=rng), shape)
+            for platform in ("nexus5", "xu3", "honor6x"):
+                assert fits_on_platform(footprint, platform)
+                assert fits_on_platform(footprint, platform, java=True)
+
+    def test_java_heap_cap_binds(self, rng):
+        footprint = estimate_memory(build_arch3(rng=rng), (3, 32, 32),
+                                    batch_size=512)
+        # Large batch exceeds a tiny Java heap but not device RAM.
+        assert fits_on_platform(footprint, "honor6x")
+        assert not fits_on_platform(
+            footprint, "honor6x", java=True, java_heap_mb=16.0
+        )
+
+    def test_ram_cap_binds(self, rng):
+        from repro.embedded.memory import MemoryFootprint
+
+        huge = MemoryFootprint(
+            weight_bytes=3 * 1024**3, peak_activation_bytes=0,
+            activation_bytes_per_layer=(0,),
+        )
+        assert not fits_on_platform(huge, "nexus5")  # 2 GB device
+        assert fits_on_platform(huge, "honor6x")  # 3 GB device
+
+    def test_accepts_platform_object(self, rng):
+        from repro.embedded import get_platform
+
+        footprint = estimate_memory(build_arch1(rng=rng), (256,))
+        assert fits_on_platform(footprint, get_platform("xu3"))

@@ -1,0 +1,49 @@
+"""Tests for FFT backend selection."""
+
+import pytest
+
+from repro.exceptions import BackendError
+from repro.fft import available_backends, get_backend, set_backend, use_backend
+
+
+class TestBackendSelection:
+    def test_default_is_numpy(self):
+        assert get_backend() == "numpy"
+
+    def test_available_backends(self):
+        assert set(available_backends()) == {"numpy", "pure"}
+
+    def test_set_and_restore(self):
+        set_backend("pure")
+        try:
+            assert get_backend() == "pure"
+        finally:
+            set_backend("numpy")
+
+    def test_rejects_unknown(self):
+        with pytest.raises(BackendError):
+            set_backend("fftw")
+
+    def test_context_manager_restores(self):
+        assert get_backend() == "numpy"
+        with use_backend("pure"):
+            assert get_backend() == "pure"
+        assert get_backend() == "numpy"
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("pure"):
+                raise RuntimeError("boom")
+        assert get_backend() == "numpy"
+
+    def test_nested_contexts(self):
+        with use_backend("pure"):
+            with use_backend("numpy"):
+                assert get_backend() == "numpy"
+            assert get_backend() == "pure"
+        assert get_backend() == "numpy"
+
+    def test_backend_error_is_value_error(self):
+        # Callers catching ValueError keep working.
+        with pytest.raises(ValueError):
+            set_backend("nonsense")

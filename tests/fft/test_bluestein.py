@@ -1,0 +1,41 @@
+"""Tests for the Bluestein chirp-z FFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft import fft_bluestein
+
+
+class TestBluestein:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 11, 13, 97, 121, 128, 100])
+    def test_matches_numpy(self, rng, n):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft_bluestein(x), np.fft.fft(x))
+
+    def test_inverse_flag(self, rng):
+        x = rng.normal(size=11) + 1j * rng.normal(size=11)
+        assert np.allclose(fft_bluestein(x, inverse=True) / 11, np.fft.ifft(x))
+
+    def test_batched(self, rng):
+        x = rng.normal(size=(3, 4, 7))
+        assert np.allclose(fft_bluestein(x), np.fft.fft(x, axis=-1))
+
+    def test_large_prime(self, rng):
+        n = 1009
+        x = rng.normal(size=n)
+        assert np.allclose(fft_bluestein(x), np.fft.fft(x))
+
+    def test_does_not_mutate_input(self, rng):
+        x = rng.normal(size=9) + 0j
+        copy = x.copy()
+        fft_bluestein(x)
+        assert np.array_equal(x, copy)
+
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_numpy(self, n, seed):
+        local = np.random.default_rng(seed)
+        x = local.normal(size=n) + 1j * local.normal(size=n)
+        assert np.allclose(fft_bluestein(x), np.fft.fft(x))

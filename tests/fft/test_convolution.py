@@ -1,0 +1,173 @@
+"""Tests for FFT-based convolution and correlation (paper Eqn. 3 engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft import (
+    circular_convolve,
+    circular_convolve_direct,
+    circular_correlate,
+    circular_correlate_direct,
+    convolve2d,
+    convolve2d_direct,
+    linear_convolve,
+    linear_convolve_direct,
+    overlap_add_convolve,
+    use_backend,
+)
+
+
+class TestCircularConvolve:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 12])
+    def test_matches_direct(self, rng, n):
+        a, b = rng.normal(size=n), rng.normal(size=n)
+        assert np.allclose(circular_convolve(a, b), circular_convolve_direct(a, b))
+
+    def test_pure_backend(self, rng):
+        a, b = rng.normal(size=11), rng.normal(size=11)
+        with use_backend("pure"):
+            assert np.allclose(
+                circular_convolve(a, b), circular_convolve_direct(a, b)
+            )
+
+    def test_commutative(self, rng):
+        a, b = rng.normal(size=9), rng.normal(size=9)
+        assert np.allclose(circular_convolve(a, b), circular_convolve(b, a))
+
+    def test_identity_kernel(self, rng):
+        x = rng.normal(size=8)
+        delta = np.zeros(8)
+        delta[0] = 1.0
+        assert np.allclose(circular_convolve(delta, x), x)
+
+    def test_shift_kernel_rotates(self, rng):
+        x = rng.normal(size=8)
+        shift = np.zeros(8)
+        shift[1] = 1.0
+        assert np.allclose(circular_convolve(shift, x), np.roll(x, 1))
+
+    def test_real_inputs_produce_real_output(self, rng):
+        result = circular_convolve(rng.normal(size=6), rng.normal(size=6))
+        assert result.dtype.kind == "f"
+
+    def test_complex_inputs(self, rng):
+        a = rng.normal(size=6) + 1j * rng.normal(size=6)
+        b = rng.normal(size=6)
+        assert np.allclose(circular_convolve(a, b), circular_convolve_direct(a, b))
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            circular_convolve(rng.normal(size=4), rng.normal(size=6))
+
+    def test_explicit_length_pads(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        result = circular_convolve(a, b, n=8)
+        assert np.allclose(result[:5], np.convolve(a, b))
+
+    def test_batched_broadcast(self, rng):
+        a = rng.normal(size=(4, 8))
+        b = rng.normal(size=8)
+        batch = circular_convolve(a, b)
+        for i in range(4):
+            assert np.allclose(batch[i], circular_convolve(a[i], b))
+
+    @given(st.integers(1, 24), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_direct(self, n, seed):
+        local = np.random.default_rng(seed)
+        a, b = local.normal(size=n), local.normal(size=n)
+        assert np.allclose(circular_convolve(a, b), circular_convolve_direct(a, b))
+
+
+class TestCircularCorrelate:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 12])
+    def test_matches_direct(self, rng, n):
+        a, b = rng.normal(size=n), rng.normal(size=n)
+        assert np.allclose(circular_correlate(a, b), circular_correlate_direct(a, b))
+
+    def test_autocorrelation_peak_at_zero(self, rng):
+        x = rng.normal(size=16)
+        corr = circular_correlate(x, x)
+        assert corr.argmax() == 0
+        assert corr[0] == pytest.approx(np.sum(x * x))
+
+    def test_transpose_relation(self, rng):
+        # correlate(w, y) realizes C(w)^T y (the training-path identity).
+        from repro.structured import CirculantMatrix
+
+        w, y = rng.normal(size=7), rng.normal(size=7)
+        dense = CirculantMatrix(w).to_dense()
+        assert np.allclose(circular_correlate(w, y), dense.T @ y)
+
+    def test_complex_conjugation(self, rng):
+        a = rng.normal(size=5) + 1j * rng.normal(size=5)
+        b = rng.normal(size=5) + 1j * rng.normal(size=5)
+        assert np.allclose(circular_correlate(a, b), circular_correlate_direct(a, b))
+
+
+class TestLinearConvolve:
+    def test_matches_numpy(self, rng):
+        a, b = rng.normal(size=9), rng.normal(size=4)
+        assert np.allclose(linear_convolve(a, b), np.convolve(a, b))
+
+    def test_direct_matches_numpy(self, rng):
+        a, b = rng.normal(size=6), rng.normal(size=5)
+        assert np.allclose(linear_convolve_direct(a, b), np.convolve(a, b))
+
+    def test_output_length(self, rng):
+        assert linear_convolve(rng.normal(size=7), rng.normal(size=3)).shape == (9,)
+
+
+class TestOverlapAdd:
+    def test_matches_numpy(self, rng):
+        signal, kernel = rng.normal(size=100), rng.normal(size=7)
+        assert np.allclose(overlap_add_convolve(signal, kernel), np.convolve(signal, kernel))
+
+    @pytest.mark.parametrize("block", [4, 8, 13, 64, 1000])
+    def test_block_size_invariance(self, rng, block):
+        signal, kernel = rng.normal(size=50), rng.normal(size=5)
+        assert np.allclose(
+            overlap_add_convolve(signal, kernel, block_size=block),
+            np.convolve(signal, kernel),
+        )
+
+    def test_short_signal(self, rng):
+        signal, kernel = rng.normal(size=3), rng.normal(size=5)
+        assert np.allclose(overlap_add_convolve(signal, kernel), np.convolve(signal, kernel))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            overlap_add_convolve(np.array([]), np.ones(3))
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            overlap_add_convolve(rng.normal(size=(2, 4)), np.ones(3))
+
+
+class TestConvolve2d:
+    def test_matches_direct(self, rng):
+        image, kernel = rng.normal(size=(10, 9)), rng.normal(size=(3, 3))
+        assert np.allclose(convolve2d(image, kernel), convolve2d_direct(image, kernel))
+
+    def test_matches_scipy(self, rng):
+        from scipy.signal import correlate2d
+
+        image, kernel = rng.normal(size=(8, 8)), rng.normal(size=(4, 4))
+        assert np.allclose(
+            convolve2d(image, kernel), correlate2d(image, kernel, mode="valid")
+        )
+
+    def test_output_shape(self, rng):
+        out = convolve2d(rng.normal(size=(12, 10)), rng.normal(size=(3, 5)))
+        assert out.shape == (10, 6)
+
+    def test_kernel_too_large_raises(self, rng):
+        with pytest.raises(ValueError):
+            convolve2d(rng.normal(size=(3, 3)), rng.normal(size=(4, 4)))
+
+    def test_averaging_kernel(self):
+        image = np.ones((6, 6))
+        kernel = np.full((3, 3), 1.0 / 9.0)
+        assert np.allclose(convolve2d(image, kernel), np.ones((4, 4)))

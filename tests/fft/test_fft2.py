@@ -1,0 +1,52 @@
+"""Tests for 2-D transforms."""
+
+import numpy as np
+import pytest
+
+from repro.fft import fft2, ifft2, use_backend
+
+
+@pytest.mark.parametrize("backend", ["numpy", "pure"])
+class TestFft2:
+    def test_matches_numpy(self, rng, backend):
+        x = rng.normal(size=(6, 8)) + 1j * rng.normal(size=(6, 8))
+        with use_backend(backend):
+            assert np.allclose(fft2(x), np.fft.fft2(x))
+
+    def test_round_trip(self, rng, backend):
+        x = rng.normal(size=(5, 7))
+        with use_backend(backend):
+            assert np.allclose(ifft2(fft2(x)).real, x)
+
+    def test_padding_shape(self, rng, backend):
+        x = rng.normal(size=(4, 4))
+        with use_backend(backend):
+            result = fft2(x, shape=(8, 8))
+        assert result.shape == (8, 8)
+        assert np.allclose(result, np.fft.fft2(x, s=(8, 8)))
+
+    def test_batched(self, rng, backend):
+        x = rng.normal(size=(3, 6, 5))
+        with use_backend(backend):
+            assert np.allclose(fft2(x), np.fft.fft2(x, axes=(-2, -1)))
+
+    def test_custom_axes(self, rng, backend):
+        x = rng.normal(size=(4, 3, 5))
+        with use_backend(backend):
+            assert np.allclose(
+                fft2(x, axes=(0, 2)), np.fft.fft2(x, axes=(0, 2))
+            )
+
+    def test_rejects_duplicate_axes(self, rng, backend):
+        with use_backend(backend):
+            with pytest.raises(ValueError):
+                fft2(rng.normal(size=(4, 4)), axes=(1, 1))
+
+    def test_separability(self, rng, backend):
+        # 2-D transform of an outer product is the outer product of 1-D
+        # transforms.
+        a = rng.normal(size=6)
+        b = rng.normal(size=8)
+        with use_backend(backend):
+            lhs = fft2(np.outer(a, b))
+        assert np.allclose(lhs, np.outer(np.fft.fft(a), np.fft.fft(b)))

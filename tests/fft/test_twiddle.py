@@ -1,0 +1,92 @@
+"""Tests for twiddle factors, bit reversal, and size helpers."""
+
+import numpy as np
+import pytest
+
+from repro.fft import (
+    bit_reversal_permutation,
+    is_power_of_two,
+    next_power_of_two,
+    smallest_prime_factor,
+    twiddle_factors,
+)
+
+
+class TestTwiddleFactors:
+    def test_forward_values(self):
+        factors = twiddle_factors(4)
+        expected = np.exp(-2j * np.pi * np.arange(4) / 4)
+        assert np.allclose(factors, expected)
+
+    def test_inverse_is_conjugate(self):
+        forward = twiddle_factors(8)
+        inverse = twiddle_factors(8, inverse=True)
+        assert np.allclose(inverse, np.conj(forward))
+
+    def test_unit_magnitude(self):
+        assert np.allclose(np.abs(twiddle_factors(13)), 1.0)
+
+    def test_first_factor_is_one(self):
+        for n in (1, 2, 5, 16):
+            assert twiddle_factors(n)[0] == pytest.approx(1.0)
+
+    def test_cached_result_is_readonly(self):
+        factors = twiddle_factors(8)
+        with pytest.raises((ValueError, RuntimeError)):
+            factors[0] = 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            twiddle_factors(0)
+
+    def test_nth_roots_of_unity(self):
+        n = 12
+        factors = twiddle_factors(n)
+        assert np.allclose(factors**n, 1.0)
+
+
+class TestBitReversal:
+    def test_size_8(self):
+        assert list(bit_reversal_permutation(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_size_1_and_2(self):
+        assert list(bit_reversal_permutation(1)) == [0]
+        assert list(bit_reversal_permutation(2)) == [0, 1]
+
+    def test_is_permutation(self):
+        perm = bit_reversal_permutation(64)
+        assert sorted(perm) == list(range(64))
+
+    def test_is_involution(self):
+        perm = bit_reversal_permutation(32)
+        assert np.array_equal(perm[perm], np.arange(32))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reversal_permutation(12)
+
+
+class TestSizeHelpers:
+    @pytest.mark.parametrize("n,expected", [(1, True), (2, True), (3, False),
+                                            (16, True), (24, False), (0, False),
+                                            (-4, False)])
+    def test_is_power_of_two(self, n, expected):
+        assert is_power_of_two(n) is expected
+
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 4), (17, 32),
+                                            (64, 64), (100, 128)])
+    def test_next_power_of_two(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_next_power_of_two_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 3), (4, 2), (9, 3),
+                                            (15, 3), (49, 7), (97, 97)])
+    def test_smallest_prime_factor(self, n, expected):
+        assert smallest_prime_factor(n) == expected
+
+    def test_smallest_prime_factor_rejects_small(self):
+        with pytest.raises(ValueError):
+            smallest_prime_factor(1)

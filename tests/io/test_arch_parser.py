@@ -1,0 +1,123 @@
+"""Tests for the architecture-string parser (paper Fig. 4 notation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParseError
+from repro.io import format_architecture, parse_architecture
+
+
+class TestInputSpecs:
+    def test_flat_input(self):
+        spec = parse_architecture("256-10F")
+        assert spec.input_shape == (256,)
+        assert spec.batch_size is None
+        assert not spec.is_convolutional
+
+    def test_chw_input(self):
+        spec = parse_architecture("3x32x32-10F")
+        assert spec.input_shape == (3, 32, 32)
+        assert spec.is_convolutional
+
+    def test_batched_input_records_batch(self):
+        # The paper's own Arch. 3 string begins "128x3x32x32".
+        spec = parse_architecture("128x3x32x32-10F")
+        assert spec.batch_size == 128
+        assert spec.input_shape == (3, 32, 32)
+
+    def test_rejects_two_dims(self):
+        with pytest.raises(ParseError):
+            parse_architecture("32x32-10F")
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ParseError):
+            parse_architecture("0x3x4-10F")
+
+    def test_rejects_garbage_input(self):
+        with pytest.raises(ParseError):
+            parse_architecture("abc-10F")
+
+
+class TestLayerTokens:
+    def test_paper_arch3_string(self):
+        spec = parse_architecture(
+            "128x3x32x32-64Conv3-64Conv3-128Conv3-128Conv3-512F-1024F-1024F-10F"
+        )
+        kinds = [layer.kind for layer in spec.layers]
+        assert kinds == ["conv"] * 4 + ["fc"] * 4
+        assert spec.layers[0].units == 64
+        assert spec.layers[0].kernel == 3
+        assert spec.layers[-1].units == 10
+
+    def test_block_circulant_fc(self):
+        spec = parse_architecture("256-128CFb64-10F")
+        assert spec.layers[0].kind == "bc_fc"
+        assert spec.layers[0].units == 128
+        assert spec.layers[0].block == 64
+
+    def test_block_circulant_conv(self):
+        spec = parse_architecture("3x16x16-32CConv3b8-10F")
+        assert spec.layers[0].kind == "bc_conv"
+        assert spec.layers[0].block == 8
+
+    def test_pooling(self):
+        spec = parse_architecture("3x16x16-8Conv3-MP2-10F")
+        assert spec.layers[1].kind == "maxpool"
+        assert spec.layers[1].kernel == 2
+        spec = parse_architecture("3x16x16-8Conv3-AP2-10F")
+        assert spec.layers[1].kind == "avgpool"
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(ParseError):
+            parse_architecture("256-128Q-10F")
+
+    def test_conv_on_flat_input_raises(self):
+        with pytest.raises(ParseError):
+            parse_architecture("256-64Conv3-10F")
+
+    def test_pool_on_flat_input_raises(self):
+        with pytest.raises(ParseError):
+            parse_architecture("256-MP2-10F")
+
+    def test_final_layer_must_be_fc(self):
+        with pytest.raises(ParseError):
+            parse_architecture("3x8x8-16Conv3")
+        with pytest.raises(ParseError):
+            parse_architecture("3x8x8-16Conv3-MP2")
+
+    def test_conv_after_fc_raises(self):
+        with pytest.raises(ParseError):
+            parse_architecture("3x8x8-16F-16Conv3-10F")
+
+    def test_empty_string_raises(self):
+        with pytest.raises(ParseError):
+            parse_architecture("")
+        with pytest.raises(ParseError):
+            parse_architecture("256")
+
+
+class TestFormatRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "256-128CFb64-128CFb64-10F",
+            "121-64CFb32-64CFb32-10F",
+            "3x32x32-64Conv3-MP2-128CConv3b32-AP2-512CFb128-10F",
+            "128x3x32x32-64Conv3-64Conv3-128Conv3-128Conv3-512F-1024F-1024F-10F",
+        ],
+    )
+    def test_round_trip(self, text):
+        assert format_architecture(parse_architecture(text)) == text
+
+    @given(
+        st.lists(
+            st.sampled_from(["64F", "32CFb8", "128F", "16CFb4"]), min_size=1,
+            max_size=5
+        ),
+        st.integers(1, 512),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_fc_chains_round_trip(self, hidden, input_size):
+        text = "-".join([str(input_size)] + hidden + ["10F"])
+        assert format_architecture(parse_architecture(text)) == text

@@ -1,0 +1,91 @@
+"""Tests for the inputs parser (paper Fig. 4, module 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParseError
+from repro.io import load_inputs, save_inputs, validate_inputs
+
+
+class TestNpzRoundTrip:
+    def test_inputs_and_labels(self, rng, tmp_path):
+        path = tmp_path / "data.npz"
+        x = rng.normal(size=(5, 4))
+        y = np.array([0, 1, 2, 0, 1])
+        save_inputs(path, x, y)
+        loaded_x, loaded_y = load_inputs(path)
+        assert np.allclose(loaded_x, x)
+        assert np.array_equal(loaded_y, y)
+
+    def test_inputs_only(self, rng, tmp_path):
+        path = tmp_path / "data.npz"
+        save_inputs(path, rng.normal(size=(3, 2)))
+        _, labels = load_inputs(path)
+        assert labels is None
+
+    def test_save_rejects_wrong_suffix(self, rng, tmp_path):
+        with pytest.raises(ParseError):
+            save_inputs(tmp_path / "data.txt", rng.normal(size=(2, 2)))
+
+    def test_load_rejects_missing_inputs_key(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(ParseError):
+            load_inputs(path)
+
+
+class TestOtherFormats:
+    def test_npy(self, rng, tmp_path):
+        path = tmp_path / "data.npy"
+        x = rng.normal(size=(4, 3))
+        np.save(path, x)
+        loaded, labels = load_inputs(path)
+        assert np.allclose(loaded, x)
+        assert labels is None
+
+    def test_csv_with_labels(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("f0,f1,label\n1.0,2.0,0\n3.0,4.0,1\n")
+        x, y = load_inputs(path)
+        assert np.allclose(x, [[1, 2], [3, 4]])
+        assert np.array_equal(y, [0, 1])
+
+    def test_csv_without_header(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        x, y = load_inputs(path)
+        assert x.shape == (2, 2)
+        assert y is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParseError):
+            load_inputs(tmp_path / "nothing.npz")
+
+    def test_unknown_suffix(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"\x00")
+        with pytest.raises(ParseError):
+            load_inputs(path)
+
+
+class TestValidateInputs:
+    def test_batch_passthrough(self, rng):
+        x = rng.normal(size=(4, 8))
+        assert validate_inputs(x, (8,)).shape == (4, 8)
+
+    def test_single_sample_promoted(self, rng):
+        assert validate_inputs(rng.normal(size=8), (8,)).shape == (1, 8)
+
+    def test_image_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        assert validate_inputs(x, (3, 8, 8)).shape == (2, 3, 8, 8)
+
+    def test_wrong_shape_raises(self, rng):
+        with pytest.raises(ParseError):
+            validate_inputs(rng.normal(size=(4, 7)), (8,))
+
+    def test_range_check(self, rng):
+        x = rng.uniform(0, 1, size=(3, 4))
+        validate_inputs(x, (4,), value_range=(0.0, 1.0))
+        with pytest.raises(ParseError):
+            validate_inputs(x + 10, (4,), value_range=(0.0, 1.0))

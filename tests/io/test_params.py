@@ -1,0 +1,100 @@
+"""Tests for parameter serialization (checkpoints and FFT-domain export)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParseError
+from repro.io import (
+    build_model_from_string,
+    export_fft_weights,
+    import_fft_weights,
+    load_weights,
+    save_weights,
+)
+from repro.nn import Linear, Sequential, Tensor
+
+
+@pytest.fixture
+def model(rng):
+    return build_model_from_string("16-8CFb4-8CFb4-4F", rng=rng)
+
+
+class TestCheckpointRoundTrip:
+    def test_round_trip_preserves_outputs(self, rng, model, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_weights(model, path)
+        other = build_model_from_string("16-8CFb4-8CFb4-4F",
+                                        rng=np.random.default_rng(99))
+        load_weights(other, path)
+        x = rng.normal(size=(3, 16))
+        assert np.allclose(model(Tensor(x)).data, other(Tensor(x)).data)
+
+    def test_load_into_wrong_architecture_raises(self, rng, model, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_weights(model, path)
+        wrong = build_model_from_string("16-8F-4F", rng=rng)
+        with pytest.raises((KeyError, ValueError)):
+            load_weights(wrong, path)
+
+    def test_rejects_foreign_npz(self, rng, model, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ParseError):
+            load_weights(model, path)
+
+    def test_save_requires_parameters(self, tmp_path):
+        from repro.nn import ReLU
+
+        with pytest.raises(ValueError):
+            save_weights(Sequential(ReLU()), tmp_path / "empty.npz")
+
+
+class TestFftExport:
+    def test_spectra_shapes(self, model):
+        spectra = export_fft_weights(model)
+        assert len(spectra) == 2  # two block-circulant layers
+        for value in spectra.values():
+            assert value.ndim == 3
+            assert value.shape[-1] == 4 // 2 + 1
+            assert np.iscomplexobj(value)
+
+    def test_round_trip_restores_weights(self, rng, model):
+        spectra = export_fft_weights(model)
+        other = build_model_from_string(
+            "16-8CFb4-8CFb4-4F", rng=np.random.default_rng(1)
+        )
+        # Restore non-BC params first so outputs can match exactly.
+        other.load_state_dict(model.state_dict())
+        other.weight_before = None
+        import_fft_weights(other, spectra)
+        x = rng.normal(size=(2, 16))
+        assert np.allclose(model(Tensor(x)).data, other(Tensor(x)).data, atol=1e-10)
+
+    def test_key_mismatch_raises(self, rng, model):
+        spectra = export_fft_weights(model)
+        spectra["bogus.weight"] = next(iter(spectra.values()))
+        with pytest.raises(ParseError):
+            import_fft_weights(model, spectra)
+
+    def test_missing_key_raises(self, model):
+        spectra = export_fft_weights(model)
+        spectra.pop(next(iter(spectra)))
+        with pytest.raises(ParseError):
+            import_fft_weights(model, spectra)
+
+    def test_dense_model_has_no_spectra(self, rng):
+        dense = Sequential(Linear(4, 2, rng=rng))
+        with pytest.raises(ValueError):
+            export_fft_weights(dense)
+
+    def test_export_is_half_spectrum_storage(self, model):
+        # The paper's claim: storing FFT(w) keeps O(n) numbers per block.
+        spectra = export_fft_weights(model)
+        for key, value in spectra.items():
+            p, q, bins = value.shape
+            assert bins == 3  # block 4 -> 3 bins
+            # 3 complex numbers = 6 reals >= 4 reals of w, but per-block
+            # storage stays O(b); with conjugate symmetry bins 0 and b/2
+            # are real, so the true information content is exactly b reals.
+            assert np.allclose(value[..., 0].imag, 0.0, atol=1e-12)
+            assert np.allclose(value[..., -1].imag, 0.0, atol=1e-12)

@@ -1,0 +1,133 @@
+"""Tests for training callbacks and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BestWeightsKeeper,
+    EarlyStopping,
+    Linear,
+    Parameter,
+    Sequential,
+    clip_grad_norm,
+)
+from repro.nn.trainer import EpochStats
+
+
+def stats(epoch, val_accuracy):
+    return EpochStats(
+        epoch=epoch, train_loss=1.0, train_accuracy=0.5, val_loss=1.0,
+        val_accuracy=val_accuracy,
+    )
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.array([0.1, 0.1, 0.1, 0.1])
+        norm = clip_grad_norm([param], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        assert np.allclose(param.grad, 0.1)
+
+    def test_clips_to_max_norm(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([3.0, 4.0, 0.0])  # norm 5
+        clip_grad_norm([param], max_norm=1.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+        # Direction preserved.
+        assert param.grad[0] / param.grad[1] == pytest.approx(0.75)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=5.0)
+        assert norm == pytest.approx(5.0)
+        assert np.allclose(a.grad, 3.0)  # exactly at threshold: untouched
+
+    def test_skips_gradless_params(self):
+        a = Parameter(np.zeros(2))
+        assert clip_grad_norm([a], max_norm=1.0) == 0.0
+
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        stopper(stats(1, 0.8))
+        stopper(stats(2, 0.7))
+        assert not stopper.should_stop
+        stopper(stats(3, 0.7))
+        assert stopper.should_stop
+        assert stopper.best_epoch == 1
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper(stats(1, 0.5))
+        stopper(stats(2, 0.4))
+        stopper(stats(3, 0.6))  # improvement
+        stopper(stats(4, 0.5))
+        assert not stopper.should_stop
+        assert stopper.best_score == 0.6
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.05)
+        stopper(stats(1, 0.50))
+        stopper(stats(2, 0.52))  # below min_delta: counts as stale
+        assert stopper.should_stop
+
+    def test_requires_validation(self):
+        stopper = EarlyStopping()
+        with pytest.raises(ValueError):
+            stopper(EpochStats(1, 1.0, 0.5))
+
+    def test_validation_of_args(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1.0)
+
+
+class TestBestWeightsKeeper:
+    def test_restores_best(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        keeper = BestWeightsKeeper(model)
+        model[0].weight.data = np.full((2, 2), 1.0)
+        keeper(stats(1, 0.9))
+        model[0].weight.data = np.full((2, 2), 2.0)
+        keeper(stats(2, 0.5))  # worse: not recorded
+        keeper.restore()
+        assert np.allclose(model[0].weight.data, 1.0)
+        assert keeper.best_score == 0.9
+
+    def test_restore_without_record_raises(self, rng):
+        keeper = BestWeightsKeeper(Sequential(Linear(2, 2, rng=rng)))
+        with pytest.raises(RuntimeError):
+            keeper.restore()
+
+    def test_requires_validation(self, rng):
+        keeper = BestWeightsKeeper(Sequential(Linear(2, 2, rng=rng)))
+        with pytest.raises(ValueError):
+            keeper(EpochStats(1, 1.0, 0.5))
+
+    def test_integrates_with_trainer(self, rng):
+        from repro.data import ArrayDataset, DataLoader
+        from repro.nn import SGD, CrossEntropyLoss, Trainer
+
+        x = rng.normal(size=(64, 4))
+        y = (x[:, 0] > 0).astype(int)
+        dataset = ArrayDataset(x, y)
+        loader = DataLoader(dataset, batch_size=16, shuffle=True, seed=0)
+        model = Sequential(Linear(4, 2, rng=rng))
+        keeper = BestWeightsKeeper(model)
+        trainer = Trainer(
+            model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.1),
+            on_epoch_end=keeper,
+        )
+        trainer.fit(loader, epochs=3, val_loader=loader)
+        keeper.restore()
+        assert keeper.best_score is not None

@@ -1,0 +1,176 @@
+"""Tests for activations-as-modules, pooling modules, dropout, flatten,
+and batch normalization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    Tensor,
+)
+
+
+class TestActivationModules:
+    def test_relu(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(ReLU()(Tensor(x)).data, np.maximum(x, 0))
+
+    def test_leaky_relu(self, rng):
+        x = rng.normal(size=(3, 4))
+        out = LeakyReLU(0.3)(Tensor(x)).data
+        assert np.allclose(out, np.where(x > 0, x, 0.3 * x))
+
+    def test_sigmoid(self, rng):
+        x = rng.normal(size=5)
+        assert np.allclose(Sigmoid()(Tensor(x)).data, 1 / (1 + np.exp(-x)))
+
+    def test_tanh(self, rng):
+        x = rng.normal(size=5)
+        assert np.allclose(Tanh()(Tensor(x)).data, np.tanh(x))
+
+    def test_softmax_module(self, rng):
+        out = Softmax()(Tensor(rng.normal(size=(2, 5)))).data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_reprs(self):
+        assert repr(ReLU()) == "ReLU()"
+        assert "0.3" in repr(LeakyReLU(0.3))
+
+
+class TestDropoutModule:
+    def test_train_mode_drops(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100))))
+        assert (out.data == 0).any()
+
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = rng.normal(size=(5, 5))
+        assert np.allclose(layer(Tensor(x)).data, x)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestFlatten:
+    def test_flattens_conv_output(self, rng):
+        x = rng.normal(size=(2, 3, 4, 5))
+        assert Flatten()(Tensor(x)).shape == (2, 60)
+
+    def test_preserves_batch(self, rng):
+        x = rng.normal(size=(7, 3))
+        assert Flatten()(Tensor(x)).shape == (7, 3)
+
+    def test_rejects_unbatched(self, rng):
+        with pytest.raises(ValueError):
+            Flatten()(Tensor(rng.normal(size=5)))
+
+    def test_grad_flows(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        Flatten()(x).sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+
+class TestPoolingModules:
+    def test_maxpool_shape(self, rng):
+        out = MaxPool2d(2)(Tensor(rng.normal(size=(1, 2, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_maxpool_custom_stride(self, rng):
+        out = MaxPool2d(3, stride=1)(Tensor(rng.normal(size=(1, 1, 5, 5))))
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_avgpool_values(self):
+        x = np.ones((1, 1, 4, 4))
+        assert np.allclose(AvgPool2d(2)(Tensor(x)).data, 1.0)
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(0)
+
+
+class TestBatchNorm1d:
+    def test_normalizes_in_training(self, rng):
+        bn = BatchNorm1d(6)
+        x = rng.normal(loc=4.0, scale=3.0, size=(64, 6))
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm1d(3, momentum=0.5)
+        for _ in range(40):
+            bn(Tensor(rng.normal(loc=2.0, size=(128, 3))))
+        assert np.allclose(bn.running_mean, 2.0, atol=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(3)
+        for _ in range(20):
+            bn(Tensor(rng.normal(loc=1.0, size=(64, 3))))
+        bn.eval()
+        x = rng.normal(loc=1.0, size=(8, 3))
+        out = bn(Tensor(x)).data
+        expected = (x - bn.running_mean) / np.sqrt(bn.running_var + bn.eps)
+        assert np.allclose(out, expected)
+
+    def test_gamma_beta_affect_output(self, rng):
+        bn = BatchNorm1d(2)
+        bn.gamma.data = np.array([2.0, 3.0])
+        bn.beta.data = np.array([1.0, -1.0])
+        out = bn(Tensor(rng.normal(size=(32, 2)))).data
+        assert out[:, 0].std() == pytest.approx(2.0, rel=0.1)
+        assert out[:, 1].mean() == pytest.approx(-1.0, abs=0.1)
+
+    def test_gradients_flow_to_gamma_beta(self, rng):
+        bn = BatchNorm1d(4)
+        out = bn(Tensor(rng.normal(size=(16, 4)), requires_grad=True))
+        out.sum().backward()
+        assert bn.gamma.grad is not None
+        assert np.allclose(bn.beta.grad, 16.0)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(rng.normal(size=(2, 4))))
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(rng.normal(size=(2, 3, 4, 4))))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(3, momentum=0.0)
+
+
+class TestBatchNorm2d:
+    def test_normalizes_per_channel(self, rng):
+        bn = BatchNorm2d(3)
+        x = rng.normal(loc=5.0, scale=2.0, size=(8, 3, 6, 6))
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-8)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(rng.normal(size=(2, 4, 5, 5))))
+
+    def test_eval_mode(self, rng):
+        bn = BatchNorm2d(2)
+        for _ in range(10):
+            bn(Tensor(rng.normal(size=(16, 2, 4, 4))))
+        bn.eval()
+        x = rng.normal(size=(4, 2, 4, 4))
+        out = bn(Tensor(x)).data
+        assert out.shape == x.shape
+        assert np.all(np.isfinite(out))

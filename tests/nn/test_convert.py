@@ -1,0 +1,150 @@
+"""Tests for dense -> block-circulant model conversion."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BlockCirculantConv2d,
+    BlockCirculantLinear,
+    Conv2d,
+    ConversionRow,
+    Flatten,
+    Linear,
+    ReLU,
+    Sequential,
+    Tensor,
+    conversion_report,
+    convert_to_block_circulant,
+)
+
+
+@pytest.fixture
+def dense_model(rng):
+    return Sequential(
+        Conv2d(4, 8, 3, rng=rng),
+        ReLU(),
+        Flatten(),
+        Linear(8 * 4 * 4, 16, rng=rng),
+        ReLU(),
+        Linear(16, 10, rng=rng),
+    )
+
+
+class TestConvertToBlockCirculant:
+    def test_layer_types_swapped(self, dense_model):
+        converted = convert_to_block_circulant(dense_model, block_size=4)
+        assert isinstance(converted[0], BlockCirculantConv2d)
+        assert isinstance(converted[3], BlockCirculantLinear)
+        assert isinstance(converted[5], BlockCirculantLinear)
+
+    def test_non_weight_layers_preserved(self, dense_model):
+        converted = convert_to_block_circulant(dense_model, block_size=4)
+        assert converted[1] is dense_model[1]
+        assert converted[2] is dense_model[2]
+
+    def test_skip_indices_stay_dense(self, dense_model):
+        converted = convert_to_block_circulant(
+            dense_model, block_size=4, skip=(0, 5)
+        )
+        assert isinstance(converted[0], Conv2d)
+        assert not isinstance(converted[0], BlockCirculantConv2d)
+        assert isinstance(converted[5], Linear)
+        assert not isinstance(converted[5], BlockCirculantLinear)
+
+    def test_original_model_untouched(self, dense_model, rng):
+        state = {k: v.copy() for k, v in dense_model.state_dict().items()}
+        convert_to_block_circulant(dense_model, block_size=4)
+        after = dense_model.state_dict()
+        assert all(np.array_equal(state[k], after[k]) for k in state)
+
+    def test_exact_structure_round_trips_linear(self, rng):
+        source = BlockCirculantLinear(16, 8, 4, rng=rng)
+        dense = Sequential(Linear(16, 8, rng=rng))
+        dense[0].weight.data = source.dense_weight()
+        dense[0].bias.data = source.bias.data.copy()
+        converted = convert_to_block_circulant(dense, block_size=4)
+        x = rng.normal(size=(3, 16))
+        assert np.allclose(
+            converted(Tensor(x)).data, source(Tensor(x)).data, atol=1e-9
+        )
+
+    def test_exact_structure_round_trips_conv(self, rng):
+        source = BlockCirculantConv2d(4, 8, 3, block_size=4, rng=rng)
+        dense = Sequential(Conv2d(4, 8, 3, rng=rng))
+        dense[0].weight.data = source.dense_weight()
+        dense[0].bias.data = source.bias.data.copy()
+        converted = convert_to_block_circulant(dense, block_size=4)
+        x = rng.normal(size=(2, 4, 6, 6))
+        assert np.allclose(
+            converted(Tensor(x)).data, source(Tensor(x)).data, atol=1e-9
+        )
+
+    def test_block_size_clamped_to_feasible(self, rng):
+        model = Sequential(Linear(4, 4, rng=rng))
+        converted = convert_to_block_circulant(model, block_size=64)
+        assert converted[0].block_size == 4
+
+    def test_output_shape_preserved(self, dense_model, rng):
+        converted = convert_to_block_circulant(dense_model, block_size=4)
+        x = rng.normal(size=(2, 4, 6, 6))
+        assert converted(Tensor(x)).shape == dense_model(Tensor(x)).shape
+
+    def test_rejects_bad_block_size(self, dense_model):
+        with pytest.raises(ValueError):
+            convert_to_block_circulant(dense_model, block_size=0)
+
+    def test_fine_tuning_recovers_accuracy(self, rng):
+        # The paper's workflow: project then fine-tune.  After projection
+        # accuracy drops; a few epochs bring it back close to dense.
+        from repro.nn import Adam, CrossEntropyLoss, accuracy
+
+        n, dim = 300, 16
+        x = rng.normal(size=(n, dim))
+        labels = (x[:, :4].sum(axis=1) > 0).astype(int)
+        dense = Sequential(Linear(dim, 32, rng=rng), ReLU(), Linear(32, 2, rng=rng))
+        loss_fn = CrossEntropyLoss()
+        optimizer = Adam(dense.parameters(), lr=0.01)
+        for _ in range(40):
+            optimizer.zero_grad()
+            loss_fn(dense(Tensor(x)), labels).backward()
+            optimizer.step()
+        dense_acc = accuracy(dense(Tensor(x)), labels)
+        assert dense_acc > 0.9
+
+        converted = convert_to_block_circulant(dense, block_size=8, skip=(2,))
+        projected_acc = accuracy(converted(Tensor(x)), labels)
+        fine_tune = Adam(converted.parameters(), lr=0.01)
+        for _ in range(40):
+            fine_tune.zero_grad()
+            loss_fn(converted(Tensor(x)), labels).backward()
+            fine_tune.step()
+        tuned_acc = accuracy(converted(Tensor(x)), labels)
+        assert tuned_acc >= projected_acc
+        assert tuned_acc > dense_acc - 0.1
+
+
+class TestConversionReport:
+    def test_rows_for_weight_layers_only(self, dense_model):
+        rows = conversion_report(dense_model, 4)
+        assert [row.index for row in rows] == [0, 3, 5]
+        assert all(isinstance(row, ConversionRow) for row in rows)
+
+    def test_zero_error_for_exact_structure(self, rng):
+        source = BlockCirculantLinear(16, 8, 4, rng=rng)
+        dense = Sequential(Linear(16, 8, rng=rng))
+        dense[0].weight.data = source.dense_weight()
+        rows = conversion_report(dense, 4)
+        assert rows[0].relative_error == pytest.approx(0.0, abs=1e-10)
+
+    def test_error_grows_with_block_size(self, dense_model):
+        small = conversion_report(dense_model, 2)[1].relative_error
+        large = conversion_report(dense_model, 8)[1].relative_error
+        assert large >= small
+
+    def test_skip_respected(self, dense_model):
+        rows = conversion_report(dense_model, 4, skip=(0,))
+        assert [row.index for row in rows] == [3, 5]
+
+    def test_no_dense_layers_raises(self):
+        with pytest.raises(ValueError):
+            conversion_report(Sequential(ReLU()), 4)

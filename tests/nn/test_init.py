@@ -1,0 +1,68 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import (
+    circulant_spectral,
+    he_normal,
+    he_uniform,
+    xavier_normal,
+    xavier_uniform,
+)
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self, rng):
+        values = xavier_uniform((1000,), fan_in=50, fan_out=50, rng=rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.all(np.abs(values) <= bound)
+
+    def test_xavier_normal_variance(self, rng):
+        values = xavier_normal((20000,), fan_in=40, fan_out=60, rng=rng)
+        assert values.var() == pytest.approx(2.0 / 100, rel=0.1)
+
+    def test_he_uniform_bounds(self, rng):
+        values = he_uniform((1000,), fan_in=32, rng=rng)
+        assert np.all(np.abs(values) <= np.sqrt(6.0 / 32))
+
+    def test_he_normal_variance(self, rng):
+        values = he_normal((20000,), fan_in=64, rng=rng)
+        assert values.var() == pytest.approx(2.0 / 64, rel=0.1)
+
+    def test_shapes(self, rng):
+        assert xavier_uniform((3, 4), 3, 4, rng).shape == (3, 4)
+        assert he_normal((2, 5, 7), 70, rng).shape == (2, 5, 7)
+
+    def test_rejects_bad_fans(self, rng):
+        with pytest.raises(ValueError):
+            he_normal((3,), fan_in=0, rng=rng)
+        with pytest.raises(ValueError):
+            xavier_uniform((3,), fan_in=-1, fan_out=2, rng=rng)
+
+    def test_deterministic_with_seed(self):
+        a = he_normal((10,), 5, np.random.default_rng(42))
+        b = he_normal((10,), 5, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+
+class TestCirculantSpectral:
+    def test_shape(self, rng):
+        assert circulant_spectral((2, 3, 8), fan_in=24, rng=rng).shape == (2, 3, 8)
+
+    def test_rejects_bad_grid(self, rng):
+        with pytest.raises(ValueError):
+            circulant_spectral((2, 3), fan_in=6, rng=rng)
+
+    def test_dense_expansion_variance_matches_he(self, rng):
+        # The dense expansion of the block-circulant init should have
+        # output variance comparable to a He-initialized dense layer.
+        from repro.structured import block_circulant_to_dense
+
+        fan_in, block = 256, 16
+        weights = circulant_spectral((1, 16, block), fan_in=fan_in, rng=rng)
+        dense = block_circulant_to_dense(weights)
+        x = rng.normal(size=fan_in)
+        outputs = dense @ x
+        # var(out) ~ fan_in * var(w) = 2 under He scaling.
+        assert outputs.var() == pytest.approx(2.0, rel=0.8)

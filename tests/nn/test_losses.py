@@ -1,0 +1,94 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, MSELoss, NLLLoss, Tensor
+from repro.nn.functional import log_softmax
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_give_log_classes(self):
+        loss = CrossEntropyLoss()(Tensor(np.zeros((4, 10))), np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((3, 5), -100.0)
+        labels = np.array([0, 2, 4])
+        logits[np.arange(3), labels] = 100.0
+        loss = CrossEntropyLoss()(Tensor(logits), labels)
+        assert loss.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_matches_manual_computation(self, rng):
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(6), labels].mean()
+        loss = CrossEntropyLoss()(Tensor(logits), labels)
+        assert loss.item() == pytest.approx(expected)
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits_data = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        logits = Tensor(logits_data, requires_grad=True)
+        CrossEntropyLoss()(logits, labels).backward()
+        shifted = np.exp(logits_data - logits_data.max(axis=1, keepdims=True))
+        soft = shifted / shifted.sum(axis=1, keepdims=True)
+        onehot = np.eye(3)[labels]
+        assert np.allclose(logits.grad, (soft - onehot) / 5, atol=1e-10)
+
+    def test_extreme_logits_stable(self):
+        logits = Tensor(np.array([[1e4, -1e4], [-1e4, 1e4]]), requires_grad=True)
+        loss = CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+
+    def test_label_validation(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(logits, np.array([0, 1, 4]))
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(logits, np.array([0, 1]))
+
+    def test_rejects_1d_logits(self, rng):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(Tensor(rng.normal(size=4)), np.array([1]))
+
+
+class TestNLLLoss:
+    def test_consistent_with_cross_entropy(self, rng):
+        logits = rng.normal(size=(4, 6))
+        labels = rng.integers(0, 6, size=4)
+        ce = CrossEntropyLoss()(Tensor(logits), labels).item()
+        nll = NLLLoss()(log_softmax(Tensor(logits)), labels).item()
+        assert ce == pytest.approx(nll)
+
+    def test_rejects_bad_labels(self, rng):
+        with pytest.raises(ValueError):
+            NLLLoss()(Tensor(rng.normal(size=(2, 3))), np.array([0, 3]))
+
+
+class TestMSELoss:
+    def test_zero_for_identical(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert MSELoss()(Tensor(x), Tensor(x.copy())).item() == 0.0
+
+    def test_matches_numpy(self, rng):
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(4, 5))
+        assert MSELoss()(Tensor(a), Tensor(b)).item() == pytest.approx(
+            ((a - b) ** 2).mean()
+        )
+
+    def test_gradient(self, rng):
+        a_data = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 3))
+        a = Tensor(a_data, requires_grad=True)
+        MSELoss()(a, Tensor(b)).backward()
+        assert np.allclose(a.grad, 2 * (a_data - b) / 6)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            MSELoss()(Tensor(rng.normal(size=(2, 3))), Tensor(rng.normal(size=(3, 2))))

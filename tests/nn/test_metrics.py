@@ -1,0 +1,79 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, accuracy, confusion_matrix, top_k_accuracy
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.eye(4) * 10
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_none_correct(self):
+        logits = np.eye(2) * 10
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_partial(self):
+        logits = np.array([[5.0, 0.0], [5.0, 0.0], [0.0, 5.0], [0.0, 5.0]])
+        assert accuracy(logits, np.array([0, 1, 1, 0])) == 0.5
+
+    def test_accepts_tensor(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        labels = rng.integers(0, 3, size=4)
+        assert 0.0 <= accuracy(logits, labels) <= 1.0
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            accuracy(rng.normal(size=(4, 3)), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            accuracy(rng.normal(size=4), np.zeros(4, dtype=int))
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self, rng):
+        logits = rng.normal(size=(10, 5))
+        labels = rng.integers(0, 5, size=10)
+        assert top_k_accuracy(logits, labels, 1) == accuracy(logits, labels)
+
+    def test_top_all_is_one(self, rng):
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        assert top_k_accuracy(logits, labels, 4) == 1.0
+
+    def test_monotone_in_k(self, rng):
+        logits = rng.normal(size=(50, 6))
+        labels = rng.integers(0, 6, size=50)
+        scores = [top_k_accuracy(logits, labels, k) for k in range(1, 7)]
+        assert all(a <= b for a, b in zip(scores, scores[1:]))
+
+    def test_k_validation(self, rng):
+        logits = rng.normal(size=(4, 3))
+        with pytest.raises(ValueError):
+            top_k_accuracy(logits, np.zeros(4, dtype=int), 0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(logits, np.zeros(4, dtype=int), 4)
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        logits = np.eye(3) * 10
+        matrix = confusion_matrix(logits, np.arange(3), 3)
+        assert np.array_equal(matrix, np.eye(3, dtype=int))
+
+    def test_counts_sum_to_samples(self, rng):
+        logits = rng.normal(size=(40, 5))
+        labels = rng.integers(0, 5, size=40)
+        assert confusion_matrix(logits, labels, 5).sum() == 40
+
+    def test_off_diagonal_entry(self):
+        logits = np.array([[0.0, 10.0]])  # predicts class 1
+        matrix = confusion_matrix(logits, np.array([0]), 2)
+        assert matrix[0, 1] == 1
+
+    def test_row_sums_are_class_counts(self, rng):
+        logits = rng.normal(size=(30, 4))
+        labels = rng.integers(0, 4, size=30)
+        matrix = confusion_matrix(logits, labels, 4)
+        assert np.array_equal(matrix.sum(axis=1), np.bincount(labels, minlength=4))

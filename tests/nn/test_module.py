@@ -1,0 +1,141 @@
+"""Tests for Module, Parameter, and Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BlockCirculantLinear,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+
+class TinyModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones(3))
+        self.child = Sequential(Linear(3, 2, rng=np.random.default_rng(0)))
+
+    def forward(self, x):
+        return self.child(x * self.weight)
+
+
+class TestParameterRegistration:
+    def test_parameter_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_parameters_are_discovered(self):
+        module = TinyModule()
+        names = dict(module.named_parameters())
+        assert "weight" in names
+        assert "child.0.weight" in names
+        assert "child.0.bias" in names
+
+    def test_parameters_no_duplicates(self):
+        module = TinyModule()
+        params = list(module.parameters())
+        assert len(params) == len({id(p) for p in params})
+
+    def test_parameter_count(self):
+        module = TinyModule()
+        assert module.parameter_count() == 3 + 3 * 2 + 2
+
+    def test_zero_grad_clears_all(self):
+        module = TinyModule()
+        out = module(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in module.parameters())
+        module.zero_grad()
+        assert all(p.grad is None for p in module.parameters())
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), ReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_dropout_respects_eval(self, rng):
+        model = Sequential(Dropout(0.9))
+        model.eval()
+        x = rng.normal(size=(4, 4))
+        assert np.allclose(model(Tensor(x)).data, x)
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        a = Sequential(Linear(4, 3, rng=rng), ReLU(), Linear(3, 2, rng=rng))
+        b = Sequential(
+            Linear(4, 3, rng=np.random.default_rng(7)),
+            ReLU(),
+            Linear(3, 2, rng=np.random.default_rng(8)),
+        )
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(5, 4))
+        assert np.allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        state = model.state_dict()
+        state["0.weight"][...] = 0.0
+        assert not np.allclose(model[0].weight.data, 0.0)
+
+    def test_missing_key_raises(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_unexpected_key_raises(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        state = model.state_dict()
+        state["0.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_block_circulant_state_round_trip(self, rng):
+        a = Sequential(BlockCirculantLinear(8, 8, 4, rng=rng))
+        b = Sequential(BlockCirculantLinear(8, 8, 4, rng=np.random.default_rng(3)))
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(2, 8))
+        assert np.allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        model = Sequential(Linear(4, 4, rng=rng), ReLU())
+        x = rng.normal(size=(3, 4))
+        assert np.all(model(Tensor(x)).data >= 0)
+
+    def test_len_iter_getitem(self, rng):
+        layers = [Linear(2, 2, rng=rng), ReLU(), Linear(2, 2, rng=rng)]
+        model = Sequential(*layers)
+        assert len(model) == 3
+        assert list(model) == layers
+        assert model[1] is layers[1]
+
+    def test_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            Sequential(lambda x: x)
+
+    def test_forward_base_class_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(Tensor([1.0]))
+
+    def test_call_coerces_numpy(self, rng):
+        model = Sequential(Linear(3, 2, rng=rng))
+        out = model(rng.normal(size=(2, 3)))
+        assert isinstance(out, Tensor)

@@ -1,0 +1,142 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, ExponentialLR, Parameter, StepLR
+
+
+def quadratic_param(rng):
+    """A parameter whose loss is ||p - target||^2."""
+    param = Parameter(rng.normal(size=5))
+    target = rng.normal(size=5)
+    return param, target
+
+
+def step_quadratic(optimizer, param, target):
+    optimizer.zero_grad()
+    param.grad = 2.0 * (param.data - target)
+    optimizer.step()
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1)
+        param.grad = np.array([2.0])
+        opt.step()
+        assert param.data[0] == pytest.approx(0.8)
+
+    def test_converges_on_quadratic(self, rng):
+        param, target = quadratic_param(rng)
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            step_quadratic(opt, param, target)
+        assert np.allclose(param.data, target, atol=1e-6)
+
+    def test_momentum_accelerates(self, rng):
+        errors = {}
+        for momentum in (0.0, 0.9):
+            param = Parameter(np.full(5, 10.0))
+            target = np.zeros(5)
+            opt = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                step_quadratic(opt, param, target)
+            errors[momentum] = np.abs(param.data).max()
+        assert errors[0.9] < errors[0.0]
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.array([0.0])
+        opt.step()
+        assert param.data[0] == pytest.approx(0.95)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.1, nesterov=True)
+
+    def test_nesterov_converges(self, rng):
+        param, target = quadratic_param(rng)
+        opt = SGD([param], lr=0.02, momentum=0.9, nesterov=True)
+        for _ in range(200):
+            step_quadratic(opt, param, target)
+        assert np.allclose(param.data, target, atol=1e-5)
+
+    def test_skips_params_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1)
+        opt.step()  # no grad set
+        assert param.data[0] == 1.0
+
+    def test_zero_grad(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1)
+        param.grad = np.array([1.0])
+        opt.zero_grad()
+        assert param.grad is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, weight_decay=-1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, rng):
+        param, target = quadratic_param(rng)
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            step_quadratic(opt, param, target)
+        assert np.allclose(param.data, target, atol=1e-4)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |first update| == lr regardless of grad scale.
+        param = Parameter(np.array([0.0]))
+        opt = Adam([param], lr=0.05)
+        param.grad = np.array([1234.5])
+        opt.step()
+        assert abs(param.data[0]) == pytest.approx(0.05, rel=1e-4)
+
+    def test_weight_decay(self):
+        param = Parameter(np.array([10.0]))
+        opt = Adam([param], lr=0.1, weight_decay=0.1)
+        for _ in range(50):
+            param.grad = np.array([0.0])
+            opt.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.9))
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_exponential_lr(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=2.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_validation(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            ExponentialLR(opt, gamma=1.5)

@@ -1,0 +1,298 @@
+"""Tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, as_tensor
+from repro.nn.tensor import unbroadcast
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    base = f(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        bumped = x.copy()
+        bumped[idx] += eps
+        grad[idx] = (f(bumped) - base) / eps
+    return grad
+
+
+class TestConstruction:
+    def test_int_input_becomes_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float64
+
+    def test_bool_input_becomes_float(self):
+        assert Tensor(np.array([True, False])).dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_wraps_scalar(self):
+        assert as_tensor(2.0).item() == 2.0
+
+    def test_shape_properties(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert t.shape == (3, 4)
+        assert t.ndim == 2
+        assert t.size == 12
+        assert len(t) == 3
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_repr(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert unbroadcast(g, (3, 4)).shape == (3, 4)
+
+    def test_sum_leading_axis(self):
+        g = np.ones((5, 3))
+        assert unbroadcast(g, (3,)).shape == (3,)
+        assert np.allclose(unbroadcast(g, (3,)), 5.0)
+
+    def test_sum_size_one_axis(self):
+        g = np.ones((4, 3))
+        assert unbroadcast(g, (1, 3)).shape == (1, 3)
+        assert np.allclose(unbroadcast(g, (1, 3)), 4.0)
+
+
+class TestBackwardMechanics:
+    def test_backward_on_nonscalar_requires_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_without_grad_flag_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x.sum()).backward()
+        (x.sum()).backward()
+        assert np.allclose(x.grad, [2.0, 2.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        x.sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = x * 2
+        z = y + y  # two paths through y
+        z.backward(np.array([1.0]))
+        assert np.allclose(x.grad, [4.0])
+
+    def test_shared_leaf_in_two_ops(self):
+        x = Tensor([2.0], requires_grad=True)
+        z = x * x  # d/dx x^2 = 2x
+        z.backward(np.array([1.0]))
+        assert np.allclose(x.grad, [4.0])
+
+    def test_constant_branch_gets_no_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        c = Tensor([5.0])
+        (x * c).backward(np.array([1.0]))
+        assert c.grad is None
+
+    def test_deep_chain(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.backward(np.array([1.0]))
+        assert x.grad[0] == pytest.approx(1.1**50, rel=1e-9)
+
+
+class TestArithmeticGradients:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda x: (x + 2.0).sum(),
+            lambda x: (2.0 - x).sum(),
+            lambda x: (x * 3.0).sum(),
+            lambda x: (x / 2.0).sum(),
+            lambda x: (6.0 / (x + 3.0)).sum(),
+            lambda x: (x**3).sum(),
+            lambda x: (-x).sum(),
+            lambda x: x.exp().sum(),
+            lambda x: (x + 3.0).log().sum(),
+            lambda x: (x + 3.0).sqrt().sum(),
+            lambda x: x.tanh().sum(),
+            lambda x: x.abs().sum(),
+            lambda x: x.maximum(0.1).sum(),
+        ],
+    )
+    def test_elementwise_grad_numerical(self, rng, fn):
+        data = rng.uniform(0.5, 2.0, size=(3, 4))
+        x = Tensor(data, requires_grad=True)
+        fn(x).backward()
+        numeric = numerical_gradient(lambda d: fn(Tensor(d)).item(), data)
+        assert np.allclose(x.grad, numeric, atol=1e-4)
+
+    def test_tensor_tensor_mul_grads(self, rng):
+        a_data, b_data = rng.normal(size=4), rng.normal(size=4)
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b_data)
+        assert np.allclose(b.grad, a_data)
+
+    def test_broadcast_add_grads(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_division_by_tensor_grads(self, rng):
+        a_data = rng.uniform(1, 2, size=5)
+        b_data = rng.uniform(1, 2, size=5)
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, 1.0 / b_data)
+        assert np.allclose(b.grad, -a_data / b_data**2)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_radd_and_rmul(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = 1.0 + x
+        z = 3.0 * y
+        z.backward(np.array([1.0]))
+        assert np.allclose(x.grad, [3.0])
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self, rng):
+        a_data = rng.normal(size=(3, 4))
+        b_data = rng.normal(size=(4, 5))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, numerical_gradient(
+            lambda d: (d @ b_data).sum(), a_data), atol=1e-4)
+        assert np.allclose(b.grad, numerical_gradient(
+            lambda d: (a_data @ d).sum(), b_data), atol=1e-4)
+
+    def test_matrix_vector(self, rng):
+        a_data = rng.normal(size=(3, 4))
+        v_data = rng.normal(size=4)
+        a = Tensor(a_data, requires_grad=True)
+        v = Tensor(v_data, requires_grad=True)
+        (a @ v).sum().backward()
+        assert np.allclose(a.grad, np.tile(v_data, (3, 1)))
+        assert np.allclose(v.grad, a_data.sum(axis=0))
+
+    def test_vector_matrix(self, rng):
+        v_data = rng.normal(size=3)
+        a_data = rng.normal(size=(3, 4))
+        v = Tensor(v_data, requires_grad=True)
+        a = Tensor(a_data, requires_grad=True)
+        (v @ a).sum().backward()
+        assert np.allclose(v.grad, a_data.sum(axis=1))
+        assert np.allclose(a.grad, np.outer(v_data, np.ones(4)))
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        data = rng.normal(size=(2, 3, 4))
+        x = Tensor(data, requires_grad=True)
+        x.sum(axis=1, keepdims=True).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean_grad(self, rng):
+        data = rng.normal(size=(4, 5))
+        x = Tensor(data, requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 1.0 / 20)
+
+    def test_mean_axis(self, rng):
+        data = rng.normal(size=(4, 5))
+        x = Tensor(data, requires_grad=True)
+        x.mean(axis=0).sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_max_routes_grad_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_splits_grad_between_ties(self):
+        x = Tensor([[3.0, 3.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5]])
+
+    def test_reshape_grad(self, rng):
+        data = rng.normal(size=(2, 6))
+        x = Tensor(data, requires_grad=True)
+        (x.reshape(3, 4) * 2).sum().backward()
+        assert x.grad.shape == (2, 6)
+        assert np.allclose(x.grad, 2.0)
+
+    def test_reshape_accepts_tuple(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)))
+        assert x.reshape((4, 3)).shape == (4, 3)
+
+    def test_transpose_grad(self, rng):
+        data = rng.normal(size=(2, 3, 4))
+        x = Tensor(data, requires_grad=True)
+        y = x.transpose((2, 0, 1))
+        assert y.shape == (4, 2, 3)
+        y.sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+    def test_T_property(self, rng):
+        data = rng.normal(size=(2, 5))
+        assert Tensor(data).T.shape == (5, 2)
+
+    def test_getitem_grad_scatter(self, rng):
+        data = rng.normal(size=(4, 3))
+        x = Tensor(data, requires_grad=True)
+        x[1:3].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[1:3] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_getitem_fancy_indexing_repeats(self, rng):
+        x = Tensor(rng.normal(size=5), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        assert np.allclose(x.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_composite_expression(self, seed):
+        local = np.random.default_rng(seed)
+        data = local.uniform(0.5, 1.5, size=(3, 3))
+
+        def f(d):
+            t = Tensor(d, requires_grad=isinstance(d, np.ndarray))
+            return ((t * 2 + 1).tanh() * t.exp()).mean()
+
+        x = Tensor(data, requires_grad=True)
+        ((x * 2 + 1).tanh() * x.exp()).mean().backward()
+        numeric = numerical_gradient(lambda d: f(d).item(), data)
+        assert np.allclose(x.grad, numeric, atol=1e-4)

@@ -1,0 +1,118 @@
+"""Tests for the training harness."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+from repro.nn import (
+    SGD,
+    Adam,
+    BlockCirculantLinear,
+    CrossEntropyLoss,
+    Linear,
+    ReLU,
+    Sequential,
+    StepLR,
+    Trainer,
+)
+from repro.nn.trainer import predict_in_batches
+
+
+def separable_dataset(rng, n=240, dim=8):
+    x = rng.normal(size=(n, dim))
+    w = rng.normal(size=dim)
+    labels = (x @ w > 0).astype(int)
+    return ArrayDataset(x, labels)
+
+
+def make_model(rng):
+    return Sequential(
+        BlockCirculantLinear(8, 16, 4, rng=rng), ReLU(), Linear(16, 2, rng=rng)
+    )
+
+
+class TestTrainer:
+    def test_fit_improves_accuracy(self, rng):
+        dataset = separable_dataset(rng)
+        loader = DataLoader(dataset, batch_size=32, shuffle=True, seed=0)
+        model = make_model(rng)
+        trainer = Trainer(model, CrossEntropyLoss(), Adam(model.parameters(), lr=0.01))
+        history = trainer.fit(loader, epochs=15)
+        assert history.final.train_accuracy > 0.9
+        assert history.final.train_loss < history.epochs[0].train_loss
+
+    def test_validation_tracking(self, rng):
+        dataset = separable_dataset(rng)
+        train_loader = DataLoader(dataset, batch_size=32, shuffle=True, seed=0)
+        val_loader = DataLoader(separable_dataset(rng), batch_size=64)
+        model = make_model(rng)
+        trainer = Trainer(model, CrossEntropyLoss(), Adam(model.parameters(), lr=0.01))
+        history = trainer.fit(train_loader, epochs=3, val_loader=val_loader)
+        assert all(e.val_accuracy is not None for e in history.epochs)
+        assert history.best_val_accuracy() >= history.epochs[0].val_accuracy - 1e-9
+
+    def test_scheduler_steps_per_epoch(self, rng):
+        dataset = separable_dataset(rng, n=64)
+        loader = DataLoader(dataset, batch_size=32)
+        model = make_model(rng)
+        optimizer = SGD(model.parameters(), lr=1.0)
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.1)
+        trainer = Trainer(model, CrossEntropyLoss(), optimizer, scheduler=scheduler)
+        trainer.fit(loader, epochs=2)
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_on_epoch_end_callback(self, rng):
+        dataset = separable_dataset(rng, n=64)
+        loader = DataLoader(dataset, batch_size=32)
+        model = make_model(rng)
+        seen = []
+        trainer = Trainer(
+            model,
+            CrossEntropyLoss(),
+            SGD(model.parameters(), lr=0.1),
+            on_epoch_end=seen.append,
+        )
+        trainer.fit(loader, epochs=3)
+        assert [s.epoch for s in seen] == [1, 2, 3]
+
+    def test_evaluate_does_not_update(self, rng):
+        dataset = separable_dataset(rng, n=64)
+        loader = DataLoader(dataset, batch_size=32)
+        model = make_model(rng)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        trainer = Trainer(model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.1))
+        trainer.evaluate(loader)
+        after = model.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_rejects_zero_epochs(self, rng):
+        dataset = separable_dataset(rng, n=32)
+        loader = DataLoader(dataset, batch_size=32)
+        model = make_model(rng)
+        trainer = Trainer(model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.1))
+        with pytest.raises(ValueError):
+            trainer.fit(loader, epochs=0)
+
+    def test_history_final_empty_raises(self):
+        from repro.nn.trainer import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().final
+
+
+class TestPredictInBatches:
+    def test_matches_single_pass(self, rng):
+        model = make_model(rng)
+        x = rng.normal(size=(70, 8))
+        from repro.nn import Tensor
+
+        model.eval()
+        expected = model(Tensor(x)).data
+        model.train()
+        batched = predict_in_batches(model, x, batch_size=16)
+        assert np.allclose(batched, expected)
+
+    def test_restores_training_mode(self, rng):
+        model = make_model(rng)
+        predict_in_batches(model, rng.normal(size=(4, 8)))
+        assert model.training

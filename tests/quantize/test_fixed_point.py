@@ -1,0 +1,127 @@
+"""Tests for fixed-point quantization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Sequential, Tensor
+from repro.quantize import (
+    QFormat,
+    choose_qformat,
+    quantization_error,
+    quantize_array,
+    quantize_model,
+)
+
+
+class TestQFormat:
+    def test_bit_accounting(self):
+        fmt = QFormat(3, 4)
+        assert fmt.total_bits == 8
+        assert fmt.scale == pytest.approx(1.0 / 16)
+
+    def test_range(self):
+        fmt = QFormat(2, 5)  # Q2.5, 8 bits total
+        assert fmt.max_value == pytest.approx((2**7 - 1) / 32)
+        assert fmt.min_value == pytest.approx(-(2**7) / 32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 4)
+
+
+class TestChooseQFormat:
+    def test_covers_peak(self, rng):
+        values = rng.normal(scale=3.0, size=100)
+        fmt = choose_qformat(values, 8)
+        assert fmt.max_value >= np.abs(values).max() * 0.99
+        assert fmt.total_bits == 8
+
+    def test_small_values_get_fraction_bits(self, rng):
+        values = rng.normal(scale=0.01, size=100)
+        fmt = choose_qformat(values, 8)
+        assert fmt.fraction_bits >= 6
+
+    def test_zero_array(self):
+        fmt = choose_qformat(np.zeros(4), 8)
+        assert fmt.total_bits == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_qformat(np.ones(3), 1)
+
+
+class TestQuantizeArray:
+    def test_grid_alignment(self):
+        fmt = QFormat(2, 2)  # scale 0.25
+        out = quantize_array(np.array([0.1, 0.3, 0.55]), fmt)
+        assert np.allclose(out, [0.0, 0.25, 0.5])
+
+    def test_saturation(self):
+        fmt = QFormat(1, 2)
+        out = quantize_array(np.array([100.0, -100.0]), fmt)
+        assert out[0] == fmt.max_value
+        assert out[1] == fmt.min_value
+
+    def test_idempotent(self, rng):
+        fmt = QFormat(3, 6)
+        once = quantize_array(rng.normal(size=50), fmt)
+        assert np.allclose(quantize_array(once, fmt), once)
+
+    def test_error_bounded_by_half_lsb(self, rng):
+        values = rng.uniform(-1, 1, size=200)
+        fmt = choose_qformat(values, 12)
+        error = np.abs(values - quantize_array(values, fmt))
+        assert error.max() <= fmt.scale / 2 + 1e-12
+
+
+class TestQuantizationError:
+    def test_zero_for_exact(self):
+        fmt = QFormat(3, 2)
+        values = np.array([0.25, 0.5, 1.0])
+        assert quantization_error(values, fmt) == pytest.approx(0.0)
+
+    def test_decreases_with_bits(self, rng):
+        values = rng.normal(size=500)
+        errors = [
+            quantization_error(values, choose_qformat(values, bits))
+            for bits in (4, 8, 12, 16)
+        ]
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+
+    def test_zero_norm(self):
+        assert quantization_error(np.zeros(5), QFormat(2, 2)) == 0.0
+
+
+class TestQuantizeModel:
+    def test_accuracy_preserved_at_12_bits(self, rng):
+        from repro.io import build_model_from_string
+
+        model = build_model_from_string("16-8CFb4-4F", rng=rng)
+        x = rng.normal(size=(8, 16))
+        before = model(Tensor(x)).data
+        quantize_model(model, 12)
+        after = model(Tensor(x)).data
+        assert np.abs(after - before).max() < 0.1
+
+    def test_returns_format_per_parameter(self, rng):
+        from repro.io import build_model_from_string
+
+        model = build_model_from_string("8-4F-2F", rng=rng)
+        formats = quantize_model(model, 8)
+        assert set(formats) == {name for name, _ in model.named_parameters()}
+
+    def test_weights_on_grid(self, rng):
+        from repro.io import build_model_from_string
+
+        model = build_model_from_string("8-4F-2F", rng=rng)
+        formats = quantize_model(model, 8)
+        for name, param in model.named_parameters():
+            fmt = formats[name]
+            remainder = np.abs(param.data / fmt.scale - np.round(param.data / fmt.scale))
+            assert remainder.max() < 1e-9
+
+    def test_empty_model_raises(self):
+        from repro.nn import ReLU
+
+        with pytest.raises(ValueError):
+            quantize_model(Sequential(ReLU()), 8)

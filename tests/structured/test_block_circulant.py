@@ -1,0 +1,152 @@
+"""Tests for BlockCirculantMatrix (paper section IV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.structured import BlockCirculantMatrix
+
+
+class TestConstruction:
+    def test_shape_and_grid(self, rng):
+        m = BlockCirculantMatrix.random(10, 6, 4, rng=rng)
+        assert m.shape == (10, 6)
+        assert m.grid == (3, 2)
+        assert m.block_size == 4
+        assert m.padded_shape == (12, 8)
+
+    def test_exact_multiple_needs_no_padding(self, rng):
+        m = BlockCirculantMatrix.random(8, 12, 4, rng=rng)
+        assert m.shape == m.padded_shape
+
+    def test_rejects_bad_grid_shape(self, rng):
+        with pytest.raises(ShapeError):
+            BlockCirculantMatrix(rng.normal(size=(2, 3)))
+
+    def test_rejects_inconsistent_rows(self, rng):
+        weights = rng.normal(size=(2, 2, 4))
+        with pytest.raises(ShapeError):
+            BlockCirculantMatrix(weights, rows=3)  # needs 1 block, given 2
+
+    def test_rejects_nonpositive_dims(self, rng):
+        with pytest.raises(ShapeError):
+            BlockCirculantMatrix.random(0, 4, 2, rng=rng)
+
+    def test_parameter_count(self, rng):
+        m = BlockCirculantMatrix.random(16, 16, 4, rng=rng)
+        assert m.parameter_count == 4 * 4 * 4
+        assert m.compression_ratio == pytest.approx(4.0)
+
+    def test_paper_single_column_layout(self, rng):
+        # The paper's W = [C_1 | ... | C_k]^T: m = k*n, one block column.
+        m = BlockCirculantMatrix.random(12, 4, 4, rng=rng)
+        assert m.grid == (3, 1)
+
+    def test_block_weights_copy(self, rng):
+        m = BlockCirculantMatrix.random(4, 4, 4, rng=rng)
+        weights = m.block_weights
+        weights[...] = 0.0
+        assert not np.allclose(m.block_weights, 0.0)
+
+
+class TestProducts:
+    @pytest.mark.parametrize(
+        "rows,cols,block", [(8, 8, 4), (10, 6, 4), (7, 13, 3), (5, 5, 8), (4, 4, 1)]
+    )
+    def test_matvec_matches_dense(self, rng, rows, cols, block):
+        m = BlockCirculantMatrix.random(rows, cols, block, rng=rng)
+        x = rng.normal(size=cols)
+        assert np.allclose(m.matvec(x), m.to_dense() @ x)
+
+    @pytest.mark.parametrize("rows,cols,block", [(8, 8, 4), (10, 6, 4), (7, 13, 3)])
+    def test_rmatvec_matches_dense(self, rng, rows, cols, block):
+        m = BlockCirculantMatrix.random(rows, cols, block, rng=rng)
+        y = rng.normal(size=rows)
+        assert np.allclose(m.rmatvec(y), m.to_dense().T @ y)
+
+    def test_matvec_shape_check(self, rng):
+        m = BlockCirculantMatrix.random(8, 6, 2, rng=rng)
+        with pytest.raises(ShapeError):
+            m.matvec(rng.normal(size=8))
+
+    def test_matmul_matrix(self, rng):
+        m = BlockCirculantMatrix.random(6, 4, 2, rng=rng)
+        other = rng.normal(size=(4, 3))
+        assert np.allclose(m @ other, m.to_dense() @ other)
+
+    def test_matmul_vector(self, rng):
+        m = BlockCirculantMatrix.random(6, 4, 2, rng=rng)
+        x = rng.normal(size=4)
+        assert np.allclose(m @ x, m.to_dense() @ x)
+
+    @given(
+        st.integers(1, 12),
+        st.integers(1, 12),
+        st.integers(1, 6),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matvec(self, rows, cols, block, seed):
+        local = np.random.default_rng(seed)
+        block = min(block, max(rows, cols))
+        m = BlockCirculantMatrix.random(rows, cols, block, rng=local)
+        x = local.normal(size=cols)
+        assert np.allclose(m.matvec(x), m.to_dense() @ x, atol=1e-8)
+
+
+class TestStructure:
+    def test_transpose_matches_dense(self, rng):
+        m = BlockCirculantMatrix.random(8, 12, 4, rng=rng)
+        assert np.allclose(m.T.to_dense(), m.to_dense().T)
+
+    def test_transpose_swaps_shape(self, rng):
+        m = BlockCirculantMatrix.random(8, 12, 4, rng=rng)
+        assert m.T.shape == (12, 8)
+
+    def test_blocks_are_circulant(self, rng):
+        from repro.structured import CirculantMatrix
+
+        m = BlockCirculantMatrix.random(8, 8, 4, rng=rng)
+        dense = m.to_dense()
+        for i in range(2):
+            for j in range(2):
+                block = dense[i * 4 : (i + 1) * 4, j * 4 : (j + 1) * 4]
+                CirculantMatrix.from_dense(block)  # raises if not circulant
+
+    def test_from_dense_round_trip_exact_multiple(self, rng):
+        original = BlockCirculantMatrix.random(8, 12, 4, rng=rng)
+        dense = original.to_dense()
+        rebuilt = BlockCirculantMatrix.from_dense(dense, 4)
+        assert np.allclose(rebuilt.to_dense(), dense)
+
+    def test_from_dense_is_projection(self, rng):
+        # Projecting twice equals projecting once (idempotence).
+        dense = rng.normal(size=(8, 8))
+        once = BlockCirculantMatrix.from_dense(dense, 4).to_dense()
+        twice = BlockCirculantMatrix.from_dense(once, 4).to_dense()
+        assert np.allclose(once, twice)
+
+    def test_from_dense_reduces_frobenius_error_vs_random(self, rng):
+        # The projection must beat an arbitrary block-circulant matrix.
+        dense = rng.normal(size=(8, 8))
+        projected = BlockCirculantMatrix.from_dense(dense, 4).to_dense()
+        competitor = BlockCirculantMatrix.random(8, 8, 4, rng=rng).to_dense()
+        assert np.linalg.norm(dense - projected) <= np.linalg.norm(
+            dense - competitor
+        )
+
+    def test_blockify_unblockify_round_trip(self, rng):
+        m = BlockCirculantMatrix.random(8, 10, 4, rng=rng)
+        x = rng.normal(size=(3, 10))
+        blocks = m.blockify_input(x)
+        assert blocks.shape == (3, 3, 4)
+        restored = m.unblockify_output(
+            m.blockify_input(rng.normal(size=(3, 8)))
+        )
+        assert restored.shape == (3, 8)
+
+    def test_repr(self, rng):
+        text = repr(BlockCirculantMatrix.random(8, 12, 4, rng=rng))
+        assert "shape=(8, 12)" in text and "block_size=4" in text

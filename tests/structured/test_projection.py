@@ -1,0 +1,82 @@
+"""Tests for structured-matrix projections."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.structured import (
+    BlockCirculantMatrix,
+    CirculantMatrix,
+    nearest_block_circulant,
+    nearest_circulant,
+    projection_error,
+)
+
+
+class TestNearestCirculant:
+    def test_fixed_point_on_circulant(self, rng):
+        dense = CirculantMatrix(rng.normal(size=6)).to_dense()
+        assert np.allclose(nearest_circulant(dense).to_dense(), dense)
+
+    def test_idempotent(self, rng):
+        dense = rng.normal(size=(5, 5))
+        once = nearest_circulant(dense).to_dense()
+        assert np.allclose(nearest_circulant(once).to_dense(), once)
+
+    def test_optimality_via_perturbation(self, rng):
+        # No small perturbation of the defining vector may do better.
+        dense = rng.normal(size=(5, 5))
+        best = nearest_circulant(dense)
+        base_error = np.linalg.norm(dense - best.to_dense())
+        for _ in range(10):
+            perturbed = CirculantMatrix(
+                best.first_column + rng.normal(scale=0.01, size=5)
+            )
+            assert np.linalg.norm(dense - perturbed.to_dense()) >= base_error
+
+    def test_residual_orthogonal_to_circulants(self, rng):
+        # Projection residual must be Frobenius-orthogonal to the subspace.
+        dense = rng.normal(size=(6, 6))
+        residual = dense - nearest_circulant(dense).to_dense()
+        probe = CirculantMatrix(rng.normal(size=6)).to_dense()
+        assert abs(np.sum(residual * probe)) < 1e-8
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ShapeError):
+            nearest_circulant(rng.normal(size=(4, 5)))
+
+
+class TestNearestBlockCirculant:
+    def test_fixed_point(self, rng):
+        dense = BlockCirculantMatrix.random(8, 8, 4, rng=rng).to_dense()
+        projected = nearest_block_circulant(dense, 4)
+        assert np.allclose(projected.to_dense(), dense)
+
+    def test_block_size_one_is_identity(self, rng):
+        dense = rng.normal(size=(5, 7))
+        assert np.allclose(nearest_block_circulant(dense, 1).to_dense(), dense)
+
+    def test_ragged_shapes(self, rng):
+        dense = rng.normal(size=(7, 10))
+        projected = nearest_block_circulant(dense, 4)
+        assert projected.to_dense().shape == (7, 10)
+
+
+class TestProjectionError:
+    def test_zero_for_exact_structure(self, rng):
+        dense = BlockCirculantMatrix.random(8, 8, 4, rng=rng).to_dense()
+        assert projection_error(dense, 4) == pytest.approx(0.0, abs=1e-10)
+
+    def test_monotone_in_block_size(self, rng):
+        # Bigger blocks impose more structure, so error cannot decrease
+        # when the block size divides evenly into the next.
+        dense = rng.normal(size=(16, 16))
+        errors = [projection_error(dense, b) for b in (1, 2, 4, 8, 16)]
+        assert errors[0] == pytest.approx(0.0, abs=1e-12)
+        assert all(e1 <= e2 + 1e-12 for e1, e2 in zip(errors, errors[1:]))
+
+    def test_zero_matrix(self):
+        assert projection_error(np.zeros((4, 4)), 2) == 0.0
+
+    def test_bounded_by_one(self, rng):
+        assert projection_error(rng.normal(size=(12, 12)), 6) <= 1.0

@@ -1,0 +1,77 @@
+"""Tests for the Toeplitz baseline (related work [18])."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.structured import ToeplitzMatrix
+
+
+def random_toeplitz(rng, m, n):
+    c = rng.normal(size=m)
+    r = rng.normal(size=n)
+    r[0] = c[0]
+    return ToeplitzMatrix(c, r)
+
+
+class TestConstruction:
+    def test_dense_layout(self):
+        t = ToeplitzMatrix([1.0, 2.0, 3.0], [1.0, 4.0])
+        expected = np.array([[1, 4], [2, 1], [3, 2]], dtype=float)
+        assert np.allclose(t.to_dense(), expected)
+
+    def test_corner_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            ToeplitzMatrix([1.0, 2.0], [3.0, 4.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            ToeplitzMatrix([], [1.0])
+
+    def test_parameter_count(self, rng):
+        assert random_toeplitz(rng, 5, 7).parameter_count == 11
+
+    def test_constant_diagonals(self, rng):
+        dense = random_toeplitz(rng, 6, 6).to_dense()
+        for offset in range(-5, 6):
+            diagonal = np.diagonal(dense, offset)
+            assert np.allclose(diagonal, diagonal[0])
+
+
+class TestProducts:
+    @pytest.mark.parametrize("m,n", [(1, 1), (4, 4), (6, 3), (3, 7), (8, 8)])
+    def test_matvec_matches_dense(self, rng, m, n):
+        t = random_toeplitz(rng, m, n)
+        x = rng.normal(size=n)
+        assert np.allclose(t.matvec(x), t.to_dense() @ x)
+
+    @pytest.mark.parametrize("m,n", [(4, 4), (6, 3), (3, 7)])
+    def test_rmatvec_matches_dense(self, rng, m, n):
+        t = random_toeplitz(rng, m, n)
+        y = rng.normal(size=m)
+        assert np.allclose(t.rmatvec(y), t.to_dense().T @ y)
+
+    def test_matvec_shape_check(self, rng):
+        with pytest.raises(ShapeError):
+            random_toeplitz(rng, 4, 3).matvec(rng.normal(size=4))
+
+    def test_matmul_matrix(self, rng):
+        t = random_toeplitz(rng, 5, 4)
+        other = rng.normal(size=(4, 2))
+        assert np.allclose(t @ other, t.to_dense() @ other)
+
+    def test_transpose(self, rng):
+        t = random_toeplitz(rng, 5, 3)
+        assert np.allclose(t.T.to_dense(), t.to_dense().T)
+        assert t.T.shape == (3, 5)
+
+    def test_toeplitz_has_more_params_than_circulant(self, rng):
+        # The paper's motivation for circulant over Toeplitz-like [18]:
+        # n vs 2n - 1 parameters at the same size.
+        from repro.structured import CirculantMatrix
+
+        n = 8
+        toeplitz = random_toeplitz(rng, n, n)
+        circulant = CirculantMatrix(rng.normal(size=n))
+        assert toeplitz.parameter_count == 2 * n - 1
+        assert circulant.parameter_count == n

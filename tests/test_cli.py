@@ -1,0 +1,120 @@
+"""Tests for the command-line interface (Fig. 4 workflow as a tool)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import bilinear_resize, flatten_images, load_synthetic_mnist
+from repro.io import save_inputs
+
+ARCH = "121-64CFb32-64CFb32-10F"
+
+
+@pytest.fixture(scope="module")
+def data_files(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    train, test = load_synthetic_mnist(train_size=300, test_size=80, seed=0)
+
+    def preprocess(images):
+        return flatten_images(bilinear_resize(images, 11, 11))
+
+    train_path = root / "train.npz"
+    test_path = root / "test.npz"
+    save_inputs(train_path, preprocess(train.inputs), train.labels)
+    save_inputs(test_path, preprocess(test.inputs), test.labels)
+    return root, train_path, test_path
+
+
+@pytest.fixture(scope="module")
+def trained_checkpoint(data_files):
+    root, train_path, _ = data_files
+    checkpoint = root / "ckpt.npz"
+    code = main([
+        "train", ARCH, "--data", str(train_path), "--out", str(checkpoint),
+        "--epochs", "4", "--lr", "0.005",
+    ])
+    assert code == 0
+    return checkpoint
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_args(self):
+        args = build_parser().parse_args(
+            ["train", ARCH, "--data", "d.npz", "--out", "o.npz"]
+        )
+        assert args.command == "train"
+        assert args.epochs == 10
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestTrain:
+    def test_creates_checkpoint(self, trained_checkpoint):
+        assert trained_checkpoint.exists()
+
+    def test_missing_labels_fails(self, data_files, capsys):
+        root, _, _ = data_files
+        unlabeled = root / "unlabeled.npz"
+        save_inputs(unlabeled, np.zeros((4, 121)))
+        code = main([
+            "train", ARCH, "--data", str(unlabeled),
+            "--out", str(root / "x.npz"),
+        ])
+        assert code == 2
+
+
+class TestDeployPredict:
+    def test_deploy_then_predict(self, data_files, trained_checkpoint, capsys):
+        root, _, test_path = data_files
+        artifact = root / "model.npz"
+        assert main([
+            "deploy", ARCH, "--weights", str(trained_checkpoint),
+            "--out", str(artifact),
+        ]) == 0
+        assert artifact.exists()
+        capsys.readouterr()
+
+        assert main(["predict", str(artifact), "--data", str(test_path)]) == 0
+        captured = capsys.readouterr()
+        predictions = captured.out.strip().splitlines()[0].split()
+        assert len(predictions) == 80
+        assert all(p.isdigit() and 0 <= int(p) <= 9 for p in predictions)
+        assert "accuracy:" in captured.err
+
+    def test_predict_proba(self, data_files, trained_checkpoint, capsys):
+        root, _, test_path = data_files
+        artifact = root / "model2.npz"
+        main(["deploy", ARCH, "--weights", str(trained_checkpoint),
+              "--out", str(artifact)])
+        capsys.readouterr()
+        assert main([
+            "predict", str(artifact), "--data", str(test_path), "--proba"
+        ]) == 0
+        first_row = capsys.readouterr().out.strip().splitlines()[0].split()
+        values = [float(v) for v in first_row]
+        assert len(values) == 10
+        assert sum(values) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestProfileInfo:
+    def test_profile_lists_all_cells(self, capsys):
+        assert main(["profile", ARCH]) == 0
+        out = capsys.readouterr().out
+        for platform in ("nexus5", "xu3", "honor6x"):
+            assert out.count(platform) == 2  # java + cpp rows
+
+    def test_profile_battery_flag(self, capsys):
+        assert main(["profile", ARCH, "--battery"]) == 0
+        assert "(battery)" in capsys.readouterr().out
+
+    def test_info_reports_compression(self, capsys):
+        assert main(["info", ARCH]) == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+        assert "x" in out.splitlines()[-1]

@@ -1,0 +1,116 @@
+"""Tests for the model zoo (paper Arch. 1 / 2 / 3)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BlockCirculantConv2d, BlockCirculantLinear, Conv2d, Linear, Tensor
+from repro.zoo import (
+    ARCH1_INPUT_SIDE,
+    ARCH2_INPUT_SIDE,
+    build_arch1,
+    build_arch2,
+    build_arch3,
+    build_arch3_reduced,
+)
+
+
+class TestArch1:
+    def test_layer_dimensions(self, rng):
+        model = build_arch1(rng=rng)
+        bc_layers = [l for l in model if isinstance(l, BlockCirculantLinear)]
+        assert [l.in_features for l in bc_layers] == [256, 128]
+        assert [l.out_features for l in bc_layers] == [128, 128]
+        assert isinstance(model[-1], Linear)
+        assert model[-1].out_features == 10
+
+    def test_input_side_constant(self):
+        assert ARCH1_INPUT_SIDE**2 == 256
+
+    def test_forward_shape(self, rng):
+        model = build_arch1(rng=rng)
+        assert model(Tensor(rng.normal(size=(4, 256)))).shape == (4, 10)
+
+    def test_block_size_configurable(self, rng):
+        model = build_arch1(block_size=32, rng=rng)
+        assert model[0].block_size == 32
+
+    def test_compressed_vs_dense_storage(self, rng):
+        model = build_arch1(rng=rng)
+        dense_params = 256 * 128 + 128 * 128 + 128 * 10
+        assert model.parameter_count() < dense_params / 2
+
+
+class TestArch2:
+    def test_layer_dimensions(self, rng):
+        model = build_arch2(rng=rng)
+        bc_layers = [l for l in model if isinstance(l, BlockCirculantLinear)]
+        assert [l.in_features for l in bc_layers] == [121, 64]
+        assert [l.out_features for l in bc_layers] == [64, 64]
+
+    def test_input_side_constant(self):
+        assert ARCH2_INPUT_SIDE**2 == 121
+
+    def test_forward_shape(self, rng):
+        model = build_arch2(rng=rng)
+        assert model(Tensor(rng.normal(size=(2, 121)))).shape == (2, 10)
+
+    def test_smaller_than_arch1(self, rng):
+        assert build_arch2(rng=rng).parameter_count() < build_arch1(
+            rng=rng
+        ).parameter_count()
+
+
+class TestArch3:
+    def test_structure_matches_paper(self, rng):
+        model = build_arch3(rng=rng)
+        convs = [l for l in model if isinstance(l, (Conv2d, BlockCirculantConv2d))]
+        # First two CONV layers dense ("traditional"), next two BC.
+        assert [type(l) for l in convs] == [
+            Conv2d, Conv2d, BlockCirculantConv2d, BlockCirculantConv2d
+        ]
+        assert [l.out_channels for l in convs] == [64, 64, 128, 128]
+        fcs = [l for l in model if isinstance(l, (Linear, BlockCirculantLinear))]
+        assert [l.out_features for l in fcs] == [512, 1024, 1024, 10]
+
+    def test_forward_shape(self, rng):
+        model = build_arch3(block_size=32, rng=rng)
+        out = model(Tensor(rng.normal(size=(1, 3, 32, 32))))
+        assert out.shape == (1, 10)
+
+    def test_compression_substantial(self, rng):
+        from repro.analysis import storage_report
+
+        report = storage_report(build_arch3(rng=rng))
+        assert report.compression > 10
+
+
+class TestArch3Reduced:
+    def test_same_topology_smaller_width(self, rng):
+        model = build_arch3_reduced(rng=rng)
+        convs = [l for l in model if isinstance(l, (Conv2d, BlockCirculantConv2d))]
+        assert [type(l) for l in convs] == [
+            Conv2d, Conv2d, BlockCirculantConv2d, BlockCirculantConv2d
+        ]
+
+    def test_forward_shape(self, rng):
+        model = build_arch3_reduced(rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_trainable_quickly(self, rng):
+        # A couple of optimizer steps must reduce the loss.
+        from repro.data import generate_cifar
+        from repro.nn import Adam, CrossEntropyLoss
+
+        model = build_arch3_reduced(width=8, block_size=4, rng=rng)
+        x, y = generate_cifar(32, rng)
+        loss_fn = CrossEntropyLoss()
+        optimizer = Adam(model.parameters(), lr=0.003)
+        losses = []
+        for _ in range(6):
+            optimizer.zero_grad()
+            loss = loss_fn(model(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
