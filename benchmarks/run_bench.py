@@ -1,0 +1,261 @@
+"""Perf-trajectory benchmark runner: times the frequency-domain engine.
+
+Measures the hot paths this engine optimizes and writes a machine-readable
+``BENCH_fdx.json`` so future PRs can compare against the recorded
+trajectory:
+
+* **inference_forward_cached** — repeated single-sample forwards of a
+  ``BlockCirculantLinear`` with the version-keyed spectrum cache and the
+  matmul contraction, against the seed behaviour (``rfft(weight)`` on
+  every call + ``np.einsum``).  Acceptance floor: >= 5x.
+* **train_step_matmul_vs_einsum** — batched forward+backward at
+  ``(p, q, b) = (16, 16, 64)``, batch 64, matmul kernels vs the einsum
+  reference.  Both sides re-transform the weights once per step, as
+  training does.  Acceptance floor: >= 1.5x.
+* **equivalence** — max abs deviation of every new kernel from its
+  reference implementation (tolerance 1e-10).
+* **zoo** — forward / forward+backward / frozen-session inference on the
+  MNIST-FC (Arch. 1) and CIFAR-conv (reduced Arch. 3) configurations.
+
+Run:  PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_fdx.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fft import rfft
+from repro.fft.backend import use_backend
+from repro.nn import BlockCirculantLinear, CrossEntropyLoss, Sequential
+from repro.runtime import InferenceSession
+from repro.structured import (
+    block_circulant_backward_batch,
+    block_circulant_backward_batch_einsum,
+    block_circulant_forward_batch,
+    block_circulant_forward_batch_einsum,
+    blockify,
+)
+from repro.zoo import build_arch1, build_arch3_reduced
+
+TOLERANCE = 1e-10
+
+
+def best_of(fn, repeats: int, inner: int = 1) -> float:
+    """Best wall-clock seconds for one call of ``fn`` over ``repeats`` trials."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Seed-behaviour baselines (pure numpy, no autograd overhead — which
+# biases the comparison *against* the new layer path, keeping the
+# reported speedups conservative)
+# ----------------------------------------------------------------------
+def seed_forward(weight: np.ndarray, x: np.ndarray, b: int,
+                 bias: np.ndarray, out_features: int) -> np.ndarray:
+    """The seed hot path: re-transform weights, einsum contraction."""
+    x_blocks = blockify(x, b)
+    spectra = rfft(weight)
+    y = block_circulant_forward_batch_einsum(spectra, x_blocks)
+    return y.reshape(x.shape[0], -1)[:, :out_features] + bias
+
+
+def bench_inference_forward(repeats: int) -> dict:
+    """Repeated-forward inference: frozen session (cached spectra in
+    frequency-major layout, matmul contraction, fused bias) vs the seed
+    behaviour (re-transform weights + einsum on every call)."""
+    rng = np.random.default_rng(0)
+    p, q, b = 32, 64, 128  # CIFAR-FC-layer scale: 8192 -> 4096
+    layer = BlockCirculantLinear(q * b, p * b, b, rng=rng)
+    layer.eval()
+    x = rng.normal(size=(1, q * b))
+    weight = layer.weight.data
+    bias = layer.bias.data
+    session = InferenceSession.freeze(Sequential(layer))
+
+    new_out = session.forward(x)
+    base_out = seed_forward(weight, x, b, bias, layer.out_features)
+    max_err = float(np.abs(new_out - base_out).max())
+
+    baseline_s = best_of(
+        lambda: seed_forward(weight, x, b, bias, layer.out_features),
+        repeats, inner=20,
+    )
+    new_s = best_of(lambda: session.forward(x), repeats, inner=20)
+    layer_s = best_of(lambda: layer(x), repeats, inner=20)
+    return {
+        "config": {"p": p, "q": q, "b": b, "batch": 1},
+        "baseline_us": baseline_s * 1e6,
+        "new_us": new_s * 1e6,
+        "layer_forward_us": layer_s * 1e6,
+        "speedup": baseline_s / new_s,
+        "layer_speedup": baseline_s / layer_s,
+        "max_abs_err": max_err,
+    }
+
+
+def bench_train_step(repeats: int) -> dict:
+    """Batched forward+backward kernels: matmul vs einsum reference."""
+    rng = np.random.default_rng(1)
+    p = q = 16
+    b = 64
+    batch = 64
+    weight = rng.normal(size=(p, q, b))
+    x_blocks = rng.normal(size=(batch, q, b))
+    grad_blocks = rng.normal(size=(batch, p, b))
+
+    def einsum_step():
+        spectra = rfft(weight)
+        y = block_circulant_forward_batch_einsum(spectra, x_blocks)
+        gw, gx = block_circulant_backward_batch_einsum(
+            spectra, x_blocks, grad_blocks
+        )
+        return y, gw, gx
+
+    def matmul_step():
+        spectra = rfft(weight)
+        y = block_circulant_forward_batch(spectra, x_blocks)
+        gw, gx = block_circulant_backward_batch(spectra, x_blocks, grad_blocks)
+        return y, gw, gx
+
+    ref = einsum_step()
+    new = matmul_step()
+    max_err = float(max(np.abs(a - c).max() for a, c in zip(new, ref)))
+
+    einsum_s = best_of(einsum_step, repeats, inner=3)
+    matmul_s = best_of(matmul_step, repeats, inner=3)
+    return {
+        "config": {"p": p, "q": q, "b": b, "batch": batch},
+        "einsum_ms": einsum_s * 1e3,
+        "matmul_ms": matmul_s * 1e3,
+        "speedup": einsum_s / matmul_s,
+        "max_abs_err": max_err,
+    }
+
+
+def check_equivalence() -> dict:
+    """Max deviation of every new kernel from its reference, to 1e-10."""
+    rng = np.random.default_rng(2)
+    errs: dict[str, float] = {}
+
+    # Contractions, ragged p != q.
+    p, q, b, batch = 5, 7, 16, 9
+    spectra = rfft(rng.normal(size=(p, q, b)))
+    x_blocks = rng.normal(size=(batch, q, b))
+    grad_blocks = rng.normal(size=(batch, p, b))
+    errs["forward_matmul_vs_einsum"] = float(np.abs(
+        block_circulant_forward_batch(spectra, x_blocks)
+        - block_circulant_forward_batch_einsum(spectra, x_blocks)
+    ).max())
+    fast = block_circulant_backward_batch(spectra, x_blocks, grad_blocks)
+    ref = block_circulant_backward_batch_einsum(spectra, x_blocks, grad_blocks)
+    errs["backward_w_matmul_vs_einsum"] = float(np.abs(fast[0] - ref[0]).max())
+    errs["backward_x_matmul_vs_einsum"] = float(np.abs(fast[1] - ref[1]).max())
+
+    # Pure-backend packed real transforms vs numpy.fft.
+    worst_r = 0.0
+    for n in (8, 12, 64, 100, 128):
+        x = rng.normal(size=(4, n))
+        with use_backend("pure"):
+            worst_r = max(worst_r, float(np.abs(rfft(x) - np.fft.rfft(x)).max()))
+    errs["packed_rfft_vs_numpy"] = worst_r
+
+    return {
+        "errors": errs,
+        "tolerance": TOLERANCE,
+        "pass": all(err <= TOLERANCE for err in errs.values()),
+    }
+
+
+def bench_zoo(repeats: int) -> dict:
+    """Forward / forward+backward / frozen inference on the model zoo."""
+    results: dict[str, dict] = {}
+    loss_fn = CrossEntropyLoss()
+    configs = {
+        "mnist_fc": (
+            build_arch1(rng=np.random.default_rng(3)),
+            np.random.default_rng(4).normal(size=(64, 256)),
+        ),
+        "cifar_conv": (
+            build_arch3_reduced(width=12, block_size=4,
+                                rng=np.random.default_rng(5)),
+            np.random.default_rng(6).normal(size=(8, 3, 32, 32)),
+        ),
+    }
+    for name, (model, x) in configs.items():
+        labels = np.arange(x.shape[0]) % 10
+        batch = x.shape[0]
+
+        def forward():
+            return model(x)
+
+        def forward_backward():
+            model.zero_grad()
+            loss_fn(model(x), labels).backward()
+
+        model.eval()
+        session = InferenceSession.freeze(model)
+        forward_s = best_of(forward, repeats)
+        fb_s = best_of(forward_backward, repeats)
+        infer_s = best_of(lambda: session.forward(x), repeats)
+        results[name] = {
+            "batch": batch,
+            "forward_ms": forward_s * 1e3,
+            "forward_backward_ms": fb_s * 1e3,
+            "session_inference_ms": infer_s * 1e3,
+            "session_us_per_image": infer_s / batch * 1e6,
+        }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent.parent / "BENCH_fdx.json"),
+        help="output JSON path (default: repo-root BENCH_fdx.json)",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    report = {
+        "meta": {
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "inference_forward_cached": bench_inference_forward(args.repeats),
+        "train_step_matmul_vs_einsum": bench_train_step(args.repeats),
+        "equivalence": check_equivalence(),
+        "zoo": bench_zoo(args.repeats),
+    }
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    inf = report["inference_forward_cached"]
+    train = report["train_step_matmul_vs_einsum"]
+    print(f"inference forward (cached): {inf['speedup']:.1f}x "
+          f"({inf['baseline_us']:.0f} -> {inf['new_us']:.0f} us)")
+    print(f"train step (matmul vs einsum): {train['speedup']:.1f}x "
+          f"({train['einsum_ms']:.2f} -> {train['matmul_ms']:.2f} ms)")
+    print(f"kernel equivalence <= {TOLERANCE:g}: "
+          f"{'PASS' if report['equivalence']['pass'] else 'FAIL'}")
+    for name, row in report["zoo"].items():
+        print(f"{name}: fwd {row['forward_ms']:.1f} ms, "
+              f"fwd+bwd {row['forward_backward_ms']:.1f} ms, "
+              f"frozen inference {row['session_us_per_image']:.0f} us/image")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

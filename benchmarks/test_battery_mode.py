@@ -9,7 +9,7 @@ all three devices.
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.embedded import InferenceProfiler
 from repro.zoo import ARCH1_INPUT_SIDE, ARCH2_INPUT_SIDE, build_arch1, build_arch2
 

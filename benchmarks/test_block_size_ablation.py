@@ -10,7 +10,7 @@ including the whole-circulant extreme (block = 128).
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.analysis import storage_report
 from repro.data import DataLoader
 from repro.nn import Adam, CrossEntropyLoss, Trainer, accuracy, predict_in_batches

@@ -11,7 +11,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.analysis import crossover_block_size, fc_speedup
 from repro.structured import CirculantMatrix
 

@@ -8,7 +8,7 @@ and sweeps the block size on Arch. 1 to expose the compression knob
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.analysis import storage_report
 from repro.embedded import DeployedModel
 from repro.zoo import build_arch1, build_arch2, build_arch3

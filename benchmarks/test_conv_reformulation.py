@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 from scipy.signal import correlate2d
 
-from conftest import write_result
+from .conftest import write_result
 from repro.analysis import bc_conv_ops, dense_conv_ops
 from repro.nn import BlockCirculantConv2d, Conv2d, Tensor
 

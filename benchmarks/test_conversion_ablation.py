@@ -10,7 +10,7 @@ projection costs and how much fine-tuning recovers.
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.data import DataLoader
 from repro.nn import (
     Adam,

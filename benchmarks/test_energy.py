@@ -10,7 +10,7 @@ cell of Tables II-III.
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.embedded import EnergyModel
 from repro.zoo import build_arch1, build_arch3
 

@@ -10,7 +10,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.fft import fft, rfft, use_backend
 
 SIZES = (128, 121, 1024)  # power of two, Bluestein (11^2), large

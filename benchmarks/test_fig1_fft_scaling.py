@@ -10,7 +10,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.fft import fft_radix2, naive_dft
 
 SIZES = (64, 256, 1024, 4096)

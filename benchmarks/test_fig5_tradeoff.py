@@ -10,7 +10,7 @@ on CIFAR-10.
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.analysis import fig5_points, speedup_vs_truenorth
 from repro.embedded import InferenceProfiler
 from repro.zoo import ARCH1_INPUT_SIDE, build_arch3

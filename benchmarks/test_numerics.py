@@ -9,7 +9,7 @@ against an extended-precision reference.
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.analysis import (
     dft_roundoff_error,
     fft_roundoff_error,

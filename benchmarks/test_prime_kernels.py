@@ -12,7 +12,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.fft import fft_bluestein, fft_rader
 
 PRIMES = (11, 101, 257, 1009)

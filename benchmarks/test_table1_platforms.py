@@ -7,7 +7,7 @@ about cost.
 
 import numpy as np
 
-from conftest import write_result
+from .conftest import write_result
 from repro.embedded import PLATFORMS, InferenceProfiler
 from repro.zoo import build_arch1
 

@@ -15,7 +15,7 @@ Shape expectations vs the paper (exact numbers in EXPERIMENTS.md):
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.embedded import DeployedModel, InferenceProfiler
 from repro.zoo import ARCH1_INPUT_SIDE, ARCH2_INPUT_SIDE
 

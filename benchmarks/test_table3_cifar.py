@@ -10,7 +10,7 @@ docstrings).
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.embedded import DeployedModel, InferenceProfiler
 from repro.zoo import build_arch3
 

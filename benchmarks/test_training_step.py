@@ -11,7 +11,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import write_result
+from .conftest import write_result
 from repro.nn import SGD, BlockCirculantLinear, Linear, Tensor
 
 SIZES = (256, 1024, 4096)

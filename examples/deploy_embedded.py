@@ -7,7 +7,9 @@ Walks the complete software pipeline of the paper's section V:
 3. the parameters are exported in FFT form (section IV-A) and the whole
    model frozen into a deployment artifact,
 4. the inputs parser loads a test batch from a file,
-5. the standalone inference engine predicts labels from the artifact,
+5. the artifact is compiled into a frozen InferenceSession (flat op
+   plan, precomputed spectra, fused bias+activation) that streams the
+   test batch through the standalone inference engine,
 6. the platform simulator prices the engine on the Table I devices,
    including battery mode.
 
@@ -69,9 +71,12 @@ def main():
     save_inputs(inputs_path, preprocess(test.inputs), test.labels)
     inputs, labels = load_inputs(inputs_path)
 
-    # 5. Standalone inference engine (Fig. 4, module 4).
+    # 5. Standalone inference engine (Fig. 4, module 4), compiled to the
+    # frozen runtime: spectra widened once, bias+activation fused.
     engine = DeployedModel.load(model_path)
-    predictions = engine.predict(inputs)
+    session = engine.to_session()
+    print("frozen plan: " + " -> ".join(session.describe()))
+    predictions = session.predict(inputs, batch_size=256)
     test_accuracy = (predictions == labels).mean()
     host_us = engine.time_inference(inputs[:200], repeats=3)
     print(f"inference engine: accuracy {100 * test_accuracy:.2f}%, "

@@ -16,10 +16,13 @@ Subpackages:
 * :mod:`repro.analysis` — complexity / storage analysis and the
   TrueNorth comparison (Fig. 5),
 * :mod:`repro.quantize` — fixed-point weight quantization extension,
+* :mod:`repro.runtime` — the frozen inference runtime
+  (:class:`~repro.runtime.InferenceSession`: flat op plan, precomputed
+  spectra, fused bias+activation, batched streaming predict),
 * :mod:`repro.zoo` — the paper's Arch. 1 / Arch. 2 / Arch. 3 builders.
 """
 
-from . import analysis, data, embedded, fft, io, nn, quantize, structured, zoo
+from . import analysis, data, embedded, fft, io, nn, quantize, runtime, structured, zoo
 from .exceptions import (
     BackendError,
     ConfigurationError,
@@ -40,6 +43,7 @@ __all__ = [
     "embedded",
     "analysis",
     "quantize",
+    "runtime",
     "zoo",
     "ReproError",
     "ShapeError",

@@ -36,6 +36,13 @@ from .nn import Adam, CrossEntropyLoss, Trainer
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -65,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--data", required=True, help=".npz/.npy/.csv inputs")
     predict.add_argument(
         "--proba", action="store_true", help="print class probabilities"
+    )
+    predict.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=256,
+        help="streaming chunk size for the inference session",
     )
 
     profile = sub.add_parser(
@@ -122,13 +135,15 @@ def _cmd_deploy(args) -> int:
 
 
 def _cmd_predict(args) -> int:
-    engine = DeployedModel.load(args.model)
+    # Compile the artifact once into the frozen runtime (precomputed
+    # spectra, fused ops), then stream the inputs through it in chunks.
+    session = DeployedModel.load(args.model).to_session()
     inputs, labels = load_inputs(args.data)
     if args.proba:
-        for row in engine.predict_proba(inputs):
+        for row in session.predict_proba(inputs, batch_size=args.batch_size):
             print(" ".join(f"{p:.4f}" for p in row))
     else:
-        predictions = engine.predict(inputs)
+        predictions = session.predict(inputs, batch_size=args.batch_size)
         print(" ".join(str(int(p)) for p in predictions))
         if labels is not None:
             score = float((predictions == labels).mean())

@@ -13,7 +13,11 @@ implements that flow:
   engine whose op counts the runtime simulator prices,
 * :meth:`DeployedModel.save` / :meth:`DeployedModel.load` round-trip the
   artifact through a single ``.npz`` file (the "Parameters" file of
-  Fig. 4).
+  Fig. 4),
+* :meth:`DeployedModel.to_session` compiles the records into a
+  :class:`~repro.runtime.InferenceSession` — the fast path that widens
+  the stored complex64 spectra once and fuses bias+activation, instead
+  of interpreting records per call.
 
 Dropout layers vanish at deployment; batch-norm folds into a per-feature
 affine transform.
@@ -47,31 +51,15 @@ from ..nn.layers import (
     Tanh,
 )
 from ..nn.module import Sequential
+from ..runtime import InferenceSession
+from ..runtime.session import pool_windows as _pool_windows
+from ..runtime.session import softmax as _softmax
 from ..structured import block_circulant_forward_batch
 from ..nn.functional import im2col
 
 __all__ = ["DeployedModel", "FORMAT_VERSION"]
 
 FORMAT_VERSION = 1
-
-
-def _softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - x.max(axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
-
-
-def _pool_windows(x, kernel, stride):
-    batch, channels, height, width = x.shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-    base_r = np.repeat(np.arange(out_h) * stride, out_w)
-    base_c = np.tile(np.arange(out_w) * stride, out_h)
-    offset_r = np.repeat(np.arange(kernel), kernel)
-    offset_c = np.tile(np.arange(kernel), kernel)
-    rows = base_r[:, None] + offset_r[None, :]
-    cols = base_c[:, None] + offset_c[None, :]
-    return x[:, :, rows, cols], out_h, out_w
 
 
 class DeployedModel:
@@ -305,6 +293,16 @@ class DeployedModel:
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         """Predicted integer labels."""
         return self.predict_proba(inputs).argmax(axis=-1)
+
+    def to_session(self) -> InferenceSession:
+        """Compile the records into a frozen :class:`InferenceSession`.
+
+        The session widens the stored complex64 spectra to complex128
+        once, fuses bias+activation pairs, and supports batched streaming
+        ``predict`` — use it whenever more than a handful of inputs will
+        run through the artifact.
+        """
+        return InferenceSession.from_deployed(self)
 
     def time_inference(
         self, inputs: np.ndarray, repeats: int = 3

@@ -38,6 +38,15 @@ def fft_radix2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
     conjugate-twiddle transform is computed *without* the ``1/n``
     normalization; callers are expected to divide by ``n`` themselves
     (as :func:`ifft_radix2` does).
+
+    The butterflies run in place on a single work buffer: the bit-reversal
+    gather (cached permutation table) produces the buffer, and every stage
+    updates its two wings through strided views with one half-size scratch
+    array for the twiddled odd wing.  The per-stage ``reshape`` +
+    ``concatenate`` of the textbook formulation would copy the full array
+    ``log2(n)`` times; here only the scratch (n/2 elements) is written per
+    stage, which is what makes the pure backend usable in the layer hot
+    path.
     """
     x = np.asarray(x, dtype=np.complex128)
     n = x.shape[-1]
@@ -47,8 +56,10 @@ def fft_radix2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
         return x.copy()
 
     # Stage 0: permute input into bit-reversed order so every butterfly
-    # stage can operate on contiguous halves.
+    # stage can operate on contiguous halves.  Fancy indexing materializes
+    # the one work buffer all stages mutate in place.
     out = x[..., bit_reversal_permutation(n)]
+    scratch = np.empty(x.shape[:-1] + (n // 2,), dtype=np.complex128)
 
     # Stages 1..log2(n): combine DFTs of size `half` into size `size`.
     size = 2
@@ -59,9 +70,11 @@ def fft_radix2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
         twiddles = twiddle_factors(size, inverse=inverse)[:half]
         grouped = out.reshape(x.shape[:-1] + (n // size, size))
         even = grouped[..., :half]
-        odd = grouped[..., half:] * twiddles
-        combined = np.concatenate([even + odd, even - odd], axis=-1)
-        out = combined.reshape(x.shape)
+        odd = grouped[..., half:]
+        t = scratch.reshape(x.shape[:-1] + (n // size, half))
+        np.multiply(odd, twiddles, out=t)
+        np.subtract(even, t, out=odd)
+        np.add(even, t, out=even)
         size *= 2
     return out
 

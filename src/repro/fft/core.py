@@ -13,7 +13,7 @@ import numpy as np
 from .backend import get_backend
 from .bluestein import fft_bluestein
 from .cooley_tukey import fft_radix2
-from .twiddle import is_power_of_two
+from .twiddle import is_power_of_two, twiddle_factors
 
 __all__ = ["fft", "ifft", "rfft", "irfft"]
 
@@ -41,6 +41,63 @@ def _pure_fft(x: np.ndarray, inverse: bool) -> np.ndarray:
     if is_power_of_two(x.shape[-1]):
         return fft_radix2(x, inverse=inverse)
     return fft_bluestein(x, inverse=inverse)
+
+
+def _pure_rfft(x: np.ndarray) -> np.ndarray:
+    """Pure-backend real FFT via the two-for-one packing.
+
+    For even ``n`` the real signal is packed into a length-``n/2`` complex
+    sequence ``z[k] = x[2k] + i x[2k+1]`` and one half-length transform is
+    unpacked into the ``n // 2 + 1`` non-redundant bins — half the
+    butterfly work of transform-then-truncate.  Odd lengths fall back to
+    the full complex transform.
+    """
+    n = x.shape[-1]
+    if n < 2 or n % 2:
+        return _pure_fft(x.astype(np.complex128), inverse=False)[..., : n // 2 + 1]
+    m = n // 2
+    z = x[..., 0::2] + 1j * x[..., 1::2]
+    zf = _pure_fft(z, inverse=False)  # (..., m)
+    # Bins 0..m of Z with wraparound Z[m] = Z[0], and conj(Z[m-k]).
+    zf_ext = np.concatenate([zf, zf[..., :1]], axis=-1)
+    zf_rev = np.conj(zf_ext[..., ::-1])
+    even = 0.5 * (zf_ext + zf_rev)  # FFT of x[0::2]
+    odd = -0.5j * (zf_ext - zf_rev)  # FFT of x[1::2]
+    return even + twiddle_factors(n)[: m + 1] * odd
+
+
+def _pure_irfft(x: np.ndarray, n: int) -> np.ndarray:
+    """Pure-backend inverse real FFT (two-for-one unpacking for even ``n``).
+
+    Inverts :func:`_pure_rfft`: the half spectrum is repacked into the
+    length-``n/2`` complex spectrum of the interleaved sequence, one
+    half-length inverse transform runs, and real/imaginary parts fan back
+    out to the even/odd samples.  Odd lengths rebuild the full Hermitian
+    spectrum and inverse-transform at length ``n``.
+    """
+    bins = n // 2 + 1
+    if n < 2 or n % 2:
+        full = np.zeros(x.shape[:-1] + (n,), dtype=np.complex128)
+        full[..., :bins] = x
+        if n > 1:
+            tail = np.conj(x[..., 1 : (n + 1) // 2])
+            full[..., n - tail.shape[-1] :] = tail[..., ::-1]
+        return _pure_fft(full, inverse=True).real / n
+    m = n // 2
+    # numpy's irfft convention: the DC and Nyquist bins are taken as real
+    # (their imaginary parts are discarded); match it before unpacking.
+    xk = x[..., :m].copy()  # bins 0..m-1
+    xk[..., 0] = xk[..., 0].real
+    x_rev = np.conj(x[..., m:0:-1]).copy()  # conj(X[m-k]) for k in 0..m-1
+    x_rev[..., 0] = x[..., m].real
+    even = 0.5 * (xk + x_rev)
+    odd = 0.5 * (xk - x_rev) * twiddle_factors(n, inverse=True)[:m]
+    z = even + 1j * odd
+    zt = _pure_fft(z, inverse=True) / m
+    out = np.empty(x.shape[:-1] + (n,), dtype=np.float64)
+    out[..., 0::2] = zt.real
+    out[..., 1::2] = zt.imag
+    return out
 
 
 def fft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
@@ -79,12 +136,10 @@ def rfft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
     moved = _prepare(x, n, axis)
     if np.iscomplexobj(moved):
         raise TypeError("rfft requires real input; use fft for complex data")
-    length = moved.shape[-1]
     if get_backend() == "numpy":
         result = np.fft.rfft(moved, axis=-1)
     else:
-        result = _pure_fft(moved.astype(np.complex128), inverse=False)
-        result = result[..., : length // 2 + 1]
+        result = _pure_rfft(np.asarray(moved, dtype=np.float64))
     return np.moveaxis(result, -1, axis)
 
 
@@ -107,12 +162,5 @@ def irfft(x: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
     if get_backend() == "numpy":
         result = np.fft.irfft(moved, n=n, axis=-1)
     else:
-        # Rebuild the full Hermitian spectrum, inverse-transform, take the
-        # real part (the imaginary residue is round-off only).
-        full = np.zeros(moved.shape[:-1] + (n,), dtype=np.complex128)
-        full[..., :expected_bins] = moved
-        if n > 1:
-            tail = np.conj(moved[..., 1 : (n + 1) // 2])
-            full[..., n - tail.shape[-1] :] = tail[..., ::-1]
-        result = _pure_fft(full, inverse=True).real / n
+        result = _pure_irfft(np.asarray(moved, dtype=np.complex128), n)
     return np.moveaxis(result, -1, axis)

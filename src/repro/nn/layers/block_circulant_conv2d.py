@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...fft import rfft
 from ...structured import (
+    SpectrumCache,
     block_circulant_backward_batch,
     block_circulant_forward_batch,
     block_circulant_to_dense,
@@ -92,6 +92,8 @@ class BlockCirculantConv2d(Module):
             )
         )
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        # FFT(w_i) memoized per weight version (see block_circulant_linear).
+        self._spectrum_cache = SpectrumCache()
 
     # ------------------------------------------------------------------
     # Patch layout helpers
@@ -154,8 +156,10 @@ class BlockCirculantConv2d(Module):
 
         cols = im2col(x.data, k, stride, padding)  # (batch, L, C*k*k)
         x_blocks = self._fold_patches(cols)  # (batch*L, q, b)
-        weight_spectra = rfft(weight.data)  # (p, q, nb)
-        y_blocks = block_circulant_forward_batch(weight_spectra, x_blocks)
+        weight_spectra, spectra_fm = self._spectrum_cache.get_pair(weight)
+        y_blocks = block_circulant_forward_batch(
+            weight_spectra, x_blocks, weight_fm=spectra_fm
+        )
         y_flat = y_blocks.reshape(batch * positions, -1)[:, : self.out_channels]
         out_data = (
             y_flat.reshape(batch, positions, self.out_channels)

@@ -7,15 +7,23 @@ paper Algorithm 2 / Eqn. 4: both the weight gradient and the input
 gradient are circular correlations, evaluated as conjugate products in the
 frequency domain.  Computation is O((m n / b) log b) and storage O(m n / b)
 versus the dense layer's O(m n) for both.
+
+The weight half-spectra ``FFT(w_i)`` are cached in a
+:class:`~repro.structured.spectral.SpectrumCache` keyed on the weight
+Parameter's ``version`` counter: they are recomputed once per weight
+update during training (optimizer steps rebind ``weight.data``) and
+exactly once across an entire inference run.  Code that writes into
+``weight.data`` in place must call ``weight.bump_version()`` to keep the
+cache honest.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ...fft import rfft
 from ...structured import (
     BlockCirculantMatrix,
+    SpectrumCache,
     block_circulant_backward_batch,
     block_circulant_forward_batch,
     blockify,
@@ -76,6 +84,7 @@ class BlockCirculantLinear(Module):
             )
         )
         self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self._spectrum_cache = SpectrumCache()
 
     # ------------------------------------------------------------------
     def forward(self, x: Tensor) -> Tensor:
@@ -92,8 +101,10 @@ class BlockCirculantLinear(Module):
 
         # --- paper Algorithm 1, batched over blocks and samples ---
         x_blocks = blockify(x.data, b)  # (batch, q, b)
-        weight_spectra = rfft(weight.data)  # (p, q, nb) -- FFT(w_i)
-        y_blocks = block_circulant_forward_batch(weight_spectra, x_blocks)
+        weight_spectra, spectra_fm = self._spectrum_cache.get_pair(weight)
+        y_blocks = block_circulant_forward_batch(
+            weight_spectra, x_blocks, weight_fm=spectra_fm
+        )
         out_data = y_blocks.reshape(batch, -1)[:, : self.out_features]
 
         def backward(grad: np.ndarray) -> None:

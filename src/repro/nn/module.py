@@ -19,7 +19,14 @@ __all__ = ["Parameter", "Module", "Sequential"]
 
 
 class Parameter(Tensor):
-    """A trainable tensor: always requires grad, owned by a module."""
+    """A trainable tensor: always requires grad, owned by a module.
+
+    Inherits the :class:`Tensor` ``version`` counter: optimizer steps and
+    ``load_state_dict`` rebind ``data`` and advance it, which is what
+    keeps version-keyed caches (e.g. the block-circulant layers' weight
+    spectra) coherent.  Mutate via assignment, or call
+    ``bump_version()`` after writing into ``data`` in place.
+    """
 
     def __init__(self, data):
         super().__init__(data, requires_grad=True)

@@ -4,6 +4,12 @@ The paper trains with SGD (learning rate 0.001, momentum 0.9 for the
 CIFAR-10 network — section V-C); SGD with momentum is therefore the
 primary optimizer, with Adam available for faster convergence in the
 examples, plus step / exponential LR decay schedules.
+
+Every update rebinds ``param.data`` (never writes into the array in
+place), which advances the parameter's ``version`` counter and thereby
+invalidates version-keyed derived caches such as the block-circulant
+layers' spectrum cache.  Custom optimizers must keep that invariant or
+call ``param.bump_version()`` after in-place writes.
 """
 
 from __future__ import annotations

@@ -54,9 +54,18 @@ class Tensor:
     requires_grad:
         When True, gradients flow into :attr:`grad` during
         :meth:`backward`.
+
+    Every tensor carries a monotonic :attr:`version` counter used by
+    derived-value caches (the spectral weight cache of the block-circulant
+    layers keys on it).  **Caching rule:** any mutation of :attr:`data`
+    must advance the version.  Assigning ``tensor.data = array`` does so
+    automatically (optimizer steps, ``load_state_dict``, and dense
+    conversion all mutate this way); code that writes *into* the array
+    in place (``tensor.data[...] = x``) must call :meth:`bump_version`
+    afterwards, or stale cached spectra will be served.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward_fn")
+    __slots__ = ("_data", "requires_grad", "grad", "_parents", "_backward_fn", "_version")
 
     __array_priority__ = 100  # numpy defers binary ops to Tensor
 
@@ -66,11 +75,34 @@ class Tensor:
             array = array.astype(np.float64)
         elif array.dtype == np.float32:
             array = array.astype(np.float64)
-        self.data: np.ndarray = array
+        self._data: np.ndarray = array
+        self._version: int = 0
         self.requires_grad: bool = bool(requires_grad)
         self.grad: np.ndarray | None = None
         self._parents: tuple[Tensor, ...] = ()
         self._backward_fn: Callable[[np.ndarray], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Data access and version tracking
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying array."""
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        self._data = np.asarray(value)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; advances on every ``data`` rebind."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Mark the tensor as mutated after in-place writes to ``data``."""
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Construction of graph nodes

@@ -1,0 +1,13 @@
+"""Frozen inference runtime (the paper's section IV-A engine, flattened).
+
+A trained :class:`~repro.nn.module.Sequential` pays three taxes at
+inference time that training needs but deployment does not: autograd
+graph construction, per-call weight FFTs, and one Python dispatch per
+layer object.  :class:`InferenceSession` strips all three by freezing the
+model into a flat plan of numpy closures with precomputed weight spectra
+and fused bias+activation, then streaming batches through the plan.
+"""
+
+from .session import InferenceSession
+
+__all__ = ["InferenceSession"]

@@ -12,7 +12,9 @@ from .block_circulant import BlockCirculantMatrix
 from .circulant import CirculantMatrix
 from .ops import (
     block_circulant_backward_batch,
+    block_circulant_backward_batch_einsum,
     block_circulant_forward_batch,
+    block_circulant_forward_batch_einsum,
     block_circulant_matvec,
     block_circulant_to_dense,
     block_circulant_transpose_matvec,
@@ -23,11 +25,13 @@ from .ops import (
     unblockify,
 )
 from .projection import nearest_block_circulant, nearest_circulant, projection_error
+from .spectral import SpectrumCache
 from .toeplitz import ToeplitzMatrix
 
 __all__ = [
     "CirculantMatrix",
     "BlockCirculantMatrix",
+    "SpectrumCache",
     "ToeplitzMatrix",
     "blockify",
     "unblockify",
@@ -37,7 +41,9 @@ __all__ = [
     "block_circulant_matvec",
     "block_circulant_transpose_matvec",
     "block_circulant_forward_batch",
+    "block_circulant_forward_batch_einsum",
     "block_circulant_backward_batch",
+    "block_circulant_backward_batch_einsum",
     "block_circulant_to_dense",
     "nearest_circulant",
     "nearest_block_circulant",

@@ -15,8 +15,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ShapeError
+from ..fft import rfft
+from .spectral import freq_major
 from .ops import (
-    block_circulant_matvec,
+    block_circulant_forward_batch,
     block_circulant_to_dense,
     block_circulant_transpose_matvec,
     blockify,
@@ -45,13 +47,18 @@ class BlockCirculantMatrix:
         rows: int | None = None,
         cols: int | None = None,
     ):
-        weights = np.asarray(block_weights, dtype=np.float64)
+        # Copy: the matrix owns its defining vectors.  The lazy spectra
+        # cache below assumes they never change, so aliasing a caller
+        # array that later mutates would silently serve stale products.
+        weights = np.array(block_weights, dtype=np.float64)
         if weights.ndim != 3:
             raise ShapeError(
                 f"block_weights must have shape (p, q, b), got {weights.shape}"
             )
         p, q, b = weights.shape
         self._weights = weights
+        self._spectra: np.ndarray | None = None  # lazy rfft of the grid
+        self._spectra_fm: np.ndarray | None = None  # frequency-major copy
         self._rows = p * b if rows is None else int(rows)
         self._cols = q * b if cols is None else int(cols)
         if not (p * b - b < self._rows <= p * b):
@@ -132,13 +139,40 @@ class BlockCirculantMatrix:
     # ------------------------------------------------------------------
     # Products
     # ------------------------------------------------------------------
+    def weight_spectra(self) -> np.ndarray:
+        """Half-spectra ``rfft`` of the block grid, computed once.
+
+        The defining vectors of this matrix are immutable, so the spectra
+        are transformed lazily on first product and reused by every
+        subsequent :meth:`matvec` / :meth:`rmatvec` (section IV-A's
+        "keep the FFT result FFT(w_i)").
+        """
+        if self._spectra is None:
+            spectra = rfft(self._weights)
+            spectra.setflags(write=False)
+            self._spectra = spectra
+        return self._spectra
+
+    def _weight_spectra_fm(self) -> np.ndarray:
+        """Contiguous frequency-major ``(nb, p, q)`` copy of the spectra."""
+        if self._spectra_fm is None:
+            fm = freq_major(self.weight_spectra())
+            fm.setflags(write=False)
+            self._spectra_fm = fm
+        return self._spectra_fm
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """``W @ x`` for a logical length-``cols`` vector, O(m n log b / b)."""
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self._cols,):
             raise ShapeError(f"expected x of shape ({self._cols},), got {x.shape}")
-        padded = blockify(x, self.block_size).reshape(-1)
-        result = block_circulant_matvec(self._weights, padded)
+        padded = blockify(x, self.block_size)
+        p, _, b = self._weights.shape
+        result = block_circulant_forward_batch(
+            self.weight_spectra(),
+            padded.reshape(1, -1, b),
+            weight_fm=self._weight_spectra_fm(),
+        ).reshape(p * b)
         return result[: self._rows]
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
@@ -147,7 +181,9 @@ class BlockCirculantMatrix:
         if y.shape != (self._rows,):
             raise ShapeError(f"expected y of shape ({self._rows},), got {y.shape}")
         padded = blockify(y, self.block_size).reshape(-1)
-        result = block_circulant_transpose_matvec(self._weights, padded)
+        result = block_circulant_transpose_matvec(
+            self._weights, padded, weight_spectra=self.weight_spectra()
+        )
         return result[: self._cols]
 
     def __matmul__(self, other):

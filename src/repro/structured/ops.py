@@ -19,6 +19,12 @@ Conventions (also in DESIGN.md section 6):
 The batched kernels work directly on half-spectra (``rfft`` outputs) so a
 layer can hoist ``FFT(w)`` out of the loop — exactly the deployment trick
 of section IV-A.
+
+The frequency-domain contractions are executed as frequency-major batched
+``matmul`` — ``(f, p, q) @ (f, q, n)`` — so each frequency bin's block
+product runs as one complex GEMM and the whole contraction hits BLAS.
+The direct ``np.einsum`` forms are retained as ``*_einsum`` reference
+implementations; the equivalence tests pin the fast kernels to them.
 """
 
 from __future__ import annotations
@@ -36,7 +42,9 @@ __all__ = [
     "block_circulant_matvec",
     "block_circulant_transpose_matvec",
     "block_circulant_forward_batch",
+    "block_circulant_forward_batch_einsum",
     "block_circulant_backward_batch",
+    "block_circulant_backward_batch_einsum",
     "block_circulant_to_dense",
 ]
 
@@ -110,48 +118,109 @@ def unblockify(x_blocks: np.ndarray, n: int) -> np.ndarray:
     return flat[..., :n]
 
 
-def block_circulant_matvec(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+def block_circulant_matvec(
+    weights: np.ndarray,
+    x: np.ndarray,
+    weight_spectra: np.ndarray | None = None,
+) -> np.ndarray:
     """Compute ``W @ x`` for ``W`` given as a ``(p, q, b)`` block grid.
 
     ``x`` has length ``q*b``; the result has length ``p*b``.  Each output
     block is ``sum_q C(w[p, q]) x_q`` — the inner loop of paper
     Algorithm 1, executed for all blocks at once in the frequency domain.
+
+    ``weight_spectra`` may carry a precomputed ``rfft`` of the grid (shape
+    ``(p, q, b // 2 + 1)``) so repeated products with the same weights skip
+    the weight transform entirely (paper section IV-A).
     """
     weights = np.asarray(weights)
     x = np.asarray(x)
     p, q, b = _check_block_grid(weights)
     if x.shape != (q * b,):
         raise ValueError(f"expected x of length {q * b}, got shape {x.shape}")
-    spectra = rfft(weights)  # (p, q, nb)
-    x_spec = rfft(x.reshape(q, b))  # (q, nb)
-    y_spec = np.einsum("pqf,qf->pf", spectra, x_spec)
-    return irfft(y_spec, n=b).reshape(p * b)
+    if weight_spectra is None:
+        weight_spectra = rfft(weights)  # (p, q, nb)
+    y_blocks = block_circulant_forward_batch(
+        weight_spectra, x.reshape(1, q, b)
+    )
+    return y_blocks.reshape(p * b)
 
 
 def block_circulant_transpose_matvec(
-    weights: np.ndarray, y: np.ndarray
+    weights: np.ndarray,
+    y: np.ndarray,
+    weight_spectra: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Compute ``W.T @ y`` for a ``(p, q, b)`` block grid (length ``p*b`` in)."""
+    """Compute ``W.T @ y`` for a ``(p, q, b)`` block grid (length ``p*b`` in).
+
+    As with :func:`block_circulant_matvec`, ``weight_spectra`` optionally
+    supplies the precomputed weight ``rfft``.
+    """
     weights = np.asarray(weights)
     y = np.asarray(y)
     p, q, b = _check_block_grid(weights)
     if y.shape != (p * b,):
         raise ValueError(f"expected y of length {p * b}, got shape {y.shape}")
-    spectra = rfft(weights)
-    y_spec = rfft(y.reshape(p, b))
-    x_spec = np.einsum("pqf,pf->qf", np.conj(spectra), y_spec)
+    if weight_spectra is None:
+        weight_spectra = rfft(weights)
+    y_spec = rfft(y.reshape(1, p, b))
+    x_spec = _contract_grad_x(np.asarray(weight_spectra), y_spec)
     return irfft(x_spec, n=b).reshape(q * b)
 
 
+def _contract_grad_w(x_spec: np.ndarray, g_spec: np.ndarray) -> np.ndarray:
+    """``gw[p, q, f] = sum_n conj(X[n, q, f]) G[n, p, f]`` via batched GEMM."""
+    g_f = g_spec.transpose(2, 1, 0)  # (f, p, n)
+    x_f = np.conj(x_spec).transpose(2, 0, 1)  # (f, n, q)
+    return np.matmul(g_f, x_f).transpose(1, 2, 0)  # (p, q, f)
+
+
+def _contract_grad_x(
+    weight_spectra: np.ndarray, g_spec: np.ndarray
+) -> np.ndarray:
+    """``gx[n, q, f] = sum_p conj(W[p, q, f]) G[n, p, f]`` via batched GEMM."""
+    g_f = g_spec.transpose(2, 0, 1)  # (f, n, p)
+    w_f = np.conj(weight_spectra).transpose(2, 0, 1)  # (f, p, q)
+    return np.matmul(g_f, w_f).transpose(1, 2, 0)  # (n, q, f)
+
+
 def block_circulant_forward_batch(
-    weight_spectra: np.ndarray, x_blocks: np.ndarray
+    weight_spectra: np.ndarray,
+    x_blocks: np.ndarray,
+    weight_fm: np.ndarray | None = None,
 ) -> np.ndarray:
     """Batched forward product in the frequency domain.
 
     ``weight_spectra`` is ``rfft`` of the ``(p, q, b)`` grid (shape
     ``(p, q, nb)``); ``x_blocks`` is ``(batch, q, b)``.  Returns the output
     blocks ``(batch, p, b)``.  This is the inference kernel: the weight
-    spectra are precomputed once (paper section IV-A).
+    spectra are precomputed once (paper section IV-A), and the contraction
+    ``y[n, p, f] = sum_q W[p, q, f] X[n, q, f]`` runs as frequency-major
+    batched ``matmul`` — ``nb`` independent complex ``(p, q) @ (q, batch)``
+    GEMMs in one BLAS call.
+
+    ``weight_fm`` optionally supplies the weights already transposed to
+    the contiguous frequency-major ``(nb, p, q)`` layout (e.g. from
+    :meth:`SpectrumCache.get_pair`); without it ``matmul`` re-buffers the
+    strided transpose view on every call, which dominates small-batch
+    inference.
+    """
+    weight_spectra = np.asarray(weight_spectra)
+    x_blocks = np.asarray(x_blocks)
+    b = x_blocks.shape[-1]
+    x_spec = rfft(x_blocks)  # (batch, q, nb)
+    w_f = weight_spectra.transpose(2, 0, 1) if weight_fm is None else weight_fm
+    y_spec = np.matmul(w_f, x_spec.transpose(2, 1, 0)).transpose(2, 1, 0)
+    return irfft(y_spec, n=b)
+
+
+def block_circulant_forward_batch_einsum(
+    weight_spectra: np.ndarray, x_blocks: np.ndarray
+) -> np.ndarray:
+    """Reference einsum form of :func:`block_circulant_forward_batch`.
+
+    Kept as the readable specification of the contraction; the fast kernel
+    must match it to round-off (see ``tests/structured``).
     """
     weight_spectra = np.asarray(weight_spectra)
     x_blocks = np.asarray(x_blocks)
@@ -173,16 +242,34 @@ def block_circulant_backward_batch(
     ``(batch, p, b)``.  Returns ``(grad_weights, grad_x_blocks)`` in the
     time domain with shapes ``(p, q, b)`` and ``(batch, q, b)``.  Both are
     single frequency-domain contractions — O(n log n) per block versus the
-    O(n^2) of dense backprop.
+    O(n^2) of dense backprop — executed as frequency-major batched GEMMs.
     """
+    weight_spectra = np.asarray(weight_spectra)
     x_blocks = np.asarray(x_blocks)
     grad_blocks = np.asarray(grad_blocks)
     b = x_blocks.shape[-1]
     x_spec = rfft(x_blocks)  # (batch, q, nb)
     g_spec = rfft(grad_blocks)  # (batch, p, nb)
     # dL/dw[p, q] = sum_batch correlate(x_q, g_p): conj(X) * G in frequency.
-    grad_w_spec = np.einsum("nqf,npf->pqf", np.conj(x_spec), g_spec)
+    grad_w_spec = _contract_grad_w(x_spec, g_spec)
     # dL/dx[q] = sum_p correlate(w_pq, g_p): conj(W) * G in frequency.
+    grad_x_spec = _contract_grad_x(weight_spectra, g_spec)
+    return irfft(grad_w_spec, n=b), irfft(grad_x_spec, n=b)
+
+
+def block_circulant_backward_batch_einsum(
+    weight_spectra: np.ndarray,
+    x_blocks: np.ndarray,
+    grad_blocks: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference einsum form of :func:`block_circulant_backward_batch`."""
+    weight_spectra = np.asarray(weight_spectra)
+    x_blocks = np.asarray(x_blocks)
+    grad_blocks = np.asarray(grad_blocks)
+    b = x_blocks.shape[-1]
+    x_spec = rfft(x_blocks)
+    g_spec = rfft(grad_blocks)
+    grad_w_spec = np.einsum("nqf,npf->pqf", np.conj(x_spec), g_spec)
     grad_x_spec = np.einsum("pqf,npf->nqf", np.conj(weight_spectra), g_spec)
     return irfft(grad_w_spec, n=b), irfft(grad_x_spec, n=b)
 

@@ -1,0 +1,111 @@
+"""Version-keyed caching of block-circulant weight spectra.
+
+The paper's deployment trick (section IV-A: "simply keep the FFT result
+FFT(w_i)") applies during training too: between two weight updates the
+``rfft`` of the ``(p, q, b)`` weight grid is constant, so recomputing it
+on every forward call wastes the dominant share of small-batch inference
+time.  :class:`SpectrumCache` memoizes the half-spectra of one weight
+tensor, keyed on the tensor's monotonic ``version`` counter (see
+:class:`repro.nn.tensor.Tensor`): optimizer steps, ``load_state_dict``,
+and ``from_dense`` all rebind ``tensor.data`` and thereby advance the
+version, which invalidates the cache on the next lookup.
+
+The cached array is marked read-only: every forward/backward pass of a
+layer shares the same ndarray, so an accidental in-place write would
+corrupt all subsequent calls silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fft import rfft
+
+__all__ = ["SpectrumCache", "freq_major"]
+
+
+def freq_major(spectra: np.ndarray) -> np.ndarray:
+    """Contiguous frequency-major ``(nb, p, q)`` copy of ``(p, q, nb)`` spectra.
+
+    This is the exact layout the batched-GEMM contraction consumes
+    (``weight_fm`` of :func:`~repro.structured.ops.block_circulant_forward_batch`);
+    every cache that stores it goes through this helper so the rule lives
+    in one place.
+    """
+    return np.ascontiguousarray(spectra.transpose(2, 0, 1))
+
+
+class SpectrumCache:
+    """Memoized ``rfft`` of a single weight tensor, keyed by its version.
+
+    One instance lives per block-circulant layer.  ``get(weight)`` returns
+    the ``(p, q, b // 2 + 1)`` half-spectra of the layer's ``(p, q, b)``
+    grid, recomputing only when ``weight.version`` has moved past the
+    version the cache was filled at — i.e. once per weight update during
+    training and exactly once across an entire inference run.
+    """
+
+    __slots__ = (
+        "_version", "_data_ref", "_spectra", "_freq_major", "hits", "misses"
+    )
+
+    def __init__(self) -> None:
+        self._version: int | None = None
+        self._data_ref: np.ndarray | None = None
+        self._spectra: np.ndarray | None = None
+        self._freq_major: np.ndarray | None = None
+        self.hits = 0
+        self.misses = 0
+
+    def _ensure(self, weight) -> None:
+        # Key on the version counter AND the data array's identity: a
+        # freshly constructed Parameter starts at version 0 again, so the
+        # counter alone cannot tell a swapped-in weight from the cached
+        # one.  Holding the array reference also pins its id.
+        version = weight.version
+        if (
+            self._version != version
+            or self._data_ref is not weight.data
+            or self._spectra is None
+        ):
+            spectra = rfft(weight.data)
+            spectra.setflags(write=False)
+            self._spectra = spectra
+            self._freq_major = None
+            self._version = version
+            self._data_ref = weight.data
+            self.misses += 1
+        else:
+            self.hits += 1
+
+    def get(self, weight) -> np.ndarray:
+        """Half-spectra of ``weight.data``, cached across calls.
+
+        ``weight`` is any object with ``data`` (real ndarray) and
+        ``version`` (int) attributes — in practice a
+        :class:`~repro.nn.module.Parameter`.
+        """
+        self._ensure(weight)
+        return self._spectra
+
+    def get_pair(self, weight) -> tuple[np.ndarray, np.ndarray]:
+        """``(spectra, freq_major)``: the ``(p, q, nb)`` half-spectra plus
+        their contiguous frequency-major ``(nb, p, q)`` transpose.
+
+        The frequency-major copy is what the batched-GEMM contraction
+        consumes directly; materializing it once per weight version keeps
+        ``matmul`` from re-buffering a strided view on every forward.
+        """
+        self._ensure(weight)
+        if self._freq_major is None:
+            fm = freq_major(self._spectra)
+            fm.setflags(write=False)
+            self._freq_major = fm
+        return self._spectra, self._freq_major
+
+    def invalidate(self) -> None:
+        """Drop the cached spectra; the next ``get`` recomputes."""
+        self._version = None
+        self._data_ref = None
+        self._spectra = None
+        self._freq_major = None

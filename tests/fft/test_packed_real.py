@@ -1,0 +1,64 @@
+"""Pure-backend packed (two-for-one) real transforms vs numpy.fft."""
+
+import numpy as np
+import pytest
+
+from repro.fft import irfft, rfft
+from repro.fft.backend import use_backend
+
+LENGTHS = [1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 17, 30, 64, 100, 127, 128, 256]
+BATCHES = [(), (3,), (2, 4)]
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+@pytest.mark.parametrize("batch", BATCHES)
+class TestPackedRfft:
+    def test_matches_numpy(self, n, batch, rng):
+        x = rng.normal(size=batch + (n,))
+        with use_backend("pure"):
+            result = rfft(x)
+        assert result.shape == batch + (n // 2 + 1,)
+        assert np.allclose(result, np.fft.rfft(x), atol=1e-10)
+
+    def test_roundtrip(self, n, batch, rng):
+        x = rng.normal(size=batch + (n,))
+        with use_backend("pure"):
+            back = irfft(rfft(x), n=n)
+        assert np.allclose(back, x, atol=1e-10)
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+class TestPackedIrfft:
+    def test_matches_numpy_on_hermitian_spectra(self, n, rng):
+        spectrum = np.fft.rfft(rng.normal(size=(4, n)))
+        with use_backend("pure"):
+            result = irfft(spectrum, n=n)
+        assert np.allclose(result, np.fft.irfft(spectrum, n=n), atol=1e-10)
+
+    def test_matches_numpy_on_arbitrary_spectra(self, n, rng):
+        # numpy discards the imaginary parts of the DC and Nyquist bins;
+        # the packed unpacking must follow the same convention.
+        bins = n // 2 + 1
+        spectrum = rng.normal(size=(2, bins)) + 1j * rng.normal(size=(2, bins))
+        with use_backend("pure"):
+            result = irfft(spectrum, n=n)
+        assert np.allclose(result, np.fft.irfft(spectrum, n=n), atol=1e-10)
+
+
+class TestPackedEdgeCases:
+    def test_rfft_rejects_complex_input(self):
+        with use_backend("pure"):
+            with pytest.raises(TypeError):
+                rfft(np.ones(8, dtype=np.complex128))
+
+    def test_axis_and_padding_still_work(self, rng):
+        x = rng.normal(size=(5, 12))
+        with use_backend("pure"):
+            padded = rfft(x, n=16, axis=0)
+        assert np.allclose(padded, np.fft.rfft(x, n=16, axis=0), atol=1e-10)
+
+    def test_odd_length_fallback_matches(self, rng):
+        x = rng.normal(size=(3, 9))
+        with use_backend("pure"):
+            assert np.allclose(rfft(x), np.fft.rfft(x), atol=1e-10)
+            assert np.allclose(irfft(rfft(x), n=9), x, atol=1e-10)

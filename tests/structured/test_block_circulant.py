@@ -50,6 +50,18 @@ class TestConstruction:
         weights[...] = 0.0
         assert not np.allclose(m.block_weights, 0.0)
 
+    def test_constructor_copies_caller_array(self, rng):
+        # The matrix owns its weights: mutating the source array after
+        # construction must not leak into products (the lazy spectra
+        # cache assumes the defining vectors never change).
+        source = rng.normal(size=(2, 2, 4))
+        m = BlockCirculantMatrix(source)
+        x = rng.normal(size=8)
+        before = m.matvec(x)
+        source[...] = 0.0
+        assert np.allclose(m.matvec(x), before, atol=1e-12)
+        assert np.allclose(m.to_dense() @ x, before, atol=1e-10)
+
 
 class TestProducts:
     @pytest.mark.parametrize(

@@ -1,0 +1,158 @@
+"""Spectrum-cache semantics: hits across calls, invalidation on mutation."""
+
+import numpy as np
+import pytest
+
+from repro.fft import rfft
+from repro.nn import SGD, Adam, BlockCirculantConv2d, BlockCirculantLinear
+from repro.nn.tensor import Tensor
+from repro.structured import SpectrumCache
+
+
+class TestSpectrumCache:
+    def test_get_caches_across_calls(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.arange(24.0).reshape(2, 3, 4))
+        first = cache.get(weight)
+        second = cache.get(weight)
+        assert first is second
+        assert cache.misses == 1 and cache.hits == 1
+        assert np.allclose(first, rfft(weight.data), atol=1e-12)
+
+    def test_data_rebind_invalidates(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.ones((2, 2, 4)))
+        stale = cache.get(weight)
+        weight.data = np.full((2, 2, 4), 3.0)
+        fresh = cache.get(weight)
+        assert fresh is not stale
+        assert np.allclose(fresh, rfft(weight.data), atol=1e-12)
+
+    def test_bump_version_invalidates_after_inplace_write(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.ones((2, 2, 4)))
+        cache.get(weight)
+        weight.data[...] = 5.0  # bypasses the setter
+        weight.bump_version()
+        assert np.allclose(cache.get(weight), rfft(weight.data), atol=1e-12)
+
+    def test_cached_array_is_read_only(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.ones((1, 1, 8)))
+        spectra = cache.get(weight)
+        with pytest.raises(ValueError):
+            spectra[0, 0, 0] = 0.0
+
+    def test_invalidate_forces_recompute(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.ones((1, 2, 4)))
+        first = cache.get(weight)
+        cache.invalidate()
+        assert cache.get(weight) is not first
+        assert cache.misses == 2
+
+
+class TestLayerCacheIntegration:
+    def _layer(self):
+        return BlockCirculantLinear(12, 8, 4, rng=np.random.default_rng(0))
+
+    def test_repeated_forward_hits_cache(self):
+        layer = self._layer()
+        x = np.random.default_rng(1).normal(size=(3, 12))
+        first = layer(x).data
+        for _ in range(3):
+            assert np.allclose(layer(x).data, first, atol=1e-12)
+        assert layer._spectrum_cache.misses == 1
+        assert layer._spectrum_cache.hits == 3
+
+    @pytest.mark.parametrize("make_optimizer", [
+        lambda params: SGD(params, lr=0.1),
+        lambda params: Adam(params, lr=0.1),
+    ])
+    def test_optimizer_step_invalidates(self, make_optimizer):
+        layer = self._layer()
+        optimizer = make_optimizer(layer.parameters())
+        x = np.random.default_rng(2).normal(size=(4, 12))
+        layer(x).sum().backward()
+        optimizer.step()
+        # Post-step forward must use spectra of the *updated* weights:
+        # compare against a fresh layer carrying the same weights.
+        out = layer(x).data
+        fresh = BlockCirculantLinear(12, 8, 4, bias=False)
+        fresh.weight.data = layer.weight.data.copy()
+        expected = fresh(x).data + layer.bias.data
+        assert np.allclose(out, expected, atol=1e-10)
+        assert layer._spectrum_cache.misses == 2
+
+    def test_direct_weight_assignment_invalidates(self):
+        layer = self._layer()
+        x = np.random.default_rng(3).normal(size=(2, 12))
+        layer(x)
+        layer.weight.data = np.zeros_like(layer.weight.data)
+        out = layer(x).data
+        assert np.allclose(out, np.broadcast_to(layer.bias.data, out.shape),
+                           atol=1e-12)
+
+    def test_from_dense_projection_uses_fresh_spectra(self):
+        rng = np.random.default_rng(4)
+        dense = rng.normal(size=(8, 12))
+        bias = rng.normal(size=8)
+        layer = BlockCirculantLinear.from_dense(dense, block_size=4, bias=bias)
+        x = rng.normal(size=(2, 12))
+        expected = x @ layer.dense_weight().T + bias
+        assert np.allclose(layer(x).data, expected, atol=1e-10)
+
+    def test_load_state_dict_invalidates(self):
+        layer = self._layer()
+        x = np.random.default_rng(5).normal(size=(2, 12))
+        before = layer(x).data
+        other = BlockCirculantLinear(12, 8, 4, rng=np.random.default_rng(99))
+        layer.load_state_dict(other.state_dict())
+        after = layer(x).data
+        assert not np.allclose(before, after)
+        assert np.allclose(after, other(x).data, atol=1e-10)
+
+    def test_replacing_the_parameter_object_invalidates(self):
+        # A fresh Parameter restarts its version at 0; the cache must key
+        # on the data array's identity too, not the counter alone.
+        layer = self._layer()
+        x = np.random.default_rng(8).normal(size=(2, 12))
+        layer(x)
+        from repro.nn.module import Parameter
+
+        layer.weight = Parameter(layer.weight.data * 2.0)
+        assert layer.weight.version == 0
+        fresh = BlockCirculantLinear(12, 8, 4, bias=False)
+        fresh.weight.data = layer.weight.data.copy()
+        expected = fresh(x).data + layer.bias.data
+        assert np.allclose(layer(x).data, expected, atol=1e-10)
+
+    def test_conv_layer_caches_and_invalidates(self):
+        layer = BlockCirculantConv2d(4, 4, 3, block_size=2, padding=1,
+                                     rng=np.random.default_rng(6))
+        x = np.random.default_rng(7).normal(size=(2, 4, 5, 5))
+        first = layer(x).data
+        layer(x)
+        assert layer._spectrum_cache.misses == 1
+        assert layer._spectrum_cache.hits == 1
+        layer.weight.data = layer.weight.data * 2.0
+        doubled = layer(x).data
+        bias = layer.bias.data[None, :, None, None]
+        assert np.allclose(doubled - bias, 2.0 * (first - bias), atol=1e-10)
+        assert layer._spectrum_cache.misses == 2
+
+
+class TestTensorVersion:
+    def test_version_starts_at_zero_and_counts_rebinds(self):
+        t = Tensor(np.zeros(3))
+        assert t.version == 0
+        t.data = np.ones(3)
+        t.data = np.ones(3)
+        assert t.version == 2
+
+    def test_bump_version_is_manual_escape_hatch(self):
+        t = Tensor(np.zeros(3))
+        t.data[0] = 1.0
+        assert t.version == 0  # in-place writes are invisible...
+        t.bump_version()
+        assert t.version == 1  # ...until declared
