@@ -16,24 +16,34 @@ trajectory:
   reference implementation (tolerance 1e-10).
 * **zoo** — forward / forward+backward / frozen-session inference on the
   MNIST-FC (Arch. 1) and CIFAR-conv (reduced Arch. 3) configurations.
+* **pure_backend** — the package's own FFT kernels vs ``numpy.fft`` at
+  fp64 and fp32 (transform roundtrip + block-circulant forward), tracked
+  release over release.
+* **precision** — fp32 (complex64/float32) vs fp64 frozen-session speed
+  and accuracy.
+* **sharded_predict** — serial vs :class:`ShardedExecutor` predict
+  throughput on a (64, 128) block-grid model, batch- and row-sharded;
+  records the visible CPU count (multi-process gains require cores).
 
 Run:  PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_fdx.json]
+      (``--quick`` shrinks repeats/sizes for CI smoke runs)
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.fft import rfft
+from repro.fft import irfft, rfft
 from repro.fft.backend import use_backend
 from repro.nn import BlockCirculantLinear, CrossEntropyLoss, Sequential
-from repro.runtime import InferenceSession
+from repro.runtime import InferenceSession, ShardedExecutor
 from repro.structured import (
     block_circulant_backward_batch,
     block_circulant_backward_batch_einsum,
@@ -219,6 +229,142 @@ def bench_zoo(repeats: int) -> dict:
     return results
 
 
+def bench_pure_backend(repeats: int, quick: bool = False) -> dict:
+    """Pure FFT backend vs numpy.fft, fp64 and fp32 (ROADMAP open item)."""
+    rng = np.random.default_rng(7)
+    batch, n = (16, 64) if quick else (64, 128)
+    p = q = 8 if quick else 16
+    b = n
+    x64 = rng.normal(size=(batch, n))
+    x32 = x64.astype(np.float32)
+    weight = rng.normal(size=(p, q, b))
+    blocks64 = rng.normal(size=(8, q, b))
+    results: dict[str, dict] = {"config": {"batch": batch, "n": n, "p": p, "q": q}}
+
+    def roundtrip(x):
+        return irfft(rfft(x), n=x.shape[-1])
+
+    for name, x in (("fp64", x64), ("fp32", x32)):
+        spectra = rfft(weight.astype(x.dtype))
+        blocks = blocks64.astype(x.dtype)
+        with use_backend("numpy"):
+            numpy_rt = best_of(lambda: roundtrip(x), repeats, inner=5)
+            numpy_fwd = best_of(
+                lambda: block_circulant_forward_batch(spectra, blocks),
+                repeats, inner=5,
+            )
+        with use_backend("pure"):
+            pure_rt = best_of(lambda: roundtrip(x), repeats, inner=5)
+            pure_fwd = best_of(
+                lambda: block_circulant_forward_batch(spectra, blocks),
+                repeats, inner=5,
+            )
+            pure_spectrum = rfft(x)
+            pure_back = roundtrip(x)
+        results[name] = {
+            "rfft_irfft_numpy_us": numpy_rt * 1e6,
+            "rfft_irfft_pure_us": pure_rt * 1e6,
+            "bc_forward_numpy_us": numpy_fwd * 1e6,
+            "bc_forward_pure_us": pure_fwd * 1e6,
+            "pure_vs_numpy_slowdown": pure_rt / numpy_rt,
+            "spectrum_dtype": str(pure_spectrum.dtype),
+            "roundtrip_max_err": float(np.abs(pure_back - x).max()),
+        }
+    return results
+
+
+def bench_precision(repeats: int, quick: bool = False) -> dict:
+    """fp32 vs fp64 frozen-session inference: speed and accuracy."""
+    rng = np.random.default_rng(8)
+    p, q, b = (8, 16, 64) if quick else (32, 64, 128)
+    batch = 16
+    layer = BlockCirculantLinear(q * b, p * b, b, rng=rng)
+    layer.eval()
+    model = Sequential(layer)
+    x = rng.normal(size=(batch, q * b))
+
+    fp64 = InferenceSession.freeze(model)
+    fp32 = InferenceSession.freeze(model, precision="fp32")
+    out64 = fp64.forward(x)
+    out32 = fp32.forward(x)
+    assert out32.dtype == np.float32
+
+    fp64_s = best_of(lambda: fp64.forward(x), repeats, inner=5)
+    fp32_s = best_of(lambda: fp32.forward(x), repeats, inner=5)
+    scale = float(np.abs(out64).max())
+    return {
+        "config": {"p": p, "q": q, "b": b, "batch": batch},
+        "fp64_us": fp64_s * 1e6,
+        "fp32_us": fp32_s * 1e6,
+        "fp32_speedup": fp64_s / fp32_s,
+        "max_abs_err": float(np.abs(out64 - out32).max()),
+        "max_rel_err": float(np.abs(out64 - out32).max() / scale),
+        "spectrum_bytes_fp64": 16 * p * q * (b // 2 + 1),
+        "spectrum_bytes_fp32": 8 * p * q * (b // 2 + 1),
+    }
+
+
+def bench_sharded_predict(
+    repeats: int, workers: int = 4, quick: bool = False
+) -> dict:
+    """Serial vs ShardedExecutor predict throughput, (64, 128) block grid.
+
+    Multi-process speedup needs physical cores: the recorded ``cpus``
+    field qualifies the measurement (on a single-core host the pool
+    round-trip can only add overhead; rerun on a many-core machine to
+    see the gain).
+    """
+    rng = np.random.default_rng(9)
+    if quick:
+        p, q, b, batch, workers = 16, 32, 32, 24, 2
+    else:
+        p, q, b, batch = 64, 128, 64, 96
+    layer = BlockCirculantLinear(q * b, p * b, b, rng=rng)
+    layer.eval()
+    model = Sequential(layer)
+    x = rng.normal(size=(batch, q * b))
+    chunk = batch // workers
+
+    serial = InferenceSession.freeze(model)
+    sharded = InferenceSession.freeze(
+        model, executor=ShardedExecutor(workers=workers, mode="batch")
+    )
+    rows = InferenceSession.freeze(
+        model, executor=ShardedExecutor(workers=workers, mode="rows")
+    )
+    try:
+        identical = bool(
+            np.array_equal(
+                serial.predict(x, batch_size=chunk),
+                sharded.predict(x, batch_size=chunk),
+            )
+        )
+        rows_identical = bool(
+            np.array_equal(serial.forward(x[:1]), rows.forward(x[:1]))
+        )
+        sharded.predict(x, batch_size=chunk)  # warm the pool before timing
+        rows.forward(x[:1])
+        serial_s = best_of(lambda: serial.predict(x, batch_size=chunk), repeats)
+        sharded_s = best_of(lambda: sharded.predict(x, batch_size=chunk), repeats)
+        rows_serial_s = best_of(lambda: serial.forward(x[:1]), repeats, inner=3)
+        rows_pool_s = best_of(lambda: rows.forward(x[:1]), repeats, inner=3)
+    finally:
+        sharded.close()
+        rows.close()
+    return {
+        "config": {"p": p, "q": q, "b": b, "batch": batch, "workers": workers},
+        "cpus": os.cpu_count(),
+        "serial_predict_ms": serial_s * 1e3,
+        "sharded_predict_ms": sharded_s * 1e3,
+        "predict_speedup": serial_s / sharded_s,
+        "rows_serial_forward_ms": rows_serial_s * 1e3,
+        "rows_pool_forward_ms": rows_pool_s * 1e3,
+        "rows_forward_speedup": rows_serial_s / rows_pool_s,
+        "bitwise_identical": identical,
+        "rows_bitwise_identical": rows_identical,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -226,18 +372,34 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: repo-root BENCH_fdx.json)",
     )
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes / few repeats for CI smoke runs",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="pool size for the sharded-predict benchmark",
+    )
     args = parser.parse_args(argv)
+    repeats = 2 if args.quick else args.repeats
 
     report = {
         "meta": {
             "numpy": np.__version__,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "quick": args.quick,
         },
-        "inference_forward_cached": bench_inference_forward(args.repeats),
-        "train_step_matmul_vs_einsum": bench_train_step(args.repeats),
+        "inference_forward_cached": bench_inference_forward(repeats),
+        "train_step_matmul_vs_einsum": bench_train_step(repeats),
         "equivalence": check_equivalence(),
-        "zoo": bench_zoo(args.repeats),
+        "zoo": bench_zoo(repeats),
+        "pure_backend": bench_pure_backend(repeats, quick=args.quick),
+        "precision": bench_precision(repeats, quick=args.quick),
+        "sharded_predict": bench_sharded_predict(
+            repeats, workers=args.workers, quick=args.quick
+        ),
     }
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
@@ -253,6 +415,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name}: fwd {row['forward_ms']:.1f} ms, "
               f"fwd+bwd {row['forward_backward_ms']:.1f} ms, "
               f"frozen inference {row['session_us_per_image']:.0f} us/image")
+    pure = report["pure_backend"]
+    for prec in ("fp64", "fp32"):
+        row = pure[prec]
+        print(f"pure backend ({prec}): rfft+irfft "
+              f"{row['rfft_irfft_pure_us']:.0f} us vs numpy "
+              f"{row['rfft_irfft_numpy_us']:.0f} us "
+              f"({row['pure_vs_numpy_slowdown']:.1f}x slower), "
+              f"roundtrip err {row['roundtrip_max_err']:.2g}")
+    prec = report["precision"]
+    print(f"fp32 session: {prec['fp32_speedup']:.2f}x vs fp64 "
+          f"({prec['fp64_us']:.0f} -> {prec['fp32_us']:.0f} us), "
+          f"max abs err {prec['max_abs_err']:.2g}, "
+          f"spectrum bytes halved "
+          f"{prec['spectrum_bytes_fp64']} -> {prec['spectrum_bytes_fp32']}")
+    shard = report["sharded_predict"]
+    print(f"sharded predict ({shard['config']['workers']} workers, "
+          f"{shard['cpus']} cpu(s)): "
+          f"{shard['predict_speedup']:.2f}x batch / "
+          f"{shard['rows_forward_speedup']:.2f}x rows, "
+          f"bitwise identical: {shard['bitwise_identical']}")
     print(f"wrote {args.out}")
     return 0
 

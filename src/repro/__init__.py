@@ -18,11 +18,17 @@ Subpackages:
 * :mod:`repro.quantize` — fixed-point weight quantization extension,
 * :mod:`repro.runtime` — the frozen inference runtime
   (:class:`~repro.runtime.InferenceSession`: flat op plan, precomputed
-  spectra, fused bias+activation, batched streaming predict),
+  spectra, fused bias+activation, batched streaming predict, pluggable
+  :class:`~repro.runtime.PlanExecutor` strategies including the
+  multi-process :class:`~repro.runtime.ShardedExecutor`),
+* :mod:`repro.precision` — :class:`~repro.precision.PrecisionPolicy`,
+  the fp64/fp32 dtype policy threaded through fft, structured, runtime
+  and embedded,
 * :mod:`repro.zoo` — the paper's Arch. 1 / Arch. 2 / Arch. 3 builders.
 """
 
 from . import analysis, data, embedded, fft, io, nn, quantize, runtime, structured, zoo
+from .precision import FP32, FP64, PrecisionPolicy
 from .exceptions import (
     BackendError,
     ConfigurationError,
@@ -45,6 +51,9 @@ __all__ = [
     "quantize",
     "runtime",
     "zoo",
+    "PrecisionPolicy",
+    "FP32",
+    "FP64",
     "ReproError",
     "ShapeError",
     "BackendError",

@@ -32,6 +32,7 @@ from .io import (
     save_weights,
 )
 from .nn import Adam, CrossEntropyLoss, Trainer
+from .runtime import ShardedExecutor
 
 __all__ = ["main", "build_parser"]
 
@@ -78,6 +79,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=256,
         help="streaming chunk size for the inference session",
+    )
+    predict.add_argument(
+        "--precision",
+        choices=("fp64", "fp32"),
+        default="fp64",
+        help="session precision: fp32 runs complex64/float32 end to end "
+        "(half the spectrum memory, ~1e-6 accuracy)",
+    )
+    predict.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes; >1 shards predict batches and large "
+        "block-circulant layers across a process pool",
+    )
+    predict.add_argument(
+        "--conv-tile",
+        type=_positive_int,
+        default=None,
+        help="overlap-add conv tiling: output rows per tile (bounds "
+        "block-circulant conv memory by the tile instead of the full "
+        "im2col matrix)",
     )
 
     profile = sub.add_parser(
@@ -136,18 +159,27 @@ def _cmd_deploy(args) -> int:
 
 def _cmd_predict(args) -> int:
     # Compile the artifact once into the frozen runtime (precomputed
-    # spectra, fused ops), then stream the inputs through it in chunks.
-    session = DeployedModel.load(args.model).to_session()
+    # spectra at the chosen precision, fused ops), then stream the
+    # inputs through it in chunks — on a worker pool when requested.
+    executor = (
+        ShardedExecutor(workers=args.workers) if args.workers > 1 else None
+    )
+    session = DeployedModel.load(args.model).to_session(
+        precision=args.precision,
+        executor=executor,
+        conv_tile=args.conv_tile,
+    )
     inputs, labels = load_inputs(args.data)
-    if args.proba:
-        for row in session.predict_proba(inputs, batch_size=args.batch_size):
-            print(" ".join(f"{p:.4f}" for p in row))
-    else:
-        predictions = session.predict(inputs, batch_size=args.batch_size)
-        print(" ".join(str(int(p)) for p in predictions))
-        if labels is not None:
-            score = float((predictions == labels).mean())
-            print(f"accuracy: {score:.4f}", file=sys.stderr)
+    with session:
+        if args.proba:
+            for row in session.predict_proba(inputs, batch_size=args.batch_size):
+                print(" ".join(f"{p:.4f}" for p in row))
+        else:
+            predictions = session.predict(inputs, batch_size=args.batch_size)
+            print(" ".join(str(int(p)) for p in predictions))
+            if labels is not None:
+                score = float((predictions == labels).mean())
+                print(f"accuracy: {score:.4f}", file=sys.stderr)
     return 0
 
 

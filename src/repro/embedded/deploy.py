@@ -15,9 +15,11 @@ implements that flow:
   artifact through a single ``.npz`` file (the "Parameters" file of
   Fig. 4),
 * :meth:`DeployedModel.to_session` compiles the records into a
-  :class:`~repro.runtime.InferenceSession` — the fast path that widens
-  the stored complex64 spectra once and fuses bias+activation, instead
-  of interpreting records per call.
+  :class:`~repro.runtime.InferenceSession` — the fast path that fuses
+  bias+activation and materializes the stored complex64 spectra once at
+  the session's :class:`~repro.precision.PrecisionPolicy` (``"fp32"``
+  runs them exactly as stored; the default ``"fp64"`` widens once),
+  with optional sharded execution and overlap-add conv tiling.
 
 Dropout layers vanish at deployment; batch-norm folds into a per-feature
 affine transform.
@@ -294,15 +296,32 @@ class DeployedModel:
         """Predicted integer labels."""
         return self.predict_proba(inputs).argmax(axis=-1)
 
-    def to_session(self) -> InferenceSession:
+    def to_session(
+        self,
+        precision=None,
+        executor=None,
+        conv_tile: int | None = None,
+        row_shards: int | None = None,
+    ) -> InferenceSession:
         """Compile the records into a frozen :class:`InferenceSession`.
 
-        The session widens the stored complex64 spectra to complex128
-        once, fuses bias+activation pairs, and supports batched streaming
-        ``predict`` — use it whenever more than a handful of inputs will
-        run through the artifact.
+        The session materializes the stored complex64 spectra once at
+        ``precision`` (``"fp32"`` uses them as stored — half the resident
+        memory; the default ``"fp64"`` widens to complex128), fuses
+        bias+activation pairs, and supports batched streaming ``predict``
+        — use it whenever more than a handful of inputs will run through
+        the artifact.  ``executor`` (``"serial"``, ``"sharded"``, or a
+        :class:`~repro.runtime.executors.PlanExecutor`), ``conv_tile``
+        and ``row_shards`` pass through to
+        :meth:`InferenceSession.from_deployed`.
         """
-        return InferenceSession.from_deployed(self)
+        return InferenceSession.from_deployed(
+            self,
+            precision=precision,
+            executor=executor,
+            conv_tile=conv_tile,
+            row_shards=row_shards,
+        )
 
     def time_inference(
         self, inputs: np.ndarray, repeats: int = 3

@@ -11,6 +11,15 @@ the Java slowdown.  This module quantifies all three:
   largest adjacent activation buffers (layers execute sequentially, so
   only consecutive input/output activations coexist),
 * a check against a platform's RAM and against a Java-heap-style cap.
+
+Estimates are precision-aware: ``precision`` selects the
+:class:`~repro.precision.PrecisionPolicy` the frozen runtime would run
+at.  The default (``None`` or ``"fp32"``) prices the deployed artifact's
+own dtypes — complex64 spectra and float32 activations, exactly what an
+fp32 :class:`~repro.runtime.InferenceSession` keeps resident.  ``"fp64"``
+prices the widened session (complex128 spectra, float64 activations):
+twice every buffer, which is precisely why the fp32 inference mode
+exists for RAM-constrained targets.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import math
 from dataclasses import dataclass
 
 from ..nn.module import Sequential
+from ..precision import PrecisionPolicy
 from .cost_model import count_model
 from .platform import PlatformSpec, get_platform
 
@@ -48,28 +58,40 @@ class MemoryFootprint:
 
 
 def estimate_memory(
-    model: Sequential, input_shape: tuple[int, ...], batch_size: int = 1
+    model: Sequential,
+    input_shape: tuple[int, ...],
+    batch_size: int = 1,
+    precision: str | PrecisionPolicy | None = None,
 ) -> MemoryFootprint:
-    """Estimate the inference working set of ``model``.
+    """Estimate the inference working set of ``model`` at ``precision``.
 
     Activation sizes are traced through the cost model's shape
     propagation; the peak is the largest sum of two consecutive buffers
-    (input of a layer + its output), times ``batch_size``.
+    (input of a layer + its output), times ``batch_size``.  The cost
+    model prices weights at the artifact dtypes (complex64 spectra /
+    float32 dense); an fp64 session widens every resident buffer, so
+    ``precision="fp64"`` doubles both terms while the default fp32
+    numbers match the stored artifact — the complex64 spectra are half
+    the fp64 spectrum footprint.
     """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
+    policy = PrecisionPolicy.resolve(precision if precision is not None else "fp32")
+    # Artifact dtypes are single precision; fp64 sessions widen 2x.
+    scale = policy.real_itemsize // _FLOAT_BYTES
+    element_bytes = _FLOAT_BYTES * scale
     cost = count_model(model, tuple(input_shape))
-    activation_sizes = [math.prod(input_shape) * _FLOAT_BYTES * batch_size]
+    activation_sizes = [math.prod(input_shape) * element_bytes * batch_size]
     for layer in cost.layers:
         activation_sizes.append(
-            math.prod(layer.output_shape) * _FLOAT_BYTES * batch_size
+            math.prod(layer.output_shape) * element_bytes * batch_size
         )
     peak = max(
         activation_sizes[i] + activation_sizes[i + 1]
         for i in range(len(activation_sizes) - 1)
     )
     return MemoryFootprint(
-        weight_bytes=cost.weight_bytes,
+        weight_bytes=cost.weight_bytes * scale,
         peak_activation_bytes=peak,
         activation_bytes_per_layer=tuple(activation_sizes),
     )

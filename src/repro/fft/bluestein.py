@@ -20,22 +20,28 @@ __all__ = ["fft_bluestein"]
 
 
 @functools.lru_cache(maxsize=128)
-def _chirp(n: int, inverse: bool) -> np.ndarray:
-    """Return the chirp sequence ``exp(sign * i*pi*k^2/n)`` for k in [0, n)."""
+def _chirp(n: int, inverse: bool, dtype: str = "complex128") -> np.ndarray:
+    """Return the chirp sequence ``exp(sign * i*pi*k^2/n)`` for k in [0, n).
+
+    Always computed in double precision and rounded once to ``dtype``, so
+    complex64 chirps carry only the final rounding error.
+    """
     sign = 1j if inverse else -1j
     k = np.arange(n, dtype=np.float64)
     # k^2 mod 2n keeps the argument small and the chirp numerically exact.
     exponent = (k * k) % (2.0 * n)
-    chirp = np.exp(sign * np.pi * exponent / n)
+    chirp = np.exp(sign * np.pi * exponent / n).astype(dtype, copy=False)
     chirp.setflags(write=False)
     return chirp
 
 
 @functools.lru_cache(maxsize=128)
-def _kernel_spectrum(n: int, m: int, inverse: bool) -> np.ndarray:
+def _kernel_spectrum(
+    n: int, m: int, inverse: bool, dtype: str = "complex128"
+) -> np.ndarray:
     """Radix-2 spectrum of the length-``m`` wrapped conjugate chirp kernel."""
-    chirp = _chirp(n, inverse)
-    kernel = np.zeros(m, dtype=np.complex128)
+    chirp = _chirp(n, inverse, dtype)
+    kernel = np.zeros(m, dtype=dtype)
     kernel[:n] = np.conj(chirp)
     # Wrap the tail so the circular convolution of length m realizes the
     # linear convolution of the two length-n chirped sequences.
@@ -50,18 +56,26 @@ def fft_bluestein(x: np.ndarray, inverse: bool = False) -> np.ndarray:
 
     Uses the identity ``j*k = (j^2 + k^2 - (k-j)^2) / 2`` to turn the DFT
     into a convolution.  No ``1/n`` normalization is applied for
-    ``inverse=True`` (the dispatcher applies it).
+    ``inverse=True`` (the dispatcher applies it).  Follows the input
+    precision: float32/complex64 input keeps the whole chirp-z pipeline
+    (and the radix-2 convolution inside it) in complex64.
     """
-    x = np.asarray(x, dtype=np.complex128)
+    x = np.asarray(x)
+    dtype = (
+        np.complex64
+        if x.dtype in (np.float32, np.complex64)
+        else np.complex128
+    )
+    x = x.astype(dtype, copy=False)
     n = x.shape[-1]
     if n == 1:
         return x.copy()
     m = next_power_of_two(2 * n - 1)
 
-    chirp = _chirp(n, inverse)
-    padded = np.zeros(x.shape[:-1] + (m,), dtype=np.complex128)
+    chirp = _chirp(n, inverse, dtype.__name__)
+    padded = np.zeros(x.shape[:-1] + (m,), dtype=dtype)
     padded[..., :n] = x * chirp
 
-    spectrum = fft_radix2(padded) * _kernel_spectrum(n, m, inverse)
+    spectrum = fft_radix2(padded) * _kernel_spectrum(n, m, inverse, dtype.__name__)
     convolved = np.conj(fft_radix2(np.conj(spectrum))) / m
     return convolved[..., :n] * chirp

@@ -47,8 +47,19 @@ def fft_radix2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
     ``log2(n)`` times; here only the scratch (n/2 elements) is written per
     stage, which is what makes the pure backend usable in the layer hot
     path.
+
+    The kernel follows its input precision: ``float32`` / ``complex64``
+    input runs every butterfly natively in ``complex64`` (half the memory
+    traffic — the embedded fp32 inference mode), everything else widens
+    to ``complex128`` as before.
     """
-    x = np.asarray(x, dtype=np.complex128)
+    x = np.asarray(x)
+    dtype = (
+        np.complex64
+        if x.dtype in (np.float32, np.complex64)
+        else np.complex128
+    )
+    x = x.astype(dtype, copy=False)
     n = x.shape[-1]
     if not is_power_of_two(n):
         raise ValueError(f"radix-2 FFT requires power-of-two length, got {n}")
@@ -59,7 +70,7 @@ def fft_radix2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
     # stage can operate on contiguous halves.  Fancy indexing materializes
     # the one work buffer all stages mutate in place.
     out = x[..., bit_reversal_permutation(n)]
-    scratch = np.empty(x.shape[:-1] + (n // 2,), dtype=np.complex128)
+    scratch = np.empty(x.shape[:-1] + (n // 2,), dtype=dtype)
 
     # Stages 1..log2(n): combine DFTs of size `half` into size `size`.
     size = 2
@@ -67,7 +78,7 @@ def fft_radix2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
         half = size // 2
         # Twiddles W_size^k for k in [0, half): the factors on the lower
         # wing of each butterfly in Fig. 1.
-        twiddles = twiddle_factors(size, inverse=inverse)[:half]
+        twiddles = twiddle_factors(size, inverse=inverse, dtype=dtype.__name__)[:half]
         grouped = out.reshape(x.shape[:-1] + (n // size, size))
         even = grouped[..., :half]
         odd = grouped[..., half:]

@@ -4,6 +4,16 @@ These are the only transform functions the rest of the package calls.  The
 pure backend routes power-of-two lengths to the iterative radix-2
 Cooley-Tukey kernel (paper Fig. 1) and everything else to Bluestein's
 chirp-z algorithm, so every length runs in O(n log n).
+
+**Precision.**  All four transforms follow their input dtype: float64 /
+complex128 input produces complex128 spectra (the historical behaviour),
+while float32 / complex64 input produces complex64 spectra and float32
+inverse transforms — the contract the fp32 inference mode
+(:class:`repro.precision.PrecisionPolicy`) relies on.  The pure backend
+runs its butterflies, chirps and packed real transforms *natively* in
+single precision (half the memory traffic); ``numpy.fft`` computes
+internally in double regardless, so the numpy backend rounds its result
+once on the way out — same dtype contract, double-precision arithmetic.
 """
 
 from __future__ import annotations
@@ -16,6 +26,11 @@ from .cooley_tukey import fft_radix2
 from .twiddle import is_power_of_two, twiddle_factors
 
 __all__ = ["fft", "ifft", "rfft", "irfft"]
+
+
+def _is_single(dtype: np.dtype) -> bool:
+    """True for the single-precision real/complex dtypes."""
+    return dtype == np.float32 or dtype == np.complex64
 
 
 def _prepare(x: np.ndarray, n: int | None, axis: int) -> np.ndarray:
@@ -50,20 +65,23 @@ def _pure_rfft(x: np.ndarray) -> np.ndarray:
     sequence ``z[k] = x[2k] + i x[2k+1]`` and one half-length transform is
     unpacked into the ``n // 2 + 1`` non-redundant bins — half the
     butterfly work of transform-then-truncate.  Odd lengths fall back to
-    the full complex transform.
+    the full complex transform.  float32 input keeps the packing, the
+    half-length transform and the unpacking entirely in complex64.
     """
     n = x.shape[-1]
+    cdtype = np.complex64 if _is_single(x.dtype) else np.complex128
     if n < 2 or n % 2:
-        return _pure_fft(x.astype(np.complex128), inverse=False)[..., : n // 2 + 1]
+        return _pure_fft(x.astype(cdtype), inverse=False)[..., : n // 2 + 1]
     m = n // 2
     z = x[..., 0::2] + 1j * x[..., 1::2]
-    zf = _pure_fft(z, inverse=False)  # (..., m)
+    zf = _pure_fft(z.astype(cdtype, copy=False), inverse=False)  # (..., m)
     # Bins 0..m of Z with wraparound Z[m] = Z[0], and conj(Z[m-k]).
     zf_ext = np.concatenate([zf, zf[..., :1]], axis=-1)
     zf_rev = np.conj(zf_ext[..., ::-1])
     even = 0.5 * (zf_ext + zf_rev)  # FFT of x[0::2]
     odd = -0.5j * (zf_ext - zf_rev)  # FFT of x[1::2]
-    return even + twiddle_factors(n)[: m + 1] * odd
+    twiddles = twiddle_factors(n, dtype=np.dtype(cdtype).name)[: m + 1]
+    return even + twiddles * odd
 
 
 def _pure_irfft(x: np.ndarray, n: int) -> np.ndarray:
@@ -73,11 +91,15 @@ def _pure_irfft(x: np.ndarray, n: int) -> np.ndarray:
     length-``n/2`` complex spectrum of the interleaved sequence, one
     half-length inverse transform runs, and real/imaginary parts fan back
     out to the even/odd samples.  Odd lengths rebuild the full Hermitian
-    spectrum and inverse-transform at length ``n``.
+    spectrum and inverse-transform at length ``n``.  complex64 input
+    yields a float32 signal with no intermediate widening.
     """
+    cdtype = np.complex64 if _is_single(x.dtype) else np.complex128
+    rdtype = np.float32 if cdtype == np.complex64 else np.float64
+    x = x.astype(cdtype, copy=False)
     bins = n // 2 + 1
     if n < 2 or n % 2:
-        full = np.zeros(x.shape[:-1] + (n,), dtype=np.complex128)
+        full = np.zeros(x.shape[:-1] + (n,), dtype=cdtype)
         full[..., :bins] = x
         if n > 1:
             tail = np.conj(x[..., 1 : (n + 1) // 2])
@@ -91,10 +113,11 @@ def _pure_irfft(x: np.ndarray, n: int) -> np.ndarray:
     x_rev = np.conj(x[..., m:0:-1]).copy()  # conj(X[m-k]) for k in 0..m-1
     x_rev[..., 0] = x[..., m].real
     even = 0.5 * (xk + x_rev)
-    odd = 0.5 * (xk - x_rev) * twiddle_factors(n, inverse=True)[:m]
+    twiddles = twiddle_factors(n, inverse=True, dtype=np.dtype(cdtype).name)
+    odd = 0.5 * (xk - x_rev) * twiddles[:m]
     z = even + 1j * odd
-    zt = _pure_fft(z, inverse=True) / m
-    out = np.empty(x.shape[:-1] + (n,), dtype=np.float64)
+    zt = _pure_fft(z.astype(cdtype, copy=False), inverse=True) / m
+    out = np.empty(x.shape[:-1] + (n,), dtype=rdtype)
     out[..., 0::2] = zt.real
     out[..., 1::2] = zt.imag
     return out
@@ -104,24 +127,33 @@ def fft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
     """Discrete Fourier transform of ``x`` along ``axis``.
 
     ``n`` zero-pads or truncates the transformed axis first, matching the
-    ``numpy.fft`` convention.  Returns ``complex128``.
+    ``numpy.fft`` convention.  Returns complex128, or complex64 for
+    float32/complex64 input (see the module docstring).
     """
     moved = _prepare(x, n, axis)
+    single = _is_single(moved.dtype)
     if get_backend() == "numpy":
         result = np.fft.fft(moved, axis=-1)
+        if single:
+            result = result.astype(np.complex64)
     else:
-        result = _pure_fft(np.asarray(moved, dtype=np.complex128), inverse=False)
+        cdtype = np.complex64 if single else np.complex128
+        result = _pure_fft(np.asarray(moved, dtype=cdtype), inverse=False)
     return np.moveaxis(result, -1, axis)
 
 
 def ifft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
     """Inverse DFT of ``x`` along ``axis`` (with ``1/n`` normalization)."""
     moved = _prepare(x, n, axis)
+    single = _is_single(moved.dtype)
     if get_backend() == "numpy":
         result = np.fft.ifft(moved, axis=-1)
+        if single:
+            result = result.astype(np.complex64)
     else:
         length = moved.shape[-1]
-        result = _pure_fft(np.asarray(moved, dtype=np.complex128), inverse=True)
+        cdtype = np.complex64 if single else np.complex128
+        result = _pure_fft(np.asarray(moved, dtype=cdtype), inverse=True)
         result = result / length
     return np.moveaxis(result, -1, axis)
 
@@ -131,15 +163,20 @@ def rfft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
 
     This is the transform the deployment format stores for each circulant
     block (paper section IV-A: "simply keep the FFT result FFT(w_i)"),
-    halving both storage and per-inference multiply count.
+    halving both storage and per-inference multiply count.  float32 input
+    produces complex64 spectra.
     """
     moved = _prepare(x, n, axis)
     if np.iscomplexobj(moved):
         raise TypeError("rfft requires real input; use fft for complex data")
+    single = _is_single(moved.dtype)
     if get_backend() == "numpy":
         result = np.fft.rfft(moved, axis=-1)
+        if single:
+            result = result.astype(np.complex64)
     else:
-        result = _pure_rfft(np.asarray(moved, dtype=np.float64))
+        rdtype = np.float32 if single else np.float64
+        result = _pure_rfft(np.asarray(moved, dtype=rdtype))
     return np.moveaxis(result, -1, axis)
 
 
@@ -147,7 +184,7 @@ def irfft(x: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
     """Inverse of :func:`rfft`: half-spectrum back to a length-``n`` real signal.
 
     ``n`` is required because both even and odd lengths map to the same
-    half-spectrum size.
+    half-spectrum size.  complex64 input produces a float32 signal.
     """
     x = np.asarray(x)
     if n <= 0:
@@ -159,8 +196,11 @@ def irfft(x: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
             f"irfft expected {expected_bins} bins for n={n}, "
             f"got {moved.shape[-1]}"
         )
+    single = _is_single(moved.dtype)
     if get_backend() == "numpy":
         result = np.fft.irfft(moved, n=n, axis=-1)
+        if single:
+            result = result.astype(np.float32)
     else:
-        result = _pure_irfft(np.asarray(moved, dtype=np.complex128), n)
+        result = _pure_irfft(moved, n)
     return np.moveaxis(result, -1, axis)

@@ -23,18 +23,24 @@ __all__ = [
 
 
 @functools.lru_cache(maxsize=256)
-def twiddle_factors(n: int, inverse: bool = False) -> np.ndarray:
+def twiddle_factors(
+    n: int, inverse: bool = False, dtype: str = "complex128"
+) -> np.ndarray:
     """Return the length-``n`` vector ``exp(sign * 2j*pi*k/n)`` for k in [0, n).
 
     ``inverse=False`` gives the forward-transform sign (-), ``inverse=True``
-    the inverse-transform sign (+).  Results are cached because layers call
-    the FFT with a small set of fixed block sizes.
+    the inverse-transform sign (+).  ``dtype`` selects the precision the
+    factors are *delivered* at (they are always computed in double and
+    rounded once, so complex64 twiddles carry no extra phase error beyond
+    the final rounding).  Results are cached because layers call the FFT
+    with a small set of fixed block sizes; the key is hashable, so pass
+    the dtype as a string or ``np.dtype`` name.
     """
     if n <= 0:
         raise ValueError(f"twiddle factor count must be positive, got {n}")
     sign = 2j if inverse else -2j
     k = np.arange(n)
-    factors = np.exp(sign * np.pi * k / n)
+    factors = np.exp(sign * np.pi * k / n).astype(dtype, copy=False)
     factors.setflags(write=False)
     return factors
 

@@ -192,6 +192,15 @@ class BlockCirculantConv2d(Module):
         return out
 
     # ------------------------------------------------------------------
+    def weight_spectra(self, dtype=None) -> tuple[np.ndarray, np.ndarray]:
+        """``(spectra, freq_major)`` of the current weights at ``dtype``.
+
+        Same contract as
+        :meth:`~repro.nn.layers.block_circulant_linear.BlockCirculantLinear.weight_spectra`:
+        the dtype-keyed cached pair the frozen runtime snapshots.
+        """
+        return self._spectrum_cache.get_pair(self.weight, dtype)
+
     def dense_weight(self) -> np.ndarray:
         """Expand to an equivalent dense ``(P, C, r, r)`` filter bank.
 

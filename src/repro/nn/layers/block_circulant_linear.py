@@ -125,6 +125,16 @@ class BlockCirculantLinear(Module):
         return out
 
     # ------------------------------------------------------------------
+    def weight_spectra(self, dtype=None) -> tuple[np.ndarray, np.ndarray]:
+        """``(spectra, freq_major)`` of the current weights at ``dtype``.
+
+        The read-only cached pair the frozen runtime snapshots at freeze
+        time; ``dtype`` selects the spectrum precision (complex64 for an
+        fp32 :class:`~repro.precision.PrecisionPolicy`, ``None`` for the
+        native complex128).
+        """
+        return self._spectrum_cache.get_pair(self.weight, dtype)
+
     def as_matrix(self) -> BlockCirculantMatrix:
         """View the current weights as a :class:`BlockCirculantMatrix`."""
         return BlockCirculantMatrix(

@@ -1,0 +1,94 @@
+"""Numeric precision policies for the inference stack.
+
+The paper targets memory- and bandwidth-constrained embedded devices,
+where the ~1e-7 relative accuracy of single precision is plenty for the
+FFT-domain inference engine (section IV-A) while halving every spectrum
+and activation buffer.  A :class:`PrecisionPolicy` names one coherent
+choice of real/complex dtypes and is threaded through the whole
+execution stack:
+
+* :mod:`repro.fft` — all four transforms follow their input dtype, and
+  the pure backend's kernels (radix-2 butterflies, Bluestein chirps,
+  packed rfft/irfft) run natively in ``complex64`` for single-precision
+  input instead of widening to ``complex128``,
+* :class:`repro.structured.spectral.SpectrumCache` — weight spectra are
+  cached per complex dtype so fp32 and fp64 sessions never share an
+  array of the wrong precision,
+* :mod:`repro.runtime` — plans compile every weight, bias and work
+  buffer at the policy's dtypes, so an fp32 session touches no float64
+  on the hot path,
+* :mod:`repro.embedded` — memory estimates report the halved complex64
+  spectrum footprint.
+
+Two policies exist: ``"fp64"`` (float64 / complex128, the default and
+the reference numerics) and ``"fp32"`` (float32 / complex64).  Every
+public entry point accepts either a name or a policy object via
+:meth:`PrecisionPolicy.resolve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PrecisionPolicy", "FP32", "FP64"]
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """One coherent choice of real/complex dtypes for inference.
+
+    Attributes
+    ----------
+    name:
+        ``"fp64"`` or ``"fp32"``.
+    real_dtype:
+        dtype of activations, weights and biases (float64 / float32).
+    complex_dtype:
+        dtype of FFT spectra (complex128 / complex64).
+    """
+
+    name: str
+    real_dtype: np.dtype
+    complex_dtype: np.dtype
+
+    @classmethod
+    def resolve(
+        cls, spec: "str | PrecisionPolicy | None"
+    ) -> "PrecisionPolicy":
+        """Normalize ``spec`` to a policy.
+
+        Accepts a policy instance (returned as-is), one of the names
+        ``"fp64"`` / ``"fp32"``, or ``None`` (the fp64 default).
+        """
+        if spec is None:
+            return FP64
+        if isinstance(spec, cls):
+            return spec
+        try:
+            return _POLICIES[spec]
+        except (KeyError, TypeError):
+            raise ValueError(
+                f"unknown precision {spec!r}; expected one of "
+                f"{tuple(_POLICIES)} or a PrecisionPolicy"
+            ) from None
+
+    @property
+    def complex_itemsize(self) -> int:
+        """Bytes per spectrum bin (16 for fp64, 8 for fp32)."""
+        return np.dtype(self.complex_dtype).itemsize
+
+    @property
+    def real_itemsize(self) -> int:
+        """Bytes per real element (8 for fp64, 4 for fp32)."""
+        return np.dtype(self.real_dtype).itemsize
+
+    def __str__(self) -> str:
+        return self.name
+
+
+FP64 = PrecisionPolicy("fp64", np.dtype(np.float64), np.dtype(np.complex128))
+FP32 = PrecisionPolicy("fp32", np.dtype(np.float32), np.dtype(np.complex64))
+
+_POLICIES = {"fp64": FP64, "fp32": FP32}

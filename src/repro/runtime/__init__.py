@@ -3,11 +3,34 @@
 A trained :class:`~repro.nn.module.Sequential` pays three taxes at
 inference time that training needs but deployment does not: autograd
 graph construction, per-call weight FFTs, and one Python dispatch per
-layer object.  :class:`InferenceSession` strips all three by freezing the
-model into a flat plan of numpy closures with precomputed weight spectra
-and fused bias+activation, then streaming batches through the plan.
+layer object.  The runtime strips all three, split across three modules:
+
+* :mod:`repro.runtime.plan` — the compiler: freeze a model (or a
+  deployment artifact) into a flat plan of numpy closures with
+  precomputed weight spectra, fused bias+activation, optional
+  overlap-add conv tiling and block-row sharding — all at the dtypes of
+  a :class:`~repro.precision.PrecisionPolicy` (``"fp32"`` halves
+  spectrum memory; ``"fp64"`` is the reference numerics),
+* :mod:`repro.runtime.executors` — the execution strategies:
+  :class:`SerialExecutor` (in-process) and :class:`ShardedExecutor`
+  (fork pool, batch- and block-row-sharded, bitwise-identical results),
+* :mod:`repro.runtime.session` — :class:`InferenceSession`, the
+  user-facing façade binding one plan to one executor with streaming
+  ``predict``.
 """
 
+from ..precision import PrecisionPolicy
+from .executors import PlanExecutor, SerialExecutor, ShardedExecutor
+from .plan import PlanOp, compile_model_plan, compile_records_plan
 from .session import InferenceSession
 
-__all__ = ["InferenceSession"]
+__all__ = [
+    "InferenceSession",
+    "PlanOp",
+    "PlanExecutor",
+    "PrecisionPolicy",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "compile_model_plan",
+    "compile_records_plan",
+]

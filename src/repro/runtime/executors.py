@@ -1,0 +1,224 @@
+"""Plan executors: the *how* of running a frozen op plan.
+
+:mod:`repro.runtime.plan` compiles a model into a flat list of
+:class:`~repro.runtime.plan.PlanOp` closures; this module decides how
+those closures actually execute:
+
+* :class:`SerialExecutor` — today's behaviour: one op after another in
+  the calling process.  Zero overhead, always available.
+* :class:`ShardedExecutor` — a ``multiprocessing`` fork pool for
+  many-core serving.  Two complementary strategies, both
+  bitwise-identical to serial execution:
+
+  - **batch sharding**: ``predict`` chunks are farmed whole to pool
+    workers, each running the full plan on its chunk.  The chunks are
+    exactly the ones the serial streaming path would process, so
+    concatenated results match bit for bit.
+  - **block-row sharding**: ops compiled with ``row_shards`` expose
+    shard closures, each owning a contiguous slice of the precomputed
+    frequency-major spectra.  The pool maps the shard closures; the
+    parent combines.  The serial path runs the *same* closures in
+    sequence, so again results are bitwise identical.
+
+  Workers are forked *after* the executor is bound to a plan, so the
+  spectra arrays reach the children as copy-on-write shared pages — no
+  per-task pickling of weights, only activations cross the pipe.
+
+Executors are bound to exactly one plan (``bind``); the
+:class:`~repro.runtime.session.InferenceSession` façade does this at
+construction and closes the executor's pool with the session.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from typing import Sequence
+
+import numpy as np
+
+from .plan import PlanOp
+
+__all__ = ["PlanExecutor", "SerialExecutor", "ShardedExecutor"]
+
+
+# Plan handed to pool workers via fork inheritance.  Closures are not
+# picklable, so the pool is created only after this global is set; forked
+# children snapshot it copy-on-write.
+_WORKER_OPS: list[PlanOp] | None = None
+
+
+def _worker_run_plan(x: np.ndarray) -> np.ndarray:
+    """Run the inherited plan end to end on one batch chunk."""
+    for op in _WORKER_OPS:
+        x = op(x)
+    return x
+
+
+def _worker_run_shard(args: tuple[int, int, np.ndarray]) -> np.ndarray:
+    """Run one row-shard closure of one op of the inherited plan.
+
+    ``payload`` is the op's prepared input (the parent computes
+    ``op.prepare(x)`` once and ships the same spectrum to every shard).
+    """
+    op_index, shard_index, payload = args
+    return _WORKER_OPS[op_index].shard_fns[shard_index](payload)
+
+
+class PlanExecutor:
+    """Strategy interface for executing a frozen plan.
+
+    ``bind`` attaches the executor to exactly one plan (a sequence of
+    :class:`PlanOp`) — rebinding raises, because a session that handed
+    its plan to an executor must never silently start executing another
+    session's ops; ``run`` executes one batch; ``map_batches`` executes
+    a list of pre-chunked batches and returns per-chunk outputs in
+    order.  ``close`` releases any resources (process pools).
+    """
+
+    _ops: list[PlanOp] | None = None
+
+    def bind(self, ops: Sequence[PlanOp]) -> "PlanExecutor":
+        if self._ops is not None:
+            raise RuntimeError(
+                "executor is already bound to a plan; "
+                "use one executor per session"
+            )
+        self._ops = list(ops)
+        return self
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def map_batches(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
+        return [self.run(chunk) for chunk in chunks]
+
+    def close(self) -> None:
+        """Release executor resources; the executor is unusable after."""
+
+    def __enter__(self) -> "PlanExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(PlanExecutor):
+    """Run the plan op by op in the calling process (the default)."""
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        for op in self._ops:
+            x = op(x)
+        return x
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ShardedExecutor(PlanExecutor):
+    """Execute the plan on a ``multiprocessing`` fork pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.  Also the default
+        block-row shard count :meth:`InferenceSession.freeze` compiles
+        large ``BlockCirculantLinear`` ops with.
+    mode:
+        ``"auto"`` (default) uses batch sharding when ``predict`` has
+        more than one chunk and row sharding otherwise; ``"batch"`` /
+        ``"rows"`` force one strategy.
+
+    On platforms without the ``fork`` start method the executor degrades
+    to serial execution with a warning (closures cannot be pickled to
+    spawned workers).
+    """
+
+    _MODES = ("auto", "batch", "rows")
+
+    def __init__(self, workers: int | None = None, mode: str = "auto"):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
+        self.workers = workers
+        self.mode = mode
+        self._pool = None
+        self._can_fork = "fork" in multiprocessing.get_all_start_methods()
+        if not self._can_fork:
+            warnings.warn(
+                "ShardedExecutor requires the 'fork' start method; "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            global _WORKER_OPS
+            _WORKER_OPS = self._ops
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(self.workers)
+        return self._pool
+
+    def _run_serial(self, x: np.ndarray) -> np.ndarray:
+        for op in self._ops:
+            x = op(x)
+        return x
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One batch through the plan, row-sharded ops on the pool."""
+        if not self._can_fork or self.mode == "batch":
+            return self._run_serial(x)
+        sharded = [
+            op for op in self._ops if op.shard_fns and len(op.shard_fns) > 1
+        ]
+        if not sharded:
+            return self._run_serial(x)
+        pool = self._ensure_pool()
+        for index, op in enumerate(self._ops):
+            if op.shard_fns and len(op.shard_fns) > 1:
+                payload = x if op.prepare is None else op.prepare(x)
+                parts = pool.map(
+                    _worker_run_shard,
+                    [(index, j, payload) for j in range(len(op.shard_fns))],
+                )
+                x = op.combine(parts)
+            else:
+                x = op(x)
+        return x
+
+    def map_batches(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
+        """Pre-chunked batches across the pool, outputs in chunk order.
+
+        Each worker runs the whole plan on whole chunks — the exact
+        chunks the serial streaming path would process — so the
+        concatenated result is bitwise identical to serial execution.
+        """
+        if not self._can_fork or self.mode == "rows" or len(chunks) <= 1:
+            return [self.run(chunk) for chunk in chunks]
+        pool = self._ensure_pool()
+        return pool.map(_worker_run_plan, chunks)
+
+    def close(self) -> None:
+        global _WORKER_OPS
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if _WORKER_OPS is self._ops and self._ops is not None:
+            # Drop the fork-inheritance reference so a closed session's
+            # plan (and its spectra) can be garbage collected.
+            _WORKER_OPS = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return f"ShardedExecutor(workers={self.workers}, mode={self.mode!r})"

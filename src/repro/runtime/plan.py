@@ -1,0 +1,640 @@
+"""Freeze a model (or deployment artifact) into a flat, precision-aware op plan.
+
+This module is the *compiler* half of the frozen runtime: it walks a
+trained :class:`~repro.nn.module.Sequential` (or the layer records of a
+:class:`~repro.embedded.deploy.DeployedModel`) once and emits a flat list
+of :class:`PlanOp` closures.  Executing the plan is the job of
+:mod:`repro.runtime.executors`; the user-facing façade is
+:class:`repro.runtime.session.InferenceSession`.
+
+Three compile-time choices shape the emitted ops:
+
+* **Precision** — every weight, bias, spectrum and work buffer is
+  materialized at the dtypes of a
+  :class:`~repro.precision.PrecisionPolicy`.  Under ``"fp32"`` the whole
+  hot path (im2col, rfft, complex GEMM, irfft, bias, activation) runs in
+  float32/complex64 with no silent upcast anywhere.
+* **Overlap-add conv tiling** (``conv_tile``) — block-circulant conv ops
+  are emitted as streaming tiles of ``conv_tile`` output rows: each tile
+  gathers only its own (overlapping) input slab, so peak memory is
+  bounded by the tile size instead of the full im2col matrix (the
+  ROADMAP's overlap-add streaming item).
+* **Block-row sharding** (``row_shards``) — large
+  :class:`~repro.nn.layers.block_circulant_linear.BlockCirculantLinear`
+  spectra are partitioned into contiguous block-row slices; each shard is
+  an independently callable closure owning its slice of the
+  frequency-major spectra.  A
+  :class:`~repro.runtime.executors.ShardedExecutor` farms the shards to a
+  process pool; the serial path runs the *same* shard closures in
+  sequence and combines identically, so sharded and serial execution are
+  bitwise-identical by construction.
+
+Fusion: every elementwise activation is folded into the producing compute
+op (``fusable`` ops), so the plan executes one closure per weight layer
+instead of one Python dispatch per ``Module``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import DeploymentError
+from ..fft import irfft, rfft
+from ..nn.functional import im2col
+from ..nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    BlockCirculantConv2d,
+    BlockCirculantLinear,
+    Conv2d,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from ..nn.module import Sequential
+from ..precision import FP64, PrecisionPolicy
+from ..structured import block_circulant_forward_batch
+from ..structured.spectral import freq_major
+
+__all__ = [
+    "PlanOp",
+    "compile_model_plan",
+    "compile_records_plan",
+    "pool_windows",
+    "softmax",
+    "MIN_SHARD_BYTES",
+]
+
+#: Below this frequency-major spectra size, auto row-sharding is skipped:
+#: the pool round-trip costs more than the GEMM saves.  (Explicit
+#: ``row_shards`` in the compile call still respects this floor; tests
+#: monkeypatch it to 0 to shard tiny layers.)
+MIN_SHARD_BYTES = 1 << 16
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift stabilization."""
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def pool_windows(
+    x: np.ndarray, kernel: int, stride: int
+) -> tuple[np.ndarray, int, int]:
+    """Gather ``(batch, C, L, k*k)`` pooling windows plus the output grid."""
+    _, _, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    base_r = np.repeat(np.arange(out_h) * stride, out_w)
+    base_c = np.tile(np.arange(out_w) * stride, out_h)
+    offset_r = np.repeat(np.arange(kernel), kernel)
+    offset_c = np.tile(np.arange(kernel), kernel)
+    rows = base_r[:, None] + offset_r[None, :]
+    cols = base_c[:, None] + offset_c[None, :]
+    return x[:, :, rows, cols], out_h, out_w
+
+
+class PlanOp:
+    """One step of a frozen plan: a name plus a ``ndarray -> ndarray`` fn.
+
+    ``fusable`` marks compute ops (linear, conv) that a following
+    elementwise activation may be folded into.
+
+    Shardable ops additionally carry ``prepare`` (input -> the shared
+    payload, e.g. the input's rfft spectrum, computed *once* per call),
+    ``shard_fns`` (a tuple of closures, each computing an independent
+    slice of the op's output from that payload) and ``combine``
+    (stitching the slices back together, including bias and any fused
+    activation).  For such ops ``fn`` is *defined as*
+    ``combine([s(prepare(x)) for s in shard_fns])``, so running the
+    shards on a process pool and combining in the parent produces
+    bitwise-identical results to serial execution.
+    """
+
+    __slots__ = ("name", "fn", "fusable", "prepare", "shard_fns", "combine")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[np.ndarray], np.ndarray],
+        fusable: bool = False,
+        prepare: Callable[[np.ndarray], np.ndarray] | None = None,
+        shard_fns: tuple[Callable[[np.ndarray], np.ndarray], ...] | None = None,
+        combine: Callable[[list[np.ndarray]], np.ndarray] | None = None,
+    ):
+        self.name = name
+        self.fn = fn
+        self.fusable = fusable
+        self.prepare = prepare
+        self.shard_fns = shard_fns
+        self.combine = combine
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.fn(x)
+
+    def fuse(self, name: str, activation: Callable[[np.ndarray], np.ndarray]) -> "PlanOp":
+        """A new op applying ``activation`` after this op's computation."""
+        inner = self.fn
+
+        def fused(x: np.ndarray) -> np.ndarray:
+            return activation(inner(x))
+
+        fused_op = PlanOp(f"{self.name}+{name}", fused)
+        if self.shard_fns is not None:
+            inner_combine = self.combine
+            fused_op.prepare = self.prepare
+            fused_op.shard_fns = self.shard_fns
+            fused_op.combine = lambda parts: activation(inner_combine(parts))
+        return fused_op
+
+    def __repr__(self) -> str:
+        return f"PlanOp({self.name!r})"
+
+
+_ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "relu": lambda x: np.maximum(x, 0.0),
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "tanh": np.tanh,
+    "softmax": softmax,
+}
+
+
+# ----------------------------------------------------------------------
+# Op builders (shared by compile_model_plan and compile_records_plan)
+# ----------------------------------------------------------------------
+def _bc_linear_op(
+    spectra: np.ndarray,
+    bias: np.ndarray | None,
+    in_features: int,
+    out_features: int,
+    block_size: int,
+    spectra_fm: np.ndarray | None = None,
+    policy: PrecisionPolicy = FP64,
+    row_shards: int | None = None,
+) -> PlanOp:
+    cdtype = policy.complex_dtype
+    rdtype = policy.real_dtype
+    spectra = np.asarray(spectra, dtype=cdtype)
+    if spectra_fm is None or np.asarray(spectra_fm).dtype != cdtype:
+        spectra_fm = freq_major(spectra)
+    p, q = spectra.shape[0], spectra.shape[1]
+    b = block_size
+    bias = None if bias is None else np.asarray(bias, dtype=rdtype)
+
+    def blocks_of(x: np.ndarray) -> np.ndarray:
+        batch = x.shape[0]
+        if x.shape[-1] != in_features:
+            raise ValueError(
+                f"expected input with {in_features} features, got shape {x.shape}"
+            )
+        if in_features == q * b:
+            return x.reshape(batch, q, b)
+        padded = np.zeros((batch, q * b), dtype=rdtype)
+        padded[:, :in_features] = x
+        return padded.reshape(batch, q, b)
+
+    def finish(out_blocks: np.ndarray) -> np.ndarray:
+        out = out_blocks.reshape(out_blocks.shape[0], -1)[:, :out_features]
+        if bias is not None:
+            out = out + bias
+        return out
+
+    name = f"bc_linear({in_features}->{out_features},b={b})"
+    shards = 0 if row_shards is None else min(row_shards, p)
+    if shards > 1 and spectra_fm.nbytes >= MIN_SHARD_BYTES:
+        # Partition the block-row grid: shard i owns a contiguous copy of
+        # its rows of the frequency-major spectra (the slice a pool
+        # worker's forked pages actually touch).  The input spectrum is
+        # computed once by `prepare`; every shard consumes the same
+        # frequency-major payload, so no FFT work is duplicated whether
+        # the shards run in-process or on a pool.
+        bounds = np.linspace(0, p, shards + 1, dtype=int)
+
+        def prepare(x: np.ndarray) -> np.ndarray:
+            # Frequency-major (nb, q, batch): the exact GEMM operand.
+            return np.ascontiguousarray(
+                rfft(blocks_of(x)).transpose(2, 1, 0)
+            )
+
+        def make_shard(r0: int, r1: int):
+            w_rows = np.ascontiguousarray(spectra_fm[:, r0:r1, :])
+
+            def shard(x_spec_fm: np.ndarray) -> np.ndarray:
+                y_spec = np.matmul(w_rows, x_spec_fm).transpose(2, 1, 0)
+                return irfft(y_spec, n=b)  # (batch, r1-r0, b)
+
+            return shard
+
+        shard_fns = tuple(
+            make_shard(int(r0), int(r1))
+            for r0, r1 in zip(bounds[:-1], bounds[1:])
+            if r1 > r0
+        )
+
+        def combine(parts: list[np.ndarray]) -> np.ndarray:
+            return finish(np.concatenate(parts, axis=1))
+
+        def sharded_fn(x: np.ndarray) -> np.ndarray:
+            x_spec_fm = prepare(x)
+            return combine([shard(x_spec_fm) for shard in shard_fns])
+
+        return PlanOp(
+            f"{name}[rows/{len(shard_fns)}]",
+            sharded_fn,
+            fusable=True,
+            prepare=prepare,
+            shard_fns=shard_fns,
+            combine=combine,
+        )
+
+    def fn(x: np.ndarray) -> np.ndarray:
+        out = block_circulant_forward_batch(
+            spectra, blocks_of(x), weight_fm=spectra_fm
+        )
+        return finish(out)
+
+    return PlanOp(name, fn, fusable=True)
+
+
+def _linear_op(
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    policy: PrecisionPolicy = FP64,
+) -> PlanOp:
+    rdtype = policy.real_dtype
+    weight_t = np.ascontiguousarray(np.asarray(weight, dtype=rdtype).T)
+    bias = None if bias is None else np.asarray(bias, dtype=rdtype)
+    out_f, in_f = weight.shape
+
+    def fn(x: np.ndarray) -> np.ndarray:
+        out = x @ weight_t
+        if bias is not None:
+            out = out + bias
+        return out
+
+    return PlanOp(f"linear({in_f}->{out_f})", fn, fusable=True)
+
+
+def _conv_op(
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    policy: PrecisionPolicy = FP64,
+) -> PlanOp:
+    rdtype = policy.real_dtype
+    weight = np.asarray(weight, dtype=rdtype)
+    out_c, in_c, k, _ = weight.shape
+    flat_t = np.ascontiguousarray(weight.reshape(out_c, -1).T)
+    bias = None if bias is None else np.asarray(bias, dtype=rdtype)
+
+    def fn(x: np.ndarray) -> np.ndarray:
+        batch, _, height, width = x.shape
+        out_h = (height + 2 * padding - k) // stride + 1
+        out_w = (width + 2 * padding - k) // stride + 1
+        cols = im2col(x, k, stride, padding)
+        out = cols @ flat_t
+        out = out.transpose(0, 2, 1).reshape(batch, out_c, out_h, out_w)
+        if bias is not None:
+            out = out + bias[None, :, None, None]
+        return out
+
+    return PlanOp(f"conv({in_c}->{out_c},k={k})", fn, fusable=True)
+
+
+def _bc_conv_op(
+    spectra: np.ndarray,
+    bias: np.ndarray | None,
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int,
+    block_size: int,
+    stride: int,
+    padding: int,
+    channel_blocks: int,
+    spectra_fm: np.ndarray | None = None,
+    policy: PrecisionPolicy = FP64,
+    conv_tile: int | None = None,
+) -> PlanOp:
+    cdtype = policy.complex_dtype
+    rdtype = policy.real_dtype
+    spectra = np.asarray(spectra, dtype=cdtype)
+    if spectra_fm is None or np.asarray(spectra_fm).dtype != cdtype:
+        spectra_fm = freq_major(spectra)
+    b = block_size
+    k = kernel_size
+    padded_c = channel_blocks * b
+    bias = None if bias is None else np.asarray(bias, dtype=rdtype)
+
+    def contract(cols: np.ndarray, batch: int, positions: int) -> np.ndarray:
+        """im2col columns -> ``(batch, positions, out_channels)``."""
+        by_pos = cols.reshape(batch, positions, in_channels, k * k).transpose(
+            0, 1, 3, 2
+        )
+        if padded_c != in_channels:
+            padded = np.zeros((batch, positions, k * k, padded_c), dtype=rdtype)
+            padded[..., :in_channels] = by_pos
+            by_pos = padded
+        blocks = by_pos.reshape(batch * positions, -1, b)
+        out = block_circulant_forward_batch(spectra, blocks, weight_fm=spectra_fm)
+        out = out.reshape(batch * positions, -1)[:, :out_channels]
+        return out.reshape(batch, positions, out_channels)
+
+    def fn(x: np.ndarray) -> np.ndarray:
+        batch, _, height, width = x.shape
+        out_h = (height + 2 * padding - k) // stride + 1
+        out_w = (width + 2 * padding - k) // stride + 1
+        if conv_tile is None or conv_tile >= out_h:
+            out = contract(im2col(x, k, stride, padding), batch, out_h * out_w)
+            out = out.transpose(0, 2, 1).reshape(
+                batch, out_channels, out_h, out_w
+            )
+        else:
+            # Overlap-add streaming: each tile of `conv_tile` output rows
+            # gathers only its own input slab (slabs overlap by k - stride
+            # rows), bounding peak im2col memory by the tile size.
+            padded = (
+                np.pad(
+                    x,
+                    ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                )
+                if padding
+                else x
+            )
+            out = np.empty((batch, out_channels, out_h, out_w), dtype=rdtype)
+            for r0 in range(0, out_h, conv_tile):
+                r1 = min(r0 + conv_tile, out_h)
+                slab = padded[:, :, r0 * stride : (r1 - 1) * stride + k, :]
+                tile = contract(
+                    im2col(slab, k, stride, 0), batch, (r1 - r0) * out_w
+                )
+                out[:, :, r0:r1, :] = tile.transpose(0, 2, 1).reshape(
+                    batch, out_channels, r1 - r0, out_w
+                )
+        if bias is not None:
+            out = out + bias[None, :, None, None]
+        return out
+
+    suffix = "" if conv_tile is None else f",tile={conv_tile}"
+    return PlanOp(
+        f"bc_conv({in_channels}->{out_channels},k={k},b={b}{suffix})",
+        fn,
+        fusable=True,
+    )
+
+
+def _affine_op(
+    scale: np.ndarray,
+    shift: np.ndarray,
+    per_channel: bool,
+    policy: PrecisionPolicy = FP64,
+) -> PlanOp:
+    scale = np.asarray(scale, dtype=policy.real_dtype)
+    shift = np.asarray(shift, dtype=policy.real_dtype)
+
+    def fn(x: np.ndarray) -> np.ndarray:
+        if per_channel:
+            return x * scale[None, :, None, None] + shift[None, :, None, None]
+        return x * scale + shift
+
+    return PlanOp("affine", fn, fusable=True)
+
+
+def _maxpool_op(kernel: int, stride: int) -> PlanOp:
+    def fn(x: np.ndarray) -> np.ndarray:
+        windows, out_h, out_w = pool_windows(x, kernel, stride)
+        return windows.max(axis=-1).reshape(x.shape[0], x.shape[1], out_h, out_w)
+
+    return PlanOp(f"maxpool(k={kernel})", fn)
+
+
+def _avgpool_op(kernel: int, stride: int) -> PlanOp:
+    def fn(x: np.ndarray) -> np.ndarray:
+        windows, out_h, out_w = pool_windows(x, kernel, stride)
+        return windows.mean(axis=-1).reshape(x.shape[0], x.shape[1], out_h, out_w)
+
+    return PlanOp(f"avgpool(k={kernel})", fn)
+
+
+def _flatten_op() -> PlanOp:
+    return PlanOp("flatten", lambda x: x.reshape(x.shape[0], -1))
+
+
+def _activation_op(name: str, fn: Callable[[np.ndarray], np.ndarray]) -> PlanOp:
+    return PlanOp(name, fn)
+
+
+def _append_activation(
+    ops: list[PlanOp], name: str, fn: Callable[[np.ndarray], np.ndarray]
+) -> None:
+    """Fuse the activation into the previous compute op when possible."""
+    if ops and ops[-1].fusable and name != "softmax":
+        ops[-1] = ops[-1].fuse(name, fn)
+    else:
+        ops.append(_activation_op(name, fn))
+
+
+# ----------------------------------------------------------------------
+# Plan compilers
+# ----------------------------------------------------------------------
+def compile_model_plan(
+    model: Sequential,
+    policy: PrecisionPolicy = FP64,
+    conv_tile: int | None = None,
+    row_shards: int | None = None,
+) -> list[PlanOp]:
+    """Snapshot a trained ``model`` into a flat op plan.
+
+    Block-circulant weights are captured as their dtype-keyed cached
+    half-spectra (shared with the layer's
+    :class:`~repro.structured.spectral.SpectrumCache`); dense weights are
+    cast to the policy's real dtype; dropout disappears; batch-norm folds
+    into a per-feature affine op; activations fuse into the producing op.
+    """
+    spectrum_dtype = policy.complex_dtype
+    ops: list[PlanOp] = []
+    for layer in model:
+        if isinstance(layer, BlockCirculantLinear):
+            spectra, spectra_fm = layer.weight_spectra(spectrum_dtype)
+            ops.append(
+                _bc_linear_op(
+                    spectra,
+                    None if layer.bias is None else layer.bias.data,
+                    layer.in_features,
+                    layer.out_features,
+                    layer.block_size,
+                    spectra_fm=spectra_fm,
+                    policy=policy,
+                    row_shards=row_shards,
+                ),
+            )
+        elif isinstance(layer, Linear):
+            ops.append(
+                _linear_op(
+                    layer.weight.data,
+                    None if layer.bias is None else layer.bias.data,
+                    policy=policy,
+                ),
+            )
+        elif isinstance(layer, BlockCirculantConv2d):
+            spectra, spectra_fm = layer.weight_spectra(spectrum_dtype)
+            ops.append(
+                _bc_conv_op(
+                    spectra,
+                    None if layer.bias is None else layer.bias.data,
+                    layer.in_channels,
+                    layer.out_channels,
+                    layer.kernel_size,
+                    layer.block_size,
+                    layer.stride,
+                    layer.padding,
+                    layer.channel_blocks,
+                    spectra_fm=spectra_fm,
+                    policy=policy,
+                    conv_tile=conv_tile,
+                ),
+            )
+        elif isinstance(layer, Conv2d):
+            ops.append(
+                _conv_op(
+                    layer.weight.data,
+                    None if layer.bias is None else layer.bias.data,
+                    layer.stride,
+                    layer.padding,
+                    policy=policy,
+                ),
+            )
+        elif isinstance(layer, ReLU):
+            _append_activation(ops, "relu", _ACTIVATIONS["relu"])
+        elif isinstance(layer, LeakyReLU):
+            slope = layer.negative_slope
+            _append_activation(
+                ops,
+                "leaky_relu",
+                lambda x, s=slope: np.where(x > 0.0, x, s * x),
+            )
+        elif isinstance(layer, Sigmoid):
+            _append_activation(ops, "sigmoid", _ACTIVATIONS["sigmoid"])
+        elif isinstance(layer, Tanh):
+            _append_activation(ops, "tanh", _ACTIVATIONS["tanh"])
+        elif isinstance(layer, Softmax):
+            ops.append(_activation_op("softmax", softmax))
+        elif isinstance(layer, Flatten):
+            ops.append(_flatten_op())
+        elif isinstance(layer, MaxPool2d):
+            ops.append(_maxpool_op(layer.kernel_size, layer.stride))
+        elif isinstance(layer, AvgPool2d):
+            ops.append(_avgpool_op(layer.kernel_size, layer.stride))
+        elif isinstance(layer, Dropout):
+            continue  # identity at inference
+        elif isinstance(layer, (BatchNorm1d, BatchNorm2d)):
+            std = np.sqrt(layer.running_var + layer.eps)
+            scale = layer.gamma.data / std
+            shift = layer.beta.data - layer.running_mean * scale
+            ops.append(
+                _affine_op(
+                    scale, shift, isinstance(layer, BatchNorm2d), policy=policy
+                )
+            )
+        else:
+            raise DeploymentError(
+                f"cannot freeze layer type {type(layer).__name__}"
+            )
+    return ops
+
+
+def compile_records_plan(
+    records: Sequence[dict],
+    policy: PrecisionPolicy = FP64,
+    conv_tile: int | None = None,
+    row_shards: int | None = None,
+) -> list[PlanOp]:
+    """Compile deployment-artifact layer records into a flat op plan.
+
+    ``records`` is the list of dicts in the
+    :class:`~repro.embedded.deploy.DeployedModel` format.  The complex64
+    artifact spectra are widened (fp64) or used as stored (fp32) once
+    here, instead of on every call as the record interpreter does.
+    """
+    ops: list[PlanOp] = []
+    for record in records:
+        kind = record["kind"]
+        if kind == "bc_linear":
+            ops.append(
+                _bc_linear_op(
+                    record["spectra"],
+                    record["bias"],
+                    record["in_features"],
+                    record["out_features"],
+                    record["block_size"],
+                    policy=policy,
+                    row_shards=row_shards,
+                ),
+            )
+        elif kind == "linear":
+            ops.append(_linear_op(record["weight"], record["bias"], policy=policy))
+        elif kind == "bc_conv":
+            ops.append(
+                _bc_conv_op(
+                    record["spectra"],
+                    record["bias"],
+                    record["in_channels"],
+                    record["out_channels"],
+                    record["kernel_size"],
+                    record["block_size"],
+                    record["stride"],
+                    record["padding"],
+                    record["channel_blocks"],
+                    policy=policy,
+                    conv_tile=conv_tile,
+                ),
+            )
+        elif kind == "conv":
+            ops.append(
+                _conv_op(
+                    record["weight"],
+                    record["bias"],
+                    record["stride"],
+                    record["padding"],
+                    policy=policy,
+                ),
+            )
+        elif kind in ("relu", "sigmoid", "tanh"):
+            _append_activation(ops, kind, _ACTIVATIONS[kind])
+        elif kind == "leaky_relu":
+            slope = record["slope"]
+            _append_activation(
+                ops,
+                "leaky_relu",
+                lambda x, s=slope: np.where(x > 0.0, x, s * x),
+            )
+        elif kind == "softmax":
+            ops.append(_activation_op("softmax", softmax))
+        elif kind == "flatten":
+            ops.append(_flatten_op())
+        elif kind == "maxpool":
+            ops.append(_maxpool_op(record["kernel"], record["stride"]))
+        elif kind == "avgpool":
+            ops.append(_avgpool_op(record["kernel"], record["stride"]))
+        elif kind == "affine":
+            ops.append(
+                _affine_op(
+                    record["scale"],
+                    record["shift"],
+                    record["per_channel"],
+                    policy=policy,
+                ),
+            )
+        else:
+            raise DeploymentError(f"unknown layer kind {kind!r}")
+    return ops

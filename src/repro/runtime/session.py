@@ -1,296 +1,77 @@
-"""The frozen inference session: flat op plan + batched streaming predict.
+"""The frozen inference session: user-facing façade over plan + executor.
 
 **Freeze/predict contract.**  :meth:`InferenceSession.freeze` walks a
 trained :class:`~repro.nn.module.Sequential` once and captures an
-immutable snapshot:
+immutable snapshot (see :mod:`repro.runtime.plan` for the compiler):
 
 * block-circulant weights are captured as their precomputed ``rfft``
-  half-spectra (shared with the layer's version-keyed
+  half-spectra (shared with the layer's version- and dtype-keyed
   :class:`~repro.structured.spectral.SpectrumCache`, so freezing a model
   that has already run inference costs no extra transforms),
-* dense weights are captured by reference (training after freezing a
-  session and expecting the session to follow is **not** supported —
-  freeze again after updating weights),
+* dense weights are captured at the session's precision (training after
+  freezing a session and expecting the session to follow is **not**
+  supported — freeze again after updating weights),
 * dropout disappears, batch-norm folds its running statistics into a
   per-feature affine op,
 * every elementwise activation is fused into the producing compute op,
   so the plan executes one closure per weight layer instead of one
   Python dispatch per ``Module``.
 
+**Precision.**  ``precision="fp32"`` compiles the whole plan at
+float32/complex64 (half the spectrum memory and memory traffic, ~1e-6
+accuracy — plenty for the paper's embedded targets); the default
+``"fp64"`` preserves the reference numerics.  Inputs are cast once at
+the session boundary; nothing on the hot path silently upcasts.
+
+**Execution.**  The session compiles to a
+:class:`~repro.runtime.executors.PlanExecutor` instead of executing
+itself: :class:`~repro.runtime.executors.SerialExecutor` (default)
+preserves single-process behaviour;
+:class:`~repro.runtime.executors.ShardedExecutor` partitions large
+block-circulant spectra across a fork pool and shards ``predict``
+batches, bitwise-identically to serial execution.
+
 ``predict`` / ``predict_proba`` stream arbitrarily large input arrays
 through the plan in ``batch_size`` chunks, bounding peak memory by the
 chunk size rather than the dataset size; ``batch_size=None`` runs one
-shot.  No autograd graph is built anywhere on this path.
+shot.  ``conv_tile`` additionally bounds block-circulant conv memory by
+emitting overlap-add streaming tiles.  No autograd graph is built
+anywhere on this path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..exceptions import DeploymentError
-from ..nn.functional import im2col
-from ..nn.layers import (
-    AvgPool2d,
-    BatchNorm1d,
-    BatchNorm2d,
-    BlockCirculantConv2d,
-    BlockCirculantLinear,
-    Conv2d,
-    Dropout,
-    Flatten,
-    LeakyReLU,
-    Linear,
-    MaxPool2d,
-    ReLU,
-    Sigmoid,
-    Softmax,
-    Tanh,
-)
 from ..nn.module import Sequential
-from ..structured import block_circulant_forward_batch
-from ..structured.spectral import freq_major
+from ..precision import PrecisionPolicy
+from .executors import PlanExecutor, SerialExecutor, ShardedExecutor
+from .plan import (
+    PlanOp,
+    compile_model_plan,
+    compile_records_plan,
+    pool_windows,
+    softmax,
+)
 
-__all__ = ["InferenceSession", "PlanOp"]
-
-
-def softmax(x: np.ndarray) -> np.ndarray:
-    """Row-wise softmax with the usual max-shift stabilization."""
-    shifted = x - x.max(axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
-
-
-def pool_windows(
-    x: np.ndarray, kernel: int, stride: int
-) -> tuple[np.ndarray, int, int]:
-    """Gather ``(batch, C, L, k*k)`` pooling windows plus the output grid."""
-    _, _, height, width = x.shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-    base_r = np.repeat(np.arange(out_h) * stride, out_w)
-    base_c = np.tile(np.arange(out_w) * stride, out_h)
-    offset_r = np.repeat(np.arange(kernel), kernel)
-    offset_c = np.tile(np.arange(kernel), kernel)
-    rows = base_r[:, None] + offset_r[None, :]
-    cols = base_c[:, None] + offset_c[None, :]
-    return x[:, :, rows, cols], out_h, out_w
+__all__ = ["InferenceSession", "PlanOp", "pool_windows", "softmax"]
 
 
-class PlanOp:
-    """One step of a frozen plan: a name plus a ``ndarray -> ndarray`` fn.
-
-    ``fusable`` marks compute ops (linear, conv) that a following
-    elementwise activation may be folded into.
-    """
-
-    __slots__ = ("name", "fn", "fusable")
-
-    def __init__(
-        self,
-        name: str,
-        fn: Callable[[np.ndarray], np.ndarray],
-        fusable: bool = False,
-    ):
-        self.name = name
-        self.fn = fn
-        self.fusable = fusable
-
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.fn(x)
-
-    def fuse(self, name: str, activation: Callable[[np.ndarray], np.ndarray]) -> "PlanOp":
-        """A new op applying ``activation`` after this op's computation."""
-        inner = self.fn
-
-        def fused(x: np.ndarray) -> np.ndarray:
-            return activation(inner(x))
-
-        return PlanOp(f"{self.name}+{name}", fused)
-
-    def __repr__(self) -> str:
-        return f"PlanOp({self.name!r})"
-
-
-_ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
-    "relu": lambda x: np.maximum(x, 0.0),
-    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
-    "tanh": np.tanh,
-    "softmax": softmax,
-}
-
-
-# ----------------------------------------------------------------------
-# Op builders (shared by freeze() and from_deployed())
-# ----------------------------------------------------------------------
-def _bc_linear_op(
-    spectra: np.ndarray,
-    bias: np.ndarray | None,
-    in_features: int,
-    out_features: int,
-    block_size: int,
-    spectra_fm: np.ndarray | None = None,
-) -> PlanOp:
-    spectra = np.asarray(spectra, dtype=np.complex128)
-    if spectra_fm is None:
-        spectra_fm = freq_major(spectra)
-    q = spectra.shape[1]
-    b = block_size
-    bias = None if bias is None else np.asarray(bias, dtype=np.float64)
-
-    def fn(x: np.ndarray) -> np.ndarray:
-        batch = x.shape[0]
-        if x.shape[-1] != in_features:
-            raise ValueError(
-                f"expected input with {in_features} features, got shape {x.shape}"
-            )
-        if in_features == q * b:
-            blocks = x.reshape(batch, q, b)
-        else:
-            padded = np.zeros((batch, q * b))
-            padded[:, :in_features] = x
-            blocks = padded.reshape(batch, q, b)
-        out = block_circulant_forward_batch(spectra, blocks, weight_fm=spectra_fm)
-        out = out.reshape(batch, -1)[:, :out_features]
-        if bias is not None:
-            out = out + bias
-        return out
-
-    return PlanOp(
-        f"bc_linear({in_features}->{out_features},b={b})", fn, fusable=True
+def _resolve_executor(spec) -> PlanExecutor:
+    """Normalize an executor spec: None/name/instance -> PlanExecutor."""
+    if spec is None or isinstance(spec, PlanExecutor):
+        return spec or SerialExecutor()
+    if spec == "serial":
+        return SerialExecutor()
+    if spec == "sharded":
+        return ShardedExecutor()
+    raise ValueError(
+        f"unknown executor {spec!r}; expected 'serial', 'sharded', "
+        "or a PlanExecutor instance"
     )
-
-
-def _linear_op(weight: np.ndarray, bias: np.ndarray | None) -> PlanOp:
-    weight_t = np.ascontiguousarray(np.asarray(weight, dtype=np.float64).T)
-    bias = None if bias is None else np.asarray(bias, dtype=np.float64)
-    out_f, in_f = weight.shape
-
-    def fn(x: np.ndarray) -> np.ndarray:
-        out = x @ weight_t
-        if bias is not None:
-            out = out + bias
-        return out
-
-    return PlanOp(f"linear({in_f}->{out_f})", fn, fusable=True)
-
-
-def _conv_op(
-    weight: np.ndarray, bias: np.ndarray | None, stride: int, padding: int
-) -> PlanOp:
-    weight = np.asarray(weight, dtype=np.float64)
-    out_c, in_c, k, _ = weight.shape
-    flat_t = np.ascontiguousarray(weight.reshape(out_c, -1).T)
-    bias = None if bias is None else np.asarray(bias, dtype=np.float64)
-
-    def fn(x: np.ndarray) -> np.ndarray:
-        batch, _, height, width = x.shape
-        out_h = (height + 2 * padding - k) // stride + 1
-        out_w = (width + 2 * padding - k) // stride + 1
-        cols = im2col(x, k, stride, padding)
-        out = cols @ flat_t
-        out = out.transpose(0, 2, 1).reshape(batch, out_c, out_h, out_w)
-        if bias is not None:
-            out = out + bias[None, :, None, None]
-        return out
-
-    return PlanOp(f"conv({in_c}->{out_c},k={k})", fn, fusable=True)
-
-
-def _bc_conv_op(
-    spectra: np.ndarray,
-    bias: np.ndarray | None,
-    in_channels: int,
-    out_channels: int,
-    kernel_size: int,
-    block_size: int,
-    stride: int,
-    padding: int,
-    channel_blocks: int,
-    spectra_fm: np.ndarray | None = None,
-) -> PlanOp:
-    spectra = np.asarray(spectra, dtype=np.complex128)
-    if spectra_fm is None:
-        spectra_fm = freq_major(spectra)
-    b = block_size
-    k = kernel_size
-    padded_c = channel_blocks * b
-    bias = None if bias is None else np.asarray(bias, dtype=np.float64)
-
-    def fn(x: np.ndarray) -> np.ndarray:
-        batch, _, height, width = x.shape
-        out_h = (height + 2 * padding - k) // stride + 1
-        out_w = (width + 2 * padding - k) // stride + 1
-        positions = out_h * out_w
-        cols = im2col(x, k, stride, padding)
-        by_pos = cols.reshape(batch, positions, in_channels, k * k).transpose(
-            0, 1, 3, 2
-        )
-        if padded_c != in_channels:
-            padded = np.zeros((batch, positions, k * k, padded_c))
-            padded[..., :in_channels] = by_pos
-            by_pos = padded
-        blocks = by_pos.reshape(batch * positions, -1, b)
-        out = block_circulant_forward_batch(spectra, blocks, weight_fm=spectra_fm)
-        out = out.reshape(batch * positions, -1)[:, :out_channels]
-        out = out.reshape(batch, positions, out_channels).transpose(0, 2, 1)
-        out = out.reshape(batch, out_channels, out_h, out_w)
-        if bias is not None:
-            out = out + bias[None, :, None, None]
-        return out
-
-    return PlanOp(
-        f"bc_conv({in_channels}->{out_channels},k={k},b={b})", fn, fusable=True
-    )
-
-
-def _affine_op(
-    scale: np.ndarray, shift: np.ndarray, per_channel: bool
-) -> PlanOp:
-    scale = np.asarray(scale, dtype=np.float64)
-    shift = np.asarray(shift, dtype=np.float64)
-
-    def fn(x: np.ndarray) -> np.ndarray:
-        if per_channel:
-            return x * scale[None, :, None, None] + shift[None, :, None, None]
-        return x * scale + shift
-
-    return PlanOp("affine", fn, fusable=True)
-
-
-def _maxpool_op(kernel: int, stride: int) -> PlanOp:
-    def fn(x: np.ndarray) -> np.ndarray:
-        windows, out_h, out_w = pool_windows(x, kernel, stride)
-        return windows.max(axis=-1).reshape(x.shape[0], x.shape[1], out_h, out_w)
-
-    return PlanOp(f"maxpool(k={kernel})", fn)
-
-
-def _avgpool_op(kernel: int, stride: int) -> PlanOp:
-    def fn(x: np.ndarray) -> np.ndarray:
-        windows, out_h, out_w = pool_windows(x, kernel, stride)
-        return windows.mean(axis=-1).reshape(x.shape[0], x.shape[1], out_h, out_w)
-
-    return PlanOp(f"avgpool(k={kernel})", fn)
-
-
-def _flatten_op() -> PlanOp:
-    return PlanOp("flatten", lambda x: x.reshape(x.shape[0], -1))
-
-
-def _activation_op(name: str, fn: Callable[[np.ndarray], np.ndarray]) -> PlanOp:
-    return PlanOp(name, fn)
-
-
-def _append_activation(
-    ops: list[PlanOp], name: str, fn: Callable[[np.ndarray], np.ndarray]
-) -> None:
-    """Fuse the activation into the previous compute op when possible."""
-    if ops and ops[-1].fusable and name != "softmax":
-        ops[-1] = ops[-1].fuse(name, fn)
-    else:
-        ops.append(_activation_op(name, fn))
 
 
 class InferenceSession:
@@ -301,186 +82,99 @@ class InferenceSession:
     :class:`~repro.embedded.deploy.DeployedModel` artifact).  The session
     holds no autograd state and never touches the source model again;
     see the module docstring for the full freeze/predict contract.
+
+    ``precision`` is a :class:`~repro.precision.PrecisionPolicy` or its
+    name; ``executor`` is a
+    :class:`~repro.runtime.executors.PlanExecutor`, ``"serial"``,
+    ``"sharded"``, or ``None`` (serial).  The session binds the executor
+    to its plan; call :meth:`close` (or use the session as a context
+    manager) to release a sharded executor's worker pool.
     """
 
-    def __init__(self, ops: Sequence[PlanOp]):
+    def __init__(
+        self,
+        ops: Sequence[PlanOp],
+        precision: str | PrecisionPolicy | None = None,
+        executor: PlanExecutor | str | None = None,
+    ):
         if not ops:
             raise DeploymentError("inference session has no ops")
         self.ops = list(ops)
+        self.policy = PrecisionPolicy.resolve(precision)
+        self.executor = _resolve_executor(executor).bind(self.ops)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def freeze(cls, model: Sequential) -> "InferenceSession":
-        """Snapshot ``model`` into a session (see module docstring)."""
-        ops: list[PlanOp] = []
-        for layer in model:
-            if isinstance(layer, BlockCirculantLinear):
-                spectra, spectra_fm = layer._spectrum_cache.get_pair(layer.weight)
-                ops.append(
-                    _bc_linear_op(
-                        spectra,
-                        None if layer.bias is None else layer.bias.data,
-                        layer.in_features,
-                        layer.out_features,
-                        layer.block_size,
-                        spectra_fm=spectra_fm,
-                    ),
-                )
-            elif isinstance(layer, Linear):
-                ops.append(
-                    _linear_op(
-                        layer.weight.data,
-                        None if layer.bias is None else layer.bias.data,
-                    ),
-                )
-            elif isinstance(layer, BlockCirculantConv2d):
-                spectra, spectra_fm = layer._spectrum_cache.get_pair(layer.weight)
-                ops.append(
-                    _bc_conv_op(
-                        spectra,
-                        None if layer.bias is None else layer.bias.data,
-                        layer.in_channels,
-                        layer.out_channels,
-                        layer.kernel_size,
-                        layer.block_size,
-                        layer.stride,
-                        layer.padding,
-                        layer.channel_blocks,
-                        spectra_fm=spectra_fm,
-                    ),
-                )
-            elif isinstance(layer, Conv2d):
-                ops.append(
-                    _conv_op(
-                        layer.weight.data,
-                        None if layer.bias is None else layer.bias.data,
-                        layer.stride,
-                        layer.padding,
-                    ),
-                )
-            elif isinstance(layer, ReLU):
-                _append_activation(ops, "relu", _ACTIVATIONS["relu"])
-            elif isinstance(layer, LeakyReLU):
-                slope = layer.negative_slope
-                _append_activation(
-                    ops,
-                    "leaky_relu",
-                    lambda x, s=slope: np.where(x > 0.0, x, s * x),
-                )
-            elif isinstance(layer, Sigmoid):
-                _append_activation(ops, "sigmoid", _ACTIVATIONS["sigmoid"])
-            elif isinstance(layer, Tanh):
-                _append_activation(ops, "tanh", _ACTIVATIONS["tanh"])
-            elif isinstance(layer, Softmax):
-                ops.append(_activation_op("softmax", softmax))
-            elif isinstance(layer, Flatten):
-                ops.append(_flatten_op())
-            elif isinstance(layer, MaxPool2d):
-                ops.append(_maxpool_op(layer.kernel_size, layer.stride))
-            elif isinstance(layer, AvgPool2d):
-                ops.append(_avgpool_op(layer.kernel_size, layer.stride))
-            elif isinstance(layer, Dropout):
-                continue  # identity at inference
-            elif isinstance(layer, (BatchNorm1d, BatchNorm2d)):
-                std = np.sqrt(layer.running_var + layer.eps)
-                scale = layer.gamma.data / std
-                shift = layer.beta.data - layer.running_mean * scale
-                ops.append(
-                    _affine_op(scale, shift, isinstance(layer, BatchNorm2d))
-                )
-            else:
-                raise DeploymentError(
-                    f"cannot freeze layer type {type(layer).__name__}"
-                )
-        return cls(ops)
+    def freeze(
+        cls,
+        model: Sequential,
+        precision: str | PrecisionPolicy | None = None,
+        executor: PlanExecutor | str | None = None,
+        conv_tile: int | None = None,
+        row_shards: int | None = None,
+    ) -> "InferenceSession":
+        """Snapshot ``model`` into a session (see module docstring).
+
+        ``conv_tile`` emits overlap-add streaming conv ops of that many
+        output rows per tile; ``row_shards`` partitions large
+        block-circulant linear spectra into that many block-row shards
+        (defaults to the executor's worker count for a
+        :class:`~repro.runtime.executors.ShardedExecutor`).
+        """
+        policy = PrecisionPolicy.resolve(precision)
+        executor = _resolve_executor(executor)
+        if row_shards is None and isinstance(executor, ShardedExecutor):
+            row_shards = executor.workers
+        ops = compile_model_plan(
+            model, policy=policy, conv_tile=conv_tile, row_shards=row_shards
+        )
+        return cls(ops, precision=policy, executor=executor)
 
     @classmethod
-    def from_deployed(cls, deployed) -> "InferenceSession":
+    def from_deployed(
+        cls,
+        deployed,
+        precision: str | PrecisionPolicy | None = None,
+        executor: PlanExecutor | str | None = None,
+        conv_tile: int | None = None,
+        row_shards: int | None = None,
+    ) -> "InferenceSession":
         """Build a session from a deployment artifact's layer records.
 
         ``deployed`` is anything with a ``records`` list in the
         :class:`~repro.embedded.deploy.DeployedModel` format.  The
-        complex64 artifact spectra are widened to complex128 once here,
-        instead of on every call as the record interpreter does.
+        complex64 artifact spectra are widened (fp64) or used as stored
+        (fp32) once here, instead of on every call as the record
+        interpreter does.
         """
-        ops: list[PlanOp] = []
-        for record in deployed.records:
-            kind = record["kind"]
-            if kind == "bc_linear":
-                ops.append(
-                    _bc_linear_op(
-                        record["spectra"],
-                        record["bias"],
-                        record["in_features"],
-                        record["out_features"],
-                        record["block_size"],
-                    ),
-                )
-            elif kind == "linear":
-                ops.append(_linear_op(record["weight"], record["bias"]))
-            elif kind == "bc_conv":
-                ops.append(
-                    _bc_conv_op(
-                        record["spectra"],
-                        record["bias"],
-                        record["in_channels"],
-                        record["out_channels"],
-                        record["kernel_size"],
-                        record["block_size"],
-                        record["stride"],
-                        record["padding"],
-                        record["channel_blocks"],
-                    ),
-                )
-            elif kind == "conv":
-                ops.append(
-                    _conv_op(
-                        record["weight"],
-                        record["bias"],
-                        record["stride"],
-                        record["padding"],
-                    ),
-                )
-            elif kind in ("relu", "sigmoid", "tanh"):
-                _append_activation(ops, kind, _ACTIVATIONS[kind])
-            elif kind == "leaky_relu":
-                slope = record["slope"]
-                _append_activation(
-                    ops,
-                    "leaky_relu",
-                    lambda x, s=slope: np.where(x > 0.0, x, s * x),
-                )
-            elif kind == "softmax":
-                ops.append(_activation_op("softmax", softmax))
-            elif kind == "flatten":
-                ops.append(_flatten_op())
-            elif kind == "maxpool":
-                ops.append(_maxpool_op(record["kernel"], record["stride"]))
-            elif kind == "avgpool":
-                ops.append(_avgpool_op(record["kernel"], record["stride"]))
-            elif kind == "affine":
-                ops.append(
-                    _affine_op(
-                        record["scale"], record["shift"], record["per_channel"]
-                    ),
-                )
-            else:
-                raise DeploymentError(f"unknown layer kind {kind!r}")
-        return cls(ops)
+        policy = PrecisionPolicy.resolve(precision)
+        executor = _resolve_executor(executor)
+        if row_shards is None and isinstance(executor, ShardedExecutor):
+            row_shards = executor.workers
+        ops = compile_records_plan(
+            deployed.records,
+            policy=policy,
+            conv_tile=conv_tile,
+            row_shards=row_shards,
+        )
+        return cls(ops, precision=policy, executor=executor)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    @property
+    def precision(self) -> str:
+        """The session's precision name (``"fp64"`` or ``"fp32"``)."""
+        return self.policy.name
+
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         """Run one batch through the plan; returns the final op's output."""
-        x = np.asarray(inputs, dtype=np.float64)
+        x = np.asarray(inputs, dtype=self.policy.real_dtype)
         if x.ndim == 1:
             x = x[None]
-        for op in self.ops:
-            x = op(x)
-        return x
+        return self.executor.run(x)
 
     def _chunks(self, x: np.ndarray, batch_size: int | None):
         if batch_size is not None and batch_size < 1:
@@ -494,17 +188,18 @@ class InferenceSession:
     def predict_proba(
         self, inputs: np.ndarray, batch_size: int | None = None
     ) -> np.ndarray:
-        """Class probabilities, streamed in ``batch_size`` chunks."""
-        x = np.asarray(inputs, dtype=np.float64)
+        """Class probabilities, streamed in ``batch_size`` chunks.
+
+        With a :class:`ShardedExecutor`, chunks run concurrently on the
+        worker pool; results are identical to serial streaming.
+        """
+        x = np.asarray(inputs, dtype=self.policy.real_dtype)
         if x.ndim == 1:
             x = x[None]
         ends_with_softmax = "softmax" in self.ops[-1].name
-        outputs = []
-        for chunk in self._chunks(x, batch_size):
-            out = self.forward(chunk)
-            if not ends_with_softmax:
-                out = softmax(out)
-            outputs.append(out)
+        outputs = self.executor.map_batches(list(self._chunks(x, batch_size)))
+        if not ends_with_softmax:
+            outputs = [softmax(out) for out in outputs]
         return outputs[0] if len(outputs) == 1 else np.concatenate(outputs)
 
     def predict(
@@ -512,6 +207,16 @@ class InferenceSession:
     ) -> np.ndarray:
         """Predicted integer labels, streamed in ``batch_size`` chunks."""
         return self.predict_proba(inputs, batch_size=batch_size).argmax(axis=-1)
+
+    def close(self) -> None:
+        """Release executor resources (a sharded executor's pool)."""
+        self.executor.close()
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -524,4 +229,7 @@ class InferenceSession:
         return len(self.ops)
 
     def __repr__(self) -> str:
-        return f"InferenceSession(ops={self.describe()})"
+        return (
+            f"InferenceSession(precision={self.precision!r}, "
+            f"executor={self.executor!r}, ops={self.describe()})"
+        )

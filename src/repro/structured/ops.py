@@ -25,6 +25,15 @@ The frequency-domain contractions are executed as frequency-major batched
 product runs as one complex GEMM and the whole contraction hits BLAS.
 The direct ``np.einsum`` forms are retained as ``*_einsum`` reference
 implementations; the equivalence tests pin the fast kernels to them.
+
+**Precision.**  Every kernel follows the dtypes it is handed: complex64
+weight spectra plus float32 input blocks keep the whole
+FFT -> GEMM -> IFFT pipeline in single precision (cgemm instead of
+zgemm, half the memory traffic) because the transforms in
+:mod:`repro.fft` are dtype-following.  Mixed inputs promote by numpy's
+ordinary rules, so callers wanting a pure fp32 hot path (the
+``"fp32"`` :class:`~repro.precision.PrecisionPolicy`) must supply both
+operands in single precision — the frozen runtime's plan compiler does.
 """
 
 from __future__ import annotations

@@ -1,0 +1,75 @@
+"""Dtype-following transforms: complex64 in, complex64 through, float32 out."""
+
+import numpy as np
+import pytest
+
+from repro.fft import fft, ifft, irfft, rfft
+from repro.fft.backend import use_backend
+from repro.fft.bluestein import fft_bluestein
+from repro.fft.cooley_tukey import fft_radix2
+
+BACKENDS = ("numpy", "pure")
+# Power-of-two (radix-2), even composite, odd, and prime lengths.
+LENGTHS = (8, 12, 64, 100, 101, 121, 128)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("n", LENGTHS)
+class TestSinglePrecisionContract:
+    def test_rfft_float32_gives_complex64(self, rng, backend, n):
+        x = rng.normal(size=(3, n)).astype(np.float32)
+        with use_backend(backend):
+            spectrum = rfft(x)
+        assert spectrum.dtype == np.complex64
+        ref = np.fft.rfft(x.astype(np.float64))
+        assert np.abs(spectrum - ref).max() < 1e-3 * max(1, n // 8)
+
+    def test_irfft_complex64_gives_float32_roundtrip(self, rng, backend, n):
+        x = rng.normal(size=(3, n)).astype(np.float32)
+        with use_backend(backend):
+            back = irfft(rfft(x), n=n)
+        assert back.dtype == np.float32
+        assert np.abs(back - x).max() < 1e-4
+
+    def test_fft_ifft_complex64(self, rng, backend, n):
+        x = (
+            rng.normal(size=(2, n)) + 1j * rng.normal(size=(2, n))
+        ).astype(np.complex64)
+        with use_backend(backend):
+            spectrum = fft(x)
+            back = ifft(spectrum)
+        assert spectrum.dtype == np.complex64
+        assert back.dtype == np.complex64
+        assert np.abs(back - x).max() < 1e-4
+
+    def test_float64_unchanged(self, rng, backend, n):
+        x = rng.normal(size=(2, n))
+        with use_backend(backend):
+            spectrum = rfft(x)
+            back = irfft(spectrum, n=n)
+        assert spectrum.dtype == np.complex128
+        assert back.dtype == np.float64
+        assert np.abs(spectrum - np.fft.rfft(x)).max() < 1e-8
+
+
+class TestPureKernelsNative:
+    """The pure kernels themselves stay in complex64 — no internal widening."""
+
+    def test_radix2_native_complex64(self, rng):
+        x = (rng.normal(size=(2, 64)) + 1j * rng.normal(size=(2, 64))).astype(
+            np.complex64
+        )
+        out = fft_radix2(x)
+        assert out.dtype == np.complex64
+        assert np.abs(out - np.fft.fft(x.astype(np.complex128))).max() < 1e-3
+
+    def test_bluestein_native_complex64(self, rng):
+        x = (rng.normal(size=(2, 37)) + 1j * rng.normal(size=(2, 37))).astype(
+            np.complex64
+        )
+        out = fft_bluestein(x)
+        assert out.dtype == np.complex64
+        assert np.abs(out - np.fft.fft(x.astype(np.complex128))).max() < 1e-3
+
+    def test_radix2_float64_stays_complex128(self, rng):
+        assert fft_radix2(rng.normal(size=(2, 32))).dtype == np.complex128

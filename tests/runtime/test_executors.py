@@ -1,0 +1,206 @@
+"""Executors: serial/sharded parity (bitwise), row sharding, lifecycle."""
+
+import numpy as np
+import pytest
+
+import repro.runtime.plan as plan_mod
+from repro.nn import (
+    BlockCirculantLinear,
+    Flatten,
+    Linear,
+    ReLU,
+    Sequential,
+    Softmax,
+)
+from repro.nn.layers import BlockCirculantConv2d
+from repro.runtime import (
+    InferenceSession,
+    SerialExecutor,
+    ShardedExecutor,
+)
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(0)
+    return Sequential(
+        BlockCirculantLinear(96, 64, 8, rng=rng),
+        ReLU(),
+        BlockCirculantLinear(64, 40, 4, rng=rng),
+        ReLU(),
+        Linear(40, 10, rng=rng),
+        Softmax(),
+    ).eval()
+
+
+@pytest.fixture
+def shard_everything(monkeypatch):
+    """Let tiny test layers pass the auto-shard size floor."""
+    monkeypatch.setattr(plan_mod, "MIN_SHARD_BYTES", 0)
+
+
+class TestRowShardedPlan:
+    def test_row_sharded_plan_matches_unsharded(self, model, rng, shard_everything):
+        x = rng.normal(size=(6, 96))
+        base = InferenceSession.freeze(model)
+        sharded = InferenceSession.freeze(model, row_shards=3)
+        assert "[rows/3]" in sharded.describe()[0]
+        assert np.allclose(sharded.forward(x), base.forward(x), atol=1e-12)
+
+    def test_shard_count_capped_by_block_rows(self, model, shard_everything):
+        # Second bc layer has p = 10 block rows; asking for 64 shards
+        # must not create empty shards.
+        session = InferenceSession.freeze(model, row_shards=64)
+        assert "[rows/10]" in session.describe()[1]
+
+    def test_size_floor_skips_small_layers(self, model):
+        # Default MIN_SHARD_BYTES is far above these tiny spectra.
+        session = InferenceSession.freeze(model, row_shards=4)
+        assert not any("[rows/" in name for name in session.describe())
+
+    def test_fused_activation_survives_sharding(self, model, shard_everything):
+        session = InferenceSession.freeze(model, row_shards=2)
+        assert session.describe()[0].endswith("+relu")
+        op = session.ops[0]
+        assert op.shard_fns is not None and len(op.shard_fns) == 2
+
+
+class TestShardedExecutorRows:
+    def test_pool_rows_bitwise_equals_serial(self, model, rng, shard_everything):
+        x = rng.normal(size=(5, 96))
+        serial = InferenceSession.freeze(model, row_shards=3)
+        with InferenceSession.freeze(
+            model, executor=ShardedExecutor(workers=3, mode="rows"), row_shards=3
+        ) as pooled:
+            assert np.array_equal(pooled.forward(x), serial.forward(x))
+
+    def test_row_shards_default_to_worker_count(self, model, shard_everything):
+        with InferenceSession.freeze(
+            model, executor=ShardedExecutor(workers=2, mode="rows")
+        ) as session:
+            assert "[rows/2]" in session.describe()[0]
+
+
+class TestShardedExecutorBatches:
+    def test_pool_batches_bitwise_equal_serial(self, model, rng):
+        x = rng.normal(size=(23, 96))
+        serial = InferenceSession.freeze(model)
+        with InferenceSession.freeze(
+            model, executor=ShardedExecutor(workers=2, mode="batch")
+        ) as pooled:
+            for batch_size in (4, 7, 23):
+                assert np.array_equal(
+                    pooled.predict_proba(x, batch_size=batch_size),
+                    serial.predict_proba(x, batch_size=batch_size),
+                )
+
+    def test_predict_labels_match(self, model, rng):
+        x = rng.normal(size=(12, 96))
+        serial = InferenceSession.freeze(model)
+        with InferenceSession.freeze(
+            model, executor=ShardedExecutor(workers=2)
+        ) as pooled:
+            assert np.array_equal(
+                pooled.predict(x, batch_size=3), serial.predict(x, batch_size=3)
+            )
+
+    def test_single_chunk_stays_in_process(self, model, rng):
+        executor = ShardedExecutor(workers=2, mode="batch")
+        with InferenceSession.freeze(model, executor=executor) as session:
+            session.predict(rng.normal(size=(4, 96)))  # one chunk
+            assert executor._pool is None  # no pool spawned for one chunk
+
+    def test_fp32_sharded_matches_fp32_serial(self, model, rng):
+        x = rng.normal(size=(10, 96))
+        serial = InferenceSession.freeze(model, precision="fp32")
+        with InferenceSession.freeze(
+            model, precision="fp32", executor=ShardedExecutor(workers=2)
+        ) as pooled:
+            assert np.array_equal(
+                pooled.predict_proba(x, batch_size=5),
+                serial.predict_proba(x, batch_size=5),
+            )
+
+
+class TestShardedConvModel:
+    def test_conv_model_batch_sharding(self, rng):
+        m_rng = np.random.default_rng(3)
+        model = Sequential(
+            BlockCirculantConv2d(3, 8, 3, block_size=4, padding=1, rng=m_rng),
+            ReLU(),
+            Flatten(),
+            BlockCirculantLinear(8 * 8 * 8, 32, 8, rng=m_rng),
+            ReLU(),
+            Linear(32, 5, rng=m_rng),
+        ).eval()
+        x = rng.normal(size=(8, 3, 8, 8))
+        serial = InferenceSession.freeze(model, conv_tile=3)
+        with InferenceSession.freeze(
+            model, conv_tile=3, executor=ShardedExecutor(workers=2)
+        ) as pooled:
+            assert np.array_equal(
+                pooled.predict_proba(x, batch_size=2),
+                serial.predict_proba(x, batch_size=2),
+            )
+
+
+class TestExecutorLifecycle:
+    def test_resolve_by_name(self, model):
+        assert isinstance(
+            InferenceSession.freeze(model, executor="serial").executor,
+            SerialExecutor,
+        )
+        with InferenceSession.freeze(model, executor="sharded") as session:
+            assert isinstance(session.executor, ShardedExecutor)
+
+    def test_unknown_executor_rejected(self, model):
+        with pytest.raises(ValueError):
+            InferenceSession.freeze(model, executor="gpu")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(workers=0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(mode="columns")
+
+    def test_rebinding_running_executor_rejected(self, model, rng, shard_everything):
+        executor = ShardedExecutor(workers=2, mode="rows")
+        session = InferenceSession.freeze(model, executor=executor)
+        try:
+            session.forward(rng.normal(size=(2, 96)))  # spawns the pool
+            assert executor._pool is not None
+            with pytest.raises(RuntimeError):
+                InferenceSession.freeze(model, executor=executor)
+        finally:
+            session.close()
+        assert executor._pool is None
+
+    def test_rebinding_rejected_even_before_pool_exists(self, model):
+        # A second session must never silently repoint the first
+        # session's executor at its own plan.
+        sharded = ShardedExecutor(workers=2)
+        InferenceSession.freeze(model, executor=sharded)
+        with pytest.raises(RuntimeError):
+            InferenceSession.freeze(model, executor=sharded)
+        serial = SerialExecutor()
+        InferenceSession.freeze(model, executor=serial)
+        with pytest.raises(RuntimeError):
+            InferenceSession.freeze(model, executor=serial)
+
+    def test_shards_consume_one_prepared_spectrum(self, model, rng, shard_everything):
+        # prepare() runs the input FFT once; every shard consumes the
+        # same frequency-major payload.
+        session = InferenceSession.freeze(model, row_shards=2)
+        op = session.ops[0]
+        assert op.prepare is not None
+        x = np.asarray(rng.normal(size=(3, 96)))
+        payload = op.prepare(x)
+        parts = [shard(payload) for shard in op.shard_fns]
+        assert np.array_equal(op.combine(parts), op(x))
+
+    def test_close_is_idempotent(self, model):
+        session = InferenceSession.freeze(model, executor=ShardedExecutor(workers=2))
+        session.close()
+        session.close()

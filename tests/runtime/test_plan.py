@@ -1,0 +1,97 @@
+"""Plan compiler: overlap-add conv tiling vs the im2col reference."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BlockCirculantConv2d
+from repro.nn import ReLU, Sequential
+from repro.runtime import InferenceSession
+
+
+def _sessions(layer_kwargs, conv_tile):
+    model = Sequential(
+        BlockCirculantConv2d(rng=np.random.default_rng(0), **layer_kwargs),
+        ReLU(),
+    ).eval()
+    full = InferenceSession.freeze(model)
+    tiled = InferenceSession.freeze(model, conv_tile=conv_tile)
+    return model, full, tiled
+
+
+class TestOverlapAddConv:
+    @pytest.mark.parametrize(
+        "height,width,stride,padding,kernel,tile",
+        [
+            (15, 13, 1, 0, 3, 4),  # odd sizes, tile does not divide out_h
+            (15, 15, 2, 1, 3, 3),  # strided, padded
+            (17, 11, 3, 2, 5, 2),  # large kernel, stride 3, odd everything
+            (9, 9, 1, 1, 3, 1),  # single-row tiles
+            (8, 8, 2, 0, 2, 5),  # tile larger than half of out_h
+        ],
+    )
+    def test_tiled_matches_full_im2col(
+        self, rng, height, width, stride, padding, kernel, tile
+    ):
+        _, full, tiled = _sessions(
+            dict(
+                in_channels=3,
+                out_channels=6,
+                kernel_size=kernel,
+                block_size=2,
+                stride=stride,
+                padding=padding,
+            ),
+            conv_tile=tile,
+        )
+        x = rng.normal(size=(3, 3, height, width))
+        out_full = full.forward(x)
+        out_tiled = tiled.forward(x)
+        assert out_tiled.shape == out_full.shape
+        assert np.allclose(out_tiled, out_full, atol=1e-10)
+
+    def test_tiled_matches_live_layer(self, rng):
+        model, _, tiled = _sessions(
+            dict(
+                in_channels=4,
+                out_channels=6,
+                kernel_size=3,
+                block_size=2,
+                stride=2,
+                padding=1,
+            ),
+            conv_tile=2,
+        )
+        x = rng.normal(size=(2, 4, 11, 11))
+        assert np.allclose(tiled.forward(x), model(x).data, atol=1e-10)
+
+    def test_tile_larger_than_output_is_untiled(self, rng):
+        _, full, tiled = _sessions(
+            dict(in_channels=2, out_channels=4, kernel_size=3, block_size=2),
+            conv_tile=100,
+        )
+        x = rng.normal(size=(2, 2, 7, 7))
+        assert np.allclose(tiled.forward(x), full.forward(x), atol=1e-12)
+
+    def test_tile_annotated_in_plan(self):
+        _, full, tiled = _sessions(
+            dict(in_channels=2, out_channels=4, kernel_size=3, block_size=2),
+            conv_tile=2,
+        )
+        assert "tile=2" in tiled.describe()[0]
+        assert "tile" not in full.describe()[0]
+
+    def test_fp32_tiled_parity(self, rng):
+        model = Sequential(
+            BlockCirculantConv2d(
+                3, 6, 3, block_size=2, stride=2, padding=1,
+                rng=np.random.default_rng(1),
+            ),
+            ReLU(),
+        ).eval()
+        x = rng.normal(size=(2, 3, 13, 13))
+        fp64 = InferenceSession.freeze(model, conv_tile=3).forward(x)
+        fp32 = InferenceSession.freeze(
+            model, precision="fp32", conv_tile=3
+        ).forward(x)
+        assert fp32.dtype == np.float32
+        assert np.abs(fp64 - fp32.astype(np.float64)).max() < 1e-5

@@ -52,6 +52,56 @@ class TestSpectrumCache:
         assert cache.misses == 2
 
 
+class TestDtypeKeying:
+    """fp32 and fp64 sessions must never share a wrong-precision spectrum."""
+
+    def test_complex64_entry_is_distinct_and_rounded(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.arange(24.0).reshape(2, 3, 4))
+        wide = cache.get(weight)
+        narrow = cache.get(weight, np.complex64)
+        assert wide.dtype == np.complex128
+        assert narrow.dtype == np.complex64
+        assert narrow is not wide
+        # Derived by one rounding from the double-precision base.
+        assert np.array_equal(narrow, wide.astype(np.complex64))
+
+    def test_each_dtype_cached_independently(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.ones((2, 2, 4)))
+        first = cache.get(weight, np.complex64)
+        cache.get(weight)  # fp64 lookup in between
+        assert cache.get(weight, np.complex64) is first
+
+    def test_get_pair_dtype(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.arange(16.0).reshape(2, 2, 4))
+        spectra, fm = cache.get_pair(weight, np.complex64)
+        assert spectra.dtype == np.complex64 and fm.dtype == np.complex64
+        assert np.array_equal(fm, spectra.transpose(2, 0, 1))
+        wide, wide_fm = cache.get_pair(weight)
+        assert wide.dtype == np.complex128 and wide_fm.dtype == np.complex128
+
+    def test_rebind_invalidates_every_dtype(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.ones((2, 2, 4)))
+        stale64 = cache.get(weight, np.complex64)
+        stale128 = cache.get(weight)
+        weight.data = np.full((2, 2, 4), 2.0)
+        assert cache.get(weight, np.complex64) is not stale64
+        assert cache.get(weight) is not stale128
+        assert np.allclose(
+            cache.get(weight), rfft(weight.data), atol=1e-12
+        )
+
+    def test_derived_dtype_is_read_only(self):
+        cache = SpectrumCache()
+        weight = Tensor(np.ones((1, 1, 8)))
+        narrow = cache.get(weight, np.complex64)
+        with pytest.raises(ValueError):
+            narrow[0, 0, 0] = 0.0
+
+
 class TestLayerCacheIntegration:
     def _layer(self):
         return BlockCirculantLinear(12, 8, 4, rng=np.random.default_rng(0))
