@@ -7,6 +7,8 @@ Mirrors the paper's Fig. 4 pipeline from a shell:
 * ``deploy``  — convert a checkpoint into the FFT-domain deployment
   artifact (section IV-A),
 * ``predict`` — run the standalone inference engine on an input bundle,
+* ``serve``   — expose a deployed artifact as an asyncio micro-batching
+  TCP service (see :mod:`repro.serving`),
 * ``profile`` — predict per-image latency and energy on the Table I
   devices,
 * ``info``    — parameter/storage/compression report for an architecture.
@@ -103,6 +105,56 @@ def build_parser() -> argparse.ArgumentParser:
         "im2col matrix)",
     )
 
+    serve = sub.add_parser(
+        "serve", help="serve a deployed artifact over TCP with micro-batching"
+    )
+    serve.add_argument("model", help="artifact from `deploy`")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default: the repro serving port; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--precision",
+        choices=("fp64", "fp32"),
+        default="fp64",
+        help="session precision (fp32 halves spectrum memory)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes; >1 shards fused batches and large "
+        "block-circulant layers across a fork pool",
+    )
+    serve.add_argument(
+        "--transport",
+        choices=("pipe", "shm"),
+        default="pipe",
+        help="how activations reach pool workers: pickled through the "
+        "pool pipe, or through shared-memory ring buffers",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=32,
+        help="flush a micro-batch once this many rows are pending",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="flush a partial micro-batch after this many milliseconds",
+    )
+    serve.add_argument(
+        "--conv-tile",
+        type=_positive_int,
+        default=None,
+        help="overlap-add conv tiling: output rows per tile",
+    )
+
     profile = sub.add_parser(
         "profile", help="predict on-device latency and energy"
     )
@@ -157,13 +209,31 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+def _effective_workers(requested: int) -> int:
+    """CLI wrapper for :func:`repro.runtime.executors.effective_workers`.
+
+    Same single-CPU clamp, but the warning lands on stderr as a plain
+    ``warning:`` line (the CLI's voice) instead of going through the
+    :mod:`warnings` machinery.
+    """
+    import warnings as _warnings
+
+    from .runtime.executors import effective_workers
+
+    with _warnings.catch_warnings(record=True) as caught:
+        _warnings.simplefilter("always")
+        effective = effective_workers(requested)
+    for warning in caught:
+        print(f"warning: {warning.message}", file=sys.stderr)
+    return effective
+
+
 def _cmd_predict(args) -> int:
     # Compile the artifact once into the frozen runtime (precomputed
     # spectra at the chosen precision, fused ops), then stream the
     # inputs through it in chunks — on a worker pool when requested.
-    executor = (
-        ShardedExecutor(workers=args.workers) if args.workers > 1 else None
-    )
+    workers = _effective_workers(args.workers)
+    executor = ShardedExecutor(workers=workers) if workers > 1 else None
     session = DeployedModel.load(args.model).to_session(
         precision=args.precision,
         executor=executor,
@@ -180,6 +250,36 @@ def _cmd_predict(args) -> int:
             if labels is not None:
                 score = float((predictions == labels).mean())
                 print(f"accuracy: {score:.4f}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    # The first stdout line is the machine-readable `serving on
+    # host:port` banner (scripts and the CI smoke job parse it); the
+    # config line follows via on_ready.  Workers are clamped here so the
+    # warning lands on the CLI's stderr; DeployedModel.serve clamps
+    # again (a no-op then) for direct API callers.
+    workers = _effective_workers(args.workers)
+
+    def announce(server) -> None:
+        print(
+            f"model={args.model} precision={args.precision} "
+            f"workers={workers} transport={args.transport} "
+            f"max_batch={args.max_batch} max_wait_ms={args.max_wait_ms}",
+            flush=True,
+        )
+
+    DeployedModel.load(args.model).serve(
+        host=args.host,
+        port=args.port,
+        precision=args.precision,
+        workers=workers,
+        transport=args.transport,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        conv_tile=args.conv_tile,
+        on_ready=announce,
+    )
     return 0
 
 
@@ -219,6 +319,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "deploy": _cmd_deploy,
     "predict": _cmd_predict,
+    "serve": _cmd_serve,
     "profile": _cmd_profile,
     "info": _cmd_info,
 }

@@ -19,7 +19,9 @@ implements that flow:
   bias+activation and materializes the stored complex64 spectra once at
   the session's :class:`~repro.precision.PrecisionPolicy` (``"fp32"``
   runs them exactly as stored; the default ``"fp64"`` widens once),
-  with optional sharded execution and overlap-add conv tiling.
+  with optional sharded execution and overlap-add conv tiling,
+* :meth:`DeployedModel.serve` turns the artifact into a many-client
+  micro-batching TCP service (see :mod:`repro.serving`).
 
 Dropout layers vanish at deployment; batch-norm folds into a per-feature
 affine transform.
@@ -322,6 +324,71 @@ class DeployedModel:
             conv_tile=conv_tile,
             row_shards=row_shards,
         )
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        precision=None,
+        workers: int = 1,
+        transport: str = "pipe",
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        conv_tile: int | None = None,
+        on_ready=None,
+    ) -> None:
+        """Serve this artifact as a micro-batching TCP service (blocking).
+
+        Compiles the records into a frozen session (``precision``,
+        ``workers``/``transport`` select a sharded executor and how
+        activations reach its pool, ``conv_tile`` bounds conv memory)
+        and runs a :class:`~repro.serving.server.InferenceServer` until
+        interrupted.  ``workers`` is clamped (with a warning) on
+        single-CPU hosts where a pool can only add overhead.  The first
+        line printed is the machine-readable ``serving on host:port``
+        banner; ``on_ready(server)`` fires right after it.  The CLI
+        equivalent is ``repro serve``; for a non-blocking in-process
+        server construct
+        :class:`~repro.serving.server.InferenceServer` directly.
+        """
+        import asyncio
+
+        from ..runtime.executors import ShardedExecutor, effective_workers
+        from ..serving import DEFAULT_PORT, InferenceServer
+
+        workers = effective_workers(workers)
+        executor = (
+            ShardedExecutor(workers=workers, transport=transport)
+            if workers > 1
+            else None
+        )
+        session = self.to_session(
+            precision=precision, executor=executor, conv_tile=conv_tile
+        )
+        server = InferenceServer(
+            session,
+            host=host,
+            port=DEFAULT_PORT if port is None else port,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+        )
+
+        async def _serve() -> None:
+            await server.start()
+            print(f"serving on {server.host}:{server.port}", flush=True)
+            if on_ready is not None:
+                on_ready(server)
+            try:
+                await server.serve_forever()
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            session.close()
 
     def time_inference(
         self, inputs: np.ndarray, repeats: int = 3

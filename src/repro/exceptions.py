@@ -27,3 +27,7 @@ class DeploymentError(ReproError, RuntimeError):
 
 class ConfigurationError(ReproError, ValueError):
     """A layer, model, or simulator was configured with invalid settings."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """A serving request failed or the wire protocol was violated."""

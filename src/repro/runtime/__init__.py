@@ -14,23 +14,44 @@ layer object.  The runtime strips all three, split across three modules:
 * :mod:`repro.runtime.executors` — the execution strategies:
   :class:`SerialExecutor` (in-process) and :class:`ShardedExecutor`
   (fork pool, batch- and block-row-sharded, bitwise-identical results),
+  with the strategy decisions factored into :class:`ShardScheduler`,
+* :mod:`repro.runtime.transport` — how activations reach pool workers:
+  :class:`PipeTransport` (pickled through the pool pipe) or
+  :class:`SharedMemoryTransport` (a double-buffered ring of
+  ``multiprocessing.shared_memory`` slot pairs, no per-chunk pickling),
 * :mod:`repro.runtime.session` — :class:`InferenceSession`, the
   user-facing façade binding one plan to one executor with streaming
   ``predict``.
 """
 
 from ..precision import PrecisionPolicy
-from .executors import PlanExecutor, SerialExecutor, ShardedExecutor
+from .executors import (
+    PlanExecutor,
+    SerialExecutor,
+    ShardScheduler,
+    ShardedExecutor,
+)
 from .plan import PlanOp, compile_model_plan, compile_records_plan
 from .session import InferenceSession
+from .transport import (
+    PipeTransport,
+    SharedMemoryTransport,
+    Transport,
+    make_transport,
+)
 
 __all__ = [
     "InferenceSession",
+    "PipeTransport",
     "PlanOp",
     "PlanExecutor",
     "PrecisionPolicy",
     "SerialExecutor",
+    "SharedMemoryTransport",
+    "ShardScheduler",
     "ShardedExecutor",
+    "Transport",
     "compile_model_plan",
     "compile_records_plan",
+    "make_transport",
 ]

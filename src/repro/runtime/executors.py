@@ -2,13 +2,20 @@
 
 :mod:`repro.runtime.plan` compiles a model into a flat list of
 :class:`~repro.runtime.plan.PlanOp` closures; this module decides how
-those closures actually execute:
+those closures actually execute.  Three cooperating pieces:
 
-* :class:`SerialExecutor` — today's behaviour: one op after another in
-  the calling process.  Zero overhead, always available.
-* :class:`ShardedExecutor` — a ``multiprocessing`` fork pool for
-  many-core serving.  Two complementary strategies, both
-  bitwise-identical to serial execution:
+* :class:`SerialExecutor` — one op after another in the calling
+  process.  Zero overhead, always available.
+* :class:`ShardScheduler` — the *what runs where*: given a plan and a
+  mode it picks the strategy per call (batch sharding vs row sharding
+  vs serial) and enumerates the shard jobs of row-sharded ops — both
+  block-circulant linear and block-circulant conv ops expose the same
+  ``prepare``/``shard_fns``/``combine`` surface, so the scheduler
+  treats them uniformly.
+* :class:`ShardedExecutor` — the *mechanism*: a ``multiprocessing``
+  fork pool plus a :class:`~repro.runtime.transport.Transport` moving
+  the activations.  Two strategies, both bitwise-identical to serial
+  execution:
 
   - **batch sharding**: ``predict`` chunks are farmed whole to pool
     workers, each running the full plan on its chunk.  The chunks are
@@ -22,48 +29,89 @@ those closures actually execute:
 
   Workers are forked *after* the executor is bound to a plan, so the
   spectra arrays reach the children as copy-on-write shared pages — no
-  per-task pickling of weights, only activations cross the pipe.
+  per-task pickling of weights.  Activations cross either the pool pipe
+  (:class:`~repro.runtime.transport.PipeTransport`, the default) or a
+  shared-memory slot ring
+  (:class:`~repro.runtime.transport.SharedMemoryTransport`,
+  ``transport="shm"``).
 
 Executors are bound to exactly one plan (``bind``); the
 :class:`~repro.runtime.session.InferenceSession` façade does this at
-construction and closes the executor's pool with the session.
+construction and closes the executor's pool with the session.  ``close``
+is idempotent and additionally registered with :mod:`atexit`, so an
+interrupted run never leaks pool workers or shared-memory segments.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import warnings
+from collections import deque
 from typing import Sequence
 
 import numpy as np
 
 from .plan import PlanOp
+from .transport import Transport, make_transport
 
-__all__ = ["PlanExecutor", "SerialExecutor", "ShardedExecutor"]
+__all__ = [
+    "PlanExecutor",
+    "SerialExecutor",
+    "ShardScheduler",
+    "ShardedExecutor",
+    "effective_workers",
+]
 
 
-# Plan handed to pool workers via fork inheritance.  Closures are not
-# picklable, so the pool is created only after this global is set; forked
-# children snapshot it copy-on-write.
+def effective_workers(requested: int) -> int:
+    """Clamp a worker request to what the host can parallelize.
+
+    On a single-CPU host a fork pool can only add IPC overhead (the
+    0.37x regression BENCH_fdx.json once recorded), so callers that are
+    about to build a :class:`ShardedExecutor` from user input should
+    pass the request through here: it warns and returns 1 when the host
+    exposes a single CPU.  Explicit ``ShardedExecutor(workers=...)``
+    construction stays unclamped on purpose — benchmarks measure the
+    pool overhead deliberately.
+    """
+    if requested > 1 and (os.cpu_count() or 1) <= 1:
+        warnings.warn(
+            f"this host exposes a single CPU; workers={requested} would "
+            "only add process-pool overhead — running serial instead",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    return requested
+
+
+# Plan and transport handed to pool workers via fork inheritance.
+# Closures are not picklable, so the pool is created only after these
+# globals are set; forked children snapshot them copy-on-write.
 _WORKER_OPS: list[PlanOp] | None = None
+_WORKER_TRANSPORT: Transport | None = None
 
 
-def _worker_run_plan(x: np.ndarray) -> np.ndarray:
+def _worker_run_plan(task) -> object:
     """Run the inherited plan end to end on one batch chunk."""
+    x = _WORKER_TRANSPORT.worker_recv(task)
     for op in _WORKER_OPS:
         x = op(x)
-    return x
+    return _WORKER_TRANSPORT.worker_send(task, x)
 
 
-def _worker_run_shard(args: tuple[int, int, np.ndarray]) -> np.ndarray:
+def _worker_run_shard(op_index: int, shard_index: int, task) -> object:
     """Run one row-shard closure of one op of the inherited plan.
 
-    ``payload`` is the op's prepared input (the parent computes
-    ``op.prepare(x)`` once and ships the same spectrum to every shard).
+    The task's payload is the op's prepared input (the parent computes
+    ``op.prepare(x)`` once and stages the same spectrum for every
+    shard).
     """
-    op_index, shard_index, payload = args
-    return _WORKER_OPS[op_index].shard_fns[shard_index](payload)
+    payload = _WORKER_TRANSPORT.worker_recv(task)
+    out = _WORKER_OPS[op_index].shard_fns[shard_index](payload)
+    return _WORKER_TRANSPORT.worker_send(task, out)
 
 
 class PlanExecutor:
@@ -116,6 +164,63 @@ class SerialExecutor(PlanExecutor):
         return "SerialExecutor()"
 
 
+class ShardScheduler:
+    """Decides *what* runs on the pool for a bound plan.
+
+    The scheduler owns the strategy choices that used to live inline in
+    :class:`ShardedExecutor`: which ops of the plan are row-sharded
+    (block-circulant linear and conv ops compiled with ``row_shards``
+    both qualify — they expose the same shard surface), whether a
+    single-batch call should use row sharding, and whether a chunked
+    ``predict`` should fan chunks out to workers.  It is pure policy:
+    no pool, no transport, trivially testable.
+    """
+
+    _MODES = ("auto", "batch", "rows")
+
+    def __init__(self, ops: Sequence[PlanOp], mode: str = "auto"):
+        if mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
+        self.ops = list(ops)
+        self.mode = mode
+        #: op index -> shard count, for every row-sharded op in the plan
+        self.row_ops = {
+            i: len(op.shard_fns)
+            for i, op in enumerate(self.ops)
+            if op.shard_fns is not None and len(op.shard_fns) > 1
+        }
+
+    def run_strategy(self, can_fork: bool = True) -> str:
+        """``"rows"`` or ``"serial"`` for a single-batch ``run`` call."""
+        if not can_fork or self.mode == "batch" or not self.row_ops:
+            return "serial"
+        return "rows"
+
+    def use_batch_pool(self, n_chunks: int, can_fork: bool = True) -> bool:
+        """Should ``map_batches`` fan its chunks out to the pool?"""
+        return can_fork and self.mode != "rows" and n_chunks > 1
+
+    def shard_jobs(self, op_index: int) -> list[tuple[int, int]]:
+        """The pool jobs for one op: ``(op_index, shard_index)`` pairs."""
+        return [(op_index, j) for j in range(self.row_ops.get(op_index, 0))]
+
+    def describe(self) -> dict:
+        """Summary for introspection (server ``info``, tests)."""
+        return {
+            "mode": self.mode,
+            "ops": len(self.ops),
+            "row_sharded_ops": {
+                self.ops[i].name: n for i, n in self.row_ops.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardScheduler(mode={self.mode!r}, ops={len(self.ops)}, "
+            f"row_sharded={len(self.row_ops)})"
+        )
+
+
 class ShardedExecutor(PlanExecutor):
     """Execute the plan on a ``multiprocessing`` fork pool.
 
@@ -124,20 +229,30 @@ class ShardedExecutor(PlanExecutor):
     workers:
         Pool size; defaults to ``os.cpu_count()``.  Also the default
         block-row shard count :meth:`InferenceSession.freeze` compiles
-        large ``BlockCirculantLinear`` ops with.
+        large block-circulant ops with.
     mode:
         ``"auto"`` (default) uses batch sharding when ``predict`` has
         more than one chunk and row sharding otherwise; ``"batch"`` /
         ``"rows"`` force one strategy.
+    transport:
+        How activations reach the workers: ``"pipe"`` (default; arrays
+        pickled through the pool pipe), ``"shm"`` (shared-memory slot
+        ring; falls back to pipe with a warning where unavailable), or
+        a :class:`~repro.runtime.transport.Transport` instance.
 
     On platforms without the ``fork`` start method the executor degrades
     to serial execution with a warning (closures cannot be pickled to
     spawned workers).
     """
 
-    _MODES = ("auto", "batch", "rows")
+    _MODES = ShardScheduler._MODES
 
-    def __init__(self, workers: int | None = None, mode: str = "auto"):
+    def __init__(
+        self,
+        workers: int | None = None,
+        mode: str = "auto",
+        transport: str | Transport | None = None,
+    ):
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -146,7 +261,10 @@ class ShardedExecutor(PlanExecutor):
             raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
         self.workers = workers
         self.mode = mode
+        self.transport = make_transport(transport)
+        self.scheduler: ShardScheduler | None = None
         self._pool = None
+        self._atexit = None
         self._can_fork = "fork" in multiprocessing.get_all_start_methods()
         if not self._can_fork:
             warnings.warn(
@@ -156,35 +274,107 @@ class ShardedExecutor(PlanExecutor):
                 stacklevel=2,
             )
 
+    def bind(self, ops: Sequence[PlanOp]) -> "ShardedExecutor":
+        super().bind(ops)
+        self.scheduler = ShardScheduler(self._ops, mode=self.mode)
+        return self
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
     def _ensure_pool(self):
         if self._pool is None:
-            global _WORKER_OPS
+            global _WORKER_OPS, _WORKER_TRANSPORT
+            self.transport.bind(self.workers)
             _WORKER_OPS = self._ops
+            _WORKER_TRANSPORT = self.transport
             context = multiprocessing.get_context("fork")
             self._pool = context.Pool(self.workers)
+            # Interrupted benchmarks and crashed servers must not leak
+            # fork-pool workers or shm segments; close() unregisters.
+            self._atexit = self.close
+            atexit.register(self._atexit)
         return self._pool
 
+    def ensure_started(self) -> "ShardedExecutor":
+        """Fork the worker pool now (idempotent).
+
+        Call this before starting threads (an asyncio serving front-end,
+        a benchmark harness) so the pool forks from a thread-free
+        process — forking after threads exist risks inheriting held
+        locks into the children.
+        """
+        if self._can_fork and self._ops is not None:
+            self._ensure_pool()
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def _run_serial(self, x: np.ndarray) -> np.ndarray:
         for op in self._ops:
             x = op(x)
         return x
 
+    def _map_on_pool(self, fn, prefixes: list[tuple], in_ref_for) -> list:
+        """Windowed ``apply_async`` over the pool through the transport.
+
+        ``prefixes[i]`` are the leading arguments of job ``i``;
+        ``in_ref_for(i)`` supplies its staged input ref *at submission
+        time*, so no more than ``transport.capacity`` slots are ever
+        held at once.  Results come back in job order.
+
+        A worker exception must not poison the executor: every job is
+        still submitted and every task still passes through
+        ``transport.finish`` (releasing its slots and balancing shared
+        input refcounts) before the first error is re-raised — so a
+        malformed request costs one failed call, not the slot ring.
+        """
+        pool = self._ensure_pool()
+        t = self.transport
+        total = len(prefixes)
+        cap = t.capacity or total
+        results: list = [None] * total
+        inflight: deque = deque()
+        first_error: Exception | None = None
+
+        def drain_one():
+            nonlocal first_error
+            j, task, async_result = inflight.popleft()
+            try:
+                raw = async_result.get()
+            except Exception as exc:
+                t.finish(None, task)  # release slots even on failure
+                if first_error is None:
+                    first_error = exc
+                return
+            results[j] = t.finish(raw, task)
+
+        for i in range(total):
+            while len(inflight) >= cap:
+                drain_one()
+            task = t.task(in_ref_for(i))
+            inflight.append(
+                (i, task, pool.apply_async(fn, (*prefixes[i], task)))
+            )
+        while inflight:
+            drain_one()
+        if first_error is not None:
+            raise first_error
+        return results
+
     def run(self, x: np.ndarray) -> np.ndarray:
         """One batch through the plan, row-sharded ops on the pool."""
-        if not self._can_fork or self.mode == "batch":
+        if self.scheduler.run_strategy(self._can_fork) != "rows":
             return self._run_serial(x)
-        sharded = [
-            op for op in self._ops if op.shard_fns and len(op.shard_fns) > 1
-        ]
-        if not sharded:
-            return self._run_serial(x)
-        pool = self._ensure_pool()
+        self._ensure_pool()  # binds the transport before the first put()
         for index, op in enumerate(self._ops):
-            if op.shard_fns and len(op.shard_fns) > 1:
+            jobs = self.scheduler.shard_jobs(index)
+            if jobs:
                 payload = x if op.prepare is None else op.prepare(x)
-                parts = pool.map(
-                    _worker_run_shard,
-                    [(index, j, payload) for j in range(len(op.shard_fns))],
+                shared = self.transport.put(payload, uses=len(jobs))
+                parts = self._map_on_pool(
+                    _worker_run_shard, jobs, lambda i: shared
                 )
                 x = op.combine(parts)
             else:
@@ -198,21 +388,36 @@ class ShardedExecutor(PlanExecutor):
         chunks the serial streaming path would process — so the
         concatenated result is bitwise identical to serial execution.
         """
-        if not self._can_fork or self.mode == "rows" or len(chunks) <= 1:
+        if not self.scheduler.use_batch_pool(len(chunks), self._can_fork):
             return [self.run(chunk) for chunk in chunks]
-        pool = self._ensure_pool()
-        return pool.map(_worker_run_plan, chunks)
+        return self._map_on_pool(
+            _worker_run_plan,
+            [() for _ in chunks],
+            lambda i: self.transport.put(chunks[i]),
+        )
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        global _WORKER_OPS
+        """Terminate the pool and release transport segments; idempotent."""
+        global _WORKER_OPS, _WORKER_TRANSPORT
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self.transport.close()
         if _WORKER_OPS is self._ops and self._ops is not None:
-            # Drop the fork-inheritance reference so a closed session's
+            # Drop the fork-inheritance references so a closed session's
             # plan (and its spectra) can be garbage collected.
             _WORKER_OPS = None
+            _WORKER_TRANSPORT = None
+        if self._atexit is not None:
+            try:
+                atexit.unregister(self._atexit)
+            except Exception:
+                pass
+            self._atexit = None
 
     def __del__(self):
         try:
@@ -221,4 +426,7 @@ class ShardedExecutor(PlanExecutor):
             pass
 
     def __repr__(self) -> str:
-        return f"ShardedExecutor(workers={self.workers}, mode={self.mode!r})"
+        return (
+            f"ShardedExecutor(workers={self.workers}, mode={self.mode!r}, "
+            f"transport={self.transport.name!r})"
+        )

@@ -19,9 +19,13 @@ Three compile-time choices shape the emitted ops:
   gathers only its own (overlapping) input slab, so peak memory is
   bounded by the tile size instead of the full im2col matrix (the
   ROADMAP's overlap-add streaming item).
-* **Block-row sharding** (``row_shards``) — large
+* **Block-row sharding** (``row_shards``) — large block-circulant
+  spectra (both
   :class:`~repro.nn.layers.block_circulant_linear.BlockCirculantLinear`
-  spectra are partitioned into contiguous block-row slices; each shard is
+  and
+  :class:`~repro.nn.layers.block_circulant_conv2d.BlockCirculantConv2d`,
+  which share the same block-row grid) are partitioned into contiguous
+  block-row slices; each shard is
   an independently callable closure owning its slice of the
   frequency-major spectra.  A
   :class:`~repro.runtime.executors.ShardedExecutor` farms the shards to a
@@ -36,6 +40,7 @@ instead of one Python dispatch per ``Module``.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Sequence
 
 import numpy as np
@@ -79,6 +84,21 @@ __all__ = [
 #: ``row_shards`` in the compile call still respects this floor; tests
 #: monkeypatch it to 0 to shard tiny layers.)
 MIN_SHARD_BYTES = 1 << 16
+
+
+def _shard_bounds(
+    p: int, row_shards: int | None, spectra_nbytes: int
+) -> np.ndarray | None:
+    """Block-row partition bounds, or ``None`` when sharding is off.
+
+    Shared by the block-circulant linear and conv op builders: both
+    partition the same ``p`` block-row grid of the frequency-major
+    spectra, subject to the same :data:`MIN_SHARD_BYTES` floor.
+    """
+    shards = 0 if row_shards is None else min(row_shards, p)
+    if shards > 1 and spectra_nbytes >= MIN_SHARD_BYTES:
+        return np.linspace(0, p, shards + 1, dtype=int)
+    return None
 
 
 def softmax(x: np.ndarray) -> np.ndarray:
@@ -210,15 +230,14 @@ def _bc_linear_op(
         return out
 
     name = f"bc_linear({in_features}->{out_features},b={b})"
-    shards = 0 if row_shards is None else min(row_shards, p)
-    if shards > 1 and spectra_fm.nbytes >= MIN_SHARD_BYTES:
+    bounds = _shard_bounds(p, row_shards, spectra_fm.nbytes)
+    if bounds is not None:
         # Partition the block-row grid: shard i owns a contiguous copy of
         # its rows of the frequency-major spectra (the slice a pool
         # worker's forked pages actually touch).  The input spectrum is
         # computed once by `prepare`; every shard consumes the same
         # frequency-major payload, so no FFT work is duplicated whether
         # the shards run in-process or on a pool.
-        bounds = np.linspace(0, p, shards + 1, dtype=int)
 
         def prepare(x: np.ndarray) -> np.ndarray:
             # Frequency-major (nb, q, batch): the exact GEMM operand.
@@ -325,6 +344,7 @@ def _bc_conv_op(
     spectra_fm: np.ndarray | None = None,
     policy: PrecisionPolicy = FP64,
     conv_tile: int | None = None,
+    row_shards: int | None = None,
 ) -> PlanOp:
     cdtype = policy.complex_dtype
     rdtype = policy.real_dtype
@@ -336,8 +356,8 @@ def _bc_conv_op(
     padded_c = channel_blocks * b
     bias = None if bias is None else np.asarray(bias, dtype=rdtype)
 
-    def contract(cols: np.ndarray, batch: int, positions: int) -> np.ndarray:
-        """im2col columns -> ``(batch, positions, out_channels)``."""
+    def pad_blocks(cols: np.ndarray, batch: int, positions: int) -> np.ndarray:
+        """im2col columns -> channel-padded ``(batch*positions, q, b)``."""
         by_pos = cols.reshape(batch, positions, in_channels, k * k).transpose(
             0, 1, 3, 2
         )
@@ -345,7 +365,94 @@ def _bc_conv_op(
             padded = np.zeros((batch, positions, k * k, padded_c), dtype=rdtype)
             padded[..., :in_channels] = by_pos
             by_pos = padded
-        blocks = by_pos.reshape(batch * positions, -1, b)
+        return by_pos.reshape(batch * positions, -1, b)
+
+    name = f"bc_conv({in_channels}->{out_channels},k={k},b={b})"
+    p = spectra.shape[0]
+    bounds = _shard_bounds(p, row_shards, spectra_fm.nbytes)
+    if bounds is not None and conv_tile is not None:
+        warnings.warn(
+            f"row_shards supersedes conv_tile for {name}: the sharded op "
+            "gathers its full im2col matrix in one shot (poolable "
+            "payload), so peak conv memory is no longer bounded by the "
+            "tile; compile with row_shards=None to keep the memory bound",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if bounds is not None:
+        # Block-row-sharded conv: same partition of the block-row grid
+        # as the linear case — each shard owns a contiguous copy of its
+        # rows of the frequency-major spectra and turns the shared input
+        # spectrum into its slice of the output channels.  The im2col
+        # gather and the input rfft run once in `prepare`; `combine`
+        # reassembles the channel slices, adds bias and any fused
+        # activation.  Sharding targets many-core single-image latency,
+        # so it supersedes `conv_tile` memory tiling for this op (the
+        # one-shot im2col is the price of a poolable payload).
+        #
+        # `prepare` stashes the call's output geometry for `combine`;
+        # both always run in the same process for one call at a time
+        # (serially inline, or both on the executor's parent side), so
+        # the cell is never shared across concurrent calls.
+        geometry: dict[str, int] = {}
+
+        def prepare(x: np.ndarray) -> np.ndarray:
+            batch, _, height, width = x.shape
+            out_h = (height + 2 * padding - k) // stride + 1
+            out_w = (width + 2 * padding - k) // stride + 1
+            geometry["batch"], geometry["out_h"], geometry["out_w"] = (
+                batch, out_h, out_w,
+            )
+            blocks = pad_blocks(
+                im2col(x, k, stride, padding), batch, out_h * out_w
+            )
+            # Frequency-major (nb, q, batch*positions): the GEMM operand.
+            return np.ascontiguousarray(rfft(blocks).transpose(2, 1, 0))
+
+        def make_shard(r0: int, r1: int):
+            w_rows = np.ascontiguousarray(spectra_fm[:, r0:r1, :])
+
+            def shard(x_spec_fm: np.ndarray) -> np.ndarray:
+                y_spec = np.matmul(w_rows, x_spec_fm).transpose(2, 1, 0)
+                return irfft(y_spec, n=b)  # (batch*positions, r1-r0, b)
+
+            return shard
+
+        shard_fns = tuple(
+            make_shard(int(r0), int(r1))
+            for r0, r1 in zip(bounds[:-1], bounds[1:])
+            if r1 > r0
+        )
+
+        def combine(parts: list[np.ndarray]) -> np.ndarray:
+            batch = geometry["batch"]
+            out_h, out_w = geometry["out_h"], geometry["out_w"]
+            out_blocks = np.concatenate(parts, axis=1)
+            out = out_blocks.reshape(out_blocks.shape[0], -1)[:, :out_channels]
+            out = out.reshape(batch, out_h * out_w, out_channels)
+            out = out.transpose(0, 2, 1).reshape(
+                batch, out_channels, out_h, out_w
+            )
+            if bias is not None:
+                out = out + bias[None, :, None, None]
+            return out
+
+        def sharded_fn(x: np.ndarray) -> np.ndarray:
+            x_spec_fm = prepare(x)
+            return combine([shard(x_spec_fm) for shard in shard_fns])
+
+        return PlanOp(
+            f"{name}[rows/{len(shard_fns)}]",
+            sharded_fn,
+            fusable=True,
+            prepare=prepare,
+            shard_fns=shard_fns,
+            combine=combine,
+        )
+
+    def contract(cols: np.ndarray, batch: int, positions: int) -> np.ndarray:
+        """im2col columns -> ``(batch, positions, out_channels)``."""
+        blocks = pad_blocks(cols, batch, positions)
         out = block_circulant_forward_batch(spectra, blocks, weight_fm=spectra_fm)
         out = out.reshape(batch * positions, -1)[:, :out_channels]
         return out.reshape(batch, positions, out_channels)
@@ -385,12 +492,9 @@ def _bc_conv_op(
             out = out + bias[None, :, None, None]
         return out
 
-    suffix = "" if conv_tile is None else f",tile={conv_tile}"
-    return PlanOp(
-        f"bc_conv({in_channels}->{out_channels},k={k},b={b}{suffix})",
-        fn,
-        fusable=True,
-    )
+    if conv_tile is not None:
+        name = name[:-1] + f",tile={conv_tile})"
+    return PlanOp(name, fn, fusable=True)
 
 
 def _affine_op(
@@ -502,6 +606,7 @@ def compile_model_plan(
                     spectra_fm=spectra_fm,
                     policy=policy,
                     conv_tile=conv_tile,
+                    row_shards=row_shards,
                 ),
             )
         elif isinstance(layer, Conv2d):
@@ -597,6 +702,7 @@ def compile_records_plan(
                     record["channel_blocks"],
                     policy=policy,
                     conv_tile=conv_tile,
+                    row_shards=row_shards,
                 ),
             )
         elif kind == "conv":

@@ -119,9 +119,12 @@ class InferenceSession:
 
         ``conv_tile`` emits overlap-add streaming conv ops of that many
         output rows per tile; ``row_shards`` partitions large
-        block-circulant linear spectra into that many block-row shards
+        block-circulant spectra — linear *and* conv layers, which share
+        the same block-row grid — into that many block-row shards
         (defaults to the executor's worker count for a
-        :class:`~repro.runtime.executors.ShardedExecutor`).
+        :class:`~repro.runtime.executors.ShardedExecutor`).  When both
+        apply to the same conv layer, sharding supersedes tiling (with a
+        warning): a poolable shard payload needs the one-shot im2col.
         """
         policy = PrecisionPolicy.resolve(precision)
         executor = _resolve_executor(executor)
@@ -207,6 +210,18 @@ class InferenceSession:
     ) -> np.ndarray:
         """Predicted integer labels, streamed in ``batch_size`` chunks."""
         return self.predict_proba(inputs, batch_size=batch_size).argmax(axis=-1)
+
+    def warm_up(self) -> "InferenceSession":
+        """Pre-start executor resources (a sharded executor's fork pool).
+
+        Serving front-ends call this before spawning their worker
+        threads so the pool forks from a thread-free process; a no-op
+        for executors without startup cost.
+        """
+        ensure = getattr(self.executor, "ensure_started", None)
+        if ensure is not None:
+            ensure()
+        return self
 
     def close(self) -> None:
         """Release executor resources (a sharded executor's pool)."""

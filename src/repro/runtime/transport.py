@@ -1,0 +1,463 @@
+"""Activation transports: how arrays move between the parent and pool workers.
+
+:class:`~repro.runtime.executors.ShardedExecutor` farms work to a fork
+pool.  The *compute* crossing the process boundary is fixed by the plan;
+what varies is how the activation arrays travel:
+
+* :class:`PipeTransport` — the baseline: arrays are pickled through the
+  pool's pipe with every task and result.  Always available, no setup,
+  but every chunk pays two serialize/deserialize copies plus pipe
+  syscalls.
+* :class:`SharedMemoryTransport` — a ring of reusable
+  :mod:`multiprocessing.shared_memory` slot pairs (one input and one
+  output segment per slot, ``2 x workers`` slots by default, i.e.
+  double-buffered per worker).  The parent copies each activation chunk
+  into the next free input slot and sends only a tiny descriptor through
+  the pipe; the worker reads the chunk straight out of the inherited
+  (or lazily attached) mapping, runs the plan, and writes the result
+  into the paired output slot.  Weights never move at all — they reach
+  the workers as copy-on-write pages at fork time, exactly as before.
+
+Slots grow transparently: the parent reseats an input segment that is
+too small for the next chunk (free slots only, so no reader can hold the
+old mapping's task), and a worker whose *result* outgrows the output
+slot falls back to returning the array through the pipe for that one
+task — the parent then reseats the output slot so the next result fits.
+
+Segment hygiene: every segment the transport creates is unlinked in
+:meth:`close`, which is idempotent and also registered with
+:mod:`atexit`, so an interrupted benchmark or a crashed server never
+leaks ``/dev/shm`` entries.  When shared memory is unavailable on the
+platform, :func:`make_transport` degrades to :class:`PipeTransport`
+with a warning.
+
+The parent-side API is single-threaded by design (one slot ring, no
+locks): exactly one thread may drive ``put``/``task``/``finish`` — the
+serving front-end guarantees this by funnelling all inference through
+one worker thread.
+"""
+
+from __future__ import annotations
+
+import atexit
+import warnings
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "Transport",
+    "PipeTransport",
+    "SharedMemoryTransport",
+    "ShmTask",
+    "ShmResult",
+    "make_transport",
+]
+
+
+class Transport:
+    """Strategy interface for moving activation arrays to/from workers.
+
+    Parent side (the process that owns the pool):
+
+    * :meth:`bind` — size internal resources for ``workers`` workers;
+      must be called before the pool forks so workers inherit state,
+    * :meth:`put` — stage one input array, returning an opaque input
+      ref; ``uses`` says how many tasks will consume it (row shards all
+      read the same prepared payload),
+    * :meth:`task` — build the picklable per-task descriptor from an
+      input ref (acquires any per-task resources),
+    * :meth:`finish` — turn a worker's raw return value back into an
+      array and release the task's resources,
+    * :attr:`capacity` — how many tasks may be in flight at once
+      (``None`` = unbounded); the executor windows its submissions.
+
+    Worker side (inside the forked child):
+
+    * :meth:`worker_recv` — task descriptor -> input array,
+    * :meth:`worker_send` — result array -> raw return value.
+    """
+
+    name = "?"
+    capacity: int | None = None
+
+    def bind(self, workers: int) -> "Transport":
+        return self
+
+    def put(self, arr: np.ndarray, uses: int = 1):
+        raise NotImplementedError
+
+    def task(self, in_ref):
+        raise NotImplementedError
+
+    def finish(self, result, task) -> np.ndarray:
+        raise NotImplementedError
+
+    def worker_recv(self, task) -> np.ndarray:
+        raise NotImplementedError
+
+    def worker_send(self, task, arr: np.ndarray):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources; idempotent."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PipeTransport(Transport):
+    """Arrays travel pickled through the pool pipe (the baseline)."""
+
+    name = "pipe"
+    capacity = None
+
+    def put(self, arr: np.ndarray, uses: int = 1):
+        return arr
+
+    def task(self, in_ref):
+        return in_ref
+
+    def finish(self, result, task) -> np.ndarray:
+        return result
+
+    def worker_recv(self, task) -> np.ndarray:
+        return task
+
+    def worker_send(self, task, arr: np.ndarray):
+        return arr
+
+    def __repr__(self) -> str:
+        return "PipeTransport()"
+
+
+class ShmTask:
+    """Picklable per-task descriptor: where the input lives, where the
+    result goes.  ``inline`` carries the array by value for the rare
+    cases shared memory cannot (empty arrays)."""
+
+    __slots__ = (
+        "in_slot", "in_name", "shape", "dtype",
+        "out_slot", "out_name", "out_cap", "inline",
+    )
+
+    def __init__(self, in_slot, in_name, shape, dtype,
+                 out_slot, out_name, out_cap, inline=None):
+        self.in_slot = in_slot
+        self.in_name = in_name
+        self.shape = shape
+        self.dtype = dtype
+        self.out_slot = out_slot
+        self.out_name = out_name
+        self.out_cap = out_cap
+        self.inline = inline
+
+    def __getstate__(self):
+        return tuple(getattr(self, s) for s in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            setattr(self, slot, value)
+
+
+class ShmResult:
+    """Picklable result descriptor: which output slot holds the array."""
+
+    __slots__ = ("out_slot", "out_name", "shape", "dtype")
+
+    def __init__(self, out_slot, out_name, shape, dtype):
+        self.out_slot = out_slot
+        self.out_name = out_name
+        self.shape = shape
+        self.dtype = dtype
+
+    def __getstate__(self):
+        return tuple(getattr(self, s) for s in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            setattr(self, slot, value)
+
+
+class _InRef:
+    """Parent-side handle for a staged input: slot id + remaining uses."""
+
+    __slots__ = ("slot", "name", "shape", "dtype", "uses", "inline")
+
+    def __init__(self, slot, name, shape, dtype, uses, inline=None):
+        self.slot = slot
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+        self.uses = uses
+        self.inline = inline
+
+
+def _attach(name: str):
+    """Attach an existing segment without double-registering it with the
+    resource tracker (the creator already tracks it; a second register
+    from a forked child makes the tracker unlink segments the parent
+    still owns, or warn about phantom leaks at shutdown)."""
+    from multiprocessing import resource_tracker, shared_memory
+
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+    return seg
+
+
+class SharedMemoryTransport(Transport):
+    """Move activation chunks through a ring of shared-memory slot pairs.
+
+    Parameters
+    ----------
+    slots:
+        Number of slot pairs; default ``2 * workers`` at :meth:`bind`
+        time (double buffering: a worker can fill one slot while the
+        parent stages the next).
+    slot_bytes:
+        Initial capacity of each segment; slots grow on demand, so this
+        is a warm-start hint, not a limit.
+    """
+
+    name = "shm"
+
+    def __init__(self, slots: int | None = None, slot_bytes: int = 1 << 20):
+        if slots is not None and slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be >= 1, got {slot_bytes}")
+        self._requested_slots = slots
+        self._slot_bytes = int(slot_bytes)
+        self._in_segs: list = []      # parent-created input segments
+        self._out_segs: list = []     # parent-created output segments
+        self._free_in: deque = deque()
+        self._free_out: deque = deque()
+        self._in_uses: dict[int, int] = {}  # busy input slot -> tasks left
+        self._out_hint = 0  # largest result seen; free slots catch up lazily
+        self._worker_segs: dict = {}  # (kind, slot) -> attached segment
+        self._closed = False
+        self._bound = False
+        self._atexit = None
+
+    # ------------------------------------------------------------------
+    # Availability probe
+    # ------------------------------------------------------------------
+    @staticmethod
+    def available() -> bool:
+        """Can this platform create POSIX shared-memory segments?"""
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(create=True, size=16)
+            seg.close()
+            seg.unlink()
+            return True
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int | None:
+        return len(self._out_segs) or None
+
+    def bind(self, workers: int) -> "SharedMemoryTransport":
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        if self._bound:
+            return self
+        from multiprocessing import shared_memory
+
+        n = self._requested_slots or max(2, 2 * workers)
+        for _ in range(n):
+            self._in_segs.append(
+                shared_memory.SharedMemory(create=True, size=self._slot_bytes)
+            )
+            self._out_segs.append(
+                shared_memory.SharedMemory(create=True, size=self._slot_bytes)
+            )
+        self._free_in.extend(range(n))
+        self._free_out.extend(range(n))
+        self._bound = True
+        self._atexit = self.close
+        atexit.register(self._atexit)
+        return self
+
+    def _reseat(self, segs: list, slot: int, nbytes: int) -> None:
+        """Replace a (free) slot's segment with a larger one."""
+        from multiprocessing import shared_memory
+
+        old = segs[slot]
+        size = max(nbytes, 2 * old.size, self._slot_bytes)
+        old.close()
+        old.unlink()
+        segs[slot] = shared_memory.SharedMemory(create=True, size=size)
+
+    def put(self, arr: np.ndarray, uses: int = 1) -> _InRef:
+        if not self._bound:
+            raise RuntimeError("transport is not bound; call bind(workers)")
+        arr = np.ascontiguousarray(arr)
+        if arr.nbytes == 0:
+            return _InRef(None, None, arr.shape, arr.dtype, uses, inline=arr)
+        if not self._free_in:
+            raise RuntimeError("no free input slot; respect transport.capacity")
+        slot = self._free_in.popleft()
+        if self._in_segs[slot].size < arr.nbytes:
+            self._reseat(self._in_segs, slot, arr.nbytes)
+        seg = self._in_segs[slot]
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        self._in_uses[slot] = uses
+        return _InRef(slot, seg.name, arr.shape, str(arr.dtype), uses)
+
+    def task(self, in_ref: _InRef) -> ShmTask:
+        if not self._free_out:
+            raise RuntimeError("no free output slot; respect transport.capacity")
+        slot = self._free_out.popleft()
+        if self._out_segs[slot].size < self._out_hint:
+            # A result outgrew some slot earlier; bring this one up to
+            # the high-water mark so it doesn't pay its own fallback.
+            self._reseat(self._out_segs, slot, self._out_hint)
+        seg = self._out_segs[slot]
+        return ShmTask(
+            in_ref.slot, in_ref.name, in_ref.shape, in_ref.dtype,
+            slot, seg.name, seg.size, inline=in_ref.inline,
+        )
+
+    def finish(self, result, task: ShmTask) -> np.ndarray:
+        if isinstance(result, ShmResult):
+            seg = self._out_segs[result.out_slot]
+            view = np.ndarray(result.shape, dtype=result.dtype, buffer=seg.buf)
+            out = np.array(view)  # copy: the slot is about to be reused
+        else:
+            # The result outgrew the output slot and came back through
+            # the pipe; raise the high-water mark so every slot grows
+            # (at task() time) before its next use.
+            out = result
+            if isinstance(out, np.ndarray) and out.nbytes > task.out_cap:
+                self._out_hint = max(self._out_hint, out.nbytes)
+        self._free_out.append(task.out_slot)
+        if task.in_slot is not None:
+            # Shared inputs (row shards) release only after the last use.
+            slot = task.in_slot
+            self._in_uses[slot] = self._in_uses.get(slot, 1) - 1
+            if self._in_uses[slot] <= 0:
+                del self._in_uses[slot]
+                self._free_in.append(slot)
+        return out
+
+    # ------------------------------------------------------------------
+    # Worker side (runs in the forked child)
+    # ------------------------------------------------------------------
+    def _worker_segment(self, kind: str, slot: int, name: str):
+        """The child's mapping of a slot: the fork-inherited segment when
+        its name still matches, else a (cached) lazy attach."""
+        inherited = (self._in_segs if kind == "in" else self._out_segs)
+        if slot < len(inherited) and inherited[slot].name == name:
+            return inherited[slot]
+        cached = self._worker_segs.get((kind, slot))
+        if cached is not None and cached.name == name:
+            return cached
+        if cached is not None:
+            try:
+                cached.close()
+            except Exception:
+                pass
+        seg = _attach(name)
+        self._worker_segs[(kind, slot)] = seg
+        return seg
+
+    def worker_recv(self, task: ShmTask) -> np.ndarray:
+        if task.inline is not None:
+            return task.inline
+        seg = self._worker_segment("in", task.in_slot, task.in_name)
+        view = np.ndarray(task.shape, dtype=task.dtype, buffer=seg.buf)
+        view.setflags(write=False)  # the parent owns the slot's contents
+        return view
+
+    def worker_send(self, task: ShmTask, arr: np.ndarray):
+        arr = np.ascontiguousarray(arr)
+        if arr.nbytes == 0 or arr.nbytes > task.out_cap:
+            return arr  # pipe fallback; the parent grows the slot
+        seg = self._worker_segment("out", task.out_slot, task.out_name)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        return ShmResult(task.out_slot, task.out_name, arr.shape, str(arr.dtype))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._in_segs + self._out_segs:
+            try:
+                seg.close()
+                seg.unlink()
+            except Exception:
+                pass
+        for seg in self._worker_segs.values():
+            try:
+                seg.close()
+            except Exception:
+                pass
+        self._in_segs = []
+        self._out_segs = []
+        self._worker_segs = {}
+        self._free_in.clear()
+        self._free_out.clear()
+        self._in_uses.clear()
+        if self._atexit is not None:
+            try:
+                atexit.unregister(self._atexit)
+            except Exception:
+                pass
+            self._atexit = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedMemoryTransport(slots={len(self._out_segs) or None}, "
+            f"slot_bytes={self._slot_bytes})"
+        )
+
+
+def make_transport(spec, warn: bool = True) -> Transport:
+    """Normalize a transport spec: None/name/instance -> :class:`Transport`.
+
+    ``"shm"`` degrades to :class:`PipeTransport` (with a warning unless
+    ``warn=False``) on platforms where POSIX shared memory is
+    unavailable, so callers can request the fast path unconditionally.
+    """
+    if isinstance(spec, Transport):
+        return spec
+    if spec is None or spec == "pipe":
+        return PipeTransport()
+    if spec == "shm":
+        if SharedMemoryTransport.available():
+            return SharedMemoryTransport()
+        if warn:
+            warnings.warn(
+                "shared memory is unavailable on this platform; "
+                "falling back to the pipe transport",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return PipeTransport()
+    raise ValueError(
+        f"unknown transport {spec!r}; expected 'pipe', 'shm', "
+        "or a Transport instance"
+    )

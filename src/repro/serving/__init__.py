@@ -1,0 +1,37 @@
+"""Serving front-end: the engine as a many-client network service.
+
+The frozen runtime (:mod:`repro.runtime`) executes one call at a time;
+this package gives it a front door:
+
+* :mod:`repro.serving.protocol` — a length-prefixed JSON + ``.npy``
+  frame protocol, implemented over both asyncio streams and blocking
+  sockets,
+* :mod:`repro.serving.batcher` — :class:`MicroBatcher`, aggregating
+  concurrent requests into fused batches (flushes at ``max_batch``
+  rows or after ``max_wait_ms``),
+* :mod:`repro.serving.server` — :class:`InferenceServer`, the asyncio
+  TCP server running fused batches through one
+  :class:`~repro.runtime.session.InferenceSession` on a dedicated
+  inference thread (sharded executors fork their pool before any
+  thread starts),
+* :mod:`repro.serving.client` — :class:`ServeClient` (blocking) and
+  :class:`AsyncServeClient` (asyncio).
+
+Entry points: ``repro serve`` on the command line,
+:meth:`repro.embedded.deploy.DeployedModel.serve` from code, or
+construct :class:`InferenceServer` directly for an in-process server
+(as the tests and benchmarks do).
+"""
+
+from .batcher import MicroBatcher
+from .client import AsyncServeClient, ServeClient
+from .protocol import DEFAULT_PORT
+from .server import InferenceServer
+
+__all__ = [
+    "AsyncServeClient",
+    "DEFAULT_PORT",
+    "InferenceServer",
+    "MicroBatcher",
+    "ServeClient",
+]

@@ -1,0 +1,151 @@
+"""Clients for the serving front-end: blocking and asyncio flavors.
+
+Both speak the frame protocol of :mod:`repro.serving.protocol` and
+expose the same four calls — ``ping``, ``info``, ``predict``,
+``predict_proba``.  :class:`ServeClient` wraps a blocking socket (for
+scripts and the CLI); :class:`AsyncServeClient` wraps asyncio streams
+so many clients can share one event loop (see
+``examples/serve_client.py`` for a concurrent-client demo).
+
+One connection carries any number of sequential requests; neither
+client pipelines concurrently on a single connection — open one client
+per concurrent caller instead (connections are cheap, and the server
+micro-batches across them anyway).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import numpy as np
+
+from ..exceptions import ServingError
+from .protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    DEFAULT_PORT,
+    pack_array,
+    read_frame,
+    read_frame_sync,
+    send_frame,
+    send_frame_sync,
+    unpack_array,
+)
+
+__all__ = ["ServeClient", "AsyncServeClient"]
+
+
+def _check(header: dict) -> dict:
+    if header.get("status") != "ok":
+        raise ServingError(header.get("message", "request failed"))
+    return header
+
+
+class ServeClient:
+    """Blocking client: one TCP connection, sequential requests."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._max_payload = max_payload
+
+    def _request(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
+        send_frame_sync(self._sock, header, payload)
+        response, out = read_frame_sync(self._sock, self._max_payload)
+        return _check(response), out
+
+    def ping(self) -> bool:
+        self._request({"op": "ping"})
+        return True
+
+    def info(self) -> dict:
+        header, _ = self._request({"op": "info"})
+        return header
+
+    def predict_proba(self, rows: np.ndarray) -> np.ndarray:
+        _, payload = self._request(
+            {"op": "predict_proba"}, pack_array(np.asarray(rows))
+        )
+        return unpack_array(payload)
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        _, payload = self._request(
+            {"op": "predict"}, pack_array(np.asarray(rows))
+        )
+        return unpack_array(payload)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """asyncio client: construct with :meth:`connect`."""
+
+    def __init__(self, reader, writer, max_payload: int = DEFAULT_MAX_PAYLOAD):
+        self._reader = reader
+        self._writer = writer
+        self._max_payload = max_payload
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ) -> "AsyncServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_payload=max_payload)
+
+    async def _request(
+        self, header: dict, payload: bytes = b""
+    ) -> tuple[dict, bytes]:
+        await send_frame(self._writer, header, payload)
+        response, out = await read_frame(self._reader, self._max_payload)
+        return _check(response), out
+
+    async def ping(self) -> bool:
+        await self._request({"op": "ping"})
+        return True
+
+    async def info(self) -> dict:
+        header, _ = await self._request({"op": "info"})
+        return header
+
+    async def predict_proba(self, rows: np.ndarray) -> np.ndarray:
+        _, payload = await self._request(
+            {"op": "predict_proba"}, pack_array(np.asarray(rows))
+        )
+        return unpack_array(payload)
+
+    async def predict(self, rows: np.ndarray) -> np.ndarray:
+        _, payload = await self._request(
+            {"op": "predict"}, pack_array(np.asarray(rows))
+        )
+        return unpack_array(payload)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -1,0 +1,155 @@
+"""Wire protocol for the serving front-end: length-prefixed JSON + npy.
+
+Every message — request or response — is one frame:
+
+.. code-block:: text
+
+    u32 header_len | u32 payload_len | header (JSON, UTF-8) | payload
+
+``header`` is a small JSON object (``{"op": "predict", ...}`` on the
+way in, ``{"status": "ok", ...}`` on the way out); ``payload`` is a
+single array in ``.npy`` format (:func:`numpy.save` without pickle), or
+empty for array-free messages (``ping``, ``info``, errors).  The two
+fixed-width lengths are big-endian.
+
+The same framing is implemented twice: once over :mod:`asyncio` streams
+(the server and the async client) and once over blocking sockets (the
+sync client), so a shell script and an event loop speak the same bytes.
+Both sides bound header and payload sizes before allocating.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import struct
+
+import numpy as np
+
+from ..exceptions import ServingError
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_HEADER_BYTES",
+    "DEFAULT_MAX_PAYLOAD",
+    "pack_array",
+    "unpack_array",
+    "encode_frame",
+    "read_frame",
+    "send_frame",
+    "read_frame_sync",
+    "send_frame_sync",
+]
+
+#: Default TCP port for ``repro serve`` (no registered meaning; chosen
+#: to stay clear of the common development ports).
+DEFAULT_PORT = 7341
+
+MAX_HEADER_BYTES = 1 << 20
+DEFAULT_MAX_PAYLOAD = 1 << 28  # 256 MiB of activations per request
+
+_LENGTHS = struct.Struct(">II")
+
+
+def pack_array(arr: np.ndarray) -> bytes:
+    """Serialize one array as ``.npy`` bytes (no pickle)."""
+    buf = io.BytesIO()
+    np.save(buf, np.ascontiguousarray(arr), allow_pickle=False)
+    return buf.getvalue()
+
+
+def unpack_array(data: bytes) -> np.ndarray:
+    """Inverse of :func:`pack_array`; rejects pickled payloads."""
+    try:
+        return np.load(io.BytesIO(data), allow_pickle=False)
+    except Exception as exc:
+        raise ServingError(f"malformed array payload: {exc}") from exc
+
+
+def encode_frame(header: dict, payload: bytes = b"") -> bytes:
+    """One wire frame: lengths, JSON header, raw payload."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    return _LENGTHS.pack(len(header_bytes), len(payload)) + header_bytes + payload
+
+
+def _decode_lengths(
+    raw: bytes, max_payload: int
+) -> tuple[int, int]:
+    header_len, payload_len = _LENGTHS.unpack(raw)
+    if header_len > MAX_HEADER_BYTES:
+        raise ServingError(f"header too large: {header_len} bytes")
+    if payload_len > max_payload:
+        raise ServingError(
+            f"payload too large: {payload_len} bytes (limit {max_payload})"
+        )
+    return header_len, payload_len
+
+
+def _decode_header(raw: bytes) -> dict:
+    try:
+        header = json.loads(raw.decode())
+    except Exception as exc:
+        raise ServingError(f"malformed frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ServingError("frame header must be a JSON object")
+    return header
+
+
+# ----------------------------------------------------------------------
+# asyncio streams
+# ----------------------------------------------------------------------
+async def read_frame(
+    reader, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> tuple[dict, bytes]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Raises :class:`asyncio.IncompleteReadError` on clean EOF between
+    frames (callers treat that as the peer hanging up).
+    """
+    header_len, payload_len = _decode_lengths(
+        await reader.readexactly(_LENGTHS.size), max_payload
+    )
+    header = _decode_header(await reader.readexactly(header_len))
+    payload = await reader.readexactly(payload_len) if payload_len else b""
+    return header, payload
+
+
+async def send_frame(writer, header: dict, payload: bytes = b"") -> None:
+    """Write one frame to an :class:`asyncio.StreamWriter` and drain."""
+    writer.write(encode_frame(header, payload))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# blocking sockets (sync client)
+# ----------------------------------------------------------------------
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ServingError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(
+    sock: socket.socket, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> tuple[dict, bytes]:
+    """Read one frame from a blocking socket."""
+    header_len, payload_len = _decode_lengths(
+        _recv_exactly(sock, _LENGTHS.size), max_payload
+    )
+    header = _decode_header(_recv_exactly(sock, header_len))
+    payload = _recv_exactly(sock, payload_len) if payload_len else b""
+    return header, payload
+
+
+def send_frame_sync(
+    sock: socket.socket, header: dict, payload: bytes = b""
+) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(header, payload))

@@ -1,0 +1,267 @@
+"""The asyncio micro-batching inference server.
+
+:class:`InferenceServer` is the front door the ROADMAP asked for: it
+turns a frozen :class:`~repro.runtime.session.InferenceSession` into a
+many-client TCP service.  Per connection it speaks the length-prefixed
+frame protocol of :mod:`repro.serving.protocol`; per request it funnels
+the rows through one shared :class:`~repro.serving.batcher.MicroBatcher`
+so concurrent clients amortize the engine's per-call cost.
+
+Threading/forking model — the order matters:
+
+1. ``start()`` first warms the session (a
+   :class:`~repro.runtime.executors.ShardedExecutor` forks its worker
+   pool now, while the process has no threads),
+2. then creates the single inference thread that all batches run on
+   (keeping the event loop responsive while numpy works, and
+   serializing access to the session and its shared-memory transport),
+3. only then starts accepting connections.
+
+When the session uses a sharded executor, the server chunks each fused
+batch so the executor's batch sharding actually engages (``ceil(rows /
+workers)`` per chunk) — results stay bitwise-identical to serial
+streaming by the executor's contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..exceptions import ServingError
+from ..runtime.executors import ShardedExecutor
+from .batcher import MicroBatcher
+from .protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    DEFAULT_PORT,
+    pack_array,
+    read_frame,
+    send_frame,
+    unpack_array,
+)
+
+__all__ = ["InferenceServer"]
+
+
+class InferenceServer:
+    """Serve a frozen session over TCP with micro-batching.
+
+    Parameters
+    ----------
+    session:
+        A bound :class:`~repro.runtime.session.InferenceSession`; the
+        server drives it from exactly one thread.  The caller keeps
+        ownership (close the session after :meth:`stop`).
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port, readable
+        from :attr:`port` after :meth:`start`.
+    max_batch, max_wait_ms:
+        Micro-batching knobs, see
+        :class:`~repro.serving.batcher.MicroBatcher`.
+    chunk_size:
+        Streaming chunk size passed to ``predict_proba``; the default
+        ``None`` picks ``ceil(rows / workers)`` for sharded executors
+        (engaging pool batch sharding) and one-shot otherwise.
+    """
+
+    def __init__(
+        self,
+        session,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        chunk_size: int | None = None,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ):
+        self.session = session
+        self.host = host
+        self.port = port
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.chunk_size = chunk_size
+        self.max_payload = max_payload
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher: MicroBatcher | None = None
+        self._infer_thread: ThreadPoolExecutor | None = None
+        self.stats = {"connections": 0, "requests": 0, "errors": 0}
+
+    # ------------------------------------------------------------------
+    # Inference (runs on the single inference thread)
+    # ------------------------------------------------------------------
+    def _auto_chunk(self, rows: int) -> int | None:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        executor = self.session.executor
+        if isinstance(executor, ShardedExecutor) and executor.workers > 1:
+            if rows >= 2 * executor.workers:
+                return -(-rows // executor.workers)  # ceil division
+        return None
+
+    def _run_batch(self, batch: np.ndarray) -> np.ndarray:
+        return self.session.predict_proba(
+            batch, batch_size=self._auto_chunk(batch.shape[0])
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "InferenceServer":
+        """Warm the session, start the inference thread, bind the port."""
+        if self._server is not None:
+            raise ServingError("server is already started")
+        # Fork the sharded executor's pool BEFORE any thread exists.
+        warm = getattr(self.session, "warm_up", None)
+        if warm is not None:
+            warm()
+        self._infer_thread = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-infer"
+        )
+        self._batcher = MicroBatcher(
+            self._run_batch,
+            max_batch=self.max_batch,
+            max_wait_ms=self.max_wait_ms,
+            executor=self._infer_thread,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled or :meth:`stop`."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight batches, join the thread."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher is not None:
+            await self._batcher.aclose()
+            self._batcher = None
+        if self._infer_thread is not None:
+            self._infer_thread.shutdown(wait=True)
+            self._infer_thread = None
+
+    async def __aenter__(self) -> "InferenceServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self.stats["connections"] += 1
+        try:
+            while True:
+                try:
+                    header, payload = await read_frame(
+                        reader, max_payload=self.max_payload
+                    )
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # peer hung up
+                except ServingError as exc:
+                    # Malformed or oversized frame: the stream offset is
+                    # unrecoverable, so answer once and hang up.
+                    self.stats["errors"] += 1
+                    try:
+                        await send_frame(
+                            writer,
+                            {"status": "error", "message": str(exc)},
+                        )
+                    except Exception:
+                        pass
+                    break
+                try:
+                    response, out_payload = await self._dispatch(header, payload)
+                except ServingError as exc:
+                    self.stats["errors"] += 1
+                    response, out_payload = (
+                        {"status": "error", "message": str(exc)},
+                        b"",
+                    )
+                except Exception as exc:  # never kill the connection loop
+                    self.stats["errors"] += 1
+                    response, out_payload = (
+                        {"status": "error",
+                         "message": f"internal error: {exc}"},
+                        b"",
+                    )
+                if "id" in header:
+                    response["id"] = header["id"]
+                await send_frame(writer, response, out_payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch(
+        self, header: dict, payload: bytes
+    ) -> tuple[dict, bytes]:
+        op = header.get("op")
+        if op == "ping":
+            return {"status": "ok", "op": "ping"}, b""
+        if op == "info":
+            scheduler = getattr(self.session.executor, "scheduler", None)
+            info = {
+                "status": "ok",
+                "op": "info",
+                "precision": self.session.precision,
+                "ops": self.session.describe(),
+                "executor": repr(self.session.executor),
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait_ms,
+                "stats": dict(self.stats),
+                "batcher": dict(self._batcher.stats),
+            }
+            if scheduler is not None:
+                info["scheduler"] = scheduler.describe()
+            return info, b""
+        if op in ("predict", "predict_proba"):
+            if not payload:
+                raise ServingError(f"{op} requires an array payload")
+            rows = unpack_array(payload)
+            if rows.ndim == 1:
+                rows = rows[None]
+            # Cast once at the front door — the same cast the session
+            # applies at its boundary — so requests of any input dtype
+            # fuse into one micro-batch bucket with identical results.
+            policy = getattr(self.session, "policy", None)
+            if policy is not None:
+                rows = np.asarray(rows, dtype=policy.real_dtype)
+            self.stats["requests"] += 1
+            start = time.perf_counter()
+            proba = await self._batcher.submit(rows)
+            latency_ms = (time.perf_counter() - start) * 1e3
+            out = proba.argmax(axis=-1) if op == "predict" else proba
+            return (
+                {
+                    "status": "ok",
+                    "op": op,
+                    "rows": int(rows.shape[0]),
+                    "latency_ms": latency_ms,
+                },
+                pack_array(out),
+            )
+        raise ServingError(f"unknown op {op!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceServer({self.host}:{self.port}, "
+            f"max_batch={self.max_batch}, max_wait_ms={self.max_wait_ms})"
+        )

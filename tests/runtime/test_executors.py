@@ -16,6 +16,8 @@ from repro.nn.layers import BlockCirculantConv2d
 from repro.runtime import (
     InferenceSession,
     SerialExecutor,
+    ShardScheduler,
+    SharedMemoryTransport,
     ShardedExecutor,
 )
 
@@ -122,17 +124,21 @@ class TestShardedExecutorBatches:
             )
 
 
+def conv_model():
+    m_rng = np.random.default_rng(3)
+    return Sequential(
+        BlockCirculantConv2d(3, 8, 3, block_size=4, padding=1, rng=m_rng),
+        ReLU(),
+        Flatten(),
+        BlockCirculantLinear(8 * 8 * 8, 32, 8, rng=m_rng),
+        ReLU(),
+        Linear(32, 5, rng=m_rng),
+    ).eval()
+
+
 class TestShardedConvModel:
     def test_conv_model_batch_sharding(self, rng):
-        m_rng = np.random.default_rng(3)
-        model = Sequential(
-            BlockCirculantConv2d(3, 8, 3, block_size=4, padding=1, rng=m_rng),
-            ReLU(),
-            Flatten(),
-            BlockCirculantLinear(8 * 8 * 8, 32, 8, rng=m_rng),
-            ReLU(),
-            Linear(32, 5, rng=m_rng),
-        ).eval()
+        model = conv_model()
         x = rng.normal(size=(8, 3, 8, 8))
         serial = InferenceSession.freeze(model, conv_tile=3)
         with InferenceSession.freeze(
@@ -142,6 +148,175 @@ class TestShardedConvModel:
                 pooled.predict_proba(x, batch_size=2),
                 serial.predict_proba(x, batch_size=2),
             )
+
+
+class TestRowShardedConv:
+    def test_conv_plan_is_row_sharded(self, shard_everything):
+        session = InferenceSession.freeze(conv_model(), row_shards=2)
+        assert "[rows/2]" in session.describe()[0]
+        assert session.ops[0].shard_fns is not None
+
+    def test_row_sharded_conv_matches_unsharded(self, rng, shard_everything):
+        model = conv_model()
+        x = rng.normal(size=(4, 3, 8, 8))
+        base = InferenceSession.freeze(model)
+        sharded = InferenceSession.freeze(model, row_shards=2)
+        assert np.allclose(sharded.forward(x), base.forward(x), atol=1e-12)
+
+    def test_conv_pool_rows_bitwise_equals_serial(self, rng, shard_everything):
+        model = conv_model()
+        x = rng.normal(size=(3, 3, 8, 8))
+        serial = InferenceSession.freeze(model, row_shards=2)
+        with InferenceSession.freeze(
+            model, executor=ShardedExecutor(workers=2, mode="rows"),
+            row_shards=2,
+        ) as pooled:
+            assert np.array_equal(pooled.forward(x), serial.forward(x))
+
+    def test_conv_shard_count_capped_by_block_rows(self, shard_everything):
+        # The conv layer has p = 2 block rows (8 out channels, b = 4).
+        session = InferenceSession.freeze(conv_model(), row_shards=16)
+        assert "[rows/2]" in session.describe()[0]
+
+    def test_conv_shards_consume_one_prepared_spectrum(
+        self, rng, shard_everything
+    ):
+        session = InferenceSession.freeze(conv_model(), row_shards=2)
+        op = session.ops[0]
+        assert op.prepare is not None
+        x = np.asarray(rng.normal(size=(2, 3, 8, 8)))
+        payload = op.prepare(x)
+        parts = [shard(payload) for shard in op.shard_fns]
+        assert np.array_equal(op.combine(parts), op(x))
+
+    def test_fused_activation_survives_conv_sharding(self, shard_everything):
+        session = InferenceSession.freeze(conv_model(), row_shards=2)
+        assert session.describe()[0].endswith("+relu")
+
+    def test_row_shards_superseding_conv_tile_warns(self, shard_everything):
+        with pytest.warns(RuntimeWarning, match="supersedes conv_tile"):
+            session = InferenceSession.freeze(
+                conv_model(), conv_tile=3, row_shards=2
+            )
+        # Sharding won: the op is row-sharded, not tiled.
+        assert "[rows/2]" in session.describe()[0]
+        assert "tile" not in session.describe()[0]
+
+
+class TestShmTransportExecutor:
+    def test_batch_shm_bitwise_equals_serial(self, model, rng):
+        x = rng.normal(size=(18, 96))
+        serial = InferenceSession.freeze(model)
+        with InferenceSession.freeze(
+            model,
+            executor=ShardedExecutor(workers=2, mode="batch", transport="shm"),
+        ) as pooled:
+            for batch_size in (4, 7):
+                assert np.array_equal(
+                    pooled.predict_proba(x, batch_size=batch_size),
+                    serial.predict_proba(x, batch_size=batch_size),
+                )
+
+    def test_rows_shm_bitwise_equals_serial(self, model, rng, shard_everything):
+        x = rng.normal(size=(5, 96))
+        serial = InferenceSession.freeze(model, row_shards=3)
+        with InferenceSession.freeze(
+            model,
+            executor=ShardedExecutor(workers=3, mode="rows", transport="shm"),
+            row_shards=3,
+        ) as pooled:
+            assert np.array_equal(pooled.forward(x), serial.forward(x))
+
+    def test_conv_rows_shm_bitwise_equals_serial(self, rng, shard_everything):
+        model = conv_model()
+        x = rng.normal(size=(3, 3, 8, 8))
+        serial = InferenceSession.freeze(model, row_shards=2)
+        with InferenceSession.freeze(
+            model,
+            executor=ShardedExecutor(workers=2, mode="rows", transport="shm"),
+            row_shards=2,
+        ) as pooled:
+            assert np.array_equal(pooled.forward(x), serial.forward(x))
+
+    def test_worker_error_releases_slots_and_executor_survives(
+        self, model, rng
+    ):
+        # A malformed request must cost one failed call, not the slot
+        # ring: the transport's slots are finite, so leaking them on
+        # worker exceptions would brick the executor after 2*workers
+        # bad requests.
+        executor = ShardedExecutor(workers=2, mode="batch", transport="shm")
+        session = InferenceSession.freeze(model, executor=executor)
+        serial = InferenceSession.freeze(model)
+        good = rng.normal(size=(8, 96))
+        bad = rng.normal(size=(8, 77))  # wrong feature width
+        try:
+            for _ in range(4):  # more failures than slot pairs
+                with pytest.raises(ValueError):
+                    session.predict_proba(bad, batch_size=2)
+            transport = executor.transport
+            assert len(transport._free_in) == transport.capacity
+            assert len(transport._free_out) == transport.capacity
+            assert np.array_equal(
+                session.predict_proba(good, batch_size=2),
+                serial.predict_proba(good, batch_size=2),
+            )
+        finally:
+            session.close()
+
+    def test_no_leaked_segments_after_close(self, model, rng):
+        executor = ShardedExecutor(workers=2, mode="batch", transport="shm")
+        session = InferenceSession.freeze(model, executor=executor)
+        session.predict_proba(rng.normal(size=(12, 96)), batch_size=3)
+        names = [
+            seg.name
+            for seg in executor.transport._in_segs
+            + executor.transport._out_segs
+        ]
+        assert names
+        session.close()
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestShardScheduler:
+    def test_row_ops_detected(self, model, shard_everything):
+        ops = plan_mod.compile_model_plan(model, row_shards=2)
+        scheduler = ShardScheduler(ops)
+        assert set(scheduler.row_ops.values()) == {2}
+        assert scheduler.run_strategy() == "rows"
+        assert scheduler.shard_jobs(0) == [(0, 0), (0, 1)]
+
+    def test_unsharded_plan_runs_serial(self, model):
+        scheduler = ShardScheduler(plan_mod.compile_model_plan(model))
+        assert scheduler.run_strategy() == "serial"
+        assert scheduler.shard_jobs(0) == []
+
+    def test_mode_forcing(self, model, shard_everything):
+        ops = plan_mod.compile_model_plan(model, row_shards=2)
+        assert ShardScheduler(ops, mode="batch").run_strategy() == "serial"
+        assert ShardScheduler(ops, mode="rows").use_batch_pool(4) is False
+        assert ShardScheduler(ops).use_batch_pool(1) is False
+        assert ShardScheduler(ops).use_batch_pool(4) is True
+
+    def test_no_fork_means_serial(self, model, shard_everything):
+        ops = plan_mod.compile_model_plan(model, row_shards=2)
+        scheduler = ShardScheduler(ops)
+        assert scheduler.run_strategy(can_fork=False) == "serial"
+        assert scheduler.use_batch_pool(4, can_fork=False) is False
+
+    def test_invalid_mode_rejected(self, model):
+        with pytest.raises(ValueError):
+            ShardScheduler(plan_mod.compile_model_plan(model), mode="columns")
+
+    def test_describe_names_sharded_ops(self, model, shard_everything):
+        ops = plan_mod.compile_model_plan(model, row_shards=2)
+        description = ShardScheduler(ops).describe()
+        assert description["mode"] == "auto"
+        assert any("[rows/2]" in name for name in description["row_sharded_ops"])
 
 
 class TestExecutorLifecycle:

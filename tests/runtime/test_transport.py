@@ -1,0 +1,191 @@
+"""Transports: pipe/shm parity, slot ring reuse, growth, segment hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.transport import (
+    PipeTransport,
+    SharedMemoryTransport,
+    ShmResult,
+    Transport,
+    make_transport,
+)
+
+pytestmark = pytest.mark.skipif(
+    not SharedMemoryTransport.available(),
+    reason="POSIX shared memory unavailable on this platform",
+)
+
+
+def roundtrip(transport: Transport, arr: np.ndarray) -> np.ndarray:
+    """Drive one array through the full parent->worker->parent path."""
+    ref = transport.put(arr)
+    task = transport.task(ref)
+    received = transport.worker_recv(task)
+    result = transport.worker_send(task, received * 2.0)
+    return transport.finish(result, task)
+
+
+class TestSharedMemoryRoundtrip:
+    def test_roundtrip_matches_pipe_bitwise(self, rng):
+        arr = rng.normal(size=(7, 33))
+        pipe = PipeTransport()
+        with SharedMemoryTransport(slots=2) as shm:
+            shm.bind(workers=1)
+            assert np.array_equal(roundtrip(shm, arr), roundtrip(pipe, arr))
+
+    def test_roundtrip_preserves_dtype_and_shape(self, rng):
+        with SharedMemoryTransport(slots=2) as shm:
+            shm.bind(workers=1)
+            for dtype in (np.float32, np.float64, np.complex64, np.complex128):
+                arr = rng.normal(size=(3, 4, 5)).astype(dtype)
+                out = roundtrip(shm, arr)
+                assert out.dtype == dtype
+                assert np.array_equal(out, arr * 2.0)
+
+    def test_worker_view_is_readonly(self, rng):
+        with SharedMemoryTransport(slots=2) as shm:
+            shm.bind(workers=1)
+            task = shm.task(shm.put(rng.normal(size=(4, 4))))
+            view = shm.worker_recv(task)
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+            shm.finish(shm.worker_send(task, np.asarray(view).copy()), task)
+
+    def test_empty_array_goes_inline(self):
+        with SharedMemoryTransport(slots=2) as shm:
+            shm.bind(workers=1)
+            arr = np.empty((0, 8))
+            out = roundtrip(shm, arr)
+            assert out.shape == (0, 8)
+            assert shm.capacity == 2  # no slot was consumed
+
+
+class TestSlotRing:
+    def test_slots_are_reused_across_many_tasks(self, rng):
+        with SharedMemoryTransport(slots=2) as shm:
+            shm.bind(workers=1)
+            for _ in range(10):  # 5x more tasks than slots
+                arr = rng.normal(size=(5, 9))
+                assert np.array_equal(roundtrip(shm, arr), arr * 2.0)
+            assert len(shm._free_in) == 2
+            assert len(shm._free_out) == 2
+
+    def test_capacity_enforced(self, rng):
+        with SharedMemoryTransport(slots=1) as shm:
+            shm.bind(workers=1)
+            ref = shm.put(rng.normal(size=(2, 2)))
+            with pytest.raises(RuntimeError):
+                shm.put(rng.normal(size=(2, 2)))
+            task = shm.task(ref)
+            result = shm.worker_send(task, np.zeros((2, 2)))
+            shm.finish(result, task)
+            shm.put(rng.normal(size=(2, 2)))  # slot came back
+
+    def test_shared_input_released_after_last_use(self, rng):
+        with SharedMemoryTransport(slots=3) as shm:
+            shm.bind(workers=1)
+            payload = rng.normal(size=(4, 6))
+            ref = shm.put(payload, uses=3)
+            tasks = [shm.task(ref) for _ in range(3)]
+            for j, task in enumerate(tasks):
+                received = shm.worker_recv(task)
+                assert np.array_equal(received, payload)
+                shm.finish(shm.worker_send(task, received + j), task)
+                if j < 2:
+                    assert len(shm._free_in) == 2  # still held
+            assert len(shm._free_in) == 3  # released on the last finish
+
+
+class TestGrowth:
+    def test_input_slot_grows_for_large_arrays(self, rng):
+        with SharedMemoryTransport(slots=2, slot_bytes=256) as shm:
+            shm.bind(workers=1)
+            big = rng.normal(size=(64, 64))  # 32 KiB >> 256 B
+            assert np.array_equal(roundtrip(shm, big), big * 2.0)
+            assert shm._in_segs[0].size >= big.nbytes
+
+    def test_outgrown_result_falls_back_to_pipe_then_reseats(self, rng):
+        with SharedMemoryTransport(slots=2, slot_bytes=256) as shm:
+            shm.bind(workers=1)
+            small = rng.normal(size=(2, 2))
+            big_result = rng.normal(size=(64, 64))
+            task = shm.task(shm.put(small))
+            raw = shm.worker_send(task, big_result)
+            assert isinstance(raw, np.ndarray)  # pipe fallback
+            out = shm.finish(raw, task)
+            assert np.array_equal(out, big_result)
+            # The slot was reseated so the next result this size fits.
+            task2 = shm.task(shm.put(small))
+            assert isinstance(
+                shm.worker_send(task2, big_result), ShmResult
+            )
+            shm.finish(shm.worker_send(task2, big_result), task2)
+
+
+class TestSegmentHygiene:
+    def _segment_names(self, shm):
+        return [seg.name for seg in shm._in_segs + shm._out_segs]
+
+    def _exists(self, name):
+        from multiprocessing import shared_memory
+
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return False
+        seg.close()
+        return True
+
+    def test_close_unlinks_every_segment(self, rng):
+        shm = SharedMemoryTransport(slots=3).bind(workers=2)
+        roundtrip(shm, rng.normal(size=(8, 8)))
+        names = self._segment_names(shm)
+        assert names and all(self._exists(n) for n in names)
+        shm.close()
+        assert not any(self._exists(n) for n in names)
+
+    def test_close_is_idempotent(self):
+        shm = SharedMemoryTransport(slots=2).bind(workers=1)
+        shm.close()
+        shm.close()
+
+    def test_growth_does_not_leak_outgrown_segments(self, rng):
+        shm = SharedMemoryTransport(slots=2, slot_bytes=64).bind(workers=1)
+        before = self._segment_names(shm)
+        roundtrip(shm, rng.normal(size=(32, 32)))  # forces input reseat
+        after = self._segment_names(shm)
+        replaced = set(before) - set(after)
+        assert replaced  # at least one segment was outgrown
+        assert not any(self._exists(n) for n in replaced)
+        shm.close()
+        assert not any(self._exists(n) for n in after)
+
+
+class TestMakeTransport:
+    def test_specs_resolve(self):
+        assert isinstance(make_transport(None), PipeTransport)
+        assert isinstance(make_transport("pipe"), PipeTransport)
+        shm = make_transport("shm")
+        assert isinstance(shm, SharedMemoryTransport)
+        shm.close()
+        instance = PipeTransport()
+        assert make_transport(instance) is instance
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            make_transport("carrier-pigeon")
+
+    def test_shm_falls_back_to_pipe_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            SharedMemoryTransport, "available", staticmethod(lambda: False)
+        )
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            transport = make_transport("shm")
+        assert isinstance(transport, PipeTransport)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            SharedMemoryTransport(slots=0)
+        with pytest.raises(ValueError):
+            SharedMemoryTransport(slot_bytes=0)

@@ -1,0 +1,193 @@
+"""MicroBatcher: flush triggers, per-request row splitting, errors."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import MicroBatcher
+
+
+class RecordingRunner:
+    """Identity runner that records every batch it was handed."""
+
+    def __init__(self):
+        self.batches = []
+
+    def __call__(self, batch):
+        self.batches.append(batch)
+        return batch * 2.0
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFlushTriggers:
+    def test_full_batch_flushes_without_waiting(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            # max_wait far beyond the test budget: only the row-count
+            # trigger can flush.
+            batcher = MicroBatcher(runner, max_batch=4, max_wait_ms=60_000)
+            rows = rng.normal(size=(4, 3))
+            out = await asyncio.wait_for(batcher.submit(rows), timeout=5)
+            assert np.array_equal(out, rows * 2.0)
+
+        run(scenario())
+        assert len(runner.batches) == 1
+
+    def test_partial_batch_flushes_on_max_wait(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=1000, max_wait_ms=10)
+            rows = rng.normal(size=(2, 3))
+            start = asyncio.get_running_loop().time()
+            out = await asyncio.wait_for(batcher.submit(rows), timeout=5)
+            waited = asyncio.get_running_loop().time() - start
+            assert np.array_equal(out, rows * 2.0)
+            assert waited >= 0.005  # sat in the queue until the timer fired
+
+        run(scenario())
+        assert len(runner.batches) == 1
+
+    def test_concurrent_submissions_fuse_into_one_batch(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=6, max_wait_ms=1000)
+            a, b, c = (rng.normal(size=(2, 3)) for _ in range(3))
+            outs = await asyncio.gather(
+                batcher.submit(a), batcher.submit(b), batcher.submit(c)
+            )
+            assert np.array_equal(outs[0], a * 2.0)
+            assert np.array_equal(outs[1], b * 2.0)
+            assert np.array_equal(outs[2], c * 2.0)
+
+        run(scenario())
+        assert len(runner.batches) == 1
+        assert runner.batches[0].shape == (6, 3)
+
+
+class TestSplitting:
+    def test_each_request_gets_exactly_its_rows(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=5)
+            sizes = (1, 3, 2, 5)
+            arrays = [rng.normal(size=(n, 4)) for n in sizes]
+            outs = await asyncio.gather(*[batcher.submit(a) for a in arrays])
+            for arr, out in zip(arrays, outs):
+                assert out.shape == arr.shape
+                assert np.array_equal(out, arr * 2.0)
+
+        run(scenario())
+
+    def test_stats_track_fused_batches(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=4, max_wait_ms=1000)
+            await asyncio.gather(
+                batcher.submit(rng.normal(size=(2, 3))),
+                batcher.submit(rng.normal(size=(2, 3))),
+            )
+            assert batcher.stats["requests"] == 2
+            assert batcher.stats["batches"] == 1
+            assert batcher.stats["rows"] == 4
+            assert batcher.stats["max_batch_rows"] == 4
+
+        run(scenario())
+
+
+class TestBucketing:
+    def test_mixed_widths_fuse_separately_and_both_succeed(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=5)
+            narrow = rng.normal(size=(2, 3))
+            wide = rng.normal(size=(2, 7))
+            out_narrow, out_wide = await asyncio.gather(
+                batcher.submit(narrow), batcher.submit(wide)
+            )
+            assert np.array_equal(out_narrow, narrow * 2.0)
+            assert np.array_equal(out_wide, wide * 2.0)
+
+        run(scenario())
+        # One flush window, but incompatible shapes ran as two batches.
+        assert len(runner.batches) == 2
+
+    def test_mixed_dtypes_do_not_upcast_each_other(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=5)
+            f32 = rng.normal(size=(2, 3)).astype(np.float32)
+            f64 = rng.normal(size=(2, 3))
+            out32, out64 = await asyncio.gather(
+                batcher.submit(f32), batcher.submit(f64)
+            )
+            assert out32.dtype == np.float32  # not upcast by fusion
+            assert out64.dtype == np.float64
+            assert np.array_equal(out32, f32 * np.float32(2.0))
+
+        run(scenario())
+        assert len(runner.batches) == 2
+
+    def test_same_shape_requests_still_fuse(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=5)
+            a, b = rng.normal(size=(2, 3)), rng.normal(size=(3, 3))
+            await asyncio.gather(batcher.submit(a), batcher.submit(b))
+
+        run(scenario())
+        assert len(runner.batches) == 1
+        assert runner.batches[0].shape == (5, 3)
+
+
+class TestErrors:
+    def test_runner_failure_propagates_to_every_waiter(self, rng):
+        def broken(batch):
+            raise RuntimeError("engine on fire")
+
+        async def scenario():
+            batcher = MicroBatcher(broken, max_batch=4, max_wait_ms=1000)
+            results = await asyncio.gather(
+                batcher.submit(rng.normal(size=(2, 3))),
+                batcher.submit(rng.normal(size=(2, 3))),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, ServingError) for r in results)
+            assert all("engine on fire" in str(r) for r in results)
+
+        run(scenario())
+
+    def test_empty_request_rejected(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda b: b, max_batch=4)
+            with pytest.raises(ServingError):
+                await batcher.submit(np.empty((0, 3)))
+
+        run(scenario())
+
+    def test_closed_batcher_refuses_work(self, rng):
+        async def scenario():
+            batcher = MicroBatcher(lambda b: b, max_batch=4)
+            await batcher.aclose()
+            with pytest.raises(ServingError):
+                await batcher.submit(rng.normal(size=(1, 3)))
+
+        run(scenario())
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: b, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: b, max_wait_ms=-1)

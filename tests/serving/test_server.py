@@ -1,0 +1,314 @@
+"""InferenceServer e2e: protocol framing, parity with serial sessions."""
+
+import asyncio
+import socket
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.nn import BlockCirculantLinear, Linear, ReLU, Sequential
+from repro.runtime import InferenceSession, ShardedExecutor
+from repro.serving import AsyncServeClient, InferenceServer, ServeClient
+from repro.serving.protocol import (
+    encode_frame,
+    pack_array,
+    unpack_array,
+)
+from repro.zoo import build_arch2
+
+
+def small_model():
+    rng = np.random.default_rng(0)
+    return Sequential(
+        BlockCirculantLinear(96, 64, 8, rng=rng),
+        ReLU(),
+        Linear(64, 10, rng=rng),
+    ).eval()
+
+
+def serve(session, scenario, **server_kwargs):
+    """Run an async scenario against an in-process server."""
+
+    async def main():
+        server = InferenceServer(session, port=0, **server_kwargs)
+        async with server:
+            return await scenario(server)
+
+    return asyncio.run(main())
+
+
+class TestProtocol:
+    def test_array_roundtrip(self, rng):
+        for dtype in (np.float64, np.float32, np.int64):
+            arr = (rng.normal(size=(3, 5)) * 10).astype(dtype)
+            assert np.array_equal(unpack_array(pack_array(arr)), arr)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ServingError):
+            unpack_array(b"not an npy payload")
+
+
+class TestServerE2E:
+    def test_predict_proba_bitwise_equals_serial(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(model)
+        serial = InferenceSession.freeze(model)
+        x = rng.normal(size=(9, 96))
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                return await client.predict_proba(x)
+
+        served = serve(session, scenario)
+        assert np.array_equal(served, serial.predict_proba(x))
+        session.close()
+
+    def test_predict_labels_and_single_row(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(model)
+        serial = InferenceSession.freeze(model)
+        x = rng.normal(size=(6, 96))
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                labels = await client.predict(x)
+                one = await client.predict_proba(x[0])  # 1-D row promotes
+                return labels, one
+
+        labels, one = serve(session, scenario)
+        assert np.array_equal(labels, serial.predict(x))
+        assert one.shape == (1, 10)
+        assert np.array_equal(one, serial.predict_proba(x[:1]))
+        session.close()
+
+    def test_zoo_model_over_sync_client(self, rng):
+        model = build_arch2(rng=np.random.default_rng(5)).eval()
+        session = InferenceSession.freeze(model)
+        serial = InferenceSession.freeze(model)
+        x = rng.normal(size=(11, 121))
+
+        async def scenario(server):
+            loop = asyncio.get_running_loop()
+
+            def sync_calls():
+                with ServeClient(port=server.port) as client:
+                    assert client.ping()
+                    return client.predict_proba(x), client.info()
+
+            return await loop.run_in_executor(None, sync_calls)
+
+        proba, info = serve(session, scenario)
+        assert np.array_equal(proba, serial.predict_proba(x))
+        assert info["precision"] == "fp64"
+        assert any("bc_linear" in op for op in info["ops"])
+        session.close()
+
+    def test_concurrent_clients_micro_batch_and_match_serial(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(model)
+        serial = InferenceSession.freeze(model)
+
+        async def scenario(server):
+            async def one_client(seed):
+                rows = np.random.default_rng(seed).normal(size=(3, 96))
+                async with await AsyncServeClient.connect(
+                    port=server.port
+                ) as client:
+                    return rows, await client.predict_proba(rows)
+
+            return await asyncio.gather(*[one_client(s) for s in range(8)])
+
+        results = serve(
+            session, scenario, max_batch=12, max_wait_ms=20.0
+        )
+        for rows, served in results:
+            assert np.allclose(served, serial.predict_proba(rows), atol=1e-9)
+        session.close()
+
+    def test_sharded_session_served_matches_serial(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(
+            model, executor=ShardedExecutor(workers=2, mode="batch")
+        )
+        serial = InferenceSession.freeze(model)
+        x = rng.normal(size=(16, 96))
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                return await client.predict_proba(x)
+
+        served = serve(session, scenario)
+        # The server chunks fused batches so pool batch-sharding engages;
+        # the executor contract keeps that bitwise-identical to serial.
+        assert np.array_equal(served, serial.predict_proba(x))
+        session.close()
+
+    def test_fp32_session_close_to_fp64_serial(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(model, precision="fp32")
+        serial64 = InferenceSession.freeze(model)
+        x = rng.normal(size=(5, 96))
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                return await client.predict_proba(x)
+
+        served = serve(session, scenario)
+        assert served.dtype == np.float32
+        assert np.abs(served - serial64.predict_proba(x)).max() <= 1e-5
+        session.close()
+
+
+class TestServerRobustness:
+    def test_bad_op_and_missing_payload_keep_connection_alive(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(model)
+        x = rng.normal(size=(2, 96))
+
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            from repro.serving.protocol import read_frame, send_frame
+
+            await send_frame(writer, {"op": "teleport"})
+            error1, _ = await read_frame(reader)
+            await send_frame(writer, {"op": "predict"})  # no payload
+            error2, _ = await read_frame(reader)
+            await send_frame(writer, {"op": "predict"}, pack_array(x))
+            ok, payload = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            return error1, error2, ok, payload
+
+        error1, error2, ok, payload = serve(session, scenario)
+        assert error1["status"] == "error" and "teleport" in error1["message"]
+        assert error2["status"] == "error"
+        assert ok["status"] == "ok"
+        assert unpack_array(payload).shape == (2,)
+        session.close()
+
+    def test_oversized_payload_rejected_cheaply(self):
+        model = small_model()
+        session = InferenceSession.freeze(model)
+
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            from repro.serving.protocol import read_frame
+
+            # A header lying about a huge payload must not be allocated.
+            frame = encode_frame({"op": "predict"}, b"x" * 64)
+            huge = frame[:4] + (1 << 30).to_bytes(4, "big") + frame[8:]
+            writer.write(huge)
+            await writer.drain()
+            # Server answers with an error frame, then hangs up rather
+            # than reading 1 GiB.
+            response, _ = await read_frame(reader)
+            eof = await reader.read(1024)
+            writer.close()
+            return response, eof
+
+        response, eof = serve(session, scenario, max_payload=1 << 20)
+        assert response["status"] == "error"
+        assert "too large" in response["message"]
+        assert eof == b""
+        session.close()
+
+    def test_bad_width_request_fails_alone_server_keeps_serving(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(model)
+        serial = InferenceSession.freeze(model)
+        good = rng.normal(size=(4, 96))
+        bad = rng.normal(size=(4, 77))
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                with pytest.raises(ServingError):
+                    await client.predict_proba(bad)
+                return await client.predict_proba(good)
+
+        served = serve(session, scenario)
+        assert np.array_equal(served, serial.predict_proba(good))
+        session.close()
+
+    def test_client_dtype_normalized_to_session_precision(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(model)  # fp64 session
+        serial = InferenceSession.freeze(model)
+        x32 = rng.normal(size=(4, 96)).astype(np.float32)
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                return await client.predict_proba(x32)
+
+        served = serve(session, scenario)
+        # Same cast the session applies at its own boundary.
+        assert served.dtype == np.float64
+        assert np.array_equal(served, serial.predict_proba(x32))
+        session.close()
+
+    def test_request_id_echoed(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(model)
+
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            from repro.serving.protocol import read_frame, send_frame
+
+            await send_frame(writer, {"op": "ping", "id": 41})
+            response, _ = await read_frame(reader)
+            writer.close()
+            return response
+
+        response = serve(session, scenario)
+        assert response["id"] == 41
+        session.close()
+
+    def test_stats_and_info_expose_scheduler(self, rng):
+        model = small_model()
+        session = InferenceSession.freeze(
+            model, executor=ShardedExecutor(workers=2)
+        )
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                await client.predict_proba(rng.normal(size=(4, 96)))
+                return await client.info()
+
+        info = serve(session, scenario)
+        assert info["stats"]["requests"] == 1
+        assert info["batcher"]["batches"] == 1
+        assert info["scheduler"]["mode"] == "auto"
+        session.close()
+
+    def test_port_zero_binds_ephemeral(self):
+        model = small_model()
+        session = InferenceSession.freeze(model)
+
+        async def scenario(server):
+            assert server.port != 0
+            with socket.create_connection(("127.0.0.1", server.port)):
+                pass
+            return server.port
+
+        serve(session, scenario)
+        session.close()

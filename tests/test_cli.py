@@ -53,6 +53,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explode"])
 
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "model.npz", "--port", "0", "--workers", "2",
+             "--transport", "shm", "--max-batch", "8"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.transport == "shm"
+        assert args.max_batch == 8
+        assert args.max_wait_ms == 2.0
+
+    def test_serve_rejects_bad_transport(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "model.npz", "--transport", "smoke-signals"]
+            )
+
 
 class TestTrain:
     def test_creates_checkpoint(self, trained_checkpoint):
@@ -100,6 +118,102 @@ class TestDeployPredict:
         values = [float(v) for v in first_row]
         assert len(values) == 10
         assert sum(values) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestWorkersFallback:
+    def test_single_cpu_host_warns_and_runs_serial(
+        self, data_files, trained_checkpoint, capsys, monkeypatch
+    ):
+        import os
+
+        root, _, test_path = data_files
+        artifact = root / "model_workers.npz"
+        main(["deploy", ARCH, "--weights", str(trained_checkpoint),
+              "--out", str(artifact)])
+        capsys.readouterr()
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert main([
+            "predict", str(artifact), "--data", str(test_path),
+            "--workers", "4",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "single CPU" in captured.err
+        assert "running serial" in captured.err
+        # Predictions still came out on the serial path.
+        assert len(captured.out.strip().splitlines()[0].split()) == 80
+
+    def test_multi_cpu_host_keeps_workers(self, monkeypatch):
+        import os
+
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert cli_mod._effective_workers(4) == 4
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert cli_mod._effective_workers(4) == 1
+        assert cli_mod._effective_workers(1) == 1
+
+    def test_runtime_helper_warns(self, monkeypatch):
+        import os
+
+        from repro.runtime.executors import effective_workers
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="single CPU"):
+            assert effective_workers(4) == 1
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert effective_workers(4) == 4
+
+
+class TestServeCommand:
+    def test_serve_end_to_end(self, data_files, trained_checkpoint):
+        import os
+        import re
+        import subprocess
+        import sys as _sys
+
+        root, _, test_path = data_files
+        artifact = root / "model_serve.npz"
+        assert main([
+            "deploy", ARCH, "--weights", str(trained_checkpoint),
+            "--out", str(artifact),
+        ]) == 0
+
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", str(artifact),
+             "--port", "0", "--max-batch", "8"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.match(r"serving on (\S+):(\d+)", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            from repro.io import load_inputs
+            from repro.embedded import DeployedModel
+            from repro.serving import ServeClient
+
+            inputs, _ = load_inputs(test_path)
+            session = DeployedModel.load(artifact).to_session()
+            with ServeClient(match.group(1), int(match.group(2))) as client:
+                assert client.ping()
+                served = client.predict_proba(inputs)
+                labels = client.predict(inputs)
+            assert np.array_equal(served, session.predict_proba(inputs))
+            assert np.array_equal(labels, session.predict(inputs))
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
 
 
 class TestProfileInfo:
