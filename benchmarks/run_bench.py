@@ -30,6 +30,11 @@ trajectory:
   throughput and mean latency at 1/8/32 concurrent clients, pipe vs
   shared-memory transport, plus a parity check against the serial
   session.
+* **engine** — the declarative :class:`~repro.engine.Engine` facade
+  serving the same model through the same server: single-route
+  throughput (facade overhead vs the ``serving`` section) and a
+  mixed fp64/fp32 client population routed per-request across the
+  per-precision session pool, with parity checks for both routes.
 
 Run:  PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_fdx.json]
       (``--quick`` shrinks repeats/sizes for CI smoke runs)
@@ -389,6 +394,7 @@ def bench_serving(repeats: int, quick: bool = False) -> dict:
     assert bitwise).  On few-core hosts the absolute numbers measure
     IPC, not speedup — ``cpus`` qualifies them.
     """
+    from repro.engine import Engine
     from repro.serving import AsyncServeClient, InferenceServer
 
     rng = np.random.default_rng(10)
@@ -406,9 +412,9 @@ def bench_serving(repeats: int, quick: bool = False) -> dict:
     serial = InferenceSession.freeze(model)
     workers = 2
 
-    async def run_config(session, n_clients: int) -> dict:
+    async def run_config(engine, n_clients: int) -> dict:
         server = InferenceServer(
-            session, port=0, max_batch=4 * rows, max_wait_ms=2.0
+            engine, port=0, max_batch=4 * rows, max_wait_ms=2.0
         )
         async with server:
             async def one_client(client_id: int):
@@ -464,12 +470,16 @@ def bench_serving(repeats: int, quick: bool = False) -> dict:
             workers=workers, mode="batch", transport=transport
         )
         session = InferenceSession.freeze(model, executor=executor)
+        # Adopt the explicitly-built sharded session through the
+        # facade (the supported way to serve a pre-built session —
+        # the session-to-server shim is deprecated).
+        engine = Engine.from_session(session)
         rows_by_clients = {}
         try:
             for n_clients in client_counts:
                 best = None
                 for _ in range(max(1, repeats // 2)):
-                    outcome = asyncio.run(run_config(session, n_clients))
+                    outcome = asyncio.run(run_config(engine, n_clients))
                     if best is None or (
                         outcome["rows_per_s"] > best["rows_per_s"]
                     ):
@@ -478,6 +488,130 @@ def bench_serving(repeats: int, quick: bool = False) -> dict:
         finally:
             session.close()
         results[transport] = rows_by_clients
+    return results
+
+
+def bench_engine(repeats: int, quick: bool = False) -> dict:
+    """Engine facade serving: single-route and mixed-precision routing.
+
+    Two configurations over the same block-circulant model:
+
+    * ``single_route`` — every client hits the default fp64 route; the
+      numbers are directly comparable to the ``serving`` section's
+      serial-session path (the facade adds one dict lookup per fused
+      batch, so rows/s should match within noise — the no-regression
+      acceptance gate).
+    * ``mixed_precision`` — half the clients request fp32 per-request;
+      the server routes each to its pooled session (two batchers, one
+      inference thread).  ``max_abs_err`` records fp64-route parity vs
+      the serial session (bitwise -> 0.0) and the worst fp32 deviation
+      (<= 1e-5).
+    """
+    from repro.engine import Engine
+    from repro.serving import AsyncServeClient, InferenceServer
+
+    rng = np.random.default_rng(11)
+    if quick:
+        p, q, b = 8, 12, 32
+        client_counts = (1, 4)
+        requests_per_client, rows = 3, 4
+    else:
+        p, q, b = 16, 24, 64
+        client_counts = (1, 8, 32)
+        requests_per_client, rows = 6, 8
+    layer = BlockCirculantLinear(q * b, p * b, b, rng=rng)
+    layer.eval()
+    model = Sequential(layer)
+    serial = InferenceSession.freeze(model)
+    serial32 = InferenceSession.freeze(model, precision="fp32")
+
+    async def run_config(engine, n_clients: int, mixed: bool) -> dict:
+        server = InferenceServer(
+            engine, port=0, max_batch=4 * rows, max_wait_ms=2.0
+        )
+        async with server:
+            async def one_client(client_id: int):
+                # Even client ids stay on the default fp64 route; odd
+                # ones ask for fp32 per-request when `mixed`.  Parity
+                # checks run after the gather, off the clock.
+                precision = "fp32" if mixed and client_id % 2 else None
+                c_rng = np.random.default_rng(200 + client_id)
+                client = await AsyncServeClient.connect(port=server.port)
+                latencies, exchanges = [], []
+                try:
+                    for _ in range(requests_per_client):
+                        x = c_rng.normal(size=(rows, q * b))
+                        start = time.perf_counter()
+                        proba = await client.predict_proba(
+                            x, precision=precision
+                        )
+                        latencies.append(time.perf_counter() - start)
+                        exchanges.append((x, proba, precision))
+                finally:
+                    await client.close()
+                return latencies, exchanges
+
+            start = time.perf_counter()
+            outcomes = await asyncio.gather(
+                *[one_client(i) for i in range(n_clients)]
+            )
+            wall = time.perf_counter() - start
+        latencies = [lat for lats, _ in outcomes for lat in lats]
+        worst64 = worst32 = 0.0
+        for _, exchanges in outcomes:
+            for x, proba, precision in exchanges:
+                if precision == "fp32":
+                    reference = serial32.predict_proba(
+                        x.astype(np.float32)
+                    )
+                    worst32 = max(
+                        worst32, float(np.abs(proba - reference).max())
+                    )
+                else:
+                    reference = serial.predict_proba(x)
+                    worst64 = max(
+                        worst64, float(np.abs(proba - reference).max())
+                    )
+        total_rows = n_clients * requests_per_client * rows
+        return {
+            "clients": n_clients,
+            "rows_per_s": total_rows / wall,
+            "requests_per_s": len(latencies) / wall,
+            "mean_latency_ms": 1e3 * sum(latencies) / len(latencies),
+            "max_abs_err_fp64_route": worst64,
+            "max_abs_err_fp32_route": worst32,
+        }
+
+    results: dict = {
+        "config": {
+            "p": p, "q": q, "b": b, "rows_per_request": rows,
+            "requests_per_client": requests_per_client,
+        },
+        "cpus": os.cpu_count(),
+    }
+    for mode, mixed, precisions in (
+        ("single_route", False, ("fp64",)),
+        ("mixed_precision", True, ("fp64", "fp32")),
+    ):
+        engine = Engine(model=model, precisions=precisions)
+        rows_by_clients = {}
+        try:
+            for n_clients in client_counts:
+                best = None
+                for _ in range(max(1, repeats // 2)):
+                    outcome = asyncio.run(
+                        run_config(engine, n_clients, mixed)
+                    )
+                    if best is None or (
+                        outcome["rows_per_s"] > best["rows_per_s"]
+                    ):
+                        best = outcome
+                rows_by_clients[str(n_clients)] = best
+        finally:
+            engine.close()
+        results[mode] = rows_by_clients
+    serial.close()
+    serial32.close()
     return results
 
 
@@ -517,6 +651,7 @@ def main(argv: list[str] | None = None) -> int:
             repeats, workers=args.workers, quick=args.quick
         ),
         "serving": bench_serving(repeats, quick=args.quick),
+        "engine": bench_engine(repeats, quick=args.quick),
     }
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
@@ -564,6 +699,18 @@ def main(argv: list[str] | None = None) -> int:
         worst = max(row["max_abs_err_vs_serial"] for row in rows.values())
         print(f"serving ({transport}): {summary}; "
               f"max err vs serial {worst:.2g}")
+    eng = report["engine"]
+    for mode in ("single_route", "mixed_precision"):
+        rows = eng[mode]
+        summary = ", ".join(
+            f"{n} client(s): {row['rows_per_s']:.0f} rows/s "
+            f"@ {row['mean_latency_ms']:.1f} ms"
+            for n, row in rows.items()
+        )
+        worst64 = max(r["max_abs_err_fp64_route"] for r in rows.values())
+        worst32 = max(r["max_abs_err_fp32_route"] for r in rows.values())
+        print(f"engine ({mode}): {summary}; fp64 err {worst64:.2g}, "
+              f"fp32 err {worst32:.2g}")
     print(f"wrote {args.out}")
     return 0
 

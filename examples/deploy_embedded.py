@@ -29,6 +29,7 @@ from repro.data import (
     load_synthetic_mnist,
 )
 from repro.embedded import DeployedModel, InferenceProfiler
+from repro.engine import Engine
 from repro.io import build_model_from_string, load_inputs, save_inputs
 from repro.nn import Adam, CrossEntropyLoss, Trainer
 
@@ -71,8 +72,10 @@ def main():
     save_inputs(inputs_path, preprocess(test.inputs), test.labels)
     inputs, labels = load_inputs(inputs_path)
 
-    # 5. Standalone inference engine (Fig. 4, module 4), compiled to the
-    # frozen runtime: spectra materialized once, bias+activation fused.
+    # 5. Standalone inference engine (Fig. 4, module 4), behind the
+    # declarative Engine facade: one object pools a lazily-frozen
+    # session per precision (spectra materialized once, bias+activation
+    # fused) and routes each call to the right one.
     #
     # PrecisionPolicy guidance: the artifact stores complex64 spectra, so
     # precision="fp32" runs them exactly as stored — half the resident
@@ -80,18 +83,19 @@ def main():
     # with ~1e-6 agreement.  Use fp32 on RAM/bandwidth-constrained
     # targets (the paper's embedded setting); keep fp64 when chaining
     # further numerical analysis off the logits.  For many-core hosts,
-    # to_session(executor="sharded") additionally spreads predict
+    # EngineConfig(executor="sharded") additionally spreads predict
     # batches and large block-circulant layers over a process pool.
-    engine = DeployedModel.load(model_path)
-    session = engine.to_session(precision="fp32")
-    print("frozen plan: " + " -> ".join(session.describe()))
-    predictions = session.predict(inputs, batch_size=256)
+    artifact = DeployedModel.load(model_path)
+    engine = Engine(model=artifact, precisions=("fp32", "fp64"))
+    print("frozen plan: " + " -> ".join(engine.session().describe()))
+    predictions = engine.predict(inputs, batch_size=256)
     test_accuracy = (predictions == labels).mean()
-    fp64_predictions = engine.to_session(precision="fp64").predict(
-        inputs, batch_size=256
+    fp64_predictions = engine.predict(
+        inputs, precision="fp64", batch_size=256
     )
     agreement = (predictions == fp64_predictions).mean()
-    host_us = engine.time_inference(inputs[:200], repeats=3)
+    host_us = artifact.time_inference(inputs[:200], repeats=3)
+    engine.close()
     print(f"inference engine (fp32): accuracy {100 * test_accuracy:.2f}%, "
           f"fp64 label agreement {100 * agreement:.2f}%, "
           f"host latency {host_us:.1f} us/image")

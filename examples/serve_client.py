@@ -39,6 +39,7 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 sys.path.insert(0, str(SRC))
 
 from repro.embedded import DeployedModel  # noqa: E402
+from repro.runtime import InferenceSession  # noqa: E402
 from repro.serving import AsyncServeClient, ServeClient  # noqa: E402
 from repro.zoo import build_arch1  # noqa: E402
 
@@ -140,7 +141,9 @@ def main() -> int:
 
     model = build_arch1(rng=np.random.default_rng(0)).eval()
     deployed = DeployedModel.from_model(model)
-    expected_session = deployed.to_session()  # serial fp64 reference
+    # serial fp64 reference (the low-level runtime primitive on purpose:
+    # the server under test must match it bitwise)
+    expected_session = InferenceSession.from_deployed(deployed)
 
     with tempfile.TemporaryDirectory() as tmp:
         artifact = Path(tmp) / "arch1.npz"

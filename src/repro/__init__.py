@@ -24,10 +24,28 @@ Subpackages:
 * :mod:`repro.precision` — :class:`~repro.precision.PrecisionPolicy`,
   the fp64/fp32 dtype policy threaded through fft, structured, runtime
   and embedded,
+* :mod:`repro.engine` — the declarative inference facade
+  (:class:`~repro.engine.Engine` over a validated
+  :class:`~repro.engine.EngineConfig`): multi-model registry, a
+  lazily-frozen per-precision session pool, typed
+  request/result API, and the single entry point to serving,
 * :mod:`repro.zoo` — the paper's Arch. 1 / Arch. 2 / Arch. 3 builders.
 """
 
-from . import analysis, data, embedded, fft, io, nn, quantize, runtime, structured, zoo
+from . import (
+    analysis,
+    data,
+    embedded,
+    engine,
+    fft,
+    io,
+    nn,
+    quantize,
+    runtime,
+    structured,
+    zoo,
+)
+from .engine import Engine, EngineConfig, InferenceRequest, InferenceResult
 from .precision import FP32, FP64, PrecisionPolicy
 from .exceptions import (
     BackendError,
@@ -50,7 +68,12 @@ __all__ = [
     "analysis",
     "quantize",
     "runtime",
+    "engine",
     "zoo",
+    "Engine",
+    "EngineConfig",
+    "InferenceRequest",
+    "InferenceResult",
     "PrecisionPolicy",
     "FP32",
     "FP64",

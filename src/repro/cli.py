@@ -6,9 +6,12 @@ Mirrors the paper's Fig. 4 pipeline from a shell:
   dataset bundle (``.npz`` with ``inputs``/``labels``), save a checkpoint,
 * ``deploy``  — convert a checkpoint into the FFT-domain deployment
   artifact (section IV-A),
-* ``predict`` — run the standalone inference engine on an input bundle,
-* ``serve``   — expose a deployed artifact as an asyncio micro-batching
-  TCP service (see :mod:`repro.serving`),
+* ``predict`` — run the standalone inference engine on an input bundle
+  (builds a :class:`~repro.engine.EngineConfig` under the hood),
+* ``serve``   — expose one or several deployed artifacts as an asyncio
+  micro-batching TCP service (``--model name=path`` is repeatable;
+  requests route per-model and per-precision, see :mod:`repro.engine`
+  and :mod:`repro.serving`),
 * ``profile`` — predict per-image latency and energy on the Table I
   devices,
 * ``info``    — parameter/storage/compression report for an architecture.
@@ -33,8 +36,9 @@ from .io import (
     parse_architecture,
     save_weights,
 )
+from .engine import DEFAULT_MODEL_NAME, Engine, EngineConfig
+from .exceptions import ReproError
 from .nn import Adam, CrossEntropyLoss, Trainer
-from .runtime import ShardedExecutor
 
 __all__ = ["main", "build_parser"]
 
@@ -106,9 +110,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     serve = sub.add_parser(
-        "serve", help="serve a deployed artifact over TCP with micro-batching"
+        "serve",
+        help="serve deployed artifacts over TCP with micro-batching "
+        "and per-request model/precision routing",
     )
-    serve.add_argument("model", help="artifact from `deploy`")
+    serve.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="artifact from `deploy` (or use --model name=path, repeatable)",
+    )
+    serve.add_argument(
+        "--model",
+        dest="models",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register an artifact under NAME (repeatable; requests "
+        "select it with the `model` header field).  A bare PATH "
+        "registers as the default model.",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port",
@@ -119,8 +140,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--precision",
         choices=("fp64", "fp32"),
-        default="fp64",
-        help="session precision (fp32 halves spectrum memory)",
+        default=None,
+        help="default session precision for requests naming none "
+        "(default: the first entry of --precisions, else fp64; fp32 "
+        "halves spectrum memory)",
+    )
+    serve.add_argument(
+        "--precisions",
+        default=None,
+        metavar="P1[,P2]",
+        help="comma-separated precision pool, e.g. fp64,fp32 — one "
+        "lazily-frozen session per (model, precision); requests pick "
+        "with the `precision` header field (default: just the default "
+        "precision)",
     )
     serve.add_argument(
         "--workers",
@@ -229,23 +261,26 @@ def _effective_workers(requested: int) -> int:
 
 
 def _cmd_predict(args) -> int:
-    # Compile the artifact once into the frozen runtime (precomputed
-    # spectra at the chosen precision, fused ops), then stream the
-    # inputs through it in chunks — on a worker pool when requested.
+    # Declarative path: describe *what* to run as an EngineConfig, let
+    # the Engine pool/freeze the session (precomputed spectra at the
+    # chosen precision, fused ops) and stream the inputs through it in
+    # chunks — on a worker pool when requested.
     workers = _effective_workers(args.workers)
-    executor = ShardedExecutor(workers=workers) if workers > 1 else None
-    session = DeployedModel.load(args.model).to_session(
-        precision=args.precision,
-        executor=executor,
+    config = EngineConfig(
+        model=args.model,
+        precisions=(args.precision,),
+        executor="sharded" if workers > 1 else "serial",
+        workers=workers,
         conv_tile=args.conv_tile,
     )
     inputs, labels = load_inputs(args.data)
-    with session:
+    with Engine(config) as engine:
         if args.proba:
-            for row in session.predict_proba(inputs, batch_size=args.batch_size):
+            proba = engine.predict_proba(inputs, batch_size=args.batch_size)
+            for row in proba:
                 print(" ".join(f"{p:.4f}" for p in row))
         else:
-            predictions = session.predict(inputs, batch_size=args.batch_size)
+            predictions = engine.predict(inputs, batch_size=args.batch_size)
             print(" ".join(str(int(p)) for p in predictions))
             if labels is not None:
                 score = float((predictions == labels).mean())
@@ -253,33 +288,93 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _parse_model_registry(args) -> tuple[dict, str | None]:
+    """CLI model flags -> (registry mapping, default model name).
+
+    The positional artifact and bare ``--model PATH`` entries register
+    as the default model; ``--model NAME=PATH`` entries register under
+    NAME.  The first registered name becomes the default.
+    """
+    models: dict[str, str] = {}
+    order: list[str] = []
+
+    def add(name: str, path: str) -> None:
+        if name in models:
+            raise ValueError(f"model {name!r} registered twice")
+        models[name] = path
+        order.append(name)
+
+    if args.model is not None:
+        add(DEFAULT_MODEL_NAME, args.model)
+    for spec in args.models:
+        name, sep, path = spec.partition("=")
+        if sep:
+            add(name, path)
+        else:
+            add(DEFAULT_MODEL_NAME, spec)
+    if not models:
+        raise ValueError(
+            "no model given; pass an artifact path or --model name=path"
+        )
+    return models, order[0]
+
+
 def _cmd_serve(args) -> int:
     # The first stdout line is the machine-readable `serving on
     # host:port` banner (scripts and the CI smoke job parse it); the
     # config line follows via on_ready.  Workers are clamped here so the
-    # warning lands on the CLI's stderr; DeployedModel.serve clamps
-    # again (a no-op then) for direct API callers.
+    # warning lands on the CLI's stderr.
     workers = _effective_workers(args.workers)
+    try:
+        models, default_model = _parse_model_registry(args)
+        # The pool is exactly what the operator asked for: --precisions
+        # when given (its first entry is the default unless --precision
+        # overrides), else just the single default precision.
+        precisions = tuple(
+            p.strip()
+            for p in (args.precisions or args.precision or "fp64").split(",")
+            if p.strip()
+        )
+        if not precisions:
+            raise ValueError("--precisions must name at least one precision")
+        default_precision = args.precision or precisions[0]
+        if args.precision is not None and args.precision not in precisions:
+            precisions = (args.precision, *precisions)
+        config = EngineConfig(
+            models=models,
+            default_model=default_model,
+            precisions=precisions,
+            precision=default_precision,
+            executor="sharded" if workers > 1 else "serial",
+            workers=workers,
+            transport=args.transport,
+            conv_tile=args.conv_tile,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+    except ValueError as exc:  # covers ConfigurationError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     def announce(server) -> None:
+        registry = ",".join(f"{k}={v}" for k, v in models.items())
         print(
-            f"model={args.model} precision={args.precision} "
+            f"models={registry} precisions={','.join(precisions)} "
+            f"default={default_model}:{default_precision} "
             f"workers={workers} transport={args.transport} "
             f"max_batch={args.max_batch} max_wait_ms={args.max_wait_ms}",
             flush=True,
         )
 
-    DeployedModel.load(args.model).serve(
-        host=args.host,
-        port=args.port,
-        precision=args.precision,
-        workers=workers,
-        transport=args.transport,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        conv_tile=args.conv_tile,
-        on_ready=announce,
-    )
+    with Engine(config) as engine:
+        try:
+            # Surface bad artifact paths as a clean CLI error before
+            # the server ever binds a port or prints the banner.
+            engine.load_sources()
+        except (OSError, ReproError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        engine.serve(host=args.host, port=args.port, on_ready=announce)
     return 0
 
 

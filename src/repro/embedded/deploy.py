@@ -14,14 +14,12 @@ implements that flow:
 * :meth:`DeployedModel.save` / :meth:`DeployedModel.load` round-trip the
   artifact through a single ``.npz`` file (the "Parameters" file of
   Fig. 4),
-* :meth:`DeployedModel.to_session` compiles the records into a
-  :class:`~repro.runtime.InferenceSession` — the fast path that fuses
-  bias+activation and materializes the stored complex64 spectra once at
-  the session's :class:`~repro.precision.PrecisionPolicy` (``"fp32"``
-  runs them exactly as stored; the default ``"fp64"`` widens once),
-  with optional sharded execution and overlap-add conv tiling,
-* :meth:`DeployedModel.serve` turns the artifact into a many-client
-  micro-batching TCP service (see :mod:`repro.serving`).
+* fast/batched/served inference lives behind the
+  :class:`~repro.engine.Engine` facade now —
+  ``Engine(model=deployed, ...)`` pools frozen sessions per precision
+  and serves several named artifacts from one TCP port;
+  :meth:`DeployedModel.to_session` and :meth:`DeployedModel.serve`
+  remain as thin deprecation shims over it.
 
 Dropout layers vanish at deployment; batch-norm folds into a per-feature
 affine transform.
@@ -31,6 +29,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -56,6 +55,7 @@ from ..nn.layers import (
 )
 from ..nn.module import Sequential
 from ..runtime import InferenceSession
+from ..runtime.session import iter_batches as _iter_batches
 from ..runtime.session import pool_windows as _pool_windows
 from ..runtime.session import softmax as _softmax
 from ..structured import block_circulant_forward_batch
@@ -286,17 +286,37 @@ class DeployedModel:
             x = self._run_layer(record, x)
         return x
 
-    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+    def predict_proba(
+        self, inputs: np.ndarray, batch_size: int | None = None
+    ) -> np.ndarray:
         """Class probabilities; applies softmax if the record list does not
-        end with one (training-time models output logits)."""
-        out = self.forward(inputs)
-        if self.records[-1]["kind"] != "softmax":
-            out = _softmax(out)
-        return out
+        end with one (training-time models output logits).
 
-    def predict(self, inputs: np.ndarray) -> np.ndarray:
-        """Predicted integer labels."""
-        return self.predict_proba(inputs).argmax(axis=-1)
+        ``batch_size`` follows the
+        :meth:`~repro.runtime.session.InferenceSession.predict_proba`
+        contract exactly: ``None`` (default) runs the whole input as one
+        batch; a positive value streams ``batch_size``-row chunks,
+        bounding peak activation memory; zero or negative raises
+        :class:`ValueError` (it is *not* "no batching" — that is
+        ``None``).
+        """
+        x = np.asarray(inputs, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None]
+        outputs = []
+        for chunk in _iter_batches(x, batch_size):
+            out = self.forward(chunk)
+            if self.records[-1]["kind"] != "softmax":
+                out = _softmax(out)
+            outputs.append(out)
+        return outputs[0] if len(outputs) == 1 else np.concatenate(outputs)
+
+    def predict(
+        self, inputs: np.ndarray, batch_size: int | None = None
+    ) -> np.ndarray:
+        """Predicted integer labels (``batch_size`` as in
+        :meth:`predict_proba`)."""
+        return self.predict_proba(inputs, batch_size=batch_size).argmax(axis=-1)
 
     def to_session(
         self,
@@ -305,25 +325,52 @@ class DeployedModel:
         conv_tile: int | None = None,
         row_shards: int | None = None,
     ) -> InferenceSession:
-        """Compile the records into a frozen :class:`InferenceSession`.
+        """Deprecated: compile the records into a frozen session.
 
-        The session materializes the stored complex64 spectra once at
-        ``precision`` (``"fp32"`` uses them as stored — half the resident
-        memory; the default ``"fp64"`` widens to complex128), fuses
-        bias+activation pairs, and supports batched streaming ``predict``
-        — use it whenever more than a handful of inputs will run through
-        the artifact.  ``executor`` (``"serial"``, ``"sharded"``, or a
-        :class:`~repro.runtime.executors.PlanExecutor`), ``conv_tile``
-        and ``row_shards`` pass through to
-        :meth:`InferenceSession.from_deployed`.
+        Use the :class:`~repro.engine.Engine` facade instead —
+        ``Engine(model=deployed, precision=...)`` pools one session per
+        precision and serves several models from one object::
+
+            engine = Engine(model=deployed, precisions=("fp64", "fp32"))
+            engine.predict(x, precision="fp32")
+
+        This shim routes through that facade (bitwise-equal by
+        construction — the facade calls the same
+        :meth:`InferenceSession.from_deployed` compile), except when
+        ``executor`` is a pre-built
+        :class:`~repro.runtime.executors.PlanExecutor` instance, which a
+        declarative config cannot own — that case compiles directly.
+        The caller owns the returned session; close it when done.
         """
-        return InferenceSession.from_deployed(
-            self,
-            precision=precision,
-            executor=executor,
+        warnings.warn(
+            "DeployedModel.to_session() is deprecated; use "
+            "repro.engine.Engine(model=deployed, ...).session() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..engine import Engine
+        from ..precision import PrecisionPolicy
+        from ..runtime.executors import PlanExecutor
+
+        if isinstance(executor, PlanExecutor):
+            return InferenceSession.from_deployed(
+                self,
+                precision=precision,
+                executor=executor,
+                conv_tile=conv_tile,
+                row_shards=row_shards,
+            )
+        name = PrecisionPolicy.resolve(precision).name
+        engine = Engine(
+            model=self,
+            precisions=(name,),
+            executor=executor or "serial",
             conv_tile=conv_tile,
             row_shards=row_shards,
         )
+        # The engine object is discarded: ownership of the single pooled
+        # session transfers to the caller, exactly as before.
+        return engine.session()
 
     def serve(
         self,
@@ -337,58 +384,44 @@ class DeployedModel:
         conv_tile: int | None = None,
         on_ready=None,
     ) -> None:
-        """Serve this artifact as a micro-batching TCP service (blocking).
+        """Deprecated: serve this artifact over TCP (blocking).
 
-        Compiles the records into a frozen session (``precision``,
-        ``workers``/``transport`` select a sharded executor and how
-        activations reach its pool, ``conv_tile`` bounds conv memory)
-        and runs a :class:`~repro.serving.server.InferenceServer` until
-        interrupted.  ``workers`` is clamped (with a warning) on
-        single-CPU hosts where a pool can only add overhead.  The first
-        line printed is the machine-readable ``serving on host:port``
-        banner; ``on_ready(server)`` fires right after it.  The CLI
-        equivalent is ``repro serve``; for a non-blocking in-process
-        server construct
-        :class:`~repro.serving.server.InferenceServer` directly.
+        Use the :class:`~repro.engine.Engine` facade instead — it pools
+        several precisions and hosts several named models behind one
+        server::
+
+            Engine(model=deployed, precisions=("fp64", "fp32")).serve()
+
+        This shim builds exactly that single-model engine (``workers``
+        clamped on single-CPU hosts, as before) and blocks in
+        :meth:`~repro.engine.Engine.serve`; the banner/``on_ready``
+        contract is unchanged.
         """
-        import asyncio
-
-        from ..runtime.executors import ShardedExecutor, effective_workers
-        from ..serving import DEFAULT_PORT, InferenceServer
+        warnings.warn(
+            "DeployedModel.serve() is deprecated; use "
+            "repro.engine.Engine(model=deployed, ...).serve() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..engine import Engine
+        from ..precision import PrecisionPolicy
+        from ..runtime.executors import effective_workers
 
         workers = effective_workers(workers)
-        executor = (
-            ShardedExecutor(workers=workers, transport=transport)
-            if workers > 1
-            else None
-        )
-        session = self.to_session(
-            precision=precision, executor=executor, conv_tile=conv_tile
-        )
-        server = InferenceServer(
-            session,
-            host=host,
-            port=DEFAULT_PORT if port is None else port,
+        engine = Engine(
+            model=self,
+            precisions=(PrecisionPolicy.resolve(precision).name,),
+            executor="sharded" if workers > 1 else "serial",
+            workers=workers,
+            transport=transport,
+            conv_tile=conv_tile,
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
         )
-
-        async def _serve() -> None:
-            await server.start()
-            print(f"serving on {server.host}:{server.port}", flush=True)
-            if on_ready is not None:
-                on_ready(server)
-            try:
-                await server.serve_forever()
-            finally:
-                await server.stop()
-
         try:
-            asyncio.run(_serve())
-        except KeyboardInterrupt:
-            pass
+            engine.serve(host=host, port=port, on_ready=on_ready)
         finally:
-            session.close()
+            engine.close()
 
     def time_inference(
         self, inputs: np.ndarray, repeats: int = 3

@@ -1,0 +1,325 @@
+"""Declarative, validated configuration for the :class:`Engine` facade.
+
+An :class:`EngineConfig` says *what to run* — which models, at which
+precisions, under which executor/transport/batching policy — while the
+:class:`~repro.engine.core.Engine` decides *how* (pooled sessions,
+lazy freezing, per-request routing).  Every field is validated at
+construction, so a typo'd precision or an unknown transport fails at
+config time instead of on the first request.
+
+Model sources are deliberately permissive: a registry value may be
+
+* a path (``str`` / :class:`~pathlib.Path`) to a ``repro deploy``
+  artifact — loaded lazily, once, and shared across all precisions,
+* a :class:`~repro.embedded.deploy.DeployedModel` instance,
+* a live (trained) :class:`~repro.nn.module.Sequential` — frozen
+  directly, sharing the layers' dtype-keyed spectrum caches across the
+  per-precision sessions.
+
+``priority_classes`` names the request priority levels from lowest to
+highest; requests may carry either a class name or its integer index
+(see :meth:`EngineConfig.resolve_priority`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..exceptions import ConfigurationError
+from ..precision import PrecisionPolicy
+from ..runtime.session import InferenceSession
+
+__all__ = ["EngineConfig", "DEFAULT_MODEL_NAME"]
+
+#: Registry key used when a single anonymous model source is configured.
+DEFAULT_MODEL_NAME = "default"
+
+_EXECUTORS = ("serial", "sharded")
+_TRANSPORTS = ("pipe", "shm")
+_SHARD_MODES = ("auto", "batch", "rows")
+
+
+def _resolve_precision_name(spec) -> str:
+    """Precision spec -> name, as a :class:`ConfigurationError` on junk.
+
+    :meth:`PrecisionPolicy.resolve` raises a plain :class:`ValueError`;
+    the engine's contract is that every invalid request/config field
+    surfaces as ``ConfigurationError`` (which the serving front-end
+    answers as a clean error frame, not an "internal error").
+    """
+    try:
+        return PrecisionPolicy.resolve(spec).name
+    except ConfigurationError:
+        raise
+    except ValueError as exc:
+        raise ConfigurationError(str(exc)) from None
+
+
+def _is_model_source(source) -> bool:
+    """A path, a records-holder (DeployedModel), a live Sequential, or an
+    already-bound session (adopted as-is, at its own precision)."""
+    if isinstance(source, (str, Path, InferenceSession)):
+        return True
+    if hasattr(source, "records"):  # DeployedModel duck type
+        return True
+    return callable(getattr(source, "parameters", None))  # Sequential
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One declarative description of an inference engine.
+
+    Parameters
+    ----------
+    model:
+        Shorthand for ``models={"default": model}``; mutually exclusive
+        with ``models``.
+    models:
+        Mapping of model name -> source (artifact path,
+        :class:`~repro.embedded.deploy.DeployedModel`, or trained
+        :class:`~repro.nn.module.Sequential`).
+    default_model:
+        Name served when a request names no model.  Defaults to the only
+        registered model, or ``"default"`` when several are registered
+        and one is named that.
+    precisions:
+        Precision names the session pool may freeze (``"fp64"`` /
+        ``"fp32"``).  One session per (model, precision) pair exists at
+        most; requests asking for a precision outside this tuple are
+        rejected.
+    precision:
+        Default precision for requests that name none; must be a member
+        of ``precisions`` (defaults to the first).
+    executor:
+        ``"serial"`` (in-process) or ``"sharded"`` (fork pool).  Note
+        that a sharded executor binds one worker pool per *pooled
+        session*: an engine with M models × P precisions forks up to
+        ``M * P * workers`` processes (the executor's fork-inheritance
+        design ties each pool to one compiled plan), so keep the grid
+        small when sharding — or stay serial and let the serving
+        front-end's micro-batching do the work.
+    workers, transport, shard_mode:
+        Sharded-executor policy; ignored for ``executor="serial"``.
+        ``workers=None`` means ``os.cpu_count()``.
+    conv_tile, row_shards:
+        Plan-compilation knobs passed through to
+        :meth:`~repro.runtime.session.InferenceSession.freeze`.
+    max_batch, max_wait_ms:
+        Micro-batching limits for the serving front-end.
+    priority_classes:
+        Request priority levels, lowest first.  Requests carry a class
+        name or integer index; higher classes flush first.
+    default_priority:
+        Class applied to requests that name none.
+    max_payload:
+        Per-request wire payload bound for the serving front-end.
+    """
+
+    model: object | None = None
+    models: Mapping[str, object] = field(default_factory=dict)
+    default_model: str | None = None
+    precisions: tuple[str, ...] = ("fp64",)
+    precision: str | None = None
+    executor: str = "serial"
+    workers: int | None = None
+    transport: str = "pipe"
+    shard_mode: str = "auto"
+    conv_tile: int | None = None
+    row_shards: int | None = None
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    priority_classes: tuple[str, ...] = ("batch", "normal", "interactive")
+    default_priority: str = "normal"
+    max_payload: int = 1 << 28
+
+    def __post_init__(self):
+        # --- model registry -------------------------------------------
+        if self.model is not None and self.models:
+            raise ConfigurationError(
+                "pass either `model` (single anonymous source) or "
+                "`models` (named registry), not both"
+            )
+        models = dict(self.models)
+        if self.model is not None:
+            models = {DEFAULT_MODEL_NAME: self.model}
+        for name, source in models.items():
+            if not isinstance(name, str) or not name:
+                raise ConfigurationError(
+                    f"model names must be non-empty strings, got {name!r}"
+                )
+            if not _is_model_source(source):
+                raise ConfigurationError(
+                    f"model {name!r}: expected an artifact path, a "
+                    f"DeployedModel, or a Sequential, got {type(source).__name__}"
+                )
+        object.__setattr__(self, "models", models)
+        object.__setattr__(self, "model", None)
+        default_model = self.default_model
+        if default_model is None and models:
+            default_model = (
+                next(iter(models))
+                if len(models) == 1
+                else DEFAULT_MODEL_NAME if DEFAULT_MODEL_NAME in models else None
+            )
+            if default_model is None:
+                raise ConfigurationError(
+                    "several models are registered; set default_model "
+                    f"to one of {sorted(models)}"
+                )
+        if default_model is not None and default_model not in models:
+            raise ConfigurationError(
+                f"default_model {default_model!r} is not registered "
+                f"(have {sorted(models)})"
+            )
+        object.__setattr__(self, "default_model", default_model)
+
+        # --- precisions -----------------------------------------------
+        if not self.precisions:
+            raise ConfigurationError("precisions must name at least one policy")
+        precisions = tuple(
+            _resolve_precision_name(p) for p in self.precisions
+        )
+        if len(set(precisions)) != len(precisions):
+            raise ConfigurationError(
+                f"duplicate entries in precisions {precisions}"
+            )
+        object.__setattr__(self, "precisions", precisions)
+        precision = self.precision or precisions[0]
+        precision = _resolve_precision_name(precision)
+        if precision not in precisions:
+            raise ConfigurationError(
+                f"default precision {precision!r} is not in the pool "
+                f"{precisions}"
+            )
+        object.__setattr__(self, "precision", precision)
+
+        # --- executor policy ------------------------------------------
+        if self.executor not in _EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {_EXECUTORS}, got {self.executor!r}"
+            )
+        if self.transport not in _TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {_TRANSPORTS}, got {self.transport!r}"
+            )
+        if self.shard_mode not in _SHARD_MODES:
+            raise ConfigurationError(
+                f"shard_mode must be one of {_SHARD_MODES}, "
+                f"got {self.shard_mode!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        for knob in ("conv_tile", "row_shards"):
+            value = getattr(self, knob)
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{knob} must be >= 1, got {value}")
+
+        # --- batching + priorities ------------------------------------
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_payload < 1:
+            raise ConfigurationError(
+                f"max_payload must be >= 1, got {self.max_payload}"
+            )
+        classes = tuple(self.priority_classes)
+        if not classes or len(set(classes)) != len(classes):
+            raise ConfigurationError(
+                f"priority_classes must be distinct and non-empty, "
+                f"got {classes}"
+            )
+        object.__setattr__(self, "priority_classes", classes)
+        self.resolve_priority(self.default_priority)
+
+    # ------------------------------------------------------------------
+    # Resolution helpers (the single place request fields are validated)
+    # ------------------------------------------------------------------
+    def resolve_model(self, name: str | None) -> str:
+        """Normalize a request's model name against the registry."""
+        if name is None:
+            if self.default_model is None:
+                raise ConfigurationError("engine has no models registered")
+            return self.default_model
+        if name not in self.models:
+            raise ConfigurationError(
+                f"unknown model {name!r}; registered: {sorted(self.models)}"
+            )
+        return name
+
+    def resolve_precision(self, spec) -> str:
+        """Normalize a request's precision against the pool."""
+        if spec is None:
+            return self.precision
+        name = _resolve_precision_name(spec)
+        if name not in self.precisions:
+            raise ConfigurationError(
+                f"precision {name!r} is not pooled by this engine "
+                f"(have {self.precisions})"
+            )
+        return name
+
+    def resolve_priority(self, spec) -> int:
+        """Normalize a priority class name or index to an integer level."""
+        if spec is None:
+            spec = self.default_priority
+        if isinstance(spec, str):
+            try:
+                return self.priority_classes.index(spec)
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown priority class {spec!r}; "
+                    f"expected one of {self.priority_classes} "
+                    f"or an index 0..{len(self.priority_classes) - 1}"
+                ) from None
+        try:
+            level = int(spec)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"priority must be a class name or integer index, "
+                f"got {spec!r}"
+            ) from None
+        if not 0 <= level < len(self.priority_classes):
+            raise ConfigurationError(
+                f"priority index {level} out of range "
+                f"0..{len(self.priority_classes) - 1}"
+            )
+        return level
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-able summary (model sources shown by type, not value)."""
+        return {
+            "models": {
+                name: (
+                    str(source)
+                    if isinstance(source, (str, Path))
+                    else type(source).__name__
+                )
+                for name, source in self.models.items()
+            },
+            "default_model": self.default_model,
+            "precisions": list(self.precisions),
+            "precision": self.precision,
+            "executor": self.executor,
+            "workers": self.workers,
+            "transport": self.transport,
+            "shard_mode": self.shard_mode,
+            "conv_tile": self.conv_tile,
+            "row_shards": self.row_shards,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "priority_classes": list(self.priority_classes),
+            "default_priority": self.default_priority,
+            "max_payload": self.max_payload,
+        }

@@ -1,0 +1,105 @@
+"""Typed request/result dataclasses for the engine facade.
+
+These are the end-to-end currency of the serving stack: an
+:class:`InferenceRequest` names *what* to run (rows, model, precision)
+and *how urgently* (priority class, deadline), and an
+:class:`InferenceResult` carries the output back with the routing
+fields echoed, so a caller holding several engines or models apart
+never has to correlate by position.
+
+The same fields ride the wire protocol as optional header keys
+(``model``, ``precision``, ``priority``, ``deadline_ms``) — a frame
+without them behaves exactly like the pre-engine protocol: default
+model, default precision, default priority, no deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["InferenceRequest", "InferenceResult"]
+
+
+@dataclass
+class InferenceRequest:
+    """One inference call, fully described.
+
+    Attributes
+    ----------
+    rows:
+        Input rows, ``(batch, features...)``; a single 1-D row is
+        promoted to a batch of one.
+    model:
+        Registry name, or ``None`` for the engine's default model.
+    precision:
+        ``"fp64"`` / ``"fp32"`` /
+        :class:`~repro.precision.PrecisionPolicy`, or ``None`` for the
+        engine's default.
+    priority:
+        Priority class name or integer index into the engine's
+        ``priority_classes`` (``None`` = engine default).  Higher
+        classes flush first under a saturated batcher.
+    deadline_ms:
+        Milliseconds from submission after which the answer is useless;
+        an expired request gets an error instead of occupying
+        fused-batch rows.  ``None`` = no deadline.
+    proba:
+        ``True`` returns class probabilities, ``False`` integer labels.
+    batch_size:
+        Streaming chunk size for large row counts (``None`` = one shot).
+    """
+
+    rows: np.ndarray
+    model: str | None = None
+    precision: object | None = None
+    priority: object | None = None
+    deadline_ms: float | None = None
+    proba: bool = True
+    batch_size: int | None = None
+
+    def __post_init__(self):
+        rows = np.asarray(self.rows)
+        if rows.ndim == 1:
+            rows = rows[None]
+        if rows.ndim < 2 or rows.shape[0] < 1:
+            raise ConfigurationError(
+                f"request needs at least one row, got shape {rows.shape}"
+            )
+        self.rows = rows
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ConfigurationError(
+                f"deadline_ms must be >= 0, got {self.deadline_ms}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1 or None, got {self.batch_size}"
+            )
+
+
+@dataclass
+class InferenceResult:
+    """The outcome of one :class:`InferenceRequest`.
+
+    ``model`` / ``precision`` / ``priority`` echo the *resolved* routing
+    (defaults filled in), not the raw request fields; ``output`` is
+    probabilities or labels depending on the request's ``proba``.
+    """
+
+    output: np.ndarray
+    model: str
+    precision: str
+    priority: int
+    rows: int
+    latency_ms: float
+    proba: bool = True
+    extra: dict = field(default_factory=dict)
+
+    def argmax(self) -> np.ndarray:
+        """Labels view of a probability result (identity for labels)."""
+        if not self.proba:
+            return self.output
+        return self.output.argmax(axis=-1)

@@ -1,4 +1,11 @@
-"""The frozen inference session: user-facing façade over plan + executor.
+"""The frozen inference session: the runtime primitive under the engine.
+
+:class:`InferenceSession` binds one compiled plan to one executor.  It
+is the low-level building block — application code should normally go
+through :class:`repro.engine.Engine`, which pools sessions per
+(model, precision) and adds the registry, typed requests, and serving;
+this module stays the documented seam for tests, benchmarks, and the
+engine itself.
 
 **Freeze/predict contract.**  :meth:`InferenceSession.freeze` walks a
 trained :class:`~repro.nn.module.Sequential` once and captures an
@@ -57,7 +64,32 @@ from .plan import (
     softmax,
 )
 
-__all__ = ["InferenceSession", "PlanOp", "pool_windows", "softmax"]
+__all__ = [
+    "InferenceSession",
+    "PlanOp",
+    "iter_batches",
+    "pool_windows",
+    "softmax",
+]
+
+
+def iter_batches(x: np.ndarray, batch_size: int | None):
+    """THE ``batch_size`` contract, defined once for every predict path.
+
+    ``None`` yields the whole array as one batch; a positive value
+    yields ``batch_size``-row chunks; zero or negative raises
+    :class:`ValueError` ("no batching" is spelled ``None``, not ``0``).
+    :class:`InferenceSession`, :class:`~repro.engine.Engine` and
+    :class:`~repro.embedded.deploy.DeployedModel` all stream through
+    this helper, so the semantics cannot drift between them.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if batch_size is None or x.shape[0] <= batch_size:
+        yield x
+        return
+    for start in range(0, x.shape[0], batch_size):
+        yield x[start : start + batch_size]
 
 
 def _resolve_executor(spec) -> PlanExecutor:
@@ -180,18 +212,19 @@ class InferenceSession:
         return self.executor.run(x)
 
     def _chunks(self, x: np.ndarray, batch_size: int | None):
-        if batch_size is not None and batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        if batch_size is None or x.shape[0] <= batch_size:
-            yield x
-            return
-        for start in range(0, x.shape[0], batch_size):
-            yield x[start : start + batch_size]
+        return iter_batches(x, batch_size)
 
     def predict_proba(
         self, inputs: np.ndarray, batch_size: int | None = None
     ) -> np.ndarray:
         """Class probabilities, streamed in ``batch_size`` chunks.
+
+        ``batch_size`` semantics (shared verbatim by
+        :meth:`~repro.embedded.deploy.DeployedModel.predict_proba` and
+        the engine facade): ``None`` (default) runs one shot; a positive
+        value streams that many rows per chunk; zero or negative raises
+        :class:`ValueError` — "no batching" is spelled ``None``, not
+        ``0``.
 
         With a :class:`ShardedExecutor`, chunks run concurrently on the
         worker pool; results are identical to serial streaming.

@@ -8,22 +8,24 @@ this package gives it a front door:
   sockets,
 * :mod:`repro.serving.batcher` — :class:`MicroBatcher`, aggregating
   concurrent requests into fused batches (flushes at ``max_batch``
-  rows or after ``max_wait_ms``),
+  rows or after ``max_wait_ms``), priority-ordered with deadline
+  expiry (:class:`DeadlineExpired`),
 * :mod:`repro.serving.server` — :class:`InferenceServer`, the asyncio
-  TCP server running fused batches through one
-  :class:`~repro.runtime.session.InferenceSession` on a dedicated
-  inference thread (sharded executors fork their pool before any
-  thread starts),
+  TCP server over a :class:`~repro.engine.Engine`: one batcher per
+  (model, precision) route, all fused batches on a dedicated
+  inference thread (sharded executors fork their pools before any
+  thread starts), responses streamed zero-copy,
 * :mod:`repro.serving.client` — :class:`ServeClient` (blocking) and
-  :class:`AsyncServeClient` (asyncio).
+  :class:`AsyncServeClient` (asyncio), both with optional per-request
+  ``model`` / ``precision`` / ``priority`` / ``deadline_ms`` fields.
 
 Entry points: ``repro serve`` on the command line,
-:meth:`repro.embedded.deploy.DeployedModel.serve` from code, or
-construct :class:`InferenceServer` directly for an in-process server
-(as the tests and benchmarks do).
+:meth:`repro.engine.Engine.serve` from code, or construct
+:class:`InferenceServer` around an engine directly for an in-process
+server (as the tests and benchmarks do).
 """
 
-from .batcher import MicroBatcher
+from .batcher import DeadlineExpired, MicroBatcher
 from .client import AsyncServeClient, ServeClient
 from .protocol import DEFAULT_PORT
 from .server import InferenceServer
@@ -31,6 +33,7 @@ from .server import InferenceServer
 __all__ = [
     "AsyncServeClient",
     "DEFAULT_PORT",
+    "DeadlineExpired",
     "InferenceServer",
     "MicroBatcher",
     "ServeClient",

@@ -8,6 +8,20 @@ either ``max_batch`` rows are pending or the oldest request has waited
 ``max_wait_ms``, then the whole group runs as one concatenated batch
 and each caller gets back exactly its own rows.
 
+Requests carry two scheduling fields beyond their rows:
+
+* ``priority`` (higher = more urgent): at flush time the pending group
+  is ordered by priority before fusing, so under saturation the
+  highest-priority requests land in the earliest fused batches — a
+  low-priority bulk scan cannot starve an interactive request that
+  arrived in the same window.
+* ``deadline_ms``: a request whose deadline has already passed when its
+  flush runs gets an error immediately instead of occupying fused-batch
+  rows (its caller stopped listening; spending engine time on it only
+  delays live requests).  A pending deadline also pulls the flush timer
+  earlier than ``max_wait_ms`` would fire, giving tight-deadline
+  requests a chance to run in time.
+
 The batcher is single-loop asyncio code: ``submit`` must be awaited on
 the event loop, flushing happens via ``call_later``, and the actual
 inference runs either inline (``executor=None``; simple and
@@ -26,13 +40,31 @@ bitwise at fp64) is asserted by the serving tests.
 from __future__ import annotations
 
 import asyncio
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..exceptions import ServingError
 
-__all__ = ["MicroBatcher"]
+__all__ = ["MicroBatcher", "DeadlineExpired"]
+
+
+class DeadlineExpired(ServingError):
+    """A request's deadline passed before its fused batch ran."""
+
+
+@dataclass
+class _Pending:
+    """One queued request: rows plus its scheduling fields."""
+
+    rows: np.ndarray
+    future: asyncio.Future
+    priority: int = 0
+    deadline: float | None = None  # absolute loop time, None = no deadline
+    seq: int = 0  # arrival order; tie-break within a priority level
+
+    sort_key = property(lambda self: (-self.priority, self.seq))
 
 
 class MicroBatcher:
@@ -49,7 +81,8 @@ class MicroBatcher:
     max_wait_ms:
         Flush this many milliseconds after the first pending request
         arrived, even if the batch is not full — bounds the latency a
-        lone request pays for batching.
+        lone request pays for batching.  A pending request's deadline
+        can pull the flush earlier (never later).
     executor:
         Where ``runner`` runs: ``None`` executes inline on the event
         loop (fine for tests and tiny models); otherwise a
@@ -72,67 +105,142 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self._executor = executor
-        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._pending: list[_Pending] = []
         self._pending_rows = 0
+        self._seq = 0
         self._timer: asyncio.TimerHandle | None = None
+        self._timer_at: float | None = None
         self._tasks: set[asyncio.Task] = set()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closed = False
-        self.stats = {"requests": 0, "batches": 0, "rows": 0, "max_batch_rows": 0}
+        self.stats = {
+            "requests": 0,
+            "batches": 0,
+            "rows": 0,
+            "max_batch_rows": 0,
+            "expired": 0,
+        }
 
-    async def submit(self, rows: np.ndarray) -> np.ndarray:
-        """Queue ``rows`` and return their outputs once their batch ran."""
+    async def submit(
+        self,
+        rows: np.ndarray,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
+        """Queue ``rows`` and return their outputs once their batch ran.
+
+        ``priority`` orders requests within a flush (higher first);
+        ``deadline_ms`` is measured from this call — if the deadline has
+        passed when the flush runs, the request fails with
+        :class:`DeadlineExpired` instead of running.
+        """
         if self._closed:
             raise ServingError("batcher is closed")
         if rows.ndim < 1 or rows.shape[0] < 1:
             raise ServingError(f"expected at least one row, got shape {rows.shape}")
+        if deadline_ms is not None and deadline_ms < 0:
+            raise ServingError(f"deadline_ms must be >= 0, got {deadline_ms}")
         loop = asyncio.get_running_loop()
         self._loop = loop
-        future: asyncio.Future = loop.create_future()
-        self._pending.append((rows, future))
+        deadline = (
+            None if deadline_ms is None else loop.time() + deadline_ms / 1000.0
+        )
+        pending = _Pending(
+            rows=rows,
+            future=loop.create_future(),
+            priority=priority,
+            deadline=deadline,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._pending.append(pending)
         self._pending_rows += rows.shape[0]
         self.stats["requests"] += 1
         if self._pending_rows >= self.max_batch:
             self._flush()
-        elif self._timer is None:
-            self._timer = loop.call_later(self.max_wait_ms / 1000.0, self._flush)
-        return await future
+        else:
+            self._schedule_flush(pending)
+        return await pending.future
+
+    def _schedule_flush(self, newcomer: _Pending) -> None:
+        """(Re)arm the flush timer; deadlines pull it earlier.
+
+        The timer fires at the earliest of: first-arrival +
+        ``max_wait_ms`` (the classic bound), or halfway to the
+        newcomer's deadline — flushing *before* the deadline passes, so
+        a tight-deadline request still runs in time instead of arriving
+        at its flush already expired.
+        """
+        loop = self._loop
+        fire_at = (
+            loop.time() + self.max_wait_ms / 1000.0
+            if self._timer is None
+            else self._timer_at
+        )
+        if newcomer.deadline is not None:
+            head_start = (newcomer.deadline - loop.time()) / 2.0
+            fire_at = min(fire_at, loop.time() + max(0.0, head_start))
+        if self._timer is not None:
+            if fire_at >= self._timer_at:
+                return  # existing timer is already soon enough
+            self._timer.cancel()
+        self._timer_at = fire_at
+        self._timer = loop.call_at(fire_at, self._flush)
 
     def _flush(self) -> None:
         """Move the pending group into a running batch task."""
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+            self._timer_at = None
         if not self._pending:
             return
         group, self._pending, self._pending_rows = self._pending, [], 0
-        task = self._loop.create_task(self._run_group(group))
+        now = self._loop.time()
+        # Deadline hygiene: a request already past its deadline gets its
+        # error now and never occupies fused-batch rows.
+        live = []
+        for pending in group:
+            if pending.deadline is not None and now >= pending.deadline:
+                self.stats["expired"] += 1
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        DeadlineExpired(
+                            f"deadline expired {1e3 * (now - pending.deadline):.1f} ms "
+                            "before the batch ran"
+                        )
+                    )
+            else:
+                live.append(pending)
+        if not live:
+            return
+        # Priority order: higher classes fuse into the earlier batches.
+        live.sort(key=lambda p: p.sort_key)
+        task = self._loop.create_task(self._run_group(live))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _run_group(
-        self, group: list[tuple[np.ndarray, asyncio.Future]]
-    ) -> None:
+    async def _run_group(self, group: list[_Pending]) -> None:
         # Fuse only compatible requests: concatenating mixed dtypes
         # would silently upcast one client's rows (different results
         # than a dedicated batch), and mixed widths would fail the whole
         # group.  Requests that landed in the same flush window but
-        # differ run as their own fused batch.
+        # differ run as their own fused batch.  Bucket insertion order
+        # follows the priority sort, so the bucket containing the
+        # highest-priority request runs first.
         buckets: dict = {}
-        for rows, future in group:
-            key = (str(rows.dtype), rows.shape[1:])
-            buckets.setdefault(key, []).append((rows, future))
+        for pending in group:
+            key = (str(pending.rows.dtype), pending.rows.shape[1:])
+            buckets.setdefault(key, []).append(pending)
         for bucket in buckets.values():
             await self._run_bucket(bucket)
 
-    async def _run_bucket(
-        self, bucket: list[tuple[np.ndarray, asyncio.Future]]
-    ) -> None:
+    async def _run_bucket(self, bucket: list[_Pending]) -> None:
         try:
             if len(bucket) == 1:
-                batch = bucket[0][0]
+                batch = bucket[0].rows
             else:
-                batch = np.concatenate([rows for rows, _ in bucket], axis=0)
+                batch = np.concatenate([p.rows for p in bucket], axis=0)
             if self._executor is None:
                 outputs = self._runner(batch)
             else:
@@ -140,9 +248,9 @@ class MicroBatcher:
                     self._executor, self._runner, batch
                 )
         except Exception as exc:
-            for _, future in bucket:
-                if not future.done():
-                    future.set_exception(
+            for pending in bucket:
+                if not pending.future.done():
+                    pending.future.set_exception(
                         ServingError(f"batch inference failed: {exc}")
                     )
             return
@@ -152,10 +260,10 @@ class MicroBatcher:
             self.stats["max_batch_rows"], batch.shape[0]
         )
         start = 0
-        for rows, future in bucket:
-            stop = start + rows.shape[0]
-            if not future.done():
-                future.set_result(outputs[start:stop])
+        for pending in bucket:
+            stop = start + pending.rows.shape[0]
+            if not pending.future.done():
+                pending.future.set_result(outputs[start:stop])
             start = stop
 
     async def drain(self) -> None:

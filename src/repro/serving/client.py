@@ -21,6 +21,7 @@ import socket
 import numpy as np
 
 from ..exceptions import ServingError
+from .batcher import DeadlineExpired
 from .protocol import (
     DEFAULT_MAX_PAYLOAD,
     DEFAULT_PORT,
@@ -37,7 +38,29 @@ __all__ = ["ServeClient", "AsyncServeClient"]
 
 def _check(header: dict) -> dict:
     if header.get("status") != "ok":
-        raise ServingError(header.get("message", "request failed"))
+        message = header.get("message", "request failed")
+        if header.get("code") == "deadline_expired":
+            # Typed expiry so retry logic never string-matches messages.
+            raise DeadlineExpired(message)
+        raise ServingError(message)
+    return header
+
+
+def _predict_header(op: str, model, precision, priority, deadline_ms) -> dict:
+    """Request header with only the routing fields the caller set.
+
+    Omitted fields are omitted from the wire too — an old server (or a
+    new server with an old client) sees exactly the pre-engine frames.
+    """
+    header = {"op": op}
+    if model is not None:
+        header["model"] = model
+    if precision is not None:
+        header["precision"] = str(precision)
+    if priority is not None:
+        header["priority"] = priority
+    if deadline_ms is not None:
+        header["deadline_ms"] = deadline_ms
     return header
 
 
@@ -67,15 +90,33 @@ class ServeClient:
         header, _ = self._request({"op": "info"})
         return header
 
-    def predict_proba(self, rows: np.ndarray) -> np.ndarray:
+    def predict_proba(
+        self,
+        rows: np.ndarray,
+        model: str | None = None,
+        precision=None,
+        priority=None,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
         _, payload = self._request(
-            {"op": "predict_proba"}, pack_array(np.asarray(rows))
+            _predict_header("predict_proba", model, precision, priority,
+                            deadline_ms),
+            pack_array(np.asarray(rows)),
         )
         return unpack_array(payload)
 
-    def predict(self, rows: np.ndarray) -> np.ndarray:
+    def predict(
+        self,
+        rows: np.ndarray,
+        model: str | None = None,
+        precision=None,
+        priority=None,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
         _, payload = self._request(
-            {"op": "predict"}, pack_array(np.asarray(rows))
+            _predict_header("predict", model, precision, priority,
+                            deadline_ms),
+            pack_array(np.asarray(rows)),
         )
         return unpack_array(payload)
 
@@ -125,15 +166,33 @@ class AsyncServeClient:
         header, _ = await self._request({"op": "info"})
         return header
 
-    async def predict_proba(self, rows: np.ndarray) -> np.ndarray:
+    async def predict_proba(
+        self,
+        rows: np.ndarray,
+        model: str | None = None,
+        precision=None,
+        priority=None,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
         _, payload = await self._request(
-            {"op": "predict_proba"}, pack_array(np.asarray(rows))
+            _predict_header("predict_proba", model, precision, priority,
+                            deadline_ms),
+            pack_array(np.asarray(rows)),
         )
         return unpack_array(payload)
 
-    async def predict(self, rows: np.ndarray) -> np.ndarray:
+    async def predict(
+        self,
+        rows: np.ndarray,
+        model: str | None = None,
+        precision=None,
+        priority=None,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
         _, payload = await self._request(
-            {"op": "predict"}, pack_array(np.asarray(rows))
+            _predict_header("predict", model, precision, priority,
+                            deadline_ms),
+            pack_array(np.asarray(rows)),
         )
         return unpack_array(payload)
 

@@ -16,6 +16,13 @@ The same framing is implemented twice: once over :mod:`asyncio` streams
 (the server and the async client) and once over blocking sockets (the
 sync client), so a shell script and an event loop speak the same bytes.
 Both sides bound header and payload sizes before allocating.
+
+**Zero-copy responses.**  The send side accepts a payload as either
+``bytes`` or a *sequence of buffers*; :func:`pack_array_views` renders
+an array as ``[npy header bytes, memoryview of the array's own data]``
+so the result buffer streams straight into the socket writer — no
+intermediate serialized copy on the response hot path (the wire bytes
+are identical to :func:`pack_array`).
 """
 
 from __future__ import annotations
@@ -34,8 +41,10 @@ __all__ = [
     "MAX_HEADER_BYTES",
     "DEFAULT_MAX_PAYLOAD",
     "pack_array",
+    "pack_array_views",
     "unpack_array",
     "encode_frame",
+    "frame_chunks",
     "read_frame",
     "send_frame",
     "read_frame_sync",
@@ -59,6 +68,32 @@ def pack_array(arr: np.ndarray) -> bytes:
     return buf.getvalue()
 
 
+def pack_array_views(arr: np.ndarray) -> list:
+    """``.npy`` bytes as ``[header bytes, zero-copy view of arr's data]``.
+
+    The second element is a :class:`memoryview` over the array's own
+    buffer (asserted by the protocol tests via ``np.shares_memory``) —
+    writing the two chunks in order produces exactly the bytes of
+    :func:`pack_array` without materializing them.  A non-contiguous
+    input is compacted first (the one case a copy is unavoidable).
+    """
+    arr = np.ascontiguousarray(arr)
+    buf = io.BytesIO()
+    np.lib.format.write_array_header_1_0(
+        buf, np.lib.format.header_data_from_array_1_0(arr)
+    )
+    return [buf.getvalue(), memoryview(arr).cast("B")]
+
+
+def _payload_nbytes(payload) -> int:
+    # memoryview len() counts first-dimension items, not bytes (an
+    # uncast float64 view would under-declare the length prefix and
+    # desynchronize the stream) — always measure via nbytes.
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return memoryview(payload).nbytes
+    return sum(memoryview(chunk).nbytes for chunk in payload)
+
+
 def unpack_array(data: bytes) -> np.ndarray:
     """Inverse of :func:`pack_array`; rejects pickled payloads."""
     try:
@@ -67,10 +102,28 @@ def unpack_array(data: bytes) -> np.ndarray:
         raise ServingError(f"malformed array payload: {exc}") from exc
 
 
-def encode_frame(header: dict, payload: bytes = b"") -> bytes:
-    """One wire frame: lengths, JSON header, raw payload."""
+def encode_frame(header: dict, payload=b"") -> bytes:
+    """One wire frame: lengths, JSON header, raw payload.
+
+    ``payload`` may be bytes or a sequence of buffers (see
+    :func:`pack_array_views`); this convenience always materializes —
+    the zero-copy path is :func:`send_frame` / :func:`send_frame_sync`,
+    which write the chunks without joining them.
+    """
+    return b"".join(bytes(chunk) for chunk in frame_chunks(header, payload))
+
+
+def frame_chunks(header: dict, payload=b"") -> list:
+    """The frame as an ordered list of buffers, nothing concatenated."""
     header_bytes = json.dumps(header, separators=(",", ":")).encode()
-    return _LENGTHS.pack(len(header_bytes), len(payload)) + header_bytes + payload
+    chunks = [_LENGTHS.pack(len(header_bytes), _payload_nbytes(payload)),
+              header_bytes]
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        if memoryview(payload).nbytes:
+            chunks.append(payload)
+    else:
+        chunks.extend(payload)
+    return chunks
 
 
 def _decode_lengths(
@@ -115,9 +168,16 @@ async def read_frame(
     return header, payload
 
 
-async def send_frame(writer, header: dict, payload: bytes = b"") -> None:
-    """Write one frame to an :class:`asyncio.StreamWriter` and drain."""
-    writer.write(encode_frame(header, payload))
+async def send_frame(writer, header: dict, payload=b"") -> None:
+    """Write one frame to an :class:`asyncio.StreamWriter` and drain.
+
+    ``payload`` may be bytes or a sequence of buffers; buffer sequences
+    (the server's :func:`pack_array_views` responses) are written chunk
+    by chunk — the result array's data goes to the transport with no
+    intermediate serialized copy.
+    """
+    for chunk in frame_chunks(header, payload):
+        writer.write(chunk)
     await writer.drain()
 
 
@@ -148,8 +208,7 @@ def read_frame_sync(
     return header, payload
 
 
-def send_frame_sync(
-    sock: socket.socket, header: dict, payload: bytes = b""
-) -> None:
-    """Write one frame to a blocking socket."""
-    sock.sendall(encode_frame(header, payload))
+def send_frame_sync(sock: socket.socket, header: dict, payload=b"") -> None:
+    """Write one frame to a blocking socket (buffer sequences: no join)."""
+    for chunk in frame_chunks(header, payload):
+        sock.sendall(chunk)

@@ -1,43 +1,56 @@
 """The asyncio micro-batching inference server.
 
-:class:`InferenceServer` is the front door the ROADMAP asked for: it
-turns a frozen :class:`~repro.runtime.session.InferenceSession` into a
-many-client TCP service.  Per connection it speaks the length-prefixed
-frame protocol of :mod:`repro.serving.protocol`; per request it funnels
-the rows through one shared :class:`~repro.serving.batcher.MicroBatcher`
-so concurrent clients amortize the engine's per-call cost.
+:class:`InferenceServer` is the front door of a
+:class:`~repro.engine.Engine`: every model in the engine's registry, at
+every pooled precision, served from one TCP port.  Per connection it
+speaks the length-prefixed frame protocol of
+:mod:`repro.serving.protocol`; per request it reads the optional
+routing fields (``model``, ``precision``, ``priority``,
+``deadline_ms`` — all backward compatible: a frame without them gets
+the engine's defaults and today's behavior) and funnels the rows
+through the route's :class:`~repro.serving.batcher.MicroBatcher`, so
+concurrent clients of the same (model, precision) pair amortize the
+engine's per-call cost while requests for different routes never fuse.
 
 Threading/forking model — the order matters:
 
-1. ``start()`` first warms the session (a
-   :class:`~repro.runtime.executors.ShardedExecutor` forks its worker
-   pool now, while the process has no threads),
-2. then creates the single inference thread that all batches run on
-   (keeping the event loop responsive while numpy works, and
-   serializing access to the session and its shared-memory transport),
+1. ``start()`` first warms the engine's full session grid when the
+   config asks for a sharded executor (the fork pools must be created
+   while the process has no threads); with a serial executor sessions
+   keep freezing lazily, on the inference thread, as routes are first
+   requested,
+2. then creates the single inference thread that all batches of all
+   routes run on (keeping the event loop responsive while numpy works,
+   and serializing access to the sessions and their shared-memory
+   transports),
 3. only then starts accepting connections.
 
-When the session uses a sharded executor, the server chunks each fused
-batch so the executor's batch sharding actually engages (``ceil(rows /
-workers)`` per chunk) — results stay bitwise-identical to serial
-streaming by the executor's contract.
+Responses stream zero-copy: the result array's buffer goes to the
+socket writer as a :func:`~repro.serving.protocol.pack_array_views`
+chunk list, never re-serialized to intermediate bytes.
+
+Constructing the server with a bare
+:class:`~repro.runtime.session.InferenceSession` (the pre-engine
+signature) still works but is deprecated — it wraps the session via
+:meth:`~repro.engine.Engine.from_session`; the caller keeps session
+ownership exactly as before.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..exceptions import ServingError
+from ..exceptions import ConfigurationError, ServingError
 from ..runtime.executors import ShardedExecutor
-from .batcher import MicroBatcher
+from .batcher import DeadlineExpired, MicroBatcher
 from .protocol import (
-    DEFAULT_MAX_PAYLOAD,
     DEFAULT_PORT,
-    pack_array,
+    pack_array_views,
     read_frame,
     send_frame,
     unpack_array,
@@ -47,84 +60,138 @@ __all__ = ["InferenceServer"]
 
 
 class InferenceServer:
-    """Serve a frozen session over TCP with micro-batching.
+    """Serve an engine's model registry over TCP with micro-batching.
 
     Parameters
     ----------
-    session:
-        A bound :class:`~repro.runtime.session.InferenceSession`; the
-        server drives it from exactly one thread.  The caller keeps
-        ownership (close the session after :meth:`stop`).
+    engine:
+        A :class:`~repro.engine.Engine`; the server drives its pooled
+        sessions from exactly one thread and routes each request by its
+        header fields.  The caller keeps ownership (close the engine
+        after :meth:`stop`).  Passing a bare
+        :class:`~repro.runtime.session.InferenceSession` is deprecated
+        (it is wrapped via :meth:`~repro.engine.Engine.from_session`).
     host, port:
         Listen address; ``port=0`` binds an ephemeral port, readable
         from :attr:`port` after :meth:`start`.
     max_batch, max_wait_ms:
-        Micro-batching knobs, see
-        :class:`~repro.serving.batcher.MicroBatcher`.
+        Micro-batching knobs (``None`` = the engine config's values);
+        see :class:`~repro.serving.batcher.MicroBatcher`.
     chunk_size:
         Streaming chunk size passed to ``predict_proba``; the default
         ``None`` picks ``ceil(rows / workers)`` for sharded executors
         (engaging pool batch sharding) and one-shot otherwise.
+    max_payload:
+        Per-frame payload bound (``None`` = the engine config's value).
     """
 
     def __init__(
         self,
-        session,
+        engine,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
-        max_batch: int = 32,
-        max_wait_ms: float = 2.0,
+        max_batch: int | None = None,
+        max_wait_ms: float | None = None,
         chunk_size: int | None = None,
-        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        max_payload: int | None = None,
     ):
-        self.session = session
+        from ..engine import Engine
+
+        if not isinstance(engine, Engine):
+            warnings.warn(
+                "InferenceServer(session) is deprecated; build an "
+                "Engine (repro.engine.Engine.from_session(session) or "
+                "Engine(model=...)) and pass that instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            engine = Engine.from_session(engine)
+        self.engine = engine
+        config = engine.config
         self.host = host
         self.port = port
-        self.max_batch = max_batch
-        self.max_wait_ms = max_wait_ms
+        self.max_batch = config.max_batch if max_batch is None else max_batch
+        self.max_wait_ms = (
+            config.max_wait_ms if max_wait_ms is None else max_wait_ms
+        )
         self.chunk_size = chunk_size
-        self.max_payload = max_payload
+        self.max_payload = (
+            config.max_payload if max_payload is None else max_payload
+        )
         self._server: asyncio.AbstractServer | None = None
-        self._batcher: MicroBatcher | None = None
+        self._batchers: dict[tuple[str, str], MicroBatcher] = {}
+        self._route_sessions: dict[tuple[str, str], object] = {}
         self._infer_thread: ThreadPoolExecutor | None = None
-        self.stats = {"connections": 0, "requests": 0, "errors": 0}
+        self.stats = {
+            "connections": 0,
+            "requests": 0,
+            "errors": 0,
+            "expired": 0,
+        }
 
     # ------------------------------------------------------------------
     # Inference (runs on the single inference thread)
     # ------------------------------------------------------------------
-    def _auto_chunk(self, rows: int) -> int | None:
+    def _auto_chunk(self, session, rows: int) -> int | None:
         if self.chunk_size is not None:
             return self.chunk_size
-        executor = self.session.executor
+        executor = session.executor
         if isinstance(executor, ShardedExecutor) and executor.workers > 1:
             if rows >= 2 * executor.workers:
                 return -(-rows // executor.workers)  # ceil division
         return None
 
-    def _run_batch(self, batch: np.ndarray) -> np.ndarray:
-        return self.session.predict_proba(
-            batch, batch_size=self._auto_chunk(batch.shape[0])
-        )
+    def _batcher_for(self, model: str, precision: str) -> MicroBatcher:
+        """The route's batcher, created on first use.
+
+        One batcher per (model, precision) pair: requests for different
+        routes must never fuse (they run different plans), but they all
+        share the single inference thread, so the sessions still see
+        one caller at a time.
+        """
+        key = (model, precision)
+        batcher = self._batchers.get(key)
+        if batcher is None:
+
+            def run_batch(batch: np.ndarray) -> np.ndarray:
+                session = self.engine.session(model, precision)
+                return session.predict_proba(
+                    batch, batch_size=self._auto_chunk(session, batch.shape[0])
+                )
+
+            batcher = MicroBatcher(
+                run_batch,
+                max_batch=self.max_batch,
+                max_wait_ms=self.max_wait_ms,
+                executor=self._infer_thread,
+            )
+            self._batchers[key] = batcher
+        return batcher
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "InferenceServer":
-        """Warm the session, start the inference thread, bind the port."""
+        """Warm the engine, start the inference thread, bind the port."""
         if self._server is not None:
             raise ServingError("server is already started")
-        # Fork the sharded executor's pool BEFORE any thread exists.
-        warm = getattr(self.session, "warm_up", None)
-        if warm is not None:
-            warm()
+        from ..runtime.session import InferenceSession
+
+        # Fail fast on unloadable model sources (bad artifact paths)
+        # before any thread, port, or ready banner exists.
+        self.engine.load_sources()
+        if self.engine.config.executor == "sharded" or any(
+            isinstance(source, InferenceSession)
+            for source in self.engine.config.models.values()
+        ):
+            # Fork every route's pool BEFORE any thread exists — lazy
+            # freezing on the inference thread would fork with threads
+            # running (inherited-lock hazard).  Adopted sessions may
+            # carry a sharded executor the config doesn't know about,
+            # so they warm here too.
+            self.engine.warm_up()
         self._infer_thread = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-infer"
-        )
-        self._batcher = MicroBatcher(
-            self._run_batch,
-            max_batch=self.max_batch,
-            max_wait_ms=self.max_wait_ms,
-            executor=self._infer_thread,
         )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -147,9 +214,10 @@ class InferenceServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        if self._batcher is not None:
-            await self._batcher.aclose()
-            self._batcher = None
+        batchers, self._batchers = self._batchers, {}
+        self._route_sessions = {}
+        for batcher in batchers.values():
+            await batcher.aclose()
         if self._infer_thread is not None:
             self._infer_thread.shutdown(wait=True)
             self._infer_thread = None
@@ -187,12 +255,15 @@ class InferenceServer:
                     break
                 try:
                     response, out_payload = await self._dispatch(header, payload)
-                except ServingError as exc:
+                except (ServingError, ConfigurationError) as exc:
                     self.stats["errors"] += 1
-                    response, out_payload = (
-                        {"status": "error", "message": str(exc)},
-                        b"",
-                    )
+                    response = {"status": "error", "message": str(exc)}
+                    if isinstance(exc, DeadlineExpired):
+                        # Machine-readable: retry loops must be able to
+                        # tell expiry from real inference failure
+                        # without string-matching the message.
+                        response["code"] = "deadline_expired"
+                    out_payload = b""
                 except Exception as exc:  # never kill the connection loop
                     self.stats["errors"] += 1
                     response, out_payload = (
@@ -207,61 +278,118 @@ class InferenceServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except Exception:
+            except BaseException:
+                # Includes CancelledError: the loop may tear this task
+                # down while it drains the close — the socket is closed
+                # either way, and there is nothing after this line.
                 pass
+
+    def _resolve_route(self, header: dict) -> tuple[str, str, int]:
+        """Header routing fields -> (model, precision, priority level).
+
+        Every field is optional; a pre-engine frame (none of them set)
+        resolves to the engine's defaults.  Unknown values raise
+        :class:`~repro.exceptions.ConfigurationError`, which the
+        connection loop answers as an error frame without dropping the
+        connection.
+        """
+        config = self.engine.config
+        return (
+            config.resolve_model(header.get("model")),
+            config.resolve_precision(header.get("precision")),
+            config.resolve_priority(header.get("priority")),
+        )
 
     async def _dispatch(
         self, header: dict, payload: bytes
-    ) -> tuple[dict, bytes]:
+    ) -> tuple[dict, object]:
         op = header.get("op")
         if op == "ping":
             return {"status": "ok", "op": "ping"}, b""
         if op == "info":
-            scheduler = getattr(self.session.executor, "scheduler", None)
             info = {
                 "status": "ok",
                 "op": "info",
-                "precision": self.session.precision,
-                "ops": self.session.describe(),
-                "executor": repr(self.session.executor),
+                "engine": self.engine.describe(),
+                "models": sorted(self.engine.config.models),
+                "precisions": list(self.engine.config.precisions),
+                "precision": self.engine.config.precision,
                 "max_batch": self.max_batch,
                 "max_wait_ms": self.max_wait_ms,
                 "stats": dict(self.stats),
-                "batcher": dict(self._batcher.stats),
+                "batchers": {
+                    f"{model}/{precision}": dict(batcher.stats)
+                    for (model, precision), batcher in self._batchers.items()
+                },
+                "routes": self.engine.describe_routes(),
             }
-            if scheduler is not None:
-                info["scheduler"] = scheduler.describe()
             return info, b""
         if op in ("predict", "predict_proba"):
             if not payload:
                 raise ServingError(f"{op} requires an array payload")
+            model, precision, priority = self._resolve_route(header)
+            deadline_ms = header.get("deadline_ms")
+            if deadline_ms is not None and (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms < 0
+            ):
+                # Type-check before comparing: a JSON string here must
+                # be a clean protocol error, not an "internal error".
+                raise ServingError(
+                    f"deadline_ms must be a non-negative number, "
+                    f"got {deadline_ms!r}"
+                )
             rows = unpack_array(payload)
             if rows.ndim == 1:
                 rows = rows[None]
+            # First request for a route freezes its session — on the
+            # inference thread, so plan compilation never stalls the
+            # event loop.  The resolved session is cached per route:
+            # later requests must enter the batcher's pending window
+            # without a hop through the (possibly busy) inference
+            # thread, or batch N+1 could not accumulate while batch N
+            # computes.
+            session = self._route_sessions.get((model, precision))
+            if session is None:
+                session = await asyncio.get_running_loop().run_in_executor(
+                    self._infer_thread, self.engine.session, model, precision
+                )
+                self._route_sessions[(model, precision)] = session
             # Cast once at the front door — the same cast the session
             # applies at its boundary — so requests of any input dtype
             # fuse into one micro-batch bucket with identical results.
-            policy = getattr(self.session, "policy", None)
-            if policy is not None:
-                rows = np.asarray(rows, dtype=policy.real_dtype)
+            rows = np.asarray(rows, dtype=session.policy.real_dtype)
             self.stats["requests"] += 1
             start = time.perf_counter()
-            proba = await self._batcher.submit(rows)
+            try:
+                proba = await self._batcher_for(model, precision).submit(
+                    rows, priority=priority, deadline_ms=deadline_ms
+                )
+            except DeadlineExpired:
+                self.stats["expired"] += 1
+                raise
             latency_ms = (time.perf_counter() - start) * 1e3
             out = proba.argmax(axis=-1) if op == "predict" else proba
             return (
                 {
                     "status": "ok",
                     "op": op,
+                    "model": model,
+                    "precision": precision,
+                    "priority": priority,
                     "rows": int(rows.shape[0]),
                     "latency_ms": latency_ms,
                 },
-                pack_array(out),
+                # Zero-copy: the result buffer streams into the socket
+                # writer as-is (npy header + memoryview of `out`).
+                pack_array_views(out),
             )
         raise ServingError(f"unknown op {op!r}")
 
     def __repr__(self) -> str:
         return (
             f"InferenceServer({self.host}:{self.port}, "
-            f"max_batch={self.max_batch}, max_wait_ms={self.max_wait_ms})"
+            f"engine={self.engine!r}, max_batch={self.max_batch}, "
+            f"max_wait_ms={self.max_wait_ms})"
         )

@@ -156,3 +156,43 @@ class TestSaveLoad:
         deployed = DeployedModel.from_model(fc_model)
         with pytest.raises(ValueError):
             deployed.time_inference(rng.normal(size=(2, 16)), repeats=0)
+
+
+class TestBatchSizeContract:
+    """predict/predict_proba share the InferenceSession batch_size
+    semantics exactly: None = one shot, >=1 streams, 0/negative raises
+    (the kwarg-drift fix)."""
+
+    def test_streamed_matches_one_shot(self, rng, fc_model):
+        deployed = DeployedModel.from_model(fc_model)
+        x = rng.normal(size=(10, 16))
+        one_shot = deployed.predict_proba(x)  # batch_size=None
+        # Chunked GEMMs may differ in the last ulp from the one-shot
+        # batch; bitwise identity holds when the chunk covers all rows.
+        assert np.allclose(
+            one_shot, deployed.predict_proba(x, batch_size=3), atol=1e-12
+        )
+        assert np.array_equal(one_shot, deployed.predict_proba(x, batch_size=10))
+        assert np.array_equal(
+            one_shot.argmax(axis=-1), deployed.predict(x, batch_size=4)
+        )
+
+    def test_zero_and_negative_batch_size_raise_like_the_session(
+        self, rng, fc_model
+    ):
+        from repro.runtime import InferenceSession
+
+        deployed = DeployedModel.from_model(fc_model)
+        session = InferenceSession.from_deployed(deployed)
+        x = rng.normal(size=(4, 16))
+        for bad in (0, -2):
+            with pytest.raises(ValueError, match="batch_size"):
+                deployed.predict_proba(x, batch_size=bad)
+            with pytest.raises(ValueError, match="batch_size"):
+                session.predict_proba(x, batch_size=bad)
+        # None is "no batching" on both paths.
+        assert np.array_equal(
+            deployed.predict(x, batch_size=None),
+            session.predict(x, batch_size=None),
+        )
+        session.close()

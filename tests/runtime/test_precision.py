@@ -109,7 +109,7 @@ class TestNoSilentUpcast:
 class TestFromDeployedPrecision:
     def test_fp32_session_matches_interpreter(self, mnist_model, rng):
         deployed = DeployedModel.from_model(mnist_model)
-        session = deployed.to_session(precision="fp32")
+        session = InferenceSession.from_deployed(deployed, precision="fp32")
         x = rng.normal(size=(5, 256))
         # The artifact itself stores complex64 spectra, so the fp32
         # session and the (widening) record interpreter agree to ~1e-6.
@@ -119,8 +119,8 @@ class TestFromDeployedPrecision:
 
     def test_fp32_artifact_spectra_not_widened(self, mnist_model, rng):
         deployed = DeployedModel.from_model(mnist_model)
-        fp32 = deployed.to_session(precision="fp32")
-        fp64 = deployed.to_session(precision="fp64")
+        fp32 = InferenceSession.from_deployed(deployed, precision="fp32")
+        fp64 = InferenceSession.from_deployed(deployed, precision="fp64")
         x = rng.normal(size=(4, 256))
         assert fp32.forward(x).dtype == np.float32
         assert fp64.forward(x).dtype == np.float64

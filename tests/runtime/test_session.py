@@ -143,7 +143,7 @@ class TestSnapshotSemantics:
 class TestFromDeployed:
     def test_matches_record_interpreter(self, conv_model, rng):
         deployed = DeployedModel.from_model(conv_model)
-        session = deployed.to_session()
+        session = InferenceSession.from_deployed(deployed)
         x = rng.normal(size=(4, 3, 8, 8))
         # complex64 artifact spectra bound the agreement, not 1e-10.
         assert np.allclose(
@@ -154,6 +154,6 @@ class TestFromDeployed:
         deployed = DeployedModel.from_model(fc_model)
         path = tmp_path / "artifact.npz"
         deployed.save(path)
-        session = DeployedModel.load(path).to_session()
+        session = InferenceSession.from_deployed(DeployedModel.load(path))
         x = rng.normal(size=(5, 256))
         assert np.array_equal(session.predict(x), deployed.predict(x))

@@ -1,4 +1,4 @@
-"""MicroBatcher: flush triggers, per-request row splitting, errors."""
+"""MicroBatcher: flush triggers, splitting, priorities, deadlines, errors."""
 
 import asyncio
 
@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ServingError
-from repro.serving import MicroBatcher
+from repro.serving import DeadlineExpired, MicroBatcher
 
 
 class RecordingRunner:
@@ -150,6 +150,127 @@ class TestBucketing:
         run(scenario())
         assert len(runner.batches) == 1
         assert runner.batches[0].shape == (5, 3)
+
+
+class TestPriorities:
+    def test_priority_orders_rows_within_fused_batch(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=5)
+            low = np.full((1, 3), 0.0)
+            high = np.full((1, 3), 2.0)
+            mid = np.full((1, 3), 1.0)
+            outs = await asyncio.gather(
+                batcher.submit(low, priority=0),
+                batcher.submit(high, priority=2),
+                batcher.submit(mid, priority=1),
+            )
+            # Every request still gets exactly its own rows back.
+            assert np.array_equal(outs[0], low * 2.0)
+            assert np.array_equal(outs[1], high * 2.0)
+            assert np.array_equal(outs[2], mid * 2.0)
+
+        run(scenario())
+        # One fused batch, rows ordered high -> mid -> low.
+        assert len(runner.batches) == 1
+        assert runner.batches[0][:, 0].tolist() == [2.0, 1.0, 0.0]
+
+    def test_priority_ties_keep_arrival_order(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=5)
+            first = np.full((1, 3), 10.0)
+            second = np.full((1, 3), 20.0)
+            await asyncio.gather(
+                batcher.submit(first, priority=1),
+                batcher.submit(second, priority=1),
+            )
+
+        run(scenario())
+        assert runner.batches[0][:, 0].tolist() == [10.0, 20.0]
+
+    def test_priority_orders_buckets_under_saturated_window(self):
+        # Incompatible widths cannot fuse; the bucket holding the
+        # highest-priority request must run first even though its
+        # request arrived last in the saturated flush window.
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=10)
+            bulk = [np.full((2, 3), float(i)) for i in range(3)]
+            interactive = np.full((1, 7), 99.0)
+            await asyncio.gather(
+                *[batcher.submit(b, priority=0) for b in bulk],
+                batcher.submit(interactive, priority=2),
+            )
+
+        run(scenario())
+        assert len(runner.batches) == 2
+        # The interactive bucket (width 7) ran before the bulk fuse.
+        assert runner.batches[0].shape == (1, 7)
+        assert runner.batches[1].shape == (6, 3)
+
+
+class TestDeadlines:
+    def test_expired_request_errors_without_occupying_batch_rows(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=5)
+            live_rows = rng.normal(size=(2, 3))
+            live = batcher.submit(live_rows)
+            doomed = batcher.submit(rng.normal(size=(4, 3)), deadline_ms=0)
+            out, err = await asyncio.gather(
+                live, doomed, return_exceptions=True
+            )
+            assert np.array_equal(out, live_rows * 2.0)
+            assert isinstance(err, DeadlineExpired)
+            assert batcher.stats["expired"] == 1
+
+        run(scenario())
+        # The fused batch carried only the live request's rows.
+        assert len(runner.batches) == 1
+        assert runner.batches[0].shape == (2, 3)
+
+    def test_all_requests_expired_skips_the_runner(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=5)
+            with pytest.raises(DeadlineExpired):
+                await batcher.submit(rng.normal(size=(2, 3)), deadline_ms=0)
+
+        run(scenario())
+        assert runner.batches == []
+
+    def test_tight_deadline_pulls_flush_before_max_wait(self, rng):
+        runner = RecordingRunner()
+
+        async def scenario():
+            # max_wait alone would sit for a minute; the deadline must
+            # pull the flush early enough for the request to make it.
+            batcher = MicroBatcher(runner, max_batch=1000, max_wait_ms=60_000)
+            rows = rng.normal(size=(2, 3))
+            start = asyncio.get_running_loop().time()
+            out = await asyncio.wait_for(
+                batcher.submit(rows, deadline_ms=500), timeout=5
+            )
+            waited = asyncio.get_running_loop().time() - start
+            assert np.array_equal(out, rows * 2.0)
+            assert waited < 0.5  # flushed around the deadline midpoint
+
+        run(scenario())
+        assert len(runner.batches) == 1  # it ran — nothing expired
+
+    def test_negative_deadline_rejected(self, rng):
+        async def scenario():
+            batcher = MicroBatcher(lambda b: b, max_batch=4)
+            with pytest.raises(ServingError):
+                await batcher.submit(rng.normal(size=(1, 3)), deadline_ms=-5)
+
+        run(scenario())
 
 
 class TestErrors:

@@ -1,4 +1,4 @@
-"""InferenceServer e2e: protocol framing, parity with serial sessions."""
+"""InferenceServer e2e: protocol framing, routing, parity with serial."""
 
 import asyncio
 import socket
@@ -6,13 +6,15 @@ import socket
 import numpy as np
 import pytest
 
+from repro.engine import Engine
 from repro.exceptions import ServingError
 from repro.nn import BlockCirculantLinear, Linear, ReLU, Sequential
-from repro.runtime import InferenceSession, ShardedExecutor
+from repro.runtime import InferenceSession
 from repro.serving import AsyncServeClient, InferenceServer, ServeClient
 from repro.serving.protocol import (
     encode_frame,
     pack_array,
+    pack_array_views,
     unpack_array,
 )
 from repro.zoo import build_arch2
@@ -27,11 +29,15 @@ def small_model():
     ).eval()
 
 
-def serve(session, scenario, **server_kwargs):
+def small_engine(**config):
+    return Engine(model=small_model(), **config)
+
+
+def serve(engine, scenario, **server_kwargs):
     """Run an async scenario against an in-process server."""
 
     async def main():
-        server = InferenceServer(session, port=0, **server_kwargs)
+        server = InferenceServer(engine, port=0, **server_kwargs)
         async with server:
             return await scenario(server)
 
@@ -48,11 +54,40 @@ class TestProtocol:
         with pytest.raises(ServingError):
             unpack_array(b"not an npy payload")
 
+    def test_pack_array_views_is_zero_copy_and_wire_identical(self, rng):
+        arr = np.ascontiguousarray(rng.normal(size=(16, 8)))
+        views = pack_array_views(arr)
+        # Wire bytes identical to the legacy serializer...
+        assert b"".join(bytes(chunk) for chunk in views) == pack_array(arr)
+        # ...and the body chunk aliases the array's own buffer (the
+        # zero-copy assertion of the ROADMAP item).
+        body = views[-1]
+        assert isinstance(body, memoryview)
+        assert np.shares_memory(np.frombuffer(body, dtype=arr.dtype), arr)
+
+    def test_frame_length_counts_bytes_for_raw_memoryviews(self, rng):
+        # An uncast float64 memoryview: len() is the element count, but
+        # the frame's length prefix must declare bytes.
+        from repro.serving.protocol import frame_chunks
+
+        arr = np.ascontiguousarray(rng.normal(size=(4,)))
+        chunks = frame_chunks({"k": 1}, memoryview(arr))
+        declared = int.from_bytes(chunks[0][4:8], "big")
+        assert declared == arr.nbytes  # 32, not 4
+        body = b"".join(bytes(c) for c in chunks[2:])
+        assert len(body) == declared
+
+    def test_pack_array_views_roundtrips_noncontiguous(self, rng):
+        arr = rng.normal(size=(6, 4)).T  # not C-contiguous: copies once
+        views = pack_array_views(arr)
+        joined = b"".join(bytes(chunk) for chunk in views)
+        assert np.array_equal(unpack_array(joined), arr)
+
 
 class TestServerE2E:
     def test_predict_proba_bitwise_equals_serial(self, rng):
         model = small_model()
-        session = InferenceSession.freeze(model)
+        engine = Engine(model=model)
         serial = InferenceSession.freeze(model)
         x = rng.normal(size=(9, 96))
 
@@ -62,13 +97,13 @@ class TestServerE2E:
             ) as client:
                 return await client.predict_proba(x)
 
-        served = serve(session, scenario)
+        served = serve(engine, scenario)
         assert np.array_equal(served, serial.predict_proba(x))
-        session.close()
+        engine.close()
 
     def test_predict_labels_and_single_row(self, rng):
         model = small_model()
-        session = InferenceSession.freeze(model)
+        engine = Engine(model=model)
         serial = InferenceSession.freeze(model)
         x = rng.normal(size=(6, 96))
 
@@ -80,15 +115,15 @@ class TestServerE2E:
                 one = await client.predict_proba(x[0])  # 1-D row promotes
                 return labels, one
 
-        labels, one = serve(session, scenario)
+        labels, one = serve(engine, scenario)
         assert np.array_equal(labels, serial.predict(x))
         assert one.shape == (1, 10)
         assert np.array_equal(one, serial.predict_proba(x[:1]))
-        session.close()
+        engine.close()
 
     def test_zoo_model_over_sync_client(self, rng):
         model = build_arch2(rng=np.random.default_rng(5)).eval()
-        session = InferenceSession.freeze(model)
+        engine = Engine(model=model)
         serial = InferenceSession.freeze(model)
         x = rng.normal(size=(11, 121))
 
@@ -102,15 +137,16 @@ class TestServerE2E:
 
             return await loop.run_in_executor(None, sync_calls)
 
-        proba, info = serve(session, scenario)
+        proba, info = serve(engine, scenario)
         assert np.array_equal(proba, serial.predict_proba(x))
         assert info["precision"] == "fp64"
-        assert any("bc_linear" in op for op in info["ops"])
-        session.close()
+        route = info["routes"]["default/fp64"]
+        assert any("bc_linear" in op for op in route["ops"])
+        engine.close()
 
     def test_concurrent_clients_micro_batch_and_match_serial(self, rng):
         model = small_model()
-        session = InferenceSession.freeze(model)
+        engine = Engine(model=model)
         serial = InferenceSession.freeze(model)
 
         async def scenario(server):
@@ -124,16 +160,16 @@ class TestServerE2E:
             return await asyncio.gather(*[one_client(s) for s in range(8)])
 
         results = serve(
-            session, scenario, max_batch=12, max_wait_ms=20.0
+            engine, scenario, max_batch=12, max_wait_ms=20.0
         )
         for rows, served in results:
             assert np.allclose(served, serial.predict_proba(rows), atol=1e-9)
-        session.close()
+        engine.close()
 
-    def test_sharded_session_served_matches_serial(self, rng):
+    def test_sharded_engine_served_matches_serial(self, rng):
         model = small_model()
-        session = InferenceSession.freeze(
-            model, executor=ShardedExecutor(workers=2, mode="batch")
+        engine = Engine(
+            model=model, executor="sharded", workers=2, shard_mode="batch"
         )
         serial = InferenceSession.freeze(model)
         x = rng.normal(size=(16, 96))
@@ -144,15 +180,15 @@ class TestServerE2E:
             ) as client:
                 return await client.predict_proba(x)
 
-        served = serve(session, scenario)
+        served = serve(engine, scenario)
         # The server chunks fused batches so pool batch-sharding engages;
         # the executor contract keeps that bitwise-identical to serial.
         assert np.array_equal(served, serial.predict_proba(x))
-        session.close()
+        engine.close()
 
-    def test_fp32_session_close_to_fp64_serial(self, rng):
+    def test_fp32_engine_close_to_fp64_serial(self, rng):
         model = small_model()
-        session = InferenceSession.freeze(model, precision="fp32")
+        engine = Engine(model=model, precisions=("fp32",))
         serial64 = InferenceSession.freeze(model)
         x = rng.normal(size=(5, 96))
 
@@ -162,16 +198,170 @@ class TestServerE2E:
             ) as client:
                 return await client.predict_proba(x)
 
-        served = serve(session, scenario)
+        served = serve(engine, scenario)
         assert served.dtype == np.float32
         assert np.abs(served - serial64.predict_proba(x)).max() <= 1e-5
-        session.close()
+        engine.close()
+
+
+class TestRouting:
+    """Per-request model/precision routing through one server."""
+
+    def test_mixed_precision_requests_route_to_pooled_sessions(self, rng):
+        model = small_model()
+        engine = Engine(model=model, precisions=("fp64", "fp32"))
+        serial64 = InferenceSession.freeze(model)
+        serial32 = InferenceSession.freeze(model, precision="fp32")
+        x = rng.normal(size=(7, 96))
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                p64 = await client.predict_proba(x)
+                p32 = await client.predict_proba(x, precision="fp32")
+                again64 = await client.predict_proba(x, precision="fp64")
+                info = await client.info()
+            return p64, p32, again64, info
+
+        p64, p32, again64, info = serve(engine, scenario)
+        # fp64 route: bitwise vs the serial executor; fp32: <= 1e-5.
+        assert np.array_equal(p64, serial64.predict_proba(x))
+        assert np.array_equal(again64, p64)
+        assert p32.dtype == np.float32
+        assert np.array_equal(
+            p32, serial32.predict_proba(x.astype(np.float32))
+        )
+        assert np.abs(p32 - p64).max() <= 1e-5
+        # One pooled session and one batcher per route.
+        assert sorted(info["routes"]) == ["default/fp32", "default/fp64"]
+        assert sorted(info["batchers"]) == ["default/fp32", "default/fp64"]
+        engine.close()
+
+    def test_multi_model_registry_routes_by_name(self, rng):
+        a, b = small_model(), build_arch2(rng=np.random.default_rng(5)).eval()
+        engine = Engine(models={"small": a, "arch2": b},
+                        default_model="small")
+        serial_a = InferenceSession.freeze(a)
+        serial_b = InferenceSession.freeze(b)
+        xa = rng.normal(size=(4, 96))
+        xb = rng.normal(size=(4, 121))
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                pa = await client.predict_proba(xa, model="small")
+                pb = await client.predict_proba(xb, model="arch2")
+                default = await client.predict_proba(xa)  # -> "small"
+            return pa, pb, default
+
+        pa, pb, default = serve(engine, scenario)
+        assert np.array_equal(pa, serial_a.predict_proba(xa))
+        assert np.array_equal(pb, serial_b.predict_proba(xb))
+        assert np.array_equal(default, pa)
+        engine.close()
+
+    def test_unknown_model_and_precision_answer_error_frames(self, rng):
+        engine = small_engine()
+        x = rng.normal(size=(2, 96))
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                with pytest.raises(ServingError, match="unknown model"):
+                    await client.predict_proba(x, model="missing")
+                with pytest.raises(ServingError, match="not pooled"):
+                    await client.predict_proba(x, precision="fp32")
+                # A junk precision name is a clean config-error frame
+                # too, not an "internal error".
+                with pytest.raises(ServingError, match="unknown precision"):
+                    await client.predict_proba(x, precision="fp16")
+                # The connection survives both error frames.
+                return await client.predict_proba(x)
+
+        served = serve(engine, scenario)
+        assert served.shape == (2, 10)
+        engine.close()
+
+    def test_malformed_routing_fields_answer_clean_error_frames(self, rng):
+        engine = small_engine()
+        x = rng.normal(size=(2, 96))
+
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            from repro.serving.protocol import read_frame, send_frame
+
+            # JSON lets a sloppy client send the wrong types; both must
+            # come back as protocol errors, never "internal error".
+            await send_frame(
+                writer,
+                {"op": "predict", "deadline_ms": "50"},
+                pack_array(x),
+            )
+            bad_deadline, _ = await read_frame(reader)
+            await send_frame(
+                writer,
+                {"op": "predict", "priority": [1]},
+                pack_array(x),
+            )
+            bad_priority, _ = await read_frame(reader)
+            writer.close()
+            return bad_deadline, bad_priority
+
+        bad_deadline, bad_priority = serve(engine, scenario)
+        for response in (bad_deadline, bad_priority):
+            assert response["status"] == "error"
+            assert "internal error" not in response["message"]
+        assert "deadline_ms" in bad_deadline["message"]
+        assert "priority" in bad_priority["message"]
+        engine.close()
+
+    def test_expired_deadline_answers_typed_error_frame(self, rng):
+        from repro.serving import DeadlineExpired
+
+        engine = small_engine()
+        x = rng.normal(size=(2, 96))
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                # The wire frame carries code=deadline_expired, which
+                # the client raises as the typed subclass — retry logic
+                # never has to string-match the message.
+                with pytest.raises(DeadlineExpired):
+                    await client.predict_proba(x, deadline_ms=0)
+                ok = await client.predict_proba(x)
+                info = await client.info()
+            return ok, info
+
+        ok, info = serve(engine, scenario, max_wait_ms=1.0)
+        assert ok.shape == (2, 10)
+        assert info["stats"]["expired"] == 1
+        engine.close()
+
+    def test_unloadable_artifact_fails_at_start_not_first_request(
+        self, tmp_path
+    ):
+        engine = Engine(model=str(tmp_path / "does_not_exist.npz"))
+
+        async def scenario():
+            server = InferenceServer(engine, port=0)
+            with pytest.raises(FileNotFoundError):
+                await server.start()
+            assert server._server is None  # no port was ever bound
+
+        asyncio.run(scenario())
+        engine.close()
 
 
 class TestServerRobustness:
     def test_bad_op_and_missing_payload_keep_connection_alive(self, rng):
-        model = small_model()
-        session = InferenceSession.freeze(model)
+        engine = small_engine()
         x = rng.normal(size=(2, 96))
 
         async def scenario(server):
@@ -190,16 +380,15 @@ class TestServerRobustness:
             await writer.wait_closed()
             return error1, error2, ok, payload
 
-        error1, error2, ok, payload = serve(session, scenario)
+        error1, error2, ok, payload = serve(engine, scenario)
         assert error1["status"] == "error" and "teleport" in error1["message"]
         assert error2["status"] == "error"
         assert ok["status"] == "ok"
         assert unpack_array(payload).shape == (2,)
-        session.close()
+        engine.close()
 
     def test_oversized_payload_rejected_cheaply(self):
-        model = small_model()
-        session = InferenceSession.freeze(model)
+        engine = small_engine()
 
         async def scenario(server):
             reader, writer = await asyncio.open_connection(
@@ -219,15 +408,15 @@ class TestServerRobustness:
             writer.close()
             return response, eof
 
-        response, eof = serve(session, scenario, max_payload=1 << 20)
+        response, eof = serve(engine, scenario, max_payload=1 << 20)
         assert response["status"] == "error"
         assert "too large" in response["message"]
         assert eof == b""
-        session.close()
+        engine.close()
 
     def test_bad_width_request_fails_alone_server_keeps_serving(self, rng):
         model = small_model()
-        session = InferenceSession.freeze(model)
+        engine = Engine(model=model)
         serial = InferenceSession.freeze(model)
         good = rng.normal(size=(4, 96))
         bad = rng.normal(size=(4, 77))
@@ -240,13 +429,13 @@ class TestServerRobustness:
                     await client.predict_proba(bad)
                 return await client.predict_proba(good)
 
-        served = serve(session, scenario)
+        served = serve(engine, scenario)
         assert np.array_equal(served, serial.predict_proba(good))
-        session.close()
+        engine.close()
 
-    def test_client_dtype_normalized_to_session_precision(self, rng):
+    def test_client_dtype_normalized_to_route_precision(self, rng):
         model = small_model()
-        session = InferenceSession.freeze(model)  # fp64 session
+        engine = Engine(model=model)  # fp64 default
         serial = InferenceSession.freeze(model)
         x32 = rng.normal(size=(4, 96)).astype(np.float32)
 
@@ -256,15 +445,14 @@ class TestServerRobustness:
             ) as client:
                 return await client.predict_proba(x32)
 
-        served = serve(session, scenario)
+        served = serve(engine, scenario)
         # Same cast the session applies at its own boundary.
         assert served.dtype == np.float64
         assert np.array_equal(served, serial.predict_proba(x32))
-        session.close()
+        engine.close()
 
     def test_request_id_echoed(self, rng):
-        model = small_model()
-        session = InferenceSession.freeze(model)
+        engine = small_engine()
 
         async def scenario(server):
             reader, writer = await asyncio.open_connection(
@@ -277,15 +465,12 @@ class TestServerRobustness:
             writer.close()
             return response
 
-        response = serve(session, scenario)
+        response = serve(engine, scenario)
         assert response["id"] == 41
-        session.close()
+        engine.close()
 
     def test_stats_and_info_expose_scheduler(self, rng):
-        model = small_model()
-        session = InferenceSession.freeze(
-            model, executor=ShardedExecutor(workers=2)
-        )
+        engine = small_engine(executor="sharded", workers=2)
 
         async def scenario(server):
             async with await AsyncServeClient.connect(
@@ -294,15 +479,14 @@ class TestServerRobustness:
                 await client.predict_proba(rng.normal(size=(4, 96)))
                 return await client.info()
 
-        info = serve(session, scenario)
+        info = serve(engine, scenario)
         assert info["stats"]["requests"] == 1
-        assert info["batcher"]["batches"] == 1
-        assert info["scheduler"]["mode"] == "auto"
-        session.close()
+        assert info["batchers"]["default/fp64"]["batches"] == 1
+        assert info["routes"]["default/fp64"]["scheduler"]["mode"] == "auto"
+        engine.close()
 
     def test_port_zero_binds_ephemeral(self):
-        model = small_model()
-        session = InferenceSession.freeze(model)
+        engine = small_engine()
 
         async def scenario(server):
             assert server.port != 0
@@ -310,5 +494,5 @@ class TestServerRobustness:
                 pass
             return server.port
 
-        serve(session, scenario)
-        session.close()
+        serve(engine, scenario)
+        engine.close()

@@ -201,7 +201,10 @@ class TestServeCommand:
             from repro.serving import ServeClient
 
             inputs, _ = load_inputs(test_path)
-            session = DeployedModel.load(artifact).to_session()
+            from repro.engine import Engine
+
+            engine = Engine(model=DeployedModel.load(artifact))
+            session = engine.session()
             with ServeClient(match.group(1), int(match.group(2))) as client:
                 assert client.ping()
                 served = client.predict_proba(inputs)
@@ -232,3 +235,162 @@ class TestProfileInfo:
         out = capsys.readouterr().out
         assert "total:" in out
         assert "x" in out.splitlines()[-1]
+
+
+class TestServeEngineFlags:
+    """The engine-era serve surface: --model name=path, --precisions."""
+
+    def test_repeatable_model_flag_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "mnist=a.npz", "--model", "cifar=b.npz",
+             "--precisions", "fp64,fp32"]
+        )
+        assert args.model is None
+        assert args.models == ["mnist=a.npz", "cifar=b.npz"]
+        assert args.precisions == "fp64,fp32"
+
+    def test_positional_artifact_still_accepted(self):
+        args = build_parser().parse_args(["serve", "model.npz"])
+        assert args.model == "model.npz"
+        assert args.models == []
+        assert args.precisions is None
+
+    def test_no_model_is_an_error(self, capsys):
+        assert main(["serve"]) == 2
+        assert "no model" in capsys.readouterr().err
+
+    def test_registry_parsing(self):
+        from types import SimpleNamespace
+
+        from repro.cli import _parse_model_registry
+
+        args = SimpleNamespace(model=None,
+                               models=["a=x.npz", "b=y.npz"])
+        models, default = _parse_model_registry(args)
+        assert models == {"a": "x.npz", "b": "y.npz"}
+        assert default == "a"
+        # A bare --model PATH registers as the default name.
+        args = SimpleNamespace(model=None, models=["plain.npz"])
+        models, default = _parse_model_registry(args)
+        assert default in models and models[default] == "plain.npz"
+        # Duplicates are rejected.
+        args = SimpleNamespace(model="pos.npz", models=["lone.npz"])
+        with pytest.raises(ValueError, match="twice"):
+            _parse_model_registry(args)
+
+    def test_multi_model_serve_end_to_end(self, data_files,
+                                          trained_checkpoint, tmp_path):
+        # Two names backed by the same artifact, served from one port,
+        # routed per request; fp32 requests hit the pooled fp32 session.
+        root, _, test_path = data_files
+        artifact = root / "model_multi.npz"
+        assert main([
+            "deploy", ARCH, "--weights", str(trained_checkpoint),
+            "--out", str(artifact),
+        ]) == 0
+
+        import os
+        import re
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve",
+             "--model", f"alpha={artifact}",
+             "--model", f"beta={artifact}",
+             "--precisions", "fp64,fp32",
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.match(r"serving on (\S+):(\d+)", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            from repro.embedded import DeployedModel
+            from repro.engine import Engine
+            from repro.io import load_inputs
+            from repro.serving import ServeClient
+
+            inputs, _ = load_inputs(test_path)
+            with Engine(model=DeployedModel.load(artifact),
+                        precisions=("fp64", "fp32")) as engine:
+                expected64 = engine.predict_proba(inputs)
+                expected32 = engine.predict_proba(inputs, precision="fp32")
+                with ServeClient(match.group(1), int(match.group(2))) as c:
+                    a64 = c.predict_proba(inputs, model="alpha")
+                    b64 = c.predict_proba(inputs, model="beta")
+                    a32 = c.predict_proba(inputs, model="alpha",
+                                          precision="fp32")
+                assert np.array_equal(a64, expected64)
+                assert np.array_equal(b64, expected64)
+                assert a32.dtype == np.float32
+                assert np.array_equal(a32, expected32)
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+class TestServePrecisionFlags:
+    def test_bad_precisions_value_errors_cleanly(self, capsys):
+        assert main(["serve", "m.npz", "--precisions", "fp16"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_duplicate_precisions_error_cleanly(self, capsys):
+        assert main(["serve", "m.npz", "--precisions", "fp64,fp64"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_comma_only_precisions_error_cleanly(self, capsys):
+        assert main(["serve", "m.npz", "--precisions", ","]) == 2
+        assert "at least one precision" in capsys.readouterr().err
+
+    def test_precisions_alone_sets_pool_and_default(self, monkeypatch):
+        # --precisions fp32 with no --precision must NOT re-add fp64:
+        # the pool is exactly fp32 and fp32 is the default.
+        captured = {}
+
+        from repro.engine import Engine
+
+        def fake_serve(self, host="127.0.0.1", port=None, on_ready=None):
+            captured["precisions"] = self.config.precisions
+            captured["precision"] = self.config.precision
+
+        monkeypatch.setattr(Engine, "serve", fake_serve)
+        monkeypatch.setattr(Engine, "load_sources", lambda self: self)
+        assert main(["serve", "m.npz", "--precisions", "fp32"]) == 0
+        assert captured["precisions"] == ("fp32",)
+        assert captured["precision"] == "fp32"
+
+    def test_explicit_precision_joins_the_pool(self, monkeypatch):
+        captured = {}
+
+        from repro.engine import Engine
+
+        def fake_serve(self, host="127.0.0.1", port=None, on_ready=None):
+            captured["precisions"] = self.config.precisions
+            captured["precision"] = self.config.precision
+
+        monkeypatch.setattr(Engine, "serve", fake_serve)
+        monkeypatch.setattr(Engine, "load_sources", lambda self: self)
+        assert main(["serve", "m.npz", "--precisions", "fp32",
+                     "--precision", "fp64"]) == 0
+        assert captured["precisions"] == ("fp64", "fp32")
+        assert captured["precision"] == "fp64"
+
+
+class TestServeFailFast:
+    def test_missing_artifact_exits_cleanly_before_banner(self, capsys):
+        assert main(["serve", "/tmp/definitely-missing.npz",
+                     "--port", "0"]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "serving on" not in captured.out  # never looked ready
