@@ -35,6 +35,12 @@ trajectory:
   throughput (facade overhead vs the ``serving`` section) and a
   mixed fp64/fp32 client population routed per-request across the
   per-precision session pool, with parity checks for both routes.
+* **pipeline** — the declarative build pipeline end to end: a tiny
+  synthetic-MNIST train -> compress -> 12-bit quantize -> package run,
+  recording artifact size (v1 float vs v2 quantized), the quantization
+  accuracy delta, and served rows/s for the quantized artifact through
+  the engine (with bitwise parity vs a local session and the
+  documented quantized-vs-float bound).
 
 Run:  PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_fdx.json]
       (``--quick`` shrinks repeats/sizes for CI smoke runs)
@@ -615,6 +621,152 @@ def bench_engine(repeats: int, quick: bool = False) -> dict:
     return results
 
 
+def bench_pipeline(repeats: int, quick: bool = False) -> dict:
+    """Build pipeline end to end: sizes, accuracy delta, served rows/s.
+
+    One declarative :class:`~repro.pipeline.PipelineConfig` trains a
+    dense FC net on the synthetic MNIST stand-in, compresses it to
+    block-circulant, quantizes to 12-bit fixed point, and packages the
+    format-v2 artifact; the float twin is saved as a format-v1
+    artifact for the size comparison.  The quantized artifact is then
+    served through the engine with concurrent async clients —
+    responses are checked bitwise against a local session and against
+    the float model within the documented ``10 x max_weight_error``
+    bound, off the timed path.
+    """
+    import tempfile
+
+    from repro.embedded import DeployedModel
+    from repro.engine import Engine
+    from repro.pipeline import Pipeline, PipelineConfig
+    from repro.serving import AsyncServeClient, InferenceServer
+
+    if quick:
+        train_size, test_size, epochs = 200, 50, 1
+        n_clients, requests_per_client, rows = 4, 3, 4
+    else:
+        train_size, test_size, epochs = 600, 150, 3
+        n_clients, requests_per_client, rows = 8, 6, 8
+    quantize_bits = 12
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "built.npz"
+        config = PipelineConfig(
+            architecture="121-64F-64F-10F",
+            train_size=train_size,
+            test_size=test_size,
+            epochs=epochs,
+            block_size=16,
+            fine_tune_epochs=1,
+            quantize_bits=quantize_bits,
+            out=artifact,
+        )
+        pipeline = Pipeline(config)
+        result = pipeline.run()
+
+        float_deployed = DeployedModel.from_model(pipeline.model)
+        float_path = Path(tmp) / "float_v1.npz"
+        float_deployed.save(float_path, version=1)
+        quantized = result.package.deployed
+        bound = 10.0 * result.quantize.max_weight_error
+
+        local = InferenceSession.from_deployed(quantized)
+
+        async def run_serving() -> dict:
+            engine = Engine(model=str(artifact))
+            server = InferenceServer(
+                engine, port=0, max_batch=4 * rows, max_wait_ms=2.0
+            )
+            try:
+                async with server:
+                    async def one_client(client_id: int):
+                        c_rng = np.random.default_rng(300 + client_id)
+                        client = await AsyncServeClient.connect(
+                            port=server.port
+                        )
+                        exchanges = []
+                        try:
+                            for _ in range(requests_per_client):
+                                x = c_rng.normal(size=(rows, 121))
+                                proba = await client.predict_proba(x)
+                                exchanges.append((x, proba))
+                        finally:
+                            await client.close()
+                        return exchanges
+
+                    start = time.perf_counter()
+                    outcomes = await asyncio.gather(
+                        *[one_client(i) for i in range(n_clients)]
+                    )
+                    wall = time.perf_counter() - start
+            finally:
+                engine.close()
+            worst_session = worst_float = 0.0
+            for exchanges in outcomes:
+                for x, proba in exchanges:
+                    worst_session = max(
+                        worst_session,
+                        float(np.abs(proba - local.predict_proba(x)).max()),
+                    )
+                    worst_float = max(
+                        worst_float,
+                        float(np.abs(
+                            proba - float_deployed.predict_proba(x)
+                        ).max()),
+                    )
+            total_rows = n_clients * requests_per_client * rows
+            return {
+                "rows_per_s": total_rows / wall,
+                "max_abs_err_vs_session": worst_session,
+                "max_abs_err_vs_float": worst_float,
+            }
+
+        best = None
+        for _ in range(max(1, repeats // 2)):
+            outcome = asyncio.run(run_serving())
+            if best is None or outcome["rows_per_s"] > best["rows_per_s"]:
+                best = outcome
+        local.close()
+
+        # File bytes include the .npz container; array bytes are the
+        # weight payload alone (the honest compression number at this
+        # tiny scale, where zip headers dominate the file size).
+        v1_bytes = float_path.stat().st_size
+        v2_bytes = artifact.stat().st_size
+        v1_array_bytes = float_deployed.storage_bytes()
+        v2_array_bytes = quantized.storage_bytes()
+        return {
+            "config": {
+                "architecture": "121-64F-64F-10F",
+                "train_size": train_size,
+                "epochs": epochs,
+                "block_size": 16,
+                "quantize_bits": quantize_bits,
+                "clients": n_clients,
+                "rows_per_request": rows,
+            },
+            "cpus": os.cpu_count(),
+            "artifact_v1_float_bytes": int(v1_bytes),
+            "artifact_v2_quantized_bytes": int(v2_bytes),
+            "size_ratio": v1_bytes / v2_bytes,
+            "array_v1_float_bytes": int(v1_array_bytes),
+            "array_v2_quantized_bytes": int(v2_array_bytes),
+            "array_size_ratio": v1_array_bytes / v2_array_bytes,
+            "float_accuracy": result.quantize.float_accuracy,
+            "quantized_accuracy": result.quantize.test_accuracy,
+            "accuracy_delta": result.quantize.accuracy_delta,
+            "max_weight_error": result.quantize.max_weight_error,
+            "parity_bound": bound,
+            "served": {
+                **best,
+                "parity_ok": bool(
+                    best["max_abs_err_vs_session"] == 0.0
+                    and best["max_abs_err_vs_float"] <= bound
+                ),
+            },
+        }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -652,6 +804,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "serving": bench_serving(repeats, quick=args.quick),
         "engine": bench_engine(repeats, quick=args.quick),
+        "pipeline": bench_pipeline(repeats, quick=args.quick),
     }
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
@@ -711,6 +864,16 @@ def main(argv: list[str] | None = None) -> int:
         worst32 = max(r["max_abs_err_fp32_route"] for r in rows.values())
         print(f"engine ({mode}): {summary}; fp64 err {worst64:.2g}, "
               f"fp32 err {worst32:.2g}")
+    pipe_line = report["pipeline"]
+    print(f"pipeline: v1 float {pipe_line['artifact_v1_float_bytes']} B -> "
+          f"v2 quantized {pipe_line['artifact_v2_quantized_bytes']} B "
+          f"({pipe_line['size_ratio']:.2f}x file, "
+          f"{pipe_line['array_size_ratio']:.2f}x arrays), "
+          f"accuracy {pipe_line['float_accuracy']:.3f} -> "
+          f"{pipe_line['quantized_accuracy']:.3f} "
+          f"(delta {pipe_line['accuracy_delta']:+.3f}), "
+          f"served {pipe_line['served']['rows_per_s']:.0f} rows/s, "
+          f"parity {'OK' if pipe_line['served']['parity_ok'] else 'FAIL'}")
     print(f"wrote {args.out}")
     return 0
 

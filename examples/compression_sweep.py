@@ -23,10 +23,12 @@ from repro.data import (
 )
 from repro.embedded import InferenceProfiler
 from repro.nn import Adam, CrossEntropyLoss, Trainer, accuracy, predict_in_batches
+from repro.nn.convert import conversion_report
 from repro.quantize import quantize_model
 from repro.zoo import build_arch1
 
 BLOCK_SIZES = (8, 16, 32, 64, 128)
+QUANTIZE_BITS = 12
 
 
 def main():
@@ -40,7 +42,29 @@ def main():
     train_set = ArrayDataset(preprocess(train.inputs), train.labels)
     test_set = ArrayDataset(preprocess(test.inputs), test.labels)
 
-    print(f"{'block':>6s} {'accuracy %':>11s} {'compression':>12s} "
+    # Pre-training frontier: per-layer projection error of converting a
+    # *dense* Arch.-1-shaped network at each block size, with the
+    # quantization-error column showing what 12-bit fixed point would
+    # add on top — both compression axes, measured before any training.
+    from repro.nn import Linear, ReLU, Sequential
+
+    dense_ref = Sequential(
+        Linear(256, 128, rng=np.random.default_rng(0)), ReLU(),
+        Linear(128, 128, rng=np.random.default_rng(0)), ReLU(),
+        Linear(128, 10, rng=np.random.default_rng(0)),
+    )
+    print(f"projection / quantization frontier (dense reference, "
+          f"{QUANTIZE_BITS}-bit):")
+    print(f"{'block':>6s} {'layer':>6s} {'proj err':>9s} {'quant err':>10s} "
+          f"{'compression':>12s}")
+    for block in BLOCK_SIZES:
+        for row in conversion_report(
+            dense_ref, block, skip=(4,), quantize_bits=QUANTIZE_BITS
+        ):
+            print(f"{block:6d} {row.index:6d} {row.relative_error:9.3f} "
+                  f"{row.quantization_error:10.2e} {row.compression:11.1f}x")
+
+    print(f"\n{'block':>6s} {'accuracy %':>11s} {'compression':>12s} "
           f"{'params':>8s} {'C++ us (honor6x)':>17s}")
     best = None
     for block in BLOCK_SIZES:
@@ -62,13 +86,13 @@ def main():
             best = (model, score, block)
 
     model, score, block = best
-    quantize_model(model, total_bits=12)
+    quantize_model(model, total_bits=QUANTIZE_BITS)
     model.eval()
     quantized_score = accuracy(
         predict_in_batches(model, test_set.inputs), test_set.labels
     )
     print(f"\nbest variant (block {block}): {100 * score:.2f}% float  ->  "
-          f"{100 * quantized_score:.2f}% at 12-bit fixed point")
+          f"{100 * quantized_score:.2f}% at {QUANTIZE_BITS}-bit fixed point")
 
 
 if __name__ == "__main__":

@@ -29,8 +29,16 @@ Subpackages:
   :class:`~repro.engine.EngineConfig`): multi-model registry, a
   lazily-frozen per-precision session pool, typed
   request/result API, and the single entry point to serving,
-* :mod:`repro.zoo` — the paper's Arch. 1 / Arch. 2 / Arch. 3 builders.
+* :mod:`repro.pipeline` — the declarative build pipeline
+  (:class:`~repro.pipeline.Pipeline` over a validated
+  :class:`~repro.pipeline.PipelineConfig`): train → compress →
+  quantize → package with typed, resumable stages producing the
+  format-v2 artifact the engine consumes,
+* :mod:`repro.zoo` — the paper's Arch. 1 / Arch. 2 / Arch. 3 builders,
+  name-keyed via :func:`repro.zoo.get` / :func:`repro.zoo.names`.
 """
+
+__version__ = "1.1.0"
 
 from . import (
     analysis,
@@ -40,23 +48,24 @@ from . import (
     fft,
     io,
     nn,
+    pipeline,
     quantize,
     runtime,
     structured,
     zoo,
 )
 from .engine import Engine, EngineConfig, InferenceRequest, InferenceResult
+from .pipeline import Pipeline, PipelineConfig
 from .precision import FP32, FP64, PrecisionPolicy
 from .exceptions import (
     BackendError,
     ConfigurationError,
     DeploymentError,
     ParseError,
+    PipelineError,
     ReproError,
     ShapeError,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "fft",
@@ -69,11 +78,14 @@ __all__ = [
     "quantize",
     "runtime",
     "engine",
+    "pipeline",
     "zoo",
     "Engine",
     "EngineConfig",
     "InferenceRequest",
     "InferenceResult",
+    "Pipeline",
+    "PipelineConfig",
     "PrecisionPolicy",
     "FP32",
     "FP64",
@@ -83,5 +95,6 @@ __all__ = [
     "ParseError",
     "DeploymentError",
     "ConfigurationError",
+    "PipelineError",
     "__version__",
 ]

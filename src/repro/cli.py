@@ -2,6 +2,11 @@
 
 Mirrors the paper's Fig. 4 pipeline from a shell:
 
+* ``build``   — the whole pipeline declaratively: train → compress →
+  quantize → package a format-v2 artifact from one
+  :class:`~repro.pipeline.PipelineConfig` (JSON file and/or flags),
+* ``inspect`` — print a deployment artifact's layer table and format-v2
+  metadata (compression, quantization, provenance),
 * ``train``   — build a model from an architecture string, train it on a
   dataset bundle (``.npz`` with ``inputs``/``labels``), save a checkpoint,
 * ``deploy``  — convert a checkpoint into the FFT-domain deployment
@@ -57,6 +62,76 @@ def build_parser() -> argparse.ArgumentParser:
         description="FFT-based block-circulant DNN training and deployment",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser(
+        "build",
+        help="run the declarative build pipeline "
+        "(train -> compress -> quantize -> package, format-v2 artifact)",
+    )
+    build.add_argument(
+        "--config",
+        default=None,
+        help="JSON PipelineConfig file; flags below override its keys",
+    )
+    build.add_argument(
+        "--arch",
+        default=None,
+        help="zoo name (see `repro build --list-archs`) or an "
+        "architecture string",
+    )
+    build.add_argument(
+        "--list-archs", action="store_true",
+        help="print registered zoo architectures and exit",
+    )
+    build.add_argument(
+        "--dataset",
+        default=None,
+        help="synthetic_mnist | synthetic_cifar | path to an .npz bundle "
+        "(default: the architecture's paper dataset)",
+    )
+    build.add_argument("--train-size", type=_positive_int, default=None)
+    build.add_argument("--test-size", type=_positive_int, default=None)
+    build.add_argument("--epochs", type=int, default=None)
+    build.add_argument("--batch-size", type=_positive_int, default=None)
+    build.add_argument("--lr", type=float, default=None)
+    build.add_argument("--seed", type=int, default=None)
+    build.add_argument(
+        "--block-size",
+        type=_positive_int,
+        default=None,
+        help="compress stage: project dense layers to this block size "
+        "(omit to skip compression)",
+    )
+    build.add_argument(
+        "--fine-tune-epochs", type=int, default=None,
+        help="post-projection fine-tuning epochs",
+    )
+    build.add_argument(
+        "--quantize-bits",
+        type=int,
+        default=None,
+        help="quantize stage: fixed-point weight width, e.g. 12 "
+        "(omit to skip quantization)",
+    )
+    build.add_argument(
+        "--out", default=None, help="artifact output path (.npz, format v2)"
+    )
+    build.add_argument(
+        "--precisions",
+        default=None,
+        metavar="P1[,P2]",
+        help="target serving precisions recorded in provenance, "
+        "e.g. fp64,fp32",
+    )
+
+    inspect = sub.add_parser(
+        "inspect", help="print an artifact's layers and format-v2 metadata"
+    )
+    inspect.add_argument("artifact", help="deployment artifact (.npz)")
+    inspect.add_argument(
+        "--json", action="store_true",
+        help="emit the raw describe() payload as JSON",
+    )
 
     train = sub.add_parser("train", help="train a model from an architecture string")
     train.add_argument("architecture", help="e.g. 256-128CFb64-128CFb64-10F")
@@ -202,6 +277,150 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _input_shape(architecture: str) -> tuple[int, ...]:
     return parse_architecture(architecture).input_shape
+
+
+def _cmd_build(args) -> int:
+    from . import zoo
+    from .pipeline import Pipeline, PipelineConfig
+
+    if args.list_archs:
+        for name in zoo.names():
+            entry = zoo.entry(name)
+            print(f"{name:16s} {entry.dataset:16s} {entry.description}")
+        return 0
+
+    overrides = dict(
+        architecture=args.arch,
+        dataset=args.dataset,
+        train_size=args.train_size,
+        test_size=args.test_size,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        seed=args.seed,
+        block_size=args.block_size,
+        fine_tune_epochs=args.fine_tune_epochs,
+        quantize_bits=args.quantize_bits,
+        out=args.out,
+    )
+    if args.precisions is not None:
+        overrides["precisions"] = tuple(
+            p.strip() for p in args.precisions.split(",") if p.strip()
+        )
+    try:
+        if args.config is not None:
+            config = PipelineConfig.from_file(args.config, **overrides)
+        else:
+            config = PipelineConfig(
+                **{k: v for k, v in overrides.items() if v is not None}
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    pipeline = Pipeline(config)
+    try:
+        if config.out is not None:
+            # Probe the output location before spending the training
+            # budget: an unwritable --out must fail now, not after the
+            # last epoch.
+            import os as _os
+
+            config.out.parent.mkdir(parents=True, exist_ok=True)
+            if not _os.access(config.out.parent, _os.W_OK):
+                raise OSError(f"output directory {config.out.parent} "
+                              "is not writable")
+        result = pipeline.run()
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    train = result.train
+    if train.skipped:
+        print(f"train: skipped (epochs=0), test accuracy "
+              f"{train.test_accuracy:.4f}")
+    else:
+        print(f"train: {train.epochs} epochs, train accuracy "
+              f"{train.train_accuracy:.4f}, test accuracy "
+              f"{train.test_accuracy:.4f} ({train.seconds:.1f}s)")
+    compress = result.compress
+    if compress.skipped:
+        print("compress: skipped (no block_size)")
+    else:
+        worst = max(
+            (r.relative_error for r in compress.report), default=0.0
+        )
+        print(f"compress: block {compress.block_size}, "
+              f"{len(compress.report)} layer(s) projected "
+              f"(worst error {worst:.3f}), test accuracy "
+              f"{compress.test_accuracy:.4f}")
+    quantize = result.quantize
+    if quantize.skipped:
+        print("quantize: skipped (no quantize_bits)")
+    else:
+        print(f"quantize: {quantize.total_bits}-bit fixed point, "
+              f"accuracy delta {quantize.accuracy_delta:+.4f}, "
+              f"max weight error {quantize.max_weight_error:.2e}")
+    package = result.package
+    where = package.path if package.path is not None else "<memory>"
+    print(f"package: {where} "
+          f"({package.storage_bytes / 1024:.1f} KB, format v{package.version}, "
+          f"hash {config.config_hash()})")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    import json as _json
+
+    from .embedded import DeployedModel
+
+    try:
+        deployed = DeployedModel.load(args.artifact)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    info = deployed.describe()
+    if args.json:
+        print(_json.dumps(info, indent=2))
+        return 0
+    print(f"artifact: {args.artifact}")
+    print(f"format: v{info['version']}"
+          f"{' (quantized)' if info['quantized'] else ''}, "
+          f"{info['storage_bytes'] / 1024:.1f} KB")
+    print(f"{'idx':>3s} {'kind':12s} {'shape':24s} {'block':>5s} "
+          f"{'qformat':>8s} {'q_err':>9s} {'bytes':>9s}")
+    for layer in info["layers"]:
+        arrays = layer.get("arrays", {})
+        main = arrays.get("weight_q") or arrays.get("spectra") \
+            or arrays.get("weight") or {}
+        shape = "x".join(str(d) for d in main.get("shape", [])) or "-"
+        total = sum(a["bytes"] for a in arrays.values())
+        q_err = layer.get("quantization_error")
+        print(f"{layer['index']:3d} {layer['kind']:12s} {shape:24s} "
+              f"{str(layer.get('block_size', '-')):>5s} "
+              f"{layer.get('qformat', '-'):>8s} "
+              f"{'-' if q_err is None else format(q_err, '.2e'):>9s} "
+              f"{total:9d}")
+    meta = info.get("metadata") or {}
+    quantization = meta.get("quantization")
+    if quantization:
+        print(f"quantization: {quantization['total_bits']}-bit, "
+              f"accuracy delta {quantization.get('accuracy_delta')}, "
+              f"max weight error {quantization['max_weight_error']:.2e}")
+    compression = meta.get("compression") or {}
+    if compression.get("block_size") is not None:
+        print(f"compression: block {compression['block_size']}, "
+              f"{len(compression.get('projection', []))} projected layer(s)")
+    provenance = meta.get("provenance")
+    if provenance:
+        print(f"provenance: config hash {provenance.get('config_hash')}, "
+              f"trained {provenance.get('training', {}).get('epochs', 0)} "
+              f"epoch(s), repro {provenance.get('repro_version')}")
+        if provenance.get("test_accuracy") is not None:
+            print(f"test accuracy: {provenance['test_accuracy']:.4f}")
+    if meta.get("precisions"):
+        print(f"target precisions: {','.join(meta['precisions'])}")
+    return 0
 
 
 def _cmd_train(args) -> int:
@@ -411,6 +630,8 @@ def _cmd_info(args) -> int:
 
 
 _COMMANDS = {
+    "build": _cmd_build,
+    "inspect": _cmd_inspect,
     "train": _cmd_train,
     "deploy": _cmd_deploy,
     "predict": _cmd_predict,

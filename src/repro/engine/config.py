@@ -9,8 +9,10 @@ config time instead of on the first request.
 
 Model sources are deliberately permissive: a registry value may be
 
-* a path (``str`` / :class:`~pathlib.Path`) to a ``repro deploy``
-  artifact — loaded lazily, once, and shared across all precisions,
+* a path (``str`` / :class:`~pathlib.Path`) to a deployment artifact —
+  ``repro deploy`` (format v1) or ``repro build`` (format v2, possibly
+  quantized with fixed-point weight storage; see ``docs/pipeline.md``)
+  — loaded lazily, once, and shared across all precisions,
 * a :class:`~repro.embedded.deploy.DeployedModel` instance,
 * a live (trained) :class:`~repro.nn.module.Sequential` — frozen
   directly, sharing the layers' dtype-keyed spectrum caches across the

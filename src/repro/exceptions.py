@@ -31,3 +31,7 @@ class ConfigurationError(ReproError, ValueError):
 
 class ServingError(ReproError, RuntimeError):
     """A serving request failed or the wire protocol was violated."""
+
+
+class PipelineError(ReproError, RuntimeError):
+    """A build-pipeline stage failed or was run out of order."""

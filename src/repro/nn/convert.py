@@ -30,6 +30,7 @@ __all__ = [
     "convert_to_block_circulant",
     "ConversionRow",
     "conversion_report",
+    "conversion_rows_from",
 ]
 
 
@@ -73,6 +74,7 @@ def convert_to_block_circulant(
     model: Sequential,
     block_size: int,
     skip: tuple[int, ...] = (),
+    overrides: dict[int, int] | None = None,
 ) -> Sequential:
     """Project every dense weight layer of ``model`` to block-circulant.
 
@@ -87,18 +89,26 @@ def convert_to_block_circulant(
         Indices of layers to leave dense — e.g. the paper keeps the first
         two CONV layers of Arch. 3 "traditional", and the final softmax
         classifier is typically left dense.
+    overrides:
+        Per-layer-index block sizes taking precedence over
+        ``block_size`` — the per-layer-group compression policy (e.g.
+        compress the large FC layers harder than the CONV stack).
 
     Returns a new model; the input is not modified.
     """
     if block_size <= 0:
         raise ValueError(f"block_size must be positive, got {block_size}")
+    overrides = overrides or {}
+    if any(b <= 0 for b in overrides.values()):
+        raise ValueError(f"override block sizes must be positive: {overrides}")
     converted_layers = []
     for index, layer in enumerate(model):
         if index in skip or not isinstance(layer, (Linear, Conv2d)):
             converted_layers.append(layer)
             continue
+        requested = overrides.get(index, block_size)
         if isinstance(layer, Linear):
-            feasible = min(block_size, max(layer.in_features, layer.out_features))
+            feasible = min(requested, max(layer.in_features, layer.out_features))
             converted_layers.append(
                 BlockCirculantLinear.from_dense(
                     layer.weight.data,
@@ -107,59 +117,141 @@ def convert_to_block_circulant(
                 )
             )
         else:
-            feasible = min(block_size, max(layer.in_channels, layer.out_channels))
+            feasible = min(requested, max(layer.in_channels, layer.out_channels))
             converted_layers.append(_project_conv(layer, feasible))
     return Sequential(*converted_layers)
 
 
 @dataclass(frozen=True)
 class ConversionRow:
-    """Projection diagnostics for one converted layer."""
+    """Projection diagnostics for one converted layer.
+
+    ``quantization_error`` is the relative L2 error that fixed-point
+    quantization of the *projected* weights would add on top of the
+    projection (``None`` unless ``conversion_report`` was asked for a
+    bit width) — the two compression axes of the paper's related work,
+    reported side by side.
+    """
 
     index: int
     layer: str
     relative_error: float
     compression: float
+    quantization_error: float | None = None
 
 
 def conversion_report(
-    model: Sequential, block_size: int, skip: tuple[int, ...] = ()
+    model: Sequential,
+    block_size: int,
+    skip: tuple[int, ...] = (),
+    quantize_bits: int | None = None,
+    overrides: dict[int, int] | None = None,
 ) -> list[ConversionRow]:
     """Per-layer relative Frobenius projection error and compression.
 
     Runs the same projections as :func:`convert_to_block_circulant` but
     only measures them — cheap enough to sweep block sizes before
-    converting.
+    converting.  With ``quantize_bits`` set, each row also reports the
+    relative error of quantizing that layer's projected weights to the
+    given fixed-point width (per-layer Q-format chosen as
+    :func:`~repro.quantize.quantize_model` would); ``overrides`` maps
+    layer indices to block sizes exactly as in
+    :func:`convert_to_block_circulant`.
     """
+    from ..quantize.fixed_point import choose_qformat, quantization_error
+
+    overrides = overrides or {}
     rows = []
     for index, layer in enumerate(model):
         if index in skip or not isinstance(layer, (Linear, Conv2d)):
             continue
+        requested = overrides.get(index, block_size)
         if isinstance(layer, Linear):
-            feasible = min(block_size, max(layer.in_features, layer.out_features))
+            feasible = min(requested, max(layer.in_features, layer.out_features))
             dense = layer.weight.data
-            projected = BlockCirculantMatrix.from_dense(dense, feasible).to_dense()
-            compression = dense.size / BlockCirculantMatrix.from_dense(
-                dense, feasible
-            ).parameter_count
+            matrix = BlockCirculantMatrix.from_dense(dense, feasible)
+            projected = matrix.to_dense()
+            stored = matrix.block_weights
+            compression = dense.size / matrix.parameter_count
         else:
-            feasible = min(block_size, max(layer.in_channels, layer.out_channels))
+            feasible = min(requested, max(layer.in_channels, layer.out_channels))
             converted = _project_conv(layer, feasible)
             dense = layer.weight.data
             projected = converted.dense_weight()
+            stored = converted.weight.data
             compression = dense.size / converted.weight.size
         norm = np.linalg.norm(dense)
         error = 0.0 if norm == 0 else float(
             np.linalg.norm(dense - projected) / norm
         )
+        q_error = None
+        if quantize_bits is not None:
+            # Measured on the stored defining vectors — what
+            # quantize_model actually rounds — not the dense
+            # reconstruction.
+            q_error = quantization_error(
+                stored, choose_qformat(stored, quantize_bits)
+            )
         rows.append(
             ConversionRow(
                 index=index,
                 layer=repr(layer),
                 relative_error=error,
                 compression=float(compression),
+                quantization_error=q_error,
             )
         )
     if not rows:
         raise ValueError("model contains no convertible dense layers")
+    return rows
+
+
+def conversion_rows_from(
+    original: Sequential,
+    converted: Sequential,
+    skip: tuple[int, ...] = (),
+    quantize_bits: int | None = None,
+) -> list[ConversionRow]:
+    """Diagnostics for a conversion that already happened — no
+    re-projection.
+
+    Given the ``original`` model and the output of
+    :func:`convert_to_block_circulant` on it, produces the same rows as
+    :func:`conversion_report` by comparing each dense layer against the
+    converted layer's reconstruction (``dense_weight()``), at the cost
+    of a reconstruction instead of a second projection.  The build
+    pipeline's compress stage uses this so large models project once,
+    not twice.
+    """
+    from ..quantize.fixed_point import choose_qformat, quantization_error
+
+    rows = []
+    for index, (before, after) in enumerate(zip(original, converted)):
+        if index in skip or not isinstance(before, (Linear, Conv2d)):
+            continue
+        if not isinstance(
+            after, (BlockCirculantLinear, BlockCirculantConv2d)
+        ):
+            continue
+        dense = before.weight.data
+        projected = after.dense_weight()
+        stored = after.weight.data
+        norm = np.linalg.norm(dense)
+        error = 0.0 if norm == 0 else float(
+            np.linalg.norm(dense - projected) / norm
+        )
+        q_error = None
+        if quantize_bits is not None:
+            q_error = quantization_error(
+                stored, choose_qformat(stored, quantize_bits)
+            )
+        rows.append(
+            ConversionRow(
+                index=index,
+                layer=repr(before),
+                relative_error=error,
+                compression=float(dense.size / stored.size),
+                quantization_error=q_error,
+            )
+        )
     return rows

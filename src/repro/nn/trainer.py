@@ -53,6 +53,27 @@ class TrainingHistory:
             raise ValueError("no validation accuracy recorded")
         return max(scores)
 
+    def summary(self) -> dict:
+        """JSON-able digest for artifact provenance (format v2).
+
+        Small by construction — epoch count plus first/final/best
+        numbers, not the per-epoch curves — so it can ride in an
+        artifact header without bloating it.
+        """
+        if not self.epochs:
+            return {"epochs": 0}
+        final = self.final
+        digest = {
+            "epochs": len(self.epochs),
+            "first_train_loss": self.epochs[0].train_loss,
+            "final_train_loss": final.train_loss,
+            "final_train_accuracy": final.train_accuracy,
+        }
+        if final.val_accuracy is not None:
+            digest["final_val_accuracy"] = final.val_accuracy
+            digest["best_val_accuracy"] = self.best_val_accuracy()
+        return digest
+
 
 class Trainer:
     """Train a model with a loss and an optimizer.
@@ -158,11 +179,17 @@ class Trainer:
 def predict_in_batches(
     model: Module, inputs: np.ndarray, batch_size: int = 256
 ) -> np.ndarray:
-    """Run ``model`` over ``inputs`` in eval mode, concatenating outputs."""
+    """Run ``model`` over ``inputs`` in eval mode, concatenating outputs.
+
+    The model's previous train/eval mode is restored afterwards, so
+    calling this mid-training (or mid-evaluation) never silently flips
+    the mode under the caller.
+    """
+    was_training = getattr(model, "training", True)
     model.eval()
     outputs = []
     for start in range(0, len(inputs), batch_size):
         chunk = inputs[start : start + batch_size]
         outputs.append(model(Tensor(chunk)).data)
-    model.train()
+    model.train(was_training)
     return np.concatenate(outputs, axis=0)

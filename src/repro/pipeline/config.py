@@ -1,0 +1,426 @@
+"""Declarative, validated configuration for the build pipeline.
+
+A :class:`PipelineConfig` says *what to build* — architecture, dataset,
+training budget, compression and quantization policy, output artifact —
+while :class:`~repro.pipeline.core.Pipeline` decides *how* (stage
+ordering, resumption, metadata composition).  It is the production-side
+twin of :class:`~repro.engine.config.EngineConfig`: every field is
+validated at construction, so a typo'd architecture name or an
+impossible bit width fails at config time, not three training epochs
+in.
+
+Architecture sources are declarative first:
+
+* a **zoo name** (``"arch1"``, ``"arch3_reduced"``, ... — see
+  :func:`repro.zoo.names`), optionally parameterized via
+  ``arch_options`` (``block_size``, ``width``, ...),
+* an **architecture string** in the Fig. 4 grammar
+  (``"121-64CFb32-64CFb32-10F"``),
+* a live (possibly pre-trained) :class:`~repro.nn.module.Sequential` —
+  set ``epochs=0`` to package it as-is.
+
+The dataset defaults from the architecture (zoo entries know their
+paper dataset; FC string architectures imply the MNIST stand-in, CONV
+ones the CIFAR stand-in) and may be a ``.npz`` bundle path instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..exceptions import ConfigurationError, ParseError
+from ..nn.module import Sequential
+from ..precision import PrecisionPolicy
+
+__all__ = ["PipelineConfig"]
+
+_SYNTHETIC_DATASETS = ("synthetic_mnist", "synthetic_cifar")
+
+
+def shape_compatible(
+    expected: tuple, actual: tuple[int, ...]
+) -> bool:
+    """Whether a concrete per-sample shape satisfies an expected one.
+
+    ``None`` entries in ``expected`` are wildcards — a live CONV
+    ``Sequential`` pins its channel count but not its spatial size.
+    """
+    return len(expected) == len(actual) and all(
+        e is None or e == a for e, a in zip(expected, actual)
+    )
+
+
+def _infer_input_shape(architecture, arch_options: Mapping) -> tuple:
+    """Per-sample input shape for any architecture source.
+
+    May contain ``None`` wildcards (see :func:`shape_compatible`) when
+    the source is a live CONV ``Sequential``, whose spatial size is
+    dataset-defined.
+    """
+    from .. import zoo
+
+    if isinstance(architecture, str):
+        if architecture in zoo.names():
+            return zoo.entry(architecture).input_shape
+        from ..io import parse_architecture
+
+        return tuple(parse_architecture(architecture).input_shape)
+    # Live Sequential: the first weight layer pins the interface.
+    for layer in architecture:
+        in_features = getattr(layer, "in_features", None)
+        if in_features is not None:
+            return (int(in_features),)
+        in_channels = getattr(layer, "in_channels", None)
+        if in_channels is not None:
+            return (int(in_channels), None, None)
+    raise ConfigurationError(
+        "cannot infer the input shape of the given Sequential "
+        "(no Linear/Conv-like layer found); pass a zoo name or an "
+        "architecture string instead"
+    )
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """One declarative description of a train→compress→quantize→package
+    build.
+
+    Parameters
+    ----------
+    architecture:
+        Zoo name, architecture string, or live ``Sequential``.
+    arch_options:
+        Keyword arguments for the zoo builder (``block_size``,
+        ``width``, ...); only valid with a zoo name.
+    dataset:
+        ``"synthetic_mnist"`` / ``"synthetic_cifar"`` or a path to an
+        ``.npz`` bundle with ``inputs`` + ``labels``.  Defaults from
+        the architecture (zoo entry dataset; FC strings -> MNIST,
+        CONV strings -> CIFAR).
+    train_size, test_size, noise:
+        Synthetic dataset shape (ignored for bundle paths; ``noise``
+        ``None`` keeps each generator's default).
+    test_fraction:
+        Held-out fraction when ``dataset`` is a bundle path.
+    epochs, batch_size, lr, seed:
+        Training budget.  ``epochs=0`` skips training (packaging a
+        pre-trained ``Sequential``).
+    block_size:
+        Block-circulant compression policy: project every dense weight
+        layer to this block size after training.  ``None`` skips the
+        compress stage (zoo architectures are already block-circulant).
+    layer_block_sizes:
+        Per-layer-index overrides of ``block_size`` (the "policy per
+        layer group" knob: e.g. ``{10: 64}`` compresses layer 10 harder).
+    skip_layers:
+        Layer indices left dense by the compress stage.
+    fine_tune_epochs:
+        Post-projection fine-tuning epochs (compress stage).
+    quantize_bits:
+        Fixed-point width for weights/biases (>= 2); ``None`` skips the
+        quantize stage.
+    out:
+        Artifact output path; ``None`` builds the artifact in memory
+        only.
+    precisions:
+        Target serving precisions, recorded in artifact provenance and
+        used by the quickstart/CI parity checks (the artifact itself is
+        precision-agnostic — sessions freeze it at any pooled
+        precision).
+    """
+
+    architecture: object = None
+    arch_options: Mapping = field(default_factory=dict)
+    dataset: str | Path | None = None
+    train_size: int = 1000
+    test_size: int = 200
+    noise: float | None = None
+    test_fraction: float = 0.2
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 3e-3
+    seed: int = 0
+    block_size: int | None = None
+    layer_block_sizes: Mapping = field(default_factory=dict)
+    skip_layers: tuple = ()
+    fine_tune_epochs: int = 0
+    quantize_bits: int | None = None
+    out: str | Path | None = None
+    precisions: tuple = ("fp64",)
+
+    def __post_init__(self):
+        # --- architecture ---------------------------------------------
+        arch = self.architecture
+        if arch is None:
+            raise ConfigurationError(
+                "architecture is required: a zoo name, an architecture "
+                "string, or a Sequential"
+            )
+        if not isinstance(arch, (str, Sequential)):
+            raise ConfigurationError(
+                "architecture must be a zoo name, an architecture "
+                f"string, or a Sequential, got {type(arch).__name__}"
+            )
+        options = dict(self.arch_options)
+        if options:
+            if not self._is_zoo_name():
+                raise ConfigurationError(
+                    "arch_options only apply to zoo-name architectures"
+                )
+            self._validate_arch_options(arch, options)
+        object.__setattr__(self, "arch_options", options)
+        try:
+            input_shape = _infer_input_shape(arch, options)
+        except ParseError as exc:
+            raise ConfigurationError(
+                f"architecture {arch!r} is neither a registered zoo "
+                f"name nor a valid architecture string: {exc}"
+            ) from None
+
+        # --- dataset ---------------------------------------------------
+        dataset = self.dataset
+        if dataset is None:
+            from .. import zoo
+
+            if isinstance(arch, str) and arch in zoo.names():
+                dataset = zoo.entry(arch).dataset
+            else:
+                dataset = (
+                    "synthetic_mnist" if len(input_shape) == 1
+                    else "synthetic_cifar"
+                )
+        if isinstance(dataset, Path):
+            dataset = str(dataset)
+        # .npy is deliberately absent: it is a bare input array with no
+        # label slot, so a pipeline built on it is guaranteed to fail
+        # at the supervised train stage — reject it at config time.
+        if dataset not in _SYNTHETIC_DATASETS and not str(
+            dataset
+        ).endswith((".npz", ".csv")):
+            raise ConfigurationError(
+                f"dataset must be one of {_SYNTHETIC_DATASETS} or a "
+                f"labeled .npz/.csv bundle path, got {dataset!r}"
+            )
+        object.__setattr__(self, "dataset", dataset)
+        if dataset == "synthetic_mnist":
+            if len(input_shape) != 1:
+                raise ConfigurationError(
+                    "synthetic_mnist feeds flat FC inputs; architecture "
+                    f"expects shape {input_shape}"
+                )
+            side = math.isqrt(input_shape[0])
+            if side * side != input_shape[0]:
+                raise ConfigurationError(
+                    f"cannot resize MNIST to {input_shape[0]} features "
+                    "(not a perfect square)"
+                )
+        if dataset == "synthetic_cifar" and not shape_compatible(
+            input_shape, (3, 32, 32)
+        ):
+            raise ConfigurationError(
+                "synthetic_cifar feeds (3, 32, 32) images; architecture "
+                f"expects shape {input_shape}"
+            )
+
+        # --- budgets and policies -------------------------------------
+        for name, minimum in (
+            ("train_size", 1), ("test_size", 1), ("batch_size", 1),
+        ):
+            if getattr(self, name) < minimum:
+                raise ConfigurationError(
+                    f"{name} must be >= {minimum}, got {getattr(self, name)}"
+                )
+        if self.epochs < 0 or self.fine_tune_epochs < 0:
+            raise ConfigurationError("epoch counts must be >= 0")
+        if not 0.0 < self.test_fraction < 1.0:
+            raise ConfigurationError(
+                f"test_fraction must be in (0, 1), got {self.test_fraction}"
+            )
+        if self.noise is not None and self.noise < 0:
+            raise ConfigurationError(f"noise must be >= 0, got {self.noise}")
+        if self.lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {self.lr}")
+        if self.block_size is not None and self.block_size < 1:
+            raise ConfigurationError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
+        overrides = {int(k): int(v) for k, v in dict(
+            self.layer_block_sizes
+        ).items()}
+        if overrides and self.block_size is None:
+            raise ConfigurationError(
+                "layer_block_sizes requires block_size (the compress "
+                "stage is disabled without one)"
+            )
+        if any(v < 1 for v in overrides.values()):
+            raise ConfigurationError("layer_block_sizes values must be >= 1")
+        object.__setattr__(self, "layer_block_sizes", overrides)
+        skip = tuple(int(i) for i in self.skip_layers)
+        object.__setattr__(self, "skip_layers", skip)
+        if self.quantize_bits is not None and self.quantize_bits < 2:
+            raise ConfigurationError(
+                f"quantize_bits must be >= 2, got {self.quantize_bits}"
+            )
+        if not self.precisions:
+            raise ConfigurationError(
+                "precisions must name at least one policy"
+            )
+        resolved = []
+        for spec in self.precisions:
+            try:
+                resolved.append(PrecisionPolicy.resolve(spec).name)
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from None
+        if len(set(resolved)) != len(resolved):
+            raise ConfigurationError(
+                f"duplicate entries in precisions {tuple(resolved)}"
+            )
+        object.__setattr__(self, "precisions", tuple(resolved))
+        if self.out is not None:
+            object.__setattr__(self, "out", Path(self.out))
+        object.__setattr__(self, "_input_shape", input_shape)
+
+    @staticmethod
+    def _validate_arch_options(arch: str, options: dict) -> None:
+        """Fail at config time on options the zoo builder cannot take.
+
+        ``rng`` is reserved (the pipeline seeds it from ``seed``);
+        unknown keyword names would otherwise raise ``TypeError`` deep
+        inside the train stage, and non-JSON-able values would break
+        ``describe()``/``config_hash()`` at package time.
+        """
+        import inspect
+
+        from .. import zoo
+
+        if "rng" in options:
+            raise ConfigurationError(
+                "arch_options may not set 'rng'; the pipeline seeds the "
+                "builder from the config's `seed`"
+            )
+        parameters = inspect.signature(
+            zoo.entry(arch).builder
+        ).parameters
+        takes_kwargs = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in parameters.values()
+        )
+        if not takes_kwargs:
+            unknown = sorted(set(options) - set(parameters))
+            if unknown:
+                accepted = sorted(set(parameters) - {"rng"})
+                raise ConfigurationError(
+                    f"arch_options {unknown} are not accepted by "
+                    f"{arch!r} (builder takes {accepted})"
+                )
+        try:
+            json.dumps(options)
+        except TypeError:
+            raise ConfigurationError(
+                "arch_options values must be JSON-serializable "
+                "(they land in artifact provenance)"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def _is_zoo_name(self) -> bool:
+        from .. import zoo
+
+        return (
+            isinstance(self.architecture, str)
+            and self.architecture in zoo.names()
+        )
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        """Per-sample input shape the architecture consumes."""
+        return self._input_shape
+
+    def architecture_label(self) -> str:
+        """Stable string form of the architecture for metadata/hashing."""
+        if isinstance(self.architecture, str):
+            return self.architecture
+        model = self.architecture
+        return (
+            f"<Sequential {len(model)} layers, "
+            f"{model.parameter_count()} params>"
+        )
+
+    def describe(self) -> dict:
+        """JSON-able summary (what lands in artifact provenance)."""
+        return {
+            "architecture": self.architecture_label(),
+            "arch_options": dict(self.arch_options),
+            "dataset": str(self.dataset),
+            "train_size": self.train_size,
+            "test_size": self.test_size,
+            "noise": self.noise,
+            "test_fraction": self.test_fraction,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "lr": self.lr,
+            "seed": self.seed,
+            "block_size": self.block_size,
+            "layer_block_sizes": {
+                str(k): v for k, v in self.layer_block_sizes.items()
+            },
+            "skip_layers": list(self.skip_layers),
+            "fine_tune_epochs": self.fine_tune_epochs,
+            "quantize_bits": self.quantize_bits,
+            "out": None if self.out is None else str(self.out),
+            "precisions": list(self.precisions),
+        }
+
+    def config_hash(self) -> str:
+        """Short stable hash of the declarative content (provenance)."""
+        canonical = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # File round trip (the CLI's --config)
+    # ------------------------------------------------------------------
+    _FILE_FIELDS = (
+        "architecture", "arch_options", "dataset", "train_size",
+        "test_size", "noise", "test_fraction", "epochs", "batch_size",
+        "lr", "seed", "block_size", "layer_block_sizes", "skip_layers",
+        "fine_tune_epochs", "quantize_bits", "out", "precisions",
+    )
+
+    @classmethod
+    def from_file(cls, path: str | Path, **overrides) -> "PipelineConfig":
+        """Load a JSON config file; keyword arguments override its keys.
+
+        The file is a flat JSON object of constructor fields — the
+        declarative input of ``repro build --config``.  Unknown keys
+        are rejected (a typo'd knob must not silently no-op).
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read pipeline config {path}: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"pipeline config {path} must be a JSON object"
+            )
+        unknown = sorted(set(payload) - set(cls._FILE_FIELDS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown pipeline config keys {unknown}; "
+                f"expected a subset of {list(cls._FILE_FIELDS)}"
+            )
+        payload.update(
+            {k: v for k, v in overrides.items() if v is not None}
+        )
+        for key in ("skip_layers", "precisions"):
+            if key in payload and isinstance(payload[key], list):
+                payload[key] = tuple(payload[key])
+        return cls(**payload)

@@ -1,0 +1,176 @@
+"""Typed per-stage results of the build pipeline.
+
+Each stage of :class:`~repro.pipeline.core.Pipeline` returns one of
+these frozen dataclasses; the full run returns a
+:class:`PipelineResult` aggregating all four.  Every result carries a
+``summary()`` returning JSON-able data — the pipeline composes these
+into the artifact's format-v2 provenance/compression/quantization
+metadata, so what ``repro inspect`` prints is exactly what the stages
+reported.
+
+A stage that the config disables (no ``block_size`` -> no compression,
+no ``quantize_bits`` -> no quantization) still yields a result with
+``skipped=True``, keeping the stage sequence uniform for callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..nn.convert import ConversionRow
+from ..nn.trainer import TrainingHistory
+
+__all__ = [
+    "TrainResult",
+    "CompressResult",
+    "QuantizeResult",
+    "PackageResult",
+    "PipelineResult",
+]
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """Outcome of the training stage."""
+
+    history: TrainingHistory
+    train_accuracy: float
+    test_accuracy: float
+    epochs: int
+    seconds: float
+    skipped: bool = False
+
+    def summary(self) -> dict:
+        return {
+            "skipped": self.skipped,
+            "epochs": self.epochs,
+            "train_accuracy": self.train_accuracy,
+            "test_accuracy": self.test_accuracy,
+            "seconds": self.seconds,
+            "history": self.history.summary(),
+        }
+
+
+@dataclass(frozen=True)
+class CompressResult:
+    """Outcome of the block-circulant compression stage.
+
+    ``report`` rows are the per-layer projection diagnostics (with the
+    quantization-error column filled when the config also quantizes);
+    ``test_accuracy`` is measured after projection + fine-tuning.
+    """
+
+    block_size: int | None
+    report: list[ConversionRow] = field(default_factory=list)
+    test_accuracy: float | None = None
+    accuracy_before: float | None = None
+    fine_tune_epochs: int = 0
+    seconds: float = 0.0
+    skipped: bool = False
+
+    def summary(self) -> dict:
+        return {
+            "skipped": self.skipped,
+            "block_size": self.block_size,
+            "fine_tune_epochs": self.fine_tune_epochs,
+            "accuracy_before": self.accuracy_before,
+            "test_accuracy": self.test_accuracy,
+            "seconds": self.seconds,
+            "layers": [
+                {
+                    "index": row.index,
+                    "layer": row.layer,
+                    "relative_error": row.relative_error,
+                    "compression": row.compression,
+                    "quantization_error": row.quantization_error,
+                }
+                for row in self.report
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class QuantizeResult:
+    """Outcome of the fixed-point quantization stage.
+
+    ``layers`` comes from
+    :meth:`~repro.embedded.deploy.DeployedModel.quantization_summary`
+    (per-layer Q-format and relative weight error);
+    ``accuracy_delta`` is quantized minus float test accuracy —
+    negative means quantization cost accuracy.
+    """
+
+    total_bits: int | None
+    layers: list[dict] = field(default_factory=list)
+    test_accuracy: float | None = None
+    float_accuracy: float | None = None
+    seconds: float = 0.0
+    skipped: bool = False
+
+    @property
+    def accuracy_delta(self) -> float | None:
+        if self.test_accuracy is None or self.float_accuracy is None:
+            return None
+        return self.test_accuracy - self.float_accuracy
+
+    @property
+    def max_weight_error(self) -> float:
+        """Worst per-layer relative quantization error (0.0 if skipped)."""
+        return max((row["error"] for row in self.layers), default=0.0)
+
+    def summary(self) -> dict:
+        return {
+            "skipped": self.skipped,
+            "total_bits": self.total_bits,
+            "test_accuracy": self.test_accuracy,
+            "float_accuracy": self.float_accuracy,
+            "accuracy_delta": self.accuracy_delta,
+            "max_weight_error": self.max_weight_error,
+            "seconds": self.seconds,
+            "layers": self.layers,
+        }
+
+
+@dataclass(frozen=True)
+class PackageResult:
+    """Outcome of the packaging stage: the artifact itself.
+
+    ``deployed`` is the in-memory artifact (quantized when the config
+    asked for it); ``path`` is ``None`` when the config set no output
+    path (the artifact was still built and is servable in memory).
+    """
+
+    deployed: object
+    version: int
+    storage_bytes: int
+    path: Path | None = None
+    metadata: dict = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def summary(self) -> dict:
+        return {
+            "path": None if self.path is None else str(self.path),
+            "version": self.version,
+            "storage_bytes": self.storage_bytes,
+            "quantized": bool(getattr(self.deployed, "quantized", False)),
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """All four stage results of one full ``pipeline.run()``."""
+
+    train: TrainResult
+    compress: CompressResult
+    quantize: QuantizeResult
+    package: PackageResult
+
+    def summary(self) -> dict:
+        return {
+            "train": self.train.summary(),
+            "compress": self.compress.summary(),
+            "quantize": self.quantize.summary(),
+            "package": self.package.summary(),
+        }

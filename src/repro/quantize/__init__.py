@@ -3,15 +3,21 @@
 from .fixed_point import (
     QFormat,
     choose_qformat,
+    dequantize_ints,
     quantization_error,
     quantize_array,
     quantize_model,
+    quantize_to_ints,
+    storage_dtype,
 )
 
 __all__ = [
     "QFormat",
     "choose_qformat",
+    "dequantize_ints",
     "quantize_array",
     "quantization_error",
     "quantize_model",
+    "quantize_to_ints",
+    "storage_dtype",
 ]

@@ -20,9 +20,12 @@ from ..nn.module import Module
 __all__ = [
     "QFormat",
     "choose_qformat",
-    "quantize_array",
+    "dequantize_ints",
     "quantization_error",
+    "quantize_array",
     "quantize_model",
+    "quantize_to_ints",
+    "storage_dtype",
 ]
 
 
@@ -84,6 +87,37 @@ def quantize_array(values: np.ndarray, fmt: QFormat) -> np.ndarray:
     values = np.asarray(values, dtype=np.float64)
     quantized = np.round(values / fmt.scale) * fmt.scale
     return np.clip(quantized, fmt.min_value, fmt.max_value)
+
+
+def storage_dtype(fmt: QFormat) -> np.dtype:
+    """Smallest signed integer dtype that holds ``fmt``'s code points."""
+    if fmt.total_bits <= 8:
+        return np.dtype(np.int8)
+    if fmt.total_bits <= 16:
+        return np.dtype(np.int16)
+    if fmt.total_bits <= 32:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+def quantize_to_ints(values: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Encode ``values`` as fixed-point integer code points (saturating).
+
+    The returned array uses :func:`storage_dtype` — the on-disk
+    representation of artifact format v2's quantized weights.  Exact
+    inverse of :func:`dequantize_ints` on the representable grid:
+    ``dequantize_ints(quantize_to_ints(x, fmt), fmt)`` equals
+    ``quantize_array(x, fmt)`` bitwise.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    magnitude = 2 ** (fmt.integer_bits + fmt.fraction_bits)
+    codes = np.clip(np.round(values / fmt.scale), -magnitude, magnitude - 1)
+    return codes.astype(storage_dtype(fmt))
+
+
+def dequantize_ints(codes: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Decode fixed-point integer code points back to float64 values."""
+    return np.asarray(codes, dtype=np.float64) * fmt.scale
 
 
 def quantization_error(values: np.ndarray, fmt: QFormat) -> float:

@@ -20,8 +20,12 @@ architecture matters.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable
+
 import numpy as np
 
+from .exceptions import ConfigurationError
 from .nn import (
     BlockCirculantConv2d,
     BlockCirculantLinear,
@@ -36,10 +40,15 @@ from .nn import (
 __all__ = [
     "ARCH1_INPUT_SIDE",
     "ARCH2_INPUT_SIDE",
+    "ZooEntry",
     "build_arch1",
     "build_arch2",
     "build_arch3",
     "build_arch3_reduced",
+    "entry",
+    "get",
+    "names",
+    "register",
 ]
 
 ARCH1_INPUT_SIDE = 16  # 16 x 16 = 256 input neurons
@@ -148,3 +157,96 @@ def build_arch3_reduced(
         ReLU(),
         Linear(128, 10, rng=rng),
     )
+
+
+# ----------------------------------------------------------------------
+# Name-keyed architecture registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ZooEntry:
+    """One registered architecture: builder plus the facts a declarative
+    caller (``PipelineConfig``, the CLI) needs to use it without importing
+    the builder function.
+
+    ``input_shape`` is the per-sample shape the built model consumes
+    (``(features,)`` for FC nets, ``(channels, h, w)`` for CONV nets);
+    ``dataset`` names the synthetic dataset the architecture is evaluated
+    on in the paper (``"synthetic_mnist"`` / ``"synthetic_cifar"``).
+    """
+
+    name: str
+    builder: Callable[..., Sequential]
+    input_shape: tuple[int, ...]
+    dataset: str
+    description: str
+
+    def build(self, **kwargs) -> Sequential:
+        return self.builder(**kwargs)
+
+
+_REGISTRY: dict[str, ZooEntry] = {}
+
+
+def register(
+    name: str,
+    builder: Callable[..., Sequential],
+    input_shape: tuple[int, ...],
+    dataset: str,
+    description: str = "",
+) -> ZooEntry:
+    """Register an architecture under ``name`` (returned as a ZooEntry).
+
+    Registration is idempotent for identical entries; re-registering a
+    name with a different builder raises.
+    """
+    new = ZooEntry(name, builder, tuple(input_shape), dataset, description)
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing != new:
+        raise ConfigurationError(
+            f"architecture {name!r} is already registered"
+        )
+    _REGISTRY[name] = new
+    return new
+
+
+def names() -> tuple[str, ...]:
+    """Registered architecture names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def entry(name: str) -> ZooEntry:
+    """The registry entry for ``name`` (ConfigurationError if unknown)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown architecture {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def get(name: str, **kwargs) -> Sequential:
+    """Build a registered architecture by name.
+
+    Keyword arguments pass through to the builder (``block_size``,
+    ``width``, ``rng``, ...), so ``zoo.get("arch1", block_size=32)`` is
+    the declarative spelling of ``build_arch1(block_size=32)``.
+    """
+    return entry(name).build(**kwargs)
+
+
+register(
+    "arch1", build_arch1, (256,), "synthetic_mnist",
+    "Paper Arch. 1: 256 -> 128 (BC) -> 128 (BC) -> 10, MNIST 16x16",
+)
+register(
+    "arch2", build_arch2, (121,), "synthetic_mnist",
+    "Paper Arch. 2: 121 -> 64 (BC) -> 64 (BC) -> 10, MNIST 11x11",
+)
+register(
+    "arch3", build_arch3, (3, 32, 32), "synthetic_cifar",
+    "Paper Arch. 3: CIFAR-10 CONV network, full width",
+)
+register(
+    "arch3_reduced", build_arch3_reduced, (3, 32, 32), "synthetic_cifar",
+    "Width-reduced Arch. 3 for CI-scale training on synthetic CIFAR",
+)

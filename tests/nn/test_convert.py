@@ -148,3 +148,75 @@ class TestConversionReport:
     def test_no_dense_layers_raises(self):
         with pytest.raises(ValueError):
             conversion_report(Sequential(ReLU()), 4)
+
+    def test_quantization_column_absent_by_default(self, dense_model):
+        rows = conversion_report(dense_model, 4)
+        assert all(row.quantization_error is None for row in rows)
+
+    def test_quantization_column_populated(self, dense_model):
+        rows = conversion_report(dense_model, 4, quantize_bits=12)
+        assert all(row.quantization_error is not None for row in rows)
+        assert all(0 <= row.quantization_error < 0.05 for row in rows)
+
+    def test_quantization_error_shrinks_with_bits(self, dense_model):
+        coarse = conversion_report(dense_model, 4, quantize_bits=8)
+        fine = conversion_report(dense_model, 4, quantize_bits=16)
+        for row8, row16 in zip(coarse, fine):
+            assert row16.quantization_error <= row8.quantization_error
+
+    def test_quantization_error_matches_direct_measurement(self, rng):
+        from repro.quantize import choose_qformat, quantization_error
+        from repro.structured import BlockCirculantMatrix
+
+        dense = Sequential(Linear(16, 8, rng=rng))
+        rows = conversion_report(dense, 4, quantize_bits=10)
+        stored = BlockCirculantMatrix.from_dense(
+            dense[0].weight.data, 4
+        ).block_weights
+        expected = quantization_error(stored, choose_qformat(stored, 10))
+        assert rows[0].quantization_error == pytest.approx(expected)
+
+
+class TestConversionRowsFrom:
+    def test_matches_conversion_report(self, dense_model):
+        from repro.nn.convert import (
+            conversion_rows_from,
+            convert_to_block_circulant,
+        )
+
+        converted = convert_to_block_circulant(dense_model, 4, skip=(5,))
+        derived = conversion_rows_from(
+            dense_model, converted, skip=(5,), quantize_bits=12
+        )
+        direct = conversion_report(
+            dense_model, 4, skip=(5,), quantize_bits=12
+        )
+        assert len(derived) == len(direct)
+        for mine, theirs in zip(derived, direct):
+            assert mine.index == theirs.index
+            assert mine.relative_error == pytest.approx(
+                theirs.relative_error, abs=1e-12
+            )
+            assert mine.compression == pytest.approx(theirs.compression)
+            assert mine.quantization_error == pytest.approx(
+                theirs.quantization_error, abs=1e-12
+            )
+
+
+class TestPerLayerOverrides:
+    def test_override_applies_to_named_layer(self, dense_model):
+        converted = convert_to_block_circulant(
+            dense_model, 4, overrides={0: 2}
+        )
+        assert converted[0].block_size == 2
+        assert converted[3].block_size == 4
+
+    def test_report_respects_overrides(self, dense_model):
+        base = conversion_report(dense_model, 4)
+        overridden = conversion_report(dense_model, 4, overrides={0: 2})
+        assert overridden[0].compression < base[0].compression
+        assert overridden[1].compression == base[1].compression
+
+    def test_bad_override_rejected(self, dense_model):
+        with pytest.raises(ValueError, match="positive"):
+            convert_to_block_circulant(dense_model, 4, overrides={0: 0})

@@ -1,0 +1,231 @@
+"""PipelineConfig validation, defaults, and file round trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import Linear, ReLU, Sequential
+from repro.pipeline import PipelineConfig
+
+
+class TestArchitecture:
+    def test_required(self):
+        with pytest.raises(ConfigurationError, match="architecture"):
+            PipelineConfig()
+
+    def test_zoo_name(self):
+        config = PipelineConfig(architecture="arch1")
+        assert config.input_shape == (256,)
+        assert config.dataset == "synthetic_mnist"
+
+    def test_zoo_name_with_options(self):
+        config = PipelineConfig(
+            architecture="arch1", arch_options={"block_size": 32}
+        )
+        assert config.arch_options == {"block_size": 32}
+
+    def test_arch_string(self):
+        config = PipelineConfig(architecture="121-64CFb32-10F")
+        assert config.input_shape == (121,)
+        assert config.dataset == "synthetic_mnist"
+
+    def test_conv_arch_string_defaults_to_cifar(self):
+        config = PipelineConfig(architecture="3x32x32-8Conv3-MP2-10F")
+        assert config.dataset == "synthetic_cifar"
+
+    def test_live_sequential(self, rng):
+        model = Sequential(Linear(49, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+        config = PipelineConfig(architecture=model, epochs=0)
+        assert config.input_shape == (49,)
+        assert config.dataset == "synthetic_mnist"
+
+    def test_garbage_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="neither"):
+            PipelineConfig(architecture="not-an-arch!!")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="architecture"):
+            PipelineConfig(architecture=42)
+
+    def test_arch_options_only_for_zoo_names(self):
+        with pytest.raises(ConfigurationError, match="arch_options"):
+            PipelineConfig(
+                architecture="121-64CFb32-10F",
+                arch_options={"block_size": 8},
+            )
+
+    def test_arch_options_unknown_key_fails_at_config_time(self):
+        with pytest.raises(ConfigurationError, match="blocksize"):
+            PipelineConfig(
+                architecture="arch1", arch_options={"blocksize": 8}
+            )
+
+    def test_arch_options_rng_reserved(self):
+        with pytest.raises(ConfigurationError, match="rng"):
+            PipelineConfig(
+                architecture="arch1",
+                arch_options={"rng": np.random.default_rng(0)},
+            )
+
+    def test_arch_options_must_be_jsonable(self):
+        # block_size is a real builder kwarg, but an ndarray value
+        # could never land in provenance.
+        with pytest.raises(ConfigurationError, match="JSON"):
+            PipelineConfig(
+                architecture="arch1",
+                arch_options={"block_size": np.int32(8)},
+            )
+
+    def test_live_conv_sequential_accepts_any_spatial_size(self, rng):
+        from repro.nn import Conv2d, Flatten, Linear, ReLU, Sequential
+
+        model = Sequential(
+            Conv2d(3, 4, 3, padding=1, rng=rng), ReLU(), Flatten(),
+            Linear(4 * 8 * 8, 10, rng=rng),
+        )
+        config = PipelineConfig(
+            architecture=model, dataset="bundle.npz", epochs=0
+        )
+        assert config.input_shape == (3, None, None)
+
+
+class TestDatasetValidation:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError, match="dataset"):
+            PipelineConfig(architecture="arch1", dataset="imagenet")
+
+    def test_bundle_path_accepted(self):
+        config = PipelineConfig(
+            architecture="121-64CFb32-10F", dataset="bundle.npz"
+        )
+        assert config.dataset == "bundle.npz"
+
+    def test_npy_rejected_at_config_time(self):
+        # .npy has no label slot, so the supervised train stage could
+        # never run — the declarative contract is to fail here.
+        with pytest.raises(ConfigurationError, match="dataset"):
+            PipelineConfig(
+                architecture="121-64CFb32-10F", dataset="inputs.npy"
+            )
+
+    def test_mnist_needs_square_feature_count(self):
+        # 120 features is not a perfect square: un-resizable.
+        with pytest.raises(ConfigurationError, match="square"):
+            PipelineConfig(
+                architecture="120-10F", dataset="synthetic_mnist"
+            )
+
+    def test_cifar_needs_conv_shape(self):
+        with pytest.raises(ConfigurationError, match="synthetic_cifar"):
+            PipelineConfig(architecture="arch1", dataset="synthetic_cifar")
+
+
+class TestPolicyValidation:
+    def test_bad_budgets(self):
+        for kwargs in (
+            {"train_size": 0},
+            {"test_size": 0},
+            {"batch_size": 0},
+            {"epochs": -1},
+            {"fine_tune_epochs": -1},
+            {"lr": 0.0},
+            {"test_fraction": 1.0},
+            {"noise": -0.1},
+        ):
+            with pytest.raises(ConfigurationError):
+                PipelineConfig(architecture="arch1", **kwargs)
+
+    def test_quantize_bits_floor(self):
+        with pytest.raises(ConfigurationError, match="quantize_bits"):
+            PipelineConfig(architecture="arch1", quantize_bits=1)
+
+    def test_block_size_floor(self):
+        with pytest.raises(ConfigurationError, match="block_size"):
+            PipelineConfig(architecture="arch1", block_size=0)
+
+    def test_layer_overrides_require_block_size(self):
+        with pytest.raises(ConfigurationError, match="layer_block_sizes"):
+            PipelineConfig(
+                architecture="arch1", layer_block_sizes={0: 8}
+            )
+
+    def test_precisions_validated(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(architecture="arch1", precisions=("fp16",))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            PipelineConfig(
+                architecture="arch1", precisions=("fp64", "fp64")
+            )
+        with pytest.raises(ConfigurationError, match="at least one"):
+            PipelineConfig(architecture="arch1", precisions=())
+
+    def test_precision_names_normalized(self):
+        config = PipelineConfig(
+            architecture="arch1", precisions=("fp64", "fp32")
+        )
+        assert config.precisions == ("fp64", "fp32")
+
+
+class TestIntrospection:
+    def test_describe_is_jsonable(self):
+        config = PipelineConfig(
+            architecture="arch2", quantize_bits=12, block_size=8,
+            layer_block_sizes={0: 4}, out="x.npz",
+        )
+        payload = json.loads(json.dumps(config.describe()))
+        assert payload["architecture"] == "arch2"
+        assert payload["quantize_bits"] == 12
+        assert payload["layer_block_sizes"] == {"0": 4}
+
+    def test_hash_stable_and_sensitive(self):
+        a = PipelineConfig(architecture="arch2", epochs=3)
+        b = PipelineConfig(architecture="arch2", epochs=3)
+        c = PipelineConfig(architecture="arch2", epochs=4)
+        assert a.config_hash() == b.config_hash()
+        assert a.config_hash() != c.config_hash()
+
+    def test_sequential_label(self, rng):
+        model = Sequential(Linear(49, 4, rng=rng))
+        config = PipelineConfig(architecture=model, epochs=0)
+        assert "Sequential" in config.architecture_label()
+
+
+class TestFromFile:
+    def test_round_trip_with_overrides(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({
+            "architecture": "arch2",
+            "epochs": 7,
+            "quantize_bits": 12,
+            "precisions": ["fp64", "fp32"],
+            "skip_layers": [4],
+        }))
+        config = PipelineConfig.from_file(path, epochs=2)
+        assert config.epochs == 2          # override wins
+        assert config.quantize_bits == 12  # file value kept
+        assert config.precisions == ("fp64", "fp32")
+        assert config.skip_layers == (4,)
+
+    def test_none_overrides_do_not_mask_file(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"architecture": "arch2", "epochs": 7}))
+        config = PipelineConfig.from_file(path, epochs=None)
+        assert config.epochs == 7
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"architecture": "arch2", "epoch": 7}))
+        with pytest.raises(ConfigurationError, match="unknown"):
+            PipelineConfig.from_file(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            PipelineConfig.from_file(tmp_path / "absent.json")
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            PipelineConfig.from_file(path)

@@ -1,0 +1,267 @@
+"""Pipeline stage execution, resumption, and artifact metadata."""
+
+import numpy as np
+import pytest
+
+from repro.embedded import DeployedModel
+from repro.exceptions import PipelineError
+from repro.nn import BlockCirculantLinear, Linear, ReLU, Sequential
+from repro.pipeline import Pipeline, PipelineConfig
+
+# Tiny budgets everywhere: these tests exercise the plumbing, not the
+# learning curves.
+TINY = dict(train_size=60, test_size=24, epochs=1, batch_size=16)
+
+
+def dense_config(**kwargs):
+    merged = {**TINY, "architecture": "16-8F-10F",
+              "block_size": 4, "quantize_bits": 12, **kwargs}
+    return PipelineConfig(**merged)
+
+
+class TestStageFlow:
+    def test_run_produces_all_four_results(self):
+        result = Pipeline(dense_config()).run()
+        assert not result.train.skipped
+        assert not result.compress.skipped
+        assert not result.quantize.skipped
+        assert result.package.version == 2
+        assert result.package.deployed.quantized
+
+    def test_stage_autoruns_predecessors(self):
+        pipeline = Pipeline(dense_config())
+        quantize = pipeline.quantize()
+        assert not quantize.skipped
+        assert set(pipeline.results) == {"train", "compress", "quantize"}
+
+    def test_results_cached_until_forced(self):
+        pipeline = Pipeline(dense_config())
+        first = pipeline.train()
+        assert pipeline.train() is first
+        again = pipeline.train(force=True)
+        assert again is not first
+
+    def test_force_compress_restarts_from_trained_model(self):
+        # Re-running compress must project the *trained* model again,
+        # not the output of its own previous run (double conversion
+        # would change block structure and lose the dense baseline).
+        pipeline = Pipeline(dense_config())
+        first = pipeline.compress()
+        first_weights = pipeline.model[0].weight.data.copy()
+        second = pipeline.compress(force=True)
+        assert second.block_size == first.block_size
+        assert len(second.report) == len(first.report)
+        assert np.array_equal(pipeline.model[0].weight.data, first_weights)
+
+    def test_force_invalidates_downstream(self):
+        pipeline = Pipeline(dense_config())
+        pipeline.package()
+        assert set(pipeline.results) == {
+            "train", "compress", "quantize", "package"
+        }
+        pipeline.compress(force=True)
+        assert set(pipeline.results) == {"train", "compress"}
+
+    def test_compress_converts_dense_layers(self):
+        pipeline = Pipeline(dense_config())
+        compress = pipeline.compress()
+        assert compress.block_size == 4
+        assert len(compress.report) == 2  # both dense layers measured
+        kinds = [type(l).__name__ for l in pipeline.model]
+        assert "BlockCirculantLinear" in kinds
+
+    def test_quantize_reports_formats_and_delta(self):
+        pipeline = Pipeline(dense_config())
+        quantize = pipeline.quantize()
+        assert quantize.total_bits == 12
+        assert quantize.layers and all(
+            "qformat" in row for row in quantize.layers
+        )
+        assert 0 < quantize.max_weight_error < 0.05
+        assert quantize.accuracy_delta is not None
+
+    def test_quantize_error_column_in_compress_report(self):
+        compress = Pipeline(dense_config()).compress()
+        assert all(
+            row.quantization_error is not None for row in compress.report
+        )
+
+    def test_constructor_field_shorthand(self):
+        pipeline = Pipeline(architecture="16-4F", **TINY)
+        assert pipeline.config.input_shape == (16,)
+
+    def test_config_xor_fields(self):
+        with pytest.raises(PipelineError, match="not both"):
+            Pipeline(dense_config(), architecture="arch1")
+
+
+class TestSkippedStages:
+    def test_no_block_size_skips_compress(self):
+        config = PipelineConfig(
+            architecture="16-8CFb4-10F", **TINY
+        )
+        pipeline = Pipeline(config)
+        compress = pipeline.compress()
+        assert compress.skipped
+        assert compress.test_accuracy == pipeline.results[
+            "train"
+        ].test_accuracy
+
+    def test_no_bits_skips_quantize_and_packages_float(self):
+        config = PipelineConfig(architecture="16-8CFb4-10F", **TINY)
+        result = Pipeline(config).run()
+        assert result.quantize.skipped
+        assert not result.package.deployed.quantized
+        assert result.package.metadata["quantization"] is None
+
+    def test_live_sequential_never_mutated_by_training(self, rng):
+        # The pipeline deep-copies a live Sequential: training must not
+        # touch the caller's weights, and train(force=True) must
+        # restart from them instead of stacking epochs.
+        model = Sequential(
+            Linear(16, 8, rng=rng), ReLU(), Linear(8, 10, rng=rng)
+        )
+        before = model[0].weight.data.copy()
+        pipeline = Pipeline(
+            PipelineConfig(architecture=model, **TINY)
+        )
+        pipeline.train()
+        assert np.array_equal(model[0].weight.data, before)
+        first_run = pipeline.model[0].weight.data.copy()
+        pipeline.train(force=True)
+        assert np.array_equal(model[0].weight.data, before)
+        # Deterministic budget from identical start -> identical result
+        # (cumulative training would differ).
+        assert np.array_equal(pipeline.model[0].weight.data, first_run)
+
+    def test_policy_index_out_of_range_fails(self):
+        config = PipelineConfig(
+            architecture="16-8F-10F", **TINY,
+            block_size=4, skip_layers=(40,),
+        )
+        with pytest.raises(PipelineError, match="layers 0"):
+            Pipeline(config).compress()
+
+    def test_block_size_override_on_non_dense_layer_fails(self):
+        # Index 1 is the ReLU between the two Linears: a typo'd index
+        # must error, not silently no-op.
+        config = PipelineConfig(
+            architecture="16-8F-10F", **TINY,
+            block_size=4, layer_block_sizes={1: 2},
+        )
+        with pytest.raises(PipelineError, match="ReLU"):
+            Pipeline(config).compress()
+
+    def test_pretrained_sequential_epochs_zero(self, rng):
+        model = Sequential(
+            BlockCirculantLinear(16, 8, 4, rng=rng), ReLU(),
+            Linear(8, 4, rng=rng),
+        ).eval()
+        config = PipelineConfig(
+            architecture=model, epochs=0,
+            train_size=40, test_size=16, quantize_bits=10,
+        )
+        before = model[0].weight.data.copy()
+        result = Pipeline(config).run()
+        assert result.train.skipped
+        assert result.package.deployed.quantized
+        # The packaged records quantize the *given* weights; the live
+        # model itself must not have been mutated (epochs=0, and the
+        # quantize stage works on the artifact records).
+        assert np.array_equal(model[0].weight.data, before)
+        assert result.quantize.test_accuracy is not None
+
+
+class TestDataSources:
+    def test_bundle_path_dataset(self, tmp_path, rng):
+        from repro.io import save_inputs
+
+        bundle = tmp_path / "bundle.npz"
+        save_inputs(
+            bundle,
+            rng.normal(size=(60, 16)),
+            rng.integers(0, 4, size=60),
+        )
+        config = PipelineConfig(
+            architecture="16-4F", dataset=bundle,
+            epochs=1, test_fraction=0.25,
+        )
+        result = Pipeline(config).run()
+        assert result.train.test_accuracy >= 0.0
+
+    def test_conv_sequential_with_non_cifar_spatial_bundle(
+        self, tmp_path, rng
+    ):
+        # A live CONV model pins channels but not spatial size: an
+        # 8x8 bundle must pass the shape check and train end to end.
+        from repro.io import save_inputs
+        from repro.nn import Conv2d, Flatten, Linear, ReLU, Sequential
+
+        model = Sequential(
+            Conv2d(3, 4, 3, padding=1, rng=rng), ReLU(), Flatten(),
+            Linear(4 * 8 * 8, 4, rng=rng),
+        )
+        bundle = tmp_path / "imgs8.npz"
+        save_inputs(
+            bundle,
+            rng.normal(size=(40, 3, 8, 8)),
+            rng.integers(0, 4, size=40),
+        )
+        config = PipelineConfig(
+            architecture=model, dataset=bundle, epochs=1,
+            batch_size=16, test_fraction=0.25,
+        )
+        result = Pipeline(config).run()
+        assert result.package.version == 2
+
+    def test_bundle_without_labels_fails(self, tmp_path, rng):
+        from repro.io import save_inputs
+
+        bundle = tmp_path / "unlabeled.npz"
+        save_inputs(bundle, rng.normal(size=(20, 16)))
+        with pytest.raises(PipelineError, match="labels"):
+            Pipeline(
+                PipelineConfig(architecture="16-4F", dataset=bundle)
+            ).train()
+
+    def test_bundle_shape_mismatch_fails(self, tmp_path, rng):
+        from repro.io import save_inputs
+
+        bundle = tmp_path / "wrong.npz"
+        save_inputs(
+            bundle, rng.normal(size=(20, 9)), rng.integers(0, 4, size=20)
+        )
+        with pytest.raises(PipelineError, match="shape"):
+            Pipeline(
+                PipelineConfig(architecture="16-4F", dataset=bundle)
+            ).train()
+
+
+class TestArtifactMetadata:
+    def test_metadata_sections(self):
+        result = Pipeline(dense_config()).run()
+        meta = result.package.metadata
+        assert meta["quantization"]["total_bits"] == 12
+        assert meta["quantization"]["layers"]
+        assert meta["compression"]["block_size"] == 4
+        assert meta["compression"]["projection"]
+        provenance = meta["provenance"]
+        assert provenance["config"]["architecture"] == "16-8F-10F"
+        assert len(provenance["config_hash"]) == 16
+        assert provenance["training"]["epochs"] == 1
+
+    def test_metadata_round_trips_through_file(self, tmp_path):
+        out = tmp_path / "built.npz"
+        result = Pipeline(dense_config(out=out)).run()
+        loaded = DeployedModel.load(out)
+        assert loaded.metadata == result.package.metadata
+        assert loaded.source_version == 2
+
+    def test_layer_block_size_overrides_apply(self):
+        config = PipelineConfig(
+            architecture="16-8F-10F", **TINY,
+            block_size=4, layer_block_sizes={0: 2},
+        )
+        pipeline = Pipeline(config)
+        pipeline.compress()
+        assert pipeline.model[0].block_size == 2

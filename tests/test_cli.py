@@ -387,6 +387,117 @@ class TestServePrecisionFlags:
         assert captured["precision"] == "fp64"
 
 
+class TestBuildCommand:
+    def test_list_archs(self, capsys):
+        assert main(["build", "--list-archs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("arch1", "arch2", "arch3", "arch3_reduced"):
+            assert name in out
+
+    def test_build_flags_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "built.npz"
+        assert main([
+            "build", "--arch", "arch2", "--train-size", "80",
+            "--test-size", "30", "--epochs", "1",
+            "--quantize-bits", "12", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "train:" in captured
+        assert "quantize: 12-bit" in captured
+        assert "format v2" in captured
+
+    def test_build_config_file_with_flag_override(self, tmp_path, capsys):
+        import json
+
+        config = tmp_path / "cfg.json"
+        config.write_text(json.dumps({
+            "architecture": "16-8F-10F",
+            "train_size": 60, "test_size": 24,
+            "epochs": 5, "block_size": 4,
+        }))
+        out = tmp_path / "built.npz"
+        assert main([
+            "build", "--config", str(config),
+            "--epochs", "1", "--out", str(out),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "train: 1 epochs" in captured  # flag overrode the file
+        assert "compress: block 4" in captured
+        assert "quantize: skipped" in captured
+
+    def test_bad_arch_fails_cleanly(self, capsys):
+        assert main(["build", "--arch", "not-an-arch!!"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_arch_fails_cleanly(self, capsys):
+        assert main(["build"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unwritable_out_fails_before_training(self, capsys):
+        # The output path is probed up front: no epochs are spent, and
+        # the failure is the CLI's clean `error:` contract, not a
+        # traceback after the run.
+        assert main([
+            "build", "--arch", "arch2", "--train-size", "50000000",
+            "--epochs", "1000",
+            "--out", "/proc/definitely/not/writable/x.npz",
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "train:" not in captured.out  # never started training
+
+
+class TestInspectCommand:
+    @pytest.fixture(scope="class")
+    def built_artifact(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("inspect") / "built.npz"
+        assert main([
+            "build", "--arch", "arch2", "--train-size", "60",
+            "--test-size", "24", "--epochs", "1",
+            "--quantize-bits", "12", "--out", str(out),
+            "--precisions", "fp64,fp32",
+        ]) == 0
+        return out
+
+    def test_inspect_table(self, built_artifact, capsys):
+        capsys.readouterr()
+        assert main(["inspect", str(built_artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "format: v2 (quantized)" in out
+        assert "bc_linear" in out
+        assert "Q" in out  # qformat column
+        assert "config hash" in out
+        assert "target precisions: fp64,fp32" in out
+
+    def test_inspect_json(self, built_artifact, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["inspect", str(built_artifact), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 2
+        assert payload["quantized"] is True
+        assert payload["metadata"]["quantization"]["total_bits"] == 12
+
+    def test_inspect_v1_artifact(self, data_files, trained_checkpoint,
+                                 capsys, tmp_path):
+        artifact = tmp_path / "v1_style.npz"
+        assert main([
+            "deploy", ARCH, "--weights", str(trained_checkpoint),
+            "--out", str(artifact),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "format: v2" in out  # deploy now writes v2 (unquantized)
+        assert "(quantized)" not in out
+
+    def test_inspect_missing_file(self, capsys):
+        assert main(["inspect", "/tmp/definitely-absent.npz"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestServeFailFast:
     def test_missing_artifact_exits_cleanly_before_banner(self, capsys):
         assert main(["serve", "/tmp/definitely-missing.npz",

@@ -1,8 +1,10 @@
-"""Tests for the model zoo (paper Arch. 1 / 2 / 3)."""
+"""Tests for the model zoo (paper Arch. 1 / 2 / 3) and its registry."""
 
 import numpy as np
 import pytest
 
+from repro import zoo
+from repro.exceptions import ConfigurationError
 from repro.nn import BlockCirculantConv2d, BlockCirculantLinear, Conv2d, Linear, Tensor
 from repro.zoo import (
     ARCH1_INPUT_SIDE,
@@ -82,6 +84,57 @@ class TestArch3:
 
         report = storage_report(build_arch3(rng=rng))
         assert report.compression > 10
+
+
+class TestRegistry:
+    def test_all_architectures_registered(self):
+        assert set(zoo.names()) >= {
+            "arch1", "arch2", "arch3", "arch3_reduced"
+        }
+
+    def test_get_builds_by_name(self, rng):
+        model = zoo.get("arch1", rng=rng)
+        assert model(Tensor(rng.normal(size=(2, 256)))).shape == (2, 10)
+
+    def test_get_passes_builder_kwargs(self, rng):
+        model = zoo.get("arch1", block_size=32, rng=rng)
+        assert model[0].block_size == 32
+
+    def test_entry_metadata(self):
+        entry = zoo.entry("arch2")
+        assert entry.input_shape == (121,)
+        assert entry.dataset == "synthetic_mnist"
+        assert zoo.entry("arch3").input_shape == (3, 32, 32)
+        assert zoo.entry("arch3").dataset == "synthetic_cifar"
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ConfigurationError, match="arch1"):
+            zoo.get("arch99")
+
+    def test_register_idempotent_but_conflict_rejected(self):
+        entry = zoo.entry("arch1")
+        # Re-registering the identical entry is a no-op...
+        zoo.register(
+            entry.name, entry.builder, entry.input_shape,
+            entry.dataset, entry.description,
+        )
+        # ...but a different builder under the same name is an error.
+        with pytest.raises(ConfigurationError, match="already registered"):
+            zoo.register(
+                "arch1", build_arch2, (121,), "synthetic_mnist"
+            )
+
+    def test_register_new_name_round_trips(self, rng):
+        name = "test_only_arch"
+        try:
+            zoo.register(
+                name, build_arch2, (121,), "synthetic_mnist", "test entry"
+            )
+            assert name in zoo.names()
+            model = zoo.get(name, rng=rng)
+            assert model(Tensor(rng.normal(size=(1, 121)))).shape == (1, 10)
+        finally:
+            zoo._REGISTRY.pop(name, None)
 
 
 class TestArch3Reduced:
