@@ -767,6 +767,138 @@ def bench_pipeline(repeats: int, quick: bool = False) -> dict:
         }
 
 
+def bench_resilience(repeats: int, quick: bool = False) -> dict:
+    """Fault-tolerance cost: throughput under worker faults, shed rate.
+
+    Two measurements (see ``docs/robustness.md``):
+
+    * ``worker_faults`` — the same sharded predict loop run clean and
+      with ~10% of calls hit by an injected ``worker.kill``.  The first
+      fault costs a pool respawn + retry; a second degrades the
+      executor to serial.  Either way every result stays bitwise-equal
+      to the serial session — the recorded ratio is the throughput
+      price of surviving.
+    * ``over_admission`` — an admission-bounded server
+      (``max_queue_rows`` = one fused batch) offered 2x its capacity by
+      fail-fast (``retries=0``) clients; records the shed rate and that
+      every non-shed response kept bitwise parity.
+    """
+    import warnings
+
+    from repro.engine import Engine
+    from repro.exceptions import Overloaded
+    from repro.serving import AsyncServeClient, InferenceServer
+    from repro.testing import faults
+
+    rng = np.random.default_rng(11)
+    if quick:
+        p, q, b = 8, 12, 32
+        calls, rows = 6, 32
+    else:
+        p, q, b = 16, 24, 64
+        calls, rows = 12, 64
+    chunk = rows // 4  # 4 pooled chunks per call
+    layer = BlockCirculantLinear(q * b, p * b, b, rng=rng)
+    layer.eval()
+    model = Sequential(layer)
+    serial = InferenceSession.freeze(model)
+    x = rng.normal(size=(rows, q * b))
+    ref = serial.predict_proba(x)
+
+    def run_calls(kill_times: int | None) -> dict:
+        faults.reset()
+        if kill_times:
+            faults.arm("worker.kill", times=kill_times)
+        executor = ShardedExecutor(workers=2, mode="batch",
+                                   task_timeout=30.0)
+        session = InferenceSession.freeze(model, executor=executor)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                session.warm_up()
+                start = time.perf_counter()
+                bitwise = all(
+                    np.array_equal(
+                        session.predict_proba(x, batch_size=chunk), ref
+                    )
+                    for _ in range(calls)
+                )
+                wall = time.perf_counter() - start
+            return {
+                "rows_per_s": calls * rows / wall,
+                "bitwise_identical": bitwise,
+                "fault_stats": dict(executor.fault_stats),
+            }
+        finally:
+            session.close()
+            faults.reset()
+
+    fault_budget = max(1, calls // 10)
+    clean = faulted = None
+    for _ in range(max(1, repeats // 2)):
+        c = run_calls(None)
+        f = run_calls(fault_budget)
+        if clean is None or c["rows_per_s"] > clean["rows_per_s"]:
+            clean = c
+        if faulted is None or f["rows_per_s"] > faulted["rows_per_s"]:
+            faulted = f
+
+    async def over_admit() -> dict:
+        per_req = max(1, rows // 2)
+        concurrent = 4  # 4 x (rows/2) = 2x the queue budget
+        waves = 3 if quick else 6
+        shed = served = 0
+        parity = True
+        with Engine(model=model, max_queue_rows=rows) as engine:
+            server = InferenceServer(
+                engine, port=0, max_batch=rows, max_wait_ms=1.0
+            )
+            async with server:
+                async def one() -> None:
+                    nonlocal shed, served, parity
+                    client = await AsyncServeClient.connect(
+                        port=server.port, retries=0
+                    )
+                    try:
+                        out = await client.predict_proba(x[:per_req])
+                    except Overloaded:
+                        shed += 1
+                    else:
+                        served += 1
+                        parity &= bool(np.array_equal(out, ref[:per_req]))
+                    finally:
+                        await client.close()
+
+                for _ in range(waves):
+                    await asyncio.gather(*[one() for _ in range(concurrent)])
+        total = shed + served
+        return {
+            "offered": total,
+            "served": served,
+            "shed": shed,
+            "shed_rate": shed / total if total else 0.0,
+            "served_bitwise_identical": parity,
+        }
+
+    return {
+        "config": {
+            "p": p, "q": q, "b": b, "rows": rows, "calls": calls,
+            "batch_size": chunk, "kill_budget": fault_budget,
+            "pool_workers": 2,
+        },
+        "cpus": os.cpu_count(),
+        "worker_faults": {
+            "clean": clean,
+            "faulted": faulted,
+            "throughput_ratio": (
+                faulted["rows_per_s"] / clean["rows_per_s"]
+                if clean["rows_per_s"] else 0.0
+            ),
+        },
+        "over_admission": asyncio.run(over_admit()),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -805,6 +937,7 @@ def main(argv: list[str] | None = None) -> int:
         "serving": bench_serving(repeats, quick=args.quick),
         "engine": bench_engine(repeats, quick=args.quick),
         "pipeline": bench_pipeline(repeats, quick=args.quick),
+        "resilience": bench_resilience(repeats, quick=args.quick),
     }
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
@@ -874,6 +1007,16 @@ def main(argv: list[str] | None = None) -> int:
           f"(delta {pipe_line['accuracy_delta']:+.3f}), "
           f"served {pipe_line['served']['rows_per_s']:.0f} rows/s, "
           f"parity {'OK' if pipe_line['served']['parity_ok'] else 'FAIL'}")
+    res = report["resilience"]
+    wf = res["worker_faults"]
+    oa = res["over_admission"]
+    print(f"resilience: {wf['clean']['rows_per_s']:.0f} rows/s clean -> "
+          f"{wf['faulted']['rows_per_s']:.0f} rows/s under worker.kill "
+          f"({wf['throughput_ratio']:.2f}x, "
+          f"bitwise {'OK' if wf['faulted']['bitwise_identical'] else 'FAIL'}); "
+          f"2x over-admission: {oa['shed']}/{oa['offered']} shed "
+          f"({oa['shed_rate']:.0%}), served parity "
+          f"{'OK' if oa['served_bitwise_identical'] else 'FAIL'}")
     print(f"wrote {args.out}")
     return 0
 

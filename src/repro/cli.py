@@ -27,6 +27,7 @@ Usage: ``python -m repro <command> ...`` (see ``--help`` per command).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -585,6 +586,18 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
 
+    if os.environ.get("REPRO_FAULTS"):
+        # Deliberate fault injection for chaos tests: arm the named
+        # fault points before the engine forks any worker pool, so the
+        # workers inherit the shared budgets.
+        from .testing import faults
+
+        try:
+            faults.arm_from_env()
+        except ValueError as exc:
+            print(f"error: bad REPRO_FAULTS: {exc}", file=sys.stderr)
+            return 2
+
     with Engine(config) as engine:
         try:
             # Surface bad artifact paths as a clean CLI error before
@@ -593,7 +606,13 @@ def _cmd_serve(args) -> int:
         except (OSError, ReproError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        engine.serve(host=args.host, port=args.port, on_ready=announce)
+        try:
+            engine.serve(host=args.host, port=args.port, on_ready=announce)
+        except OSError as exc:
+            # Port already bound (or an unbindable host): a clean CLI
+            # error, not a traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return 0
 
 

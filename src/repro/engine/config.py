@@ -117,6 +117,25 @@ class EngineConfig:
         Class applied to requests that name none.
     max_payload:
         Per-request wire payload bound for the serving front-end.
+    max_queue_rows:
+        Admission bound: total rows a route may hold in flight (queued
+        plus running) before further requests are shed with a typed
+        ``overloaded`` error.
+    queue_class_caps:
+        Optional per-priority-class row caps (class name -> rows), each
+        tighter than ``max_queue_rows``; keeps a low-priority flood from
+        occupying the whole queue.  Keys must name ``priority_classes``
+        members.
+    rate_limit_rps:
+        Optional global requests-per-second admission limit for the
+        serving front-end (token bucket; ``None`` = unlimited).
+    rate_burst:
+        Token-bucket burst capacity (``None`` = ``max(1, rate)``).
+    fault_timeout_s:
+        Sharded-executor per-task deadline in seconds; a pool task with
+        no result by then counts as a worker fault and triggers
+        recovery (respawn once, then degrade to serial).  ``None``
+        disables the timeout backstop.
     """
 
     model: object | None = None
@@ -135,6 +154,11 @@ class EngineConfig:
     priority_classes: tuple[str, ...] = ("batch", "normal", "interactive")
     default_priority: str = "normal"
     max_payload: int = 1 << 28
+    max_queue_rows: int = 1024
+    queue_class_caps: Mapping[str, int] = field(default_factory=dict)
+    rate_limit_rps: float | None = None
+    rate_burst: int | None = None
+    fault_timeout_s: float | None = 60.0
 
     def __post_init__(self):
         # --- model registry -------------------------------------------
@@ -242,6 +266,48 @@ class EngineConfig:
         object.__setattr__(self, "priority_classes", classes)
         self.resolve_priority(self.default_priority)
 
+        # --- admission + fault policy ---------------------------------
+        if self.max_queue_rows < 1:
+            raise ConfigurationError(
+                f"max_queue_rows must be >= 1, got {self.max_queue_rows}"
+            )
+        caps = dict(self.queue_class_caps)
+        for name, cap in caps.items():
+            if name not in classes:
+                raise ConfigurationError(
+                    f"queue_class_caps names unknown priority class "
+                    f"{name!r}; expected one of {classes}"
+                )
+            if not isinstance(cap, int) or isinstance(cap, bool) or cap < 1:
+                raise ConfigurationError(
+                    f"queue_class_caps[{name!r}] must be a positive "
+                    f"integer, got {cap!r}"
+                )
+            if cap > self.max_queue_rows:
+                raise ConfigurationError(
+                    f"queue_class_caps[{name!r}]={cap} exceeds "
+                    f"max_queue_rows={self.max_queue_rows}"
+                )
+        object.__setattr__(self, "queue_class_caps", caps)
+        if self.rate_limit_rps is not None and self.rate_limit_rps <= 0:
+            raise ConfigurationError(
+                f"rate_limit_rps must be positive, got {self.rate_limit_rps}"
+            )
+        if self.rate_burst is not None:
+            if self.rate_limit_rps is None:
+                raise ConfigurationError(
+                    "rate_burst requires rate_limit_rps to be set"
+                )
+            if self.rate_burst < 1:
+                raise ConfigurationError(
+                    f"rate_burst must be >= 1, got {self.rate_burst}"
+                )
+        if self.fault_timeout_s is not None and self.fault_timeout_s <= 0:
+            raise ConfigurationError(
+                f"fault_timeout_s must be positive or None, "
+                f"got {self.fault_timeout_s}"
+            )
+
     # ------------------------------------------------------------------
     # Resolution helpers (the single place request fields are validated)
     # ------------------------------------------------------------------
@@ -324,4 +390,9 @@ class EngineConfig:
             "priority_classes": list(self.priority_classes),
             "default_priority": self.default_priority,
             "max_payload": self.max_payload,
+            "max_queue_rows": self.max_queue_rows,
+            "queue_class_caps": dict(self.queue_class_caps),
+            "rate_limit_rps": self.rate_limit_rps,
+            "rate_burst": self.rate_burst,
+            "fault_timeout_s": self.fault_timeout_s,
         }

@@ -157,6 +157,7 @@ class Engine:
             workers=self.config.workers,
             mode=self.config.shard_mode,
             transport=self.config.transport,
+            task_timeout=self.config.fault_timeout_s,
         )
 
     def _source(self, name: str):
@@ -338,8 +339,15 @@ class Engine:
         ``on_ready(server)`` fires right after it.  Runs until
         interrupted; the engine stays open afterwards (close it
         yourself, or use the engine as a context manager).
+
+        ``SIGTERM`` and ``SIGINT`` trigger a *drain*: the server stops
+        admitting work, flushes every in-flight micro-batch and sends
+        its responses, then exits cleanly (see
+        :meth:`~repro.serving.server.InferenceServer.begin_drain`) — so
+        an orchestrator's stop signal never discards accepted requests.
         """
         import asyncio
+        import signal as _signal
 
         from ..serving import DEFAULT_PORT, InferenceServer
 
@@ -353,6 +361,12 @@ class Engine:
 
         async def _serve() -> None:
             await server.start()
+            loop = asyncio.get_running_loop()
+            for sig in (_signal.SIGTERM, _signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, server.begin_drain)
+                except (NotImplementedError, RuntimeError):
+                    break  # platform without signal support: Ctrl-C path
             print(f"serving on {server.host}:{server.port}", flush=True)
             if on_ready is not None:
                 on_ready(server)
@@ -396,6 +410,26 @@ class Engine:
             ],
             "closed": self._closed,
         }
+
+    def health(self) -> dict:
+        """Fault posture of the pooled executors (JSON-able).
+
+        ``degraded`` is True when any pooled session's executor has
+        exhausted its respawn and fallen back to serial execution;
+        ``executors`` carries each sharded route's fault counters.
+        The serving ``info`` op embeds this.
+        """
+        degraded = False
+        executors: dict = {}
+        for (model, precision), session in sorted(
+            self._pool.snapshot().items()
+        ):
+            stats = getattr(session.executor, "fault_stats", None)
+            if stats is not None:
+                executors[f"{model}/{precision}"] = dict(stats)
+            if getattr(session.executor, "degraded", False):
+                degraded = True
+        return {"degraded": degraded, "executors": executors}
 
     def describe_routes(self) -> dict:
         """Per pooled route: plan ops, executor, scheduler (JSON-able).

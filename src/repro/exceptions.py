@@ -33,5 +33,39 @@ class ServingError(ReproError, RuntimeError):
     """A serving request failed or the wire protocol was violated."""
 
 
+class Overloaded(ServingError):
+    """The server shed this request: queue full or rate limit exceeded.
+
+    ``retry_after_ms`` is the server's hint for when capacity is likely
+    back (``None`` when the server offered none); clients back off at
+    least that long before retrying.  Travels on the wire as an error
+    frame with ``code="overloaded"``.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float | None = None):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class ServerUnavailable(ServingError):
+    """The server cannot be reached, hung up mid-frame, or is draining.
+
+    Raised by clients on connect/read timeouts and dropped connections
+    (retryable: the request never completed), and carried on the wire
+    as ``code="server_unavailable"`` when a draining server refuses new
+    work.
+    """
+
+
+class WorkerFault(ReproError, RuntimeError):
+    """A pool worker died or stopped responding mid-task.
+
+    Raised internally by :class:`~repro.runtime.executors.ShardedExecutor`
+    when its sentinel detects a dead worker or a task outlives
+    ``task_timeout``; the executor recovers (respawn once, then degrade
+    to serial) and retries, so callers normally never see this.
+    """
+
+
 class PipelineError(ReproError, RuntimeError):
     """A build-pipeline stage failed or was run out of order."""

@@ -47,12 +47,16 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import signal
+import time
 import warnings
 from collections import deque
 from typing import Sequence
 
 import numpy as np
 
+from ..exceptions import WorkerFault
+from ..testing import faults
 from .plan import PlanOp
 from .transport import Transport, make_transport
 
@@ -94,8 +98,31 @@ _WORKER_OPS: list[PlanOp] | None = None
 _WORKER_TRANSPORT: Transport | None = None
 
 
+def _maybe_fault() -> None:
+    """Injected-fault hook at pool-task start (no-op unless armed).
+
+    ``worker.kill`` SIGKILLs this worker (an abrupt death the parent's
+    sentinel must detect), ``worker.hang`` sleeps long enough that the
+    parent's ``task_timeout`` fires first (a dropped result frame), and
+    ``worker.delay`` sleeps briefly (a late frame that must still be
+    consumed normally).  Budgets are shared across the fork, so
+    ``times=1`` fires in exactly one worker.
+    """
+    if not faults.enabled:
+        return
+    if faults.take("worker.kill") is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    hang = faults.take("worker.hang", seconds=3600.0)
+    if hang is not None:
+        time.sleep(float(hang["seconds"]))
+    delay = faults.take("worker.delay", seconds=0.05)
+    if delay is not None:
+        time.sleep(float(delay["seconds"]))
+
+
 def _worker_run_plan(task) -> object:
     """Run the inherited plan end to end on one batch chunk."""
+    _maybe_fault()
     x = _WORKER_TRANSPORT.worker_recv(task)
     for op in _WORKER_OPS:
         x = op(x)
@@ -109,6 +136,7 @@ def _worker_run_shard(op_index: int, shard_index: int, task) -> object:
     ``op.prepare(x)`` once and stages the same spectrum for every
     shard).
     """
+    _maybe_fault()
     payload = _WORKER_TRANSPORT.worker_recv(task)
     out = _WORKER_OPS[op_index].shard_fns[shard_index](payload)
     return _WORKER_TRANSPORT.worker_send(task, out)
@@ -239,6 +267,26 @@ class ShardedExecutor(PlanExecutor):
         pickled through the pool pipe), ``"shm"`` (shared-memory slot
         ring; falls back to pipe with a warning where unavailable), or
         a :class:`~repro.runtime.transport.Transport` instance.
+    task_timeout:
+        Hard per-task deadline in seconds (default 60).  A pool task
+        whose result has not arrived by then — a hung worker, a frame
+        lost to a mid-task death the sentinel raced — raises
+        :class:`~repro.exceptions.WorkerFault` internally and triggers
+        recovery.  ``None`` disables the backstop (the pid sentinel
+        still catches outright deaths).
+
+    **Fault tolerance.**  Results are awaited with a short poll; between
+    polls the executor compares the pool's live worker pids against the
+    snapshot taken at fork.  A changed pid set or a non-``None``
+    exitcode means a worker died mid-task, and its task's result will
+    never arrive.  Recovery is: terminate the wreck, :meth:`reset
+    <repro.runtime.transport.Transport.reset>` the transport (reaping
+    every shm segment the dead pool held), fork a fresh pool **once**,
+    and retry the whole call — plan ops are pure functions of their
+    input, so the retry is bitwise identical to an undisturbed run.  A
+    second fault sets :attr:`degraded` and the executor permanently
+    falls back to serial execution with a warning; requests keep
+    succeeding, just slower.  Counters live in :attr:`fault_stats`.
 
     On platforms without the ``fork`` start method the executor degrades
     to serial execution with a warning (closures cannot be pickled to
@@ -247,11 +295,15 @@ class ShardedExecutor(PlanExecutor):
 
     _MODES = ShardScheduler._MODES
 
+    #: Result-poll interval while watching for worker deaths.
+    _POLL_S = 0.05
+
     def __init__(
         self,
         workers: int | None = None,
         mode: str = "auto",
         transport: str | Transport | None = None,
+        task_timeout: float | None = 60.0,
     ):
         if workers is None:
             workers = os.cpu_count() or 1
@@ -259,10 +311,27 @@ class ShardedExecutor(PlanExecutor):
             raise ValueError(f"workers must be >= 1, got {workers}")
         if mode not in self._MODES:
             raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got {task_timeout}"
+            )
         self.workers = workers
         self.mode = mode
         self.transport = make_transport(transport)
+        self.task_timeout = task_timeout
         self.scheduler: ShardScheduler | None = None
+        #: True once fault recovery has exhausted its one respawn and
+        #: the executor fell back to serial execution permanently.
+        self.degraded = False
+        #: Fault-recovery counters, surfaced by the server ``info`` op.
+        self.fault_stats = {
+            "faults": 0,
+            "respawns": 0,
+            "retried_calls": 0,
+            "degraded": False,
+        }
+        self._respawned = False
+        self._worker_pids: set = set()
         self._pool = None
         self._atexit = None
         self._can_fork = "fork" in multiprocessing.get_all_start_methods()
@@ -290,11 +359,100 @@ class ShardedExecutor(PlanExecutor):
             _WORKER_TRANSPORT = self.transport
             context = multiprocessing.get_context("fork")
             self._pool = context.Pool(self.workers)
+            self._worker_pids = {p.pid for p in self._pool._pool}
             # Interrupted benchmarks and crashed servers must not leak
             # fork-pool workers or shm segments; close() unregisters.
-            self._atexit = self.close
-            atexit.register(self._atexit)
+            if self._atexit is None:
+                self._atexit = self.close
+                atexit.register(self._atexit)
         return self._pool
+
+    def _pool_failed(self) -> bool:
+        """Has any worker of the current pool died?
+
+        ``multiprocessing.Pool`` quietly replaces dead workers, but the
+        task a dead worker held is lost forever — so a changed pid set
+        (or a recorded exitcode) is the signal that some in-flight
+        result will never arrive.
+        """
+        pool = self._pool
+        if pool is None:
+            return True
+        try:
+            procs = list(pool._pool)
+        except Exception:
+            return True
+        if any(p.exitcode is not None for p in procs):
+            return True
+        return {p.pid for p in procs} != self._worker_pids
+
+    def _await_result(self, async_result):
+        """Poll one async result, watching the pool for worker deaths.
+
+        Raises :class:`WorkerFault` when the pid sentinel trips or the
+        task outlives ``task_timeout``; otherwise behaves exactly like
+        ``async_result.get()``.
+        """
+        deadline = (
+            None
+            if self.task_timeout is None
+            else time.monotonic() + self.task_timeout
+        )
+        while True:
+            try:
+                return async_result.get(timeout=self._POLL_S)
+            except multiprocessing.TimeoutError:
+                if self._pool_failed():
+                    raise WorkerFault(
+                        "a pool worker died before returning its result"
+                    ) from None
+                if deadline is not None and time.monotonic() > deadline:
+                    raise WorkerFault(
+                        f"pool task produced no result within "
+                        f"task_timeout={self.task_timeout}s"
+                    ) from None
+
+    def _recover(self, fault: WorkerFault) -> bool:
+        """Tear down the dead pool; True when a retry on a fresh pool is on.
+
+        The first fault respawns the pool (the call is retried in full —
+        ops are pure, so the retry is bitwise-identical to a clean run).
+        Any later fault flips :attr:`degraded`: no more pools, serial
+        execution from here on.  Either way the transport is reset so
+        the dead pool's shm segments are reaped, never leaked.
+        """
+        self.fault_stats["faults"] += 1
+        if self._pool is not None:
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:
+                pass
+            self._pool = None
+        self._worker_pids = set()
+        try:
+            self.transport.reset()
+        except Exception:
+            pass
+        if not self._respawned:
+            self._respawned = True
+            self.fault_stats["respawns"] += 1
+            warnings.warn(
+                f"pool worker fault ({fault}); respawning the worker pool "
+                "and retrying the call",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return True
+        self.degraded = True
+        self.fault_stats["degraded"] = True
+        warnings.warn(
+            f"pool worker fault after respawn ({fault}); degrading to "
+            "serial execution — results stay correct, throughput drops",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return False
 
     def ensure_started(self) -> "ShardedExecutor":
         """Fork the worker pool now (idempotent).
@@ -329,6 +487,11 @@ class ShardedExecutor(PlanExecutor):
         ``transport.finish`` (releasing its slots and balancing shared
         input refcounts) before the first error is re-raised — so a
         malformed request costs one failed call, not the slot ring.
+
+        A :class:`WorkerFault` (dead worker, task timeout) aborts the
+        call immediately instead: the pool is a wreck and the caller's
+        recovery path resets the transport wholesale, so draining the
+        remaining tasks would only hang on more never-arriving results.
         """
         pool = self._ensure_pool()
         t = self.transport
@@ -342,7 +505,9 @@ class ShardedExecutor(PlanExecutor):
             nonlocal first_error
             j, task, async_result = inflight.popleft()
             try:
-                raw = async_result.get()
+                raw = self._await_result(async_result)
+            except WorkerFault:
+                raise
             except Exception as exc:
                 t.finish(None, task)  # release slots even on failure
                 if first_error is None:
@@ -363,10 +528,27 @@ class ShardedExecutor(PlanExecutor):
             raise first_error
         return results
 
-    def run(self, x: np.ndarray) -> np.ndarray:
-        """One batch through the plan, row-sharded ops on the pool."""
-        if self.scheduler.run_strategy(self._can_fork) != "rows":
-            return self._run_serial(x)
+    def _with_recovery(self, pooled, serial):
+        """Run ``pooled()``, surviving worker faults.
+
+        First fault: recover (respawn) and retry ``pooled()`` once —
+        ops are pure, so the retry matches an undisturbed run bitwise.
+        A fault during the retry degrades the executor and the call
+        finishes via ``serial()``.  Requests in flight during a fault
+        are therefore always answered, never dropped.
+        """
+        try:
+            return pooled()
+        except WorkerFault as fault:
+            if self._recover(fault):
+                self.fault_stats["retried_calls"] += 1
+                try:
+                    return pooled()
+                except WorkerFault as second:
+                    self._recover(second)
+            return serial()
+
+    def _run_rows(self, x: np.ndarray) -> np.ndarray:
         self._ensure_pool()  # binds the transport before the first put()
         for index, op in enumerate(self._ops):
             jobs = self.scheduler.shard_jobs(index)
@@ -381,6 +563,17 @@ class ShardedExecutor(PlanExecutor):
                 x = op(x)
         return x
 
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One batch through the plan, row-sharded ops on the pool."""
+        if (
+            self.degraded
+            or self.scheduler.run_strategy(self._can_fork) != "rows"
+        ):
+            return self._run_serial(x)
+        return self._with_recovery(
+            lambda: self._run_rows(x), lambda: self._run_serial(x)
+        )
+
     def map_batches(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
         """Pre-chunked batches across the pool, outputs in chunk order.
 
@@ -388,12 +581,17 @@ class ShardedExecutor(PlanExecutor):
         chunks the serial streaming path would process — so the
         concatenated result is bitwise identical to serial execution.
         """
-        if not self.scheduler.use_batch_pool(len(chunks), self._can_fork):
+        if self.degraded or not self.scheduler.use_batch_pool(
+            len(chunks), self._can_fork
+        ):
             return [self.run(chunk) for chunk in chunks]
-        return self._map_on_pool(
-            _worker_run_plan,
-            [() for _ in chunks],
-            lambda i: self.transport.put(chunks[i]),
+        return self._with_recovery(
+            lambda: self._map_on_pool(
+                _worker_run_plan,
+                [() for _ in chunks],
+                lambda i: self.transport.put(chunks[i]),
+            ),
+            lambda: [self._run_serial(chunk) for chunk in chunks],
         )
 
     # ------------------------------------------------------------------

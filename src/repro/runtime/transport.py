@@ -99,6 +99,15 @@ class Transport:
     def worker_send(self, task, arr: np.ndarray):
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Discard per-pool state after a worker fault; default no-op.
+
+        :class:`~repro.runtime.executors.ShardedExecutor` calls this
+        between terminating a dead pool and respawning it, so segments
+        the dead workers were attached to are reaped and a fresh pool
+        forks with clean state.
+        """
+
     def close(self) -> None:
         """Release transport resources; idempotent."""
 
@@ -273,9 +282,16 @@ class SharedMemoryTransport(Transport):
             raise RuntimeError("transport is closed")
         if self._bound:
             return self
+        self._allocate(self._requested_slots or max(2, 2 * workers))
+        self._bound = True
+        self._atexit = self.close
+        atexit.register(self._atexit)
+        return self
+
+    def _allocate(self, n: int) -> None:
+        """Create ``n`` fresh slot pairs and mark them all free."""
         from multiprocessing import shared_memory
 
-        n = self._requested_slots or max(2, 2 * workers)
         for _ in range(n):
             self._in_segs.append(
                 shared_memory.SharedMemory(create=True, size=self._slot_bytes)
@@ -285,10 +301,43 @@ class SharedMemoryTransport(Transport):
             )
         self._free_in.extend(range(n))
         self._free_out.extend(range(n))
-        self._bound = True
-        self._atexit = self.close
-        atexit.register(self._atexit)
-        return self
+
+    def _release_segments(self) -> None:
+        """Unlink every parent segment, drop worker attachments."""
+        for seg in self._in_segs + self._out_segs:
+            try:
+                seg.close()
+                seg.unlink()
+            except Exception:
+                pass
+        for seg in self._worker_segs.values():
+            try:
+                seg.close()
+            except Exception:
+                pass
+        self._in_segs = []
+        self._out_segs = []
+        self._worker_segs = {}
+        self._free_in.clear()
+        self._free_out.clear()
+        self._in_uses.clear()
+
+    def reset(self) -> None:
+        """Reap every segment and rebuild a fresh, fully-free slot ring.
+
+        Called after a pool-worker fault: tasks in flight at the fault
+        held slots that will never be released by ``finish``, and the
+        dead workers' lazily-attached mappings are gone with them —
+        unlinking everything and reallocating is the only state the
+        respawned pool can trust.  A no-op before ``bind`` or after
+        ``close``.
+        """
+        if self._closed or not self._bound:
+            return
+        n = len(self._in_segs)
+        self._release_segments()
+        self._out_hint = 0
+        self._allocate(n)
 
     def _reseat(self, segs: list, slot: int, nbytes: int) -> None:
         """Replace a (free) slot's segment with a larger one."""

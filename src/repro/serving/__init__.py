@@ -15,19 +15,31 @@ this package gives it a front door:
   (model, precision) route, all fused batches on a dedicated
   inference thread (sharded executors fork their pools before any
   thread starts), responses streamed zero-copy,
+* :mod:`repro.serving.resilience` — admission control policy:
+  :class:`TokenBucket` (global request-rate limit) and
+  :class:`QueueLimits` (per-route and per-priority-class row bounds);
+  over-limit requests are shed with the typed
+  :class:`~repro.exceptions.Overloaded` error carrying a
+  ``retry_after_ms`` hint,
 * :mod:`repro.serving.client` — :class:`ServeClient` (blocking) and
   :class:`AsyncServeClient` (asyncio), both with optional per-request
-  ``model`` / ``precision`` / ``priority`` / ``deadline_ms`` fields.
+  ``model`` / ``precision`` / ``priority`` / ``deadline_ms`` fields,
+  connect/read timeouts, and bounded retry with exponential backoff
+  honoring the server's ``retry_after_ms``.
 
 Entry points: ``repro serve`` on the command line,
 :meth:`repro.engine.Engine.serve` from code, or construct
 :class:`InferenceServer` around an engine directly for an in-process
-server (as the tests and benchmarks do).
+server (as the tests and benchmarks do).  Fault-tolerance behavior
+(error codes, drain, degraded mode) is documented in
+``docs/robustness.md``.
 """
 
+from ..exceptions import Overloaded, ServerUnavailable
 from .batcher import DeadlineExpired, MicroBatcher
 from .client import AsyncServeClient, ServeClient
 from .protocol import DEFAULT_PORT
+from .resilience import QueueLimits, TokenBucket
 from .server import InferenceServer
 
 __all__ = [
@@ -36,5 +48,9 @@ __all__ = [
     "DeadlineExpired",
     "InferenceServer",
     "MicroBatcher",
+    "Overloaded",
+    "QueueLimits",
     "ServeClient",
+    "ServerUnavailable",
+    "TokenBucket",
 ]

@@ -31,6 +31,15 @@ single-thread pool, which keeps the event loop responsive *and*
 serializes access to the (single-threaded) inference session and its
 shared-memory transport.
 
+Admission control: with ``limits``
+(:class:`~repro.serving.resilience.QueueLimits`), ``submit`` counts the
+route's *in-flight* rows — queued plus running, released only when a
+request's future resolves — and sheds with
+:class:`~repro.exceptions.Overloaded` when admitting a request would
+exceed the route cap or its priority class's cap.  The attached
+``retry_after_ms`` estimates when the backlog will have drained, from
+an exponential moving average of recent fused-batch latencies.
+
 Row-wise parity: every plan op is row-independent, so the rows a
 request gets back from a fused batch are the same rows a dedicated
 batch would produce; the e2e guarantee (server == serial executor,
@@ -40,12 +49,14 @@ bitwise at fp64) is asserted by the serving tests.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from ..exceptions import ServingError
+from ..exceptions import Overloaded, ServingError
+from .resilience import QueueLimits
 
 __all__ = ["MicroBatcher", "DeadlineExpired"]
 
@@ -88,6 +99,11 @@ class MicroBatcher:
         loop (fine for tests and tiny models); otherwise a
         :class:`concurrent.futures.Executor` (the server uses a
         single-thread pool).
+    limits:
+        Optional :class:`~repro.serving.resilience.QueueLimits`;
+        ``submit`` sheds with :class:`~repro.exceptions.Overloaded`
+        when admitting the request would exceed them.  ``None`` (the
+        default) admits everything, exactly as before.
     """
 
     def __init__(
@@ -96,6 +112,7 @@ class MicroBatcher:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         executor=None,
+        limits: QueueLimits | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -105,8 +122,12 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self._executor = executor
+        self.limits = limits
         self._pending: list[_Pending] = []
         self._pending_rows = 0
+        self._inflight_rows = 0  # queued + running, until futures resolve
+        self._inflight_by_level: dict[int, int] = {}
+        self._batch_ms_ema: float | None = None  # recent fused-batch latency
         self._seq = 0
         self._timer: asyncio.TimerHandle | None = None
         self._timer_at: float | None = None
@@ -119,6 +140,7 @@ class MicroBatcher:
             "rows": 0,
             "max_batch_rows": 0,
             "expired": 0,
+            "shed": 0,
         }
 
     async def submit(
@@ -132,7 +154,10 @@ class MicroBatcher:
         ``priority`` orders requests within a flush (higher first);
         ``deadline_ms`` is measured from this call — if the deadline has
         passed when the flush runs, the request fails with
-        :class:`DeadlineExpired` instead of running.
+        :class:`DeadlineExpired` instead of running.  With
+        :attr:`limits` set, a request that would overflow the route's
+        row budget (or its priority class's) is shed immediately with
+        :class:`~repro.exceptions.Overloaded` instead of queueing.
         """
         if self._closed:
             raise ServingError("batcher is closed")
@@ -140,6 +165,19 @@ class MicroBatcher:
             raise ServingError(f"expected at least one row, got shape {rows.shape}")
         if deadline_ms is not None and deadline_ms < 0:
             raise ServingError(f"deadline_ms must be >= 0, got {deadline_ms}")
+        n_rows = int(rows.shape[0])
+        if self.limits is not None and not self.limits.admits(
+            n_rows,
+            priority,
+            self._inflight_rows,
+            self._inflight_by_level.get(priority, 0),
+        ):
+            self.stats["shed"] += 1
+            raise Overloaded(
+                f"queue full: {self._inflight_rows} rows in flight "
+                f"(limit {self.limits.max_rows})",
+                retry_after_ms=self.retry_after_ms(),
+            )
         loop = asyncio.get_running_loop()
         self._loop = loop
         deadline = (
@@ -155,12 +193,48 @@ class MicroBatcher:
         self._seq += 1
         self._pending.append(pending)
         self._pending_rows += rows.shape[0]
+        self._inflight_rows += n_rows
+        self._inflight_by_level[priority] = (
+            self._inflight_by_level.get(priority, 0) + n_rows
+        )
+        pending.future.add_done_callback(
+            lambda _f, n=n_rows, level=priority: self._release(n, level)
+        )
         self.stats["requests"] += 1
         if self._pending_rows >= self.max_batch:
             self._flush()
         else:
             self._schedule_flush(pending)
         return await pending.future
+
+    def _release(self, n_rows: int, level: int) -> None:
+        """Return a resolved request's rows to the admission budget."""
+        self._inflight_rows = max(0, self._inflight_rows - n_rows)
+        left = self._inflight_by_level.get(level, 0) - n_rows
+        if left > 0:
+            self._inflight_by_level[level] = left
+        else:
+            self._inflight_by_level.pop(level, None)
+
+    def retry_after_ms(self) -> float:
+        """Estimated ms until the current backlog has drained.
+
+        The flush wait plus one average fused-batch latency per
+        ``max_batch`` rows in flight.  Before any batch has run the
+        estimate is just the flush wait (clamped to at least 1 ms so
+        clients always get a positive hint).
+        """
+        batch_ms = self._batch_ms_ema or 0.0
+        backlog = (self._inflight_rows / self.max_batch) * batch_ms
+        return max(1.0, self.max_wait_ms + backlog)
+
+    def queue_depth(self) -> dict:
+        """Backlog snapshot for the server's ``info`` health block."""
+        return {
+            "pending_rows": self._pending_rows,
+            "inflight_rows": self._inflight_rows,
+            "by_level": dict(self._inflight_by_level),
+        }
 
     def _schedule_flush(self, newcomer: _Pending) -> None:
         """(Re)arm the flush timer; deadlines pull it earlier.
@@ -236,6 +310,7 @@ class MicroBatcher:
             await self._run_bucket(bucket)
 
     async def _run_bucket(self, bucket: list[_Pending]) -> None:
+        started = time.perf_counter()
         try:
             if len(bucket) == 1:
                 batch = bucket[0].rows
@@ -254,6 +329,12 @@ class MicroBatcher:
                         ServingError(f"batch inference failed: {exc}")
                     )
             return
+        batch_ms = (time.perf_counter() - started) * 1e3
+        self._batch_ms_ema = (
+            batch_ms
+            if self._batch_ms_ema is None
+            else 0.8 * self._batch_ms_ema + 0.2 * batch_ms
+        )
         self.stats["batches"] += 1
         self.stats["rows"] += batch.shape[0]
         self.stats["max_batch_rows"] = max(

@@ -11,16 +11,36 @@ One connection carries any number of sequential requests; neither
 client pipelines concurrently on a single connection — open one client
 per concurrent caller instead (connections are cheap, and the server
 micro-batches across them anyway).
+
+**Resilience.**  Both clients retry transient failures with bounded,
+jittered exponential backoff:
+
+* :class:`~repro.exceptions.Overloaded` (the server shed the request)
+  — retried on the same connection, waiting at least the server's
+  ``retry_after_ms`` hint;
+* :class:`~repro.exceptions.ServerUnavailable`, connection resets, and
+  read/connect timeouts — the stream may be desynchronized, so the
+  client reconnects before replaying.
+
+Every predict request carries a stable ``request_id`` header (kept
+across retries of the same call), so a future deduplicating server can
+make replays idempotent.  Deliberate errors — deadline expiry, unknown
+models, malformed frames — are **never** retried: repeating them cannot
+succeed.  After the retry budget the last typed error is raised.
+``retries=0`` restores the old fail-fast behavior exactly.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
+import time
+import uuid
 
 import numpy as np
 
-from ..exceptions import ServingError
+from ..exceptions import Overloaded, ServerUnavailable, ServingError
 from .batcher import DeadlineExpired
 from .protocol import (
     DEFAULT_MAX_PAYLOAD,
@@ -35,13 +55,23 @@ from .protocol import (
 
 __all__ = ["ServeClient", "AsyncServeClient"]
 
+#: Default connect timeout: distinct from (and much tighter than) the
+#: read timeout — an unreachable host should fail in seconds, while a
+#: slow batch may legitimately take the full read timeout.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
 
 def _check(header: dict) -> dict:
     if header.get("status") != "ok":
         message = header.get("message", "request failed")
-        if header.get("code") == "deadline_expired":
+        code = header.get("code")
+        if code == "deadline_expired":
             # Typed expiry so retry logic never string-matches messages.
             raise DeadlineExpired(message)
+        if code == "overloaded":
+            raise Overloaded(message, retry_after_ms=header.get("retry_after_ms"))
+        if code == "server_unavailable":
+            raise ServerUnavailable(message)
         raise ServingError(message)
     return header
 
@@ -64,23 +94,138 @@ def _predict_header(op: str, model, precision, priority, deadline_ms) -> dict:
     return header
 
 
+class _RetryPolicy:
+    """Shared retry arithmetic: full-jitter exponential backoff.
+
+    The wait before attempt ``attempt`` (0-based) is uniform in
+    ``[0, min(backoff_ms * 2**attempt, backoff_max_ms)]``, floored at
+    the server's ``retry_after_ms`` hint when one was offered —
+    randomness decorrelates a thundering herd, the floor honors the
+    server's own drain estimate.
+    """
+
+    def __init__(self, retries: int, backoff_ms: float, backoff_max_ms: float):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_ms < 0 or backoff_max_ms < backoff_ms:
+            raise ValueError(
+                f"need 0 <= backoff_ms <= backoff_max_ms, got "
+                f"{backoff_ms}/{backoff_max_ms}"
+            )
+        self.retries = retries
+        self.backoff_ms = backoff_ms
+        self.backoff_max_ms = backoff_max_ms
+
+    def delay_s(self, attempt: int, retry_after_ms: float | None) -> float:
+        ceiling = min(self.backoff_ms * (2 ** attempt), self.backoff_max_ms)
+        delay_ms = random.uniform(0.0, ceiling)
+        if retry_after_ms is not None:
+            delay_ms = max(delay_ms, float(retry_after_ms))
+        return delay_ms / 1e3
+
+
 class ServeClient:
-    """Blocking client: one TCP connection, sequential requests."""
+    """Blocking client: one TCP connection, sequential requests.
+
+    Parameters
+    ----------
+    host, port:
+        Server address; the constructor connects immediately (an
+        unreachable server raises
+        :class:`~repro.exceptions.ServerUnavailable`).
+    timeout:
+        Read timeout per response, seconds.
+    connect_timeout:
+        Timeout for establishing the TCP connection (also used by retry
+        reconnects).
+    max_payload:
+        Inbound frame payload bound.
+    retries:
+        Retry budget per request for *transient* failures (shed
+        requests, dropped connections, timeouts).  ``0`` disables
+        retrying.
+    backoff_ms, backoff_max_ms:
+        Jittered exponential backoff range between attempts; an
+        ``Overloaded`` response's ``retry_after_ms`` raises the floor.
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: float = 60.0,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        retries: int = 2,
+        backoff_ms: float = 25.0,
+        backoff_max_ms: float = 2000.0,
     ):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._connect_timeout = connect_timeout
         self._max_payload = max_payload
+        self._policy = _RetryPolicy(retries, backoff_ms, backoff_max_ms)
+        self._sock: socket.socket | None = None
+        self._connect()
 
-    def _request(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
-        send_frame_sync(self._sock, header, payload)
-        response, out = read_frame_sync(self._sock, self._max_payload)
+    def _connect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except Exception:
+                pass
+            self._sock = None
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            raise ServerUnavailable(
+                f"cannot connect to {self._host}:{self._port}: {exc}"
+            ) from exc
+        sock.settimeout(self._timeout)
+        self._sock = sock
+
+    def _once(self, header: dict, payload) -> tuple[dict, bytes]:
+        if self._sock is None:
+            self._connect()
+        try:
+            send_frame_sync(self._sock, header, payload)
+            response, out = read_frame_sync(self._sock, self._max_payload)
+        except socket.timeout as exc:
+            raise ServerUnavailable(
+                f"no response within {self._timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise ServerUnavailable(f"connection failed: {exc}") from exc
         return _check(response), out
+
+    def _request(self, header: dict, payload=b"") -> tuple[dict, bytes]:
+        # One id for every attempt of this logical request: a server
+        # that deduplicates can treat the replay as the same request.
+        header.setdefault("request_id", uuid.uuid4().hex)
+        attempt = 0
+        while True:
+            try:
+                return self._once(header, payload)
+            except Overloaded as exc:
+                # Connection is intact (the server answered); back off
+                # at least as long as it asked, then resend.
+                if attempt >= self._policy.retries:
+                    raise
+                time.sleep(self._policy.delay_s(attempt, exc.retry_after_ms))
+            except ServerUnavailable:
+                # The stream may be desynchronized (or dead): retries
+                # must replay on a fresh connection.
+                if attempt >= self._policy.retries:
+                    raise
+                time.sleep(self._policy.delay_s(attempt, None))
+                try:
+                    self._connect()
+                except ServerUnavailable:
+                    pass  # still down; next attempt reconnects again
+            attempt += 1
 
     def ping(self) -> bool:
         self._request({"op": "ping"})
@@ -88,6 +233,11 @@ class ServeClient:
 
     def info(self) -> dict:
         header, _ = self._request({"op": "info"})
+        return header
+
+    def drain(self) -> dict:
+        """Ask the server to drain and shut down gracefully."""
+        header, _ = self._request({"op": "drain"})
         return header
 
     def predict_proba(
@@ -121,10 +271,13 @@ class ServeClient:
         return unpack_array(payload)
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except Exception:
             pass
+        self._sock = None
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -134,12 +287,32 @@ class ServeClient:
 
 
 class AsyncServeClient:
-    """asyncio client: construct with :meth:`connect`."""
+    """asyncio client: construct with :meth:`connect`.
 
-    def __init__(self, reader, writer, max_payload: int = DEFAULT_MAX_PAYLOAD):
+    Retry semantics mirror :class:`ServeClient`.  A client built
+    directly from ``(reader, writer)`` has no address to reconnect to,
+    so transport failures are raised immediately (shed requests still
+    retry on the intact connection).
+    """
+
+    def __init__(
+        self,
+        reader,
+        writer,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff_ms: float = 25.0,
+        backoff_max_ms: float = 2000.0,
+    ):
         self._reader = reader
         self._writer = writer
         self._max_payload = max_payload
+        self._timeout = timeout
+        self._policy = _RetryPolicy(retries, backoff_ms, backoff_max_ms)
+        self._host: str | None = None
+        self._port: int | None = None
+        self._connect_timeout = DEFAULT_CONNECT_TIMEOUT
 
     @classmethod
     async def connect(
@@ -147,16 +320,86 @@ class AsyncServeClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        timeout: float = 60.0,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        retries: int = 2,
+        backoff_ms: float = 25.0,
+        backoff_max_ms: float = 2000.0,
     ) -> "AsyncServeClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, max_payload=max_payload)
+        reader, writer = await cls._open(host, port, connect_timeout)
+        client = cls(
+            reader,
+            writer,
+            max_payload=max_payload,
+            timeout=timeout,
+            retries=retries,
+            backoff_ms=backoff_ms,
+            backoff_max_ms=backoff_max_ms,
+        )
+        client._host = host
+        client._port = port
+        client._connect_timeout = connect_timeout
+        return client
 
-    async def _request(
-        self, header: dict, payload: bytes = b""
-    ) -> tuple[dict, bytes]:
-        await send_frame(self._writer, header, payload)
-        response, out = await read_frame(self._reader, self._max_payload)
+    @staticmethod
+    async def _open(host: str, port: int, connect_timeout: float):
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServerUnavailable(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+
+    async def _reconnect(self) -> None:
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        self._reader, self._writer = await self._open(
+            self._host, self._port, self._connect_timeout
+        )
+
+    async def _once(self, header: dict, payload) -> tuple[dict, bytes]:
+        try:
+            await send_frame(self._writer, header, payload)
+            response, out = await asyncio.wait_for(
+                read_frame(self._reader, self._max_payload), self._timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise ServerUnavailable(
+                f"no response within {self._timeout}s"
+            ) from exc
+        except asyncio.IncompleteReadError as exc:
+            raise ServerUnavailable("connection closed mid-frame") from exc
+        except (ConnectionError, OSError) as exc:
+            raise ServerUnavailable(f"connection failed: {exc}") from exc
         return _check(response), out
+
+    async def _request(self, header: dict, payload=b"") -> tuple[dict, bytes]:
+        header.setdefault("request_id", uuid.uuid4().hex)
+        attempt = 0
+        while True:
+            try:
+                return await self._once(header, payload)
+            except Overloaded as exc:
+                if attempt >= self._policy.retries:
+                    raise
+                await asyncio.sleep(
+                    self._policy.delay_s(attempt, exc.retry_after_ms)
+                )
+            except ServerUnavailable:
+                # Without an address there is no reconnecting — and the
+                # stream offset may be garbage — so fail immediately.
+                if self._host is None or attempt >= self._policy.retries:
+                    raise
+                await asyncio.sleep(self._policy.delay_s(attempt, None))
+                try:
+                    await self._reconnect()
+                except ServerUnavailable:
+                    pass  # still down; next attempt reconnects again
+            attempt += 1
 
     async def ping(self) -> bool:
         await self._request({"op": "ping"})
@@ -164,6 +407,11 @@ class AsyncServeClient:
 
     async def info(self) -> dict:
         header, _ = await self._request({"op": "info"})
+        return header
+
+    async def drain(self) -> dict:
+        """Ask the server to drain and shut down gracefully."""
+        header, _ = await self._request({"op": "drain"})
         return header
 
     async def predict_proba(

@@ -34,7 +34,7 @@ import struct
 
 import numpy as np
 
-from ..exceptions import ServingError
+from ..exceptions import ServerUnavailable, ServingError
 
 __all__ = [
     "DEFAULT_PORT",
@@ -190,7 +190,9 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     while remaining:
         chunk = sock.recv(remaining)
         if not chunk:
-            raise ServingError("connection closed mid-frame")
+            # Typed as retryable: the request never completed, so the
+            # client's retry loop may replay it on a fresh connection.
+            raise ServerUnavailable("connection closed mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)

@@ -1,0 +1,133 @@
+"""Admission control primitives for the serving front-end.
+
+A server that accepts every request degrades for *all* clients at
+overload: queues grow without bound, every deadline expires, memory
+balloons.  Shedding early — with a typed ``overloaded`` error carrying
+a ``retry_after_ms`` hint — keeps the requests that *are* admitted fast
+and gives the shed clients an honest signal to back off on
+(:class:`~repro.exceptions.Overloaded`; the clients in
+:mod:`repro.serving.client` turn the hint into their backoff floor).
+
+Two independent mechanisms, both enforced before a request enters a
+:class:`~repro.serving.batcher.MicroBatcher`:
+
+* :class:`TokenBucket` — a global requests-per-second limit with burst
+  headroom, configured by ``EngineConfig.rate_limit_rps`` /
+  ``rate_burst``.  Protects the event loop itself from frame floods.
+* :class:`QueueLimits` — bounds on *queued rows* per route, overall and
+  per priority class, configured by ``EngineConfig.max_queue_rows`` /
+  ``queue_class_caps``.  Protects the inference thread's backlog; class
+  caps keep a bulk-priority flood from occupying the whole queue ahead
+  of interactive traffic.
+
+Both are pure, synchronous, single-threaded policy objects (the asyncio
+server calls them from the event loop only) with injectable clocks, so
+tests exercise them without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping
+
+__all__ = ["TokenBucket", "QueueLimits"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``try_acquire`` spends one token when available and returns ``0.0``;
+    otherwise it returns the seconds until a token accrues (the
+    ``retry_after`` hint), spending nothing.  Time comes from ``clock``
+    (default :func:`time.monotonic`) so tests can drive it by hand.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst is None:
+            burst = max(1, int(rate))
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; else seconds until they accrue."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (refilled to now)."""
+        self._refill()
+        return self._tokens
+
+    def __repr__(self) -> str:
+        return f"TokenBucket(rate={self.rate}, burst={self.burst})"
+
+
+class QueueLimits:
+    """Row-count bounds a :class:`MicroBatcher` enforces at ``submit``.
+
+    ``max_rows`` caps the route's total backlog (queued plus running
+    rows); ``class_caps`` maps a priority *level* (the integer requests
+    carry on the wire) to that class's own smaller cap.  A request is
+    shed when admitting its rows would exceed either bound.
+    """
+
+    def __init__(
+        self, max_rows: int, class_caps: Mapping[int, int] | None = None
+    ):
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        caps = dict(class_caps or {})
+        for level, cap in caps.items():
+            if cap < 1:
+                raise ValueError(
+                    f"class cap for level {level} must be >= 1, got {cap}"
+                )
+        self.max_rows = int(max_rows)
+        self.class_caps = caps
+
+    @classmethod
+    def from_config(cls, config) -> "QueueLimits":
+        """Build from an ``EngineConfig`` (class names -> levels)."""
+        caps = {
+            config.resolve_priority(name): cap
+            for name, cap in config.queue_class_caps.items()
+        }
+        return cls(config.max_queue_rows, caps)
+
+    def admits(
+        self, rows: int, level: int, queued: int, queued_at_level: int
+    ) -> bool:
+        """Would ``rows`` more rows at ``level`` stay within bounds?"""
+        if queued + rows > self.max_rows:
+            return False
+        cap = self.class_caps.get(level)
+        return cap is None or queued_at_level + rows <= cap
+
+    def __repr__(self) -> str:
+        return (
+            f"QueueLimits(max_rows={self.max_rows}, "
+            f"class_caps={self.class_caps})"
+        )

@@ -45,8 +45,14 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, ServingError
+from ..exceptions import (
+    ConfigurationError,
+    Overloaded,
+    ServerUnavailable,
+    ServingError,
+)
 from ..runtime.executors import ShardedExecutor
+from ..testing import faults
 from .batcher import DeadlineExpired, MicroBatcher
 from .protocol import (
     DEFAULT_PORT,
@@ -55,6 +61,7 @@ from .protocol import (
     send_frame,
     unpack_array,
 )
+from .resilience import QueueLimits, TokenBucket
 
 __all__ = ["InferenceServer"]
 
@@ -122,11 +129,24 @@ class InferenceServer:
         self._batchers: dict[tuple[str, str], MicroBatcher] = {}
         self._route_sessions: dict[tuple[str, str], object] = {}
         self._infer_thread: ThreadPoolExecutor | None = None
+        self._limits = QueueLimits.from_config(config)
+        self._bucket = (
+            None
+            if config.rate_limit_rps is None
+            else TokenBucket(config.rate_limit_rps, config.rate_burst)
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._draining = False
+        self._drain_task: asyncio.Task | None = None
+        self._inflight = 0  # requests read but not yet fully responded
         self.stats = {
             "connections": 0,
             "requests": 0,
             "errors": 0,
             "expired": 0,
+            "shed": 0,
+            "rate_limited": 0,
+            "disconnects": 0,
         }
 
     # ------------------------------------------------------------------
@@ -164,6 +184,7 @@ class InferenceServer:
                 max_batch=self.max_batch,
                 max_wait_ms=self.max_wait_ms,
                 executor=self._infer_thread,
+                limits=self._limits,
             )
             self._batchers[key] = batcher
         return batcher
@@ -193,11 +214,46 @@ class InferenceServer:
         self._infer_thread = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-infer"
         )
+        self._loop = asyncio.get_running_loop()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         return self
+
+    @property
+    def draining(self) -> bool:
+        """True once a drain has begun (new work is being refused)."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Start a graceful drain; safe to call from a signal handler.
+
+        Flips the server into draining mode — new predict requests are
+        refused with a typed ``server_unavailable`` error — and
+        schedules :meth:`_drain`, which waits for every in-flight
+        request to be answered (responses flushed to their sockets,
+        bitwise intact), drains the batchers, and then closes the
+        listener so :meth:`serve_forever` returns.  Idempotent.
+        """
+        if self._draining or self._loop is None:
+            return
+        self._draining = True
+        self._drain_task = self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        # Flush inside the wait loop: a request sitting in a batcher's
+        # pending window would otherwise hold drain hostage for the
+        # full max_wait_ms timer.  Draining mode blocks new admissions,
+        # so the loop strictly empties.
+        while self._inflight > 0:
+            for batcher in tuple(self._batchers.values()):
+                await batcher.drain()
+            await asyncio.sleep(0.005)
+        for batcher in tuple(self._batchers.values()):
+            await batcher.drain()
+        if self._server is not None:
+            self._server.close()
 
     async def serve_forever(self) -> None:
         """Block serving connections until cancelled or :meth:`stop`."""
@@ -239,8 +295,16 @@ class InferenceServer:
                     header, payload = await read_frame(
                         reader, max_payload=self.max_payload
                     )
-                except (asyncio.IncompleteReadError, ConnectionError):
-                    break  # peer hung up
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        # Died mid-frame (a killed client, a cut cable):
+                        # this connection is unrecoverable, every other
+                        # connection is unaffected.
+                        self.stats["disconnects"] += 1
+                    break  # clean EOF between frames: peer hung up
+                except ConnectionError:
+                    self.stats["disconnects"] += 1
+                    break
                 except ServingError as exc:
                     # Malformed or oversized frame: the stream offset is
                     # unrecoverable, so answer once and hang up.
@@ -253,27 +317,77 @@ class InferenceServer:
                     except Exception:
                         pass
                     break
+                if faults.enabled and payload:
+                    corrupt = faults.take("server.corrupt_payload")
+                    if corrupt is not None:
+                        head = bytes(payload[:8])
+                        payload = (
+                            bytes(b ^ 0xFF for b in head) + payload[8:]
+                        )
+                self._inflight += 1
                 try:
-                    response, out_payload = await self._dispatch(header, payload)
-                except (ServingError, ConfigurationError) as exc:
-                    self.stats["errors"] += 1
-                    response = {"status": "error", "message": str(exc)}
-                    if isinstance(exc, DeadlineExpired):
-                        # Machine-readable: retry loops must be able to
-                        # tell expiry from real inference failure
-                        # without string-matching the message.
-                        response["code"] = "deadline_expired"
-                    out_payload = b""
-                except Exception as exc:  # never kill the connection loop
-                    self.stats["errors"] += 1
-                    response, out_payload = (
-                        {"status": "error",
-                         "message": f"internal error: {exc}"},
-                        b"",
-                    )
-                if "id" in header:
-                    response["id"] = header["id"]
-                await send_frame(writer, response, out_payload)
+                    try:
+                        response, out_payload = await self._dispatch(
+                            header, payload
+                        )
+                    except Overloaded as exc:
+                        # Shed, not failed: the client must back off and
+                        # retry, so the frame carries the typed code and
+                        # the server's retry hint.
+                        self.stats["shed"] += 1
+                        response = {
+                            "status": "error",
+                            "code": "overloaded",
+                            "message": str(exc),
+                        }
+                        if exc.retry_after_ms is not None:
+                            response["retry_after_ms"] = float(
+                                exc.retry_after_ms
+                            )
+                        out_payload = b""
+                    except ServerUnavailable as exc:
+                        self.stats["errors"] += 1
+                        response = {
+                            "status": "error",
+                            "code": "server_unavailable",
+                            "message": str(exc),
+                        }
+                        out_payload = b""
+                    except (ServingError, ConfigurationError) as exc:
+                        self.stats["errors"] += 1
+                        response = {"status": "error", "message": str(exc)}
+                        if isinstance(exc, DeadlineExpired):
+                            # Machine-readable: retry loops must be able
+                            # to tell expiry from real inference failure
+                            # without string-matching the message.
+                            response["code"] = "deadline_expired"
+                        out_payload = b""
+                    except Exception as exc:  # never kill the connection loop
+                        self.stats["errors"] += 1
+                        response, out_payload = (
+                            {"status": "error",
+                             "message": f"internal error: {exc}"},
+                            b"",
+                        )
+                    if "id" in header:
+                        response["id"] = header["id"]
+                    if faults.enabled:
+                        delay = faults.take(
+                            "server.delay_response", seconds=0.05
+                        )
+                        if delay is not None:
+                            await asyncio.sleep(float(delay["seconds"]))
+                        if faults.take("server.drop_connection") is not None:
+                            break  # hang up instead of responding
+                    try:
+                        await send_frame(writer, response, out_payload)
+                    except (ConnectionError, asyncio.IncompleteReadError):
+                        # Peer vanished while we wrote its response;
+                        # close this connection, touch nothing else.
+                        self.stats["disconnects"] += 1
+                        break
+                finally:
+                    self._inflight -= 1
         finally:
             writer.close()
             try:
@@ -306,7 +420,13 @@ class InferenceServer:
         op = header.get("op")
         if op == "ping":
             return {"status": "ok", "op": "ping"}, b""
+        if op == "drain":
+            # Graceful shutdown over the wire: in-flight requests are
+            # answered, then the listener closes and the process exits.
+            self.begin_drain()
+            return {"status": "ok", "op": "drain", "draining": True}, b""
         if op == "info":
+            engine_health = self.engine.health()
             info = {
                 "status": "ok",
                 "op": "info",
@@ -322,11 +442,48 @@ class InferenceServer:
                     for (model, precision), batcher in self._batchers.items()
                 },
                 "routes": self.engine.describe_routes(),
+                "health": {
+                    "draining": self._draining,
+                    "degraded": engine_health["degraded"],
+                    "executors": engine_health["executors"],
+                    "inflight_requests": self._inflight,
+                    "queues": {
+                        f"{model}/{precision}": batcher.queue_depth()
+                        for (model, precision), batcher
+                        in self._batchers.items()
+                    },
+                    "max_queue_rows": self._limits.max_rows,
+                    "shed": self.stats["shed"],
+                    "rate_limited": self.stats["rate_limited"],
+                },
             }
             return info, b""
         if op in ("predict", "predict_proba"):
+            if self._draining:
+                raise ServerUnavailable(
+                    "server is draining and accepts no new requests"
+                )
             if not payload:
                 raise ServingError(f"{op} requires an array payload")
+            # Admission, cheapest checks first: an injected shed, then
+            # the global rate bucket; the per-route queue bounds are
+            # enforced by the batcher at submit.
+            if faults.enabled:
+                shed = faults.take("admission.shed", retry_after_ms=50.0)
+                if shed is not None:
+                    raise Overloaded(
+                        "request shed by injected fault",
+                        retry_after_ms=float(shed["retry_after_ms"]),
+                    )
+            if self._bucket is not None:
+                wait_s = self._bucket.try_acquire()
+                if wait_s > 0.0:
+                    self.stats["rate_limited"] += 1
+                    raise Overloaded(
+                        f"rate limit exceeded "
+                        f"({self._bucket.rate:g} requests/s)",
+                        retry_after_ms=wait_s * 1e3,
+                    )
             model, precision, priority = self._resolve_route(header)
             deadline_ms = header.get("deadline_ms")
             if deadline_ms is not None and (

@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deliberate fault-injection harness
+the serving and runtime layers expose hook points for; see that module
+for the catalogue of injectable faults and the arming API.  Nothing in
+here runs unless a test (or an operator via ``REPRO_FAULTS``) arms it.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

@@ -387,6 +387,62 @@ class TestServePrecisionFlags:
         assert captured["precision"] == "fp64"
 
 
+class TestServeFaultSurface:
+    def test_port_collision_exits_2_with_clean_error(self, monkeypatch,
+                                                     capsys):
+        import socket
+
+        from repro.engine import Engine
+
+        holder = socket.socket()
+        holder.bind(("127.0.0.1", 0))
+        holder.listen(1)
+        busy_port = holder.getsockname()[1]
+
+        def fake_serve(self, host="127.0.0.1", port=None, on_ready=None):
+            probe = socket.socket()
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                probe.bind((host, port))
+            finally:
+                probe.close()
+
+        monkeypatch.setattr(Engine, "serve", fake_serve)
+        monkeypatch.setattr(Engine, "load_sources", lambda self: self)
+        try:
+            assert main(["serve", "m.npz", "--port", str(busy_port)]) == 2
+        finally:
+            holder.close()
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_fault_spec_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "*3")
+        assert main(["serve", "m.npz"]) == 2
+        assert "bad REPRO_FAULTS" in capsys.readouterr().err
+
+    def test_fault_spec_armed_before_engine(self, monkeypatch):
+        from repro.engine import Engine
+        from repro.testing import faults
+
+        captured = {}
+
+        def fake_serve(self, host="127.0.0.1", port=None, on_ready=None):
+            captured["armed"] = faults.is_armed("server.delay_response")
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "server.delay_response:seconds=0.01"
+        )
+        monkeypatch.setattr(Engine, "serve", fake_serve)
+        monkeypatch.setattr(Engine, "load_sources", lambda self: self)
+        try:
+            assert main(["serve", "m.npz"]) == 0
+        finally:
+            faults.reset()
+        assert captured["armed"] is True
+
+
 class TestBuildCommand:
     def test_list_archs(self, capsys):
         assert main(["build", "--list-archs"]) == 0
