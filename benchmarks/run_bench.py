@@ -21,15 +21,15 @@ trajectory:
   release over release.
 * **precision** — fp32 (complex64/float32) vs fp64 frozen-session speed
   and accuracy.
-* **sharded_predict** — serial vs :class:`ShardedExecutor` predict
-  throughput on a (64, 128) block-grid model, batch- and row-sharded;
-  ``--workers`` is clamped to the visible CPU count (a pool on a
-  single-core host can only lose; both requested and effective counts
-  are recorded).
+* **sharded_predict** — serial vs :class:`ThreadedExecutor` vs
+  :class:`ShardedExecutor` predict throughput on a (64, 128)
+  block-grid model, batch- and row-sharded; ``--workers`` is clamped
+  to the visible CPU count (a pool on a single-core host can only
+  lose; requested, host, and schedulable-core counts are recorded).
 * **serving** — the asyncio micro-batching server end to end:
   throughput and mean latency at 1/8/32 concurrent clients, pipe vs
-  shared-memory transport, plus a parity check against the serial
-  session.
+  shared-memory fork transport vs in-process threads, plus a parity
+  check against the serial session.
 * **engine** — the declarative :class:`~repro.engine.Engine` facade
   serving the same model through the same server: single-route
   throughput (facade overhead vs the ``serving`` section) and a
@@ -61,7 +61,12 @@ import numpy as np
 from repro.fft import irfft, rfft
 from repro.fft.backend import use_backend
 from repro.nn import BlockCirculantLinear, CrossEntropyLoss, Sequential
-from repro.runtime import InferenceSession, ShardedExecutor
+from repro.runtime import (
+    InferenceSession,
+    ShardedExecutor,
+    ThreadedExecutor,
+    effective_cpu_count,
+)
 from repro.structured import (
     block_circulant_backward_batch,
     block_circulant_backward_batch_einsum,
@@ -72,6 +77,16 @@ from repro.structured import (
 from repro.zoo import build_arch1, build_arch3_reduced
 
 TOLERANCE = 1e-10
+
+
+def _effective_cpus() -> int:
+    """Schedulable cores (``sched_getaffinity``), not the host total.
+
+    Every parallel section records this next to ``os.cpu_count()`` so a
+    number taken inside a 1-core cgroup on a 64-core machine can't
+    masquerade as a 64-core measurement.
+    """
+    return effective_cpu_count()
 
 
 def best_of(fn, repeats: int, inner: int = 1) -> float:
@@ -325,13 +340,16 @@ def bench_precision(repeats: int, quick: bool = False) -> dict:
 def bench_sharded_predict(
     repeats: int, workers: int = 4, quick: bool = False
 ) -> dict:
-    """Serial vs ShardedExecutor predict throughput, (64, 128) block grid.
+    """Serial vs threaded vs fork-pool predict, (64, 128) block grid.
 
     Multi-process speedup needs physical cores, so the requested
     ``--workers`` is clamped to ``os.cpu_count()`` (a pool on a
     single-core host can only add IPC overhead — the 0.37x this section
-    once recorded); both the requested and effective counts land in the
-    report.
+    once recorded); the requested count, ``os.cpu_count()``, and the
+    schedulable-core count all land in the report.  The threaded rows
+    measure the same strategies with in-process thread fan-out (no
+    pickling, no transport) — the fork-vs-thread comparison the
+    executor selection guide in ``docs/performance.md`` is tuned by.
     """
     rng = np.random.default_rng(9)
     requested = workers
@@ -355,6 +373,12 @@ def bench_sharded_predict(
     rows = InferenceSession.freeze(
         model, executor=ShardedExecutor(workers=workers, mode="rows")
     )
+    threaded = InferenceSession.freeze(
+        model, executor=ThreadedExecutor(threads=workers, mode="batch")
+    )
+    threaded_rows = InferenceSession.freeze(
+        model, executor=ThreadedExecutor(threads=workers, mode="rows")
+    )
     try:
         identical = bool(
             np.array_equal(
@@ -365,40 +389,68 @@ def bench_sharded_predict(
         rows_identical = bool(
             np.array_equal(serial.forward(x[:1]), rows.forward(x[:1]))
         )
+        threaded_identical = bool(
+            np.array_equal(
+                serial.predict(x, batch_size=chunk),
+                threaded.predict(x, batch_size=chunk),
+            )
+            and np.array_equal(
+                serial.forward(x[:1]), threaded_rows.forward(x[:1])
+            )
+        )
         sharded.predict(x, batch_size=chunk)  # warm the pool before timing
         rows.forward(x[:1])
+        threaded.predict(x, batch_size=chunk)
+        threaded_rows.forward(x[:1])
         serial_s = best_of(lambda: serial.predict(x, batch_size=chunk), repeats)
         sharded_s = best_of(lambda: sharded.predict(x, batch_size=chunk), repeats)
+        threaded_s = best_of(
+            lambda: threaded.predict(x, batch_size=chunk), repeats
+        )
         rows_serial_s = best_of(lambda: serial.forward(x[:1]), repeats, inner=3)
         rows_pool_s = best_of(lambda: rows.forward(x[:1]), repeats, inner=3)
+        rows_threaded_s = best_of(
+            lambda: threaded_rows.forward(x[:1]), repeats, inner=3
+        )
     finally:
         sharded.close()
         rows.close()
+        threaded.close()
+        threaded_rows.close()
     return {
         "config": {"p": p, "q": q, "b": b, "batch": batch, "workers": workers},
         "workers_requested": requested,
         "cpus": os.cpu_count(),
+        "effective_cpus": _effective_cpus(),
         "serial_predict_ms": serial_s * 1e3,
         "sharded_predict_ms": sharded_s * 1e3,
+        "threaded_predict_ms": threaded_s * 1e3,
         "predict_speedup": serial_s / sharded_s,
+        "threaded_predict_speedup": serial_s / threaded_s,
         "rows_serial_forward_ms": rows_serial_s * 1e3,
         "rows_pool_forward_ms": rows_pool_s * 1e3,
+        "rows_threaded_forward_ms": rows_threaded_s * 1e3,
         "rows_forward_speedup": rows_serial_s / rows_pool_s,
+        "rows_threaded_speedup": rows_serial_s / rows_threaded_s,
         "bitwise_identical": identical,
         "rows_bitwise_identical": rows_identical,
+        "threaded_bitwise_identical": threaded_identical,
     }
 
 
 def bench_serving(repeats: int, quick: bool = False) -> dict:
-    """Micro-batching server throughput/latency, pipe vs shm transport.
+    """Micro-batching server throughput/latency: pipe vs shm vs threads.
 
     Each configuration starts an in-process asyncio server over a
-    sharded session (2 pool workers, so the transport actually carries
+    parallel session (2 workers, so the fan-out actually carries
     chunks) and fires N concurrent async clients; recorded per client
     count: fused-batch rows/s, mean request latency, and the worst
     deviation from the serial session (the parity the serving tests
-    assert bitwise).  On few-core hosts the absolute numbers measure
-    IPC, not speedup — ``cpus`` qualifies them.
+    assert bitwise).  ``pipe``/``shm`` shard over a fork pool through
+    the named transport; ``threaded`` runs the same shard closures on
+    an in-process thread pool (no pickling, no transport).  On few-core
+    hosts the absolute numbers measure dispatch overhead, not speedup —
+    ``cpus``/``effective_cpus`` qualify them.
     """
     from repro.engine import Engine
     from repro.serving import AsyncServeClient, InferenceServer
@@ -470,11 +522,15 @@ def bench_serving(repeats: int, quick: bool = False) -> dict:
             "pool_workers": workers,
         },
         "cpus": os.cpu_count(),
+        "effective_cpus": _effective_cpus(),
     }
-    for transport in ("pipe", "shm"):
-        executor = ShardedExecutor(
-            workers=workers, mode="batch", transport=transport
-        )
+    for configuration in ("pipe", "shm", "threaded"):
+        if configuration == "threaded":
+            executor = ThreadedExecutor(threads=workers, mode="batch")
+        else:
+            executor = ShardedExecutor(
+                workers=workers, mode="batch", transport=configuration
+            )
         session = InferenceSession.freeze(model, executor=executor)
         # Adopt the explicitly-built sharded session through the
         # facade (the supported way to serve a pre-built session —
@@ -493,7 +549,7 @@ def bench_serving(repeats: int, quick: bool = False) -> dict:
                 rows_by_clients[str(n_clients)] = best
         finally:
             session.close()
-        results[transport] = rows_by_clients
+        results[configuration] = rows_by_clients
     return results
 
 
@@ -594,6 +650,7 @@ def bench_engine(repeats: int, quick: bool = False) -> dict:
             "requests_per_client": requests_per_client,
         },
         "cpus": os.cpu_count(),
+        "effective_cpus": _effective_cpus(),
     }
     for mode, mixed, precisions in (
         ("single_route", False, ("fp64",)),
@@ -746,6 +803,7 @@ def bench_pipeline(repeats: int, quick: bool = False) -> dict:
                 "rows_per_request": rows,
             },
             "cpus": os.cpu_count(),
+            "effective_cpus": _effective_cpus(),
             "artifact_v1_float_bytes": int(v1_bytes),
             "artifact_v2_quantized_bytes": int(v2_bytes),
             "size_ratio": v1_bytes / v2_bytes,
@@ -887,6 +945,7 @@ def bench_resilience(repeats: int, quick: bool = False) -> dict:
             "pool_workers": 2,
         },
         "cpus": os.cpu_count(),
+        "effective_cpus": _effective_cpus(),
         "worker_faults": {
             "clean": clean,
             "faulted": faulted,
@@ -923,6 +982,7 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpus": os.cpu_count(),
+            "effective_cpus": _effective_cpus(),
             "quick": args.quick,
         },
         "inference_forward_cached": bench_inference_forward(repeats),
@@ -970,12 +1030,15 @@ def main(argv: list[str] | None = None) -> int:
     shard = report["sharded_predict"]
     print(f"sharded predict ({shard['config']['workers']} workers "
           f"of {shard['workers_requested']} requested, "
-          f"{shard['cpus']} cpu(s)): "
-          f"{shard['predict_speedup']:.2f}x batch / "
+          f"{shard['effective_cpus']}/{shard['cpus']} cpu(s)): "
+          f"fork {shard['predict_speedup']:.2f}x batch / "
           f"{shard['rows_forward_speedup']:.2f}x rows, "
-          f"bitwise identical: {shard['bitwise_identical']}")
+          f"threaded {shard['threaded_predict_speedup']:.2f}x batch / "
+          f"{shard['rows_threaded_speedup']:.2f}x rows, "
+          f"bitwise identical: {shard['bitwise_identical']} "
+          f"(threaded: {shard['threaded_bitwise_identical']})")
     serving = report["serving"]
-    for transport in ("pipe", "shm"):
+    for transport in ("pipe", "shm", "threaded"):
         rows = serving[transport]
         summary = ", ".join(
             f"{n} client(s): {row['rows_per_s']:.0f} rows/s "

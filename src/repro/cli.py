@@ -177,6 +177,29 @@ def build_parser() -> argparse.ArgumentParser:
         "block-circulant layers across a process pool",
     )
     predict.add_argument(
+        "--executor",
+        choices=("auto", "serial", "threaded", "sharded"),
+        default=None,
+        help="execution strategy: serial (in-process), threaded "
+        "(in-process thread pool — no pickling or fork), sharded "
+        "(fork pool), or auto (threaded on multi-core hosts).  "
+        "Default: sharded when --workers > 1, else the REPRO_EXECUTOR "
+        "env var, else serial",
+    )
+    predict.add_argument(
+        "--threads",
+        type=_positive_int,
+        default=None,
+        help="thread count for --executor threaded/auto "
+        "(default: --workers, else the effective core count)",
+    )
+    predict.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-op-kind cumulative timings to stderr after "
+        "predicting (see docs/performance.md)",
+    )
+    predict.add_argument(
         "--conv-tile",
         type=_positive_int,
         default=None,
@@ -236,6 +259,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes; >1 shards fused batches and large "
         "block-circulant layers across a fork pool",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("auto", "serial", "threaded", "sharded"),
+        default=None,
+        help="execution strategy: serial, threaded (in-process thread "
+        "pool), sharded (fork pool), or auto (threaded on multi-core "
+        "hosts).  One shared worker pool serves every (model, "
+        "precision) route.  Default: sharded when --workers > 1, else "
+        "the REPRO_EXECUTOR env var, else serial",
+    )
+    serve.add_argument(
+        "--threads",
+        type=_positive_int,
+        default=None,
+        help="thread count for --executor threaded/auto "
+        "(default: --workers, else the effective core count)",
     )
     serve.add_argument(
         "--transport",
@@ -480,6 +520,37 @@ def _effective_workers(requested: int) -> int:
     return effective
 
 
+def _resolve_cli_executor(args, workers: int) -> str | None:
+    """``--executor`` wins; bare ``--workers N>1`` keeps meaning the
+    fork pool; ``None`` flows to EngineConfig (REPRO_EXECUTOR, then
+    serial)."""
+    if args.executor is not None:
+        return args.executor
+    if workers > 1:
+        return "sharded"
+    return None
+
+
+def _print_op_stats(stats: dict) -> None:
+    """The ``--profile`` table: per-op-kind cumulative time, on stderr."""
+    if not stats:
+        print("profile: no ops recorded", file=sys.stderr)
+        return
+    print("profile (per op kind):", file=sys.stderr)
+    ranked = sorted(
+        stats.items(), key=lambda item: item[1]["total_ns"], reverse=True
+    )
+    for kind, entry in ranked:
+        calls, total_ns = entry["calls"], entry["total_ns"]
+        total_ms = total_ns / 1e6
+        per_call_us = total_ns / calls / 1e3
+        print(
+            f"  {kind:<24} calls={calls:<6} total={total_ms:9.3f} ms "
+            f"mean={per_call_us:9.1f} us/call",
+            file=sys.stderr,
+        )
+
+
 def _cmd_predict(args) -> int:
     # Declarative path: describe *what* to run as an EngineConfig, let
     # the Engine pool/freeze the session (precomputed spectra at the
@@ -489,8 +560,10 @@ def _cmd_predict(args) -> int:
     config = EngineConfig(
         model=args.model,
         precisions=(args.precision,),
-        executor="sharded" if workers > 1 else "serial",
+        executor=_resolve_cli_executor(args, workers),
         workers=workers,
+        threads=args.threads,
+        profile=args.profile,
         conv_tile=args.conv_tile,
     )
     inputs, labels = load_inputs(args.data)
@@ -505,6 +578,8 @@ def _cmd_predict(args) -> int:
             if labels is not None:
                 score = float((predictions == labels).mean())
                 print(f"accuracy: {score:.4f}", file=sys.stderr)
+        if args.profile:
+            _print_op_stats(engine.session().executor.op_stats())
     return 0
 
 
@@ -565,8 +640,9 @@ def _cmd_serve(args) -> int:
             default_model=default_model,
             precisions=precisions,
             precision=default_precision,
-            executor="sharded" if workers > 1 else "serial",
+            executor=_resolve_cli_executor(args, workers),
             workers=workers,
+            threads=args.threads,
             transport=args.transport,
             conv_tile=args.conv_tile,
             max_batch=args.max_batch,
@@ -578,10 +654,16 @@ def _cmd_serve(args) -> int:
 
     def announce(server) -> None:
         registry = ",".join(f"{k}={v}" for k, v in models.items())
+        info = server.engine.executor_info()
+        pool = info["shared_pool"]
+        pool_desc = (
+            "none" if pool is None else f"{pool['kind']}:{pool['workers']}"
+        )
         print(
             f"models={registry} precisions={','.join(precisions)} "
             f"default={default_model}:{default_precision} "
-            f"workers={workers} transport={args.transport} "
+            f"executor={info['kind']} workers={info['workers']} "
+            f"shared_pool={pool_desc} transport={args.transport} "
             f"max_batch={args.max_batch} max_wait_ms={args.max_wait_ms}",
             flush=True,
         )

@@ -25,12 +25,14 @@ highest; requests may carry either a class name or its integer index
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
 from ..exceptions import ConfigurationError
 from ..precision import PrecisionPolicy
+from ..runtime.executors import effective_cpu_count
 from ..runtime.session import InferenceSession
 
 __all__ = ["EngineConfig", "DEFAULT_MODEL_NAME"]
@@ -38,7 +40,7 @@ __all__ = ["EngineConfig", "DEFAULT_MODEL_NAME"]
 #: Registry key used when a single anonymous model source is configured.
 DEFAULT_MODEL_NAME = "default"
 
-_EXECUTORS = ("serial", "sharded")
+_EXECUTORS = ("auto", "serial", "threaded", "sharded")
 _TRANSPORTS = ("pipe", "shm")
 _SHARD_MODES = ("auto", "batch", "rows")
 
@@ -95,16 +97,33 @@ class EngineConfig:
         Default precision for requests that name none; must be a member
         of ``precisions`` (defaults to the first).
     executor:
-        ``"serial"`` (in-process) or ``"sharded"`` (fork pool).  Note
-        that a sharded executor binds one worker pool per *pooled
-        session*: an engine with M models × P precisions forks up to
-        ``M * P * workers`` processes (the executor's fork-inheritance
-        design ties each pool to one compiled plan), so keep the grid
-        small when sharding — or stay serial and let the serving
-        front-end's micro-batching do the work.
+        ``"serial"`` (in-process, op by op), ``"threaded"``
+        (in-process thread pool — the GIL-releasing numpy kernels
+        overlap on real cores with zero serialization), ``"sharded"``
+        (fork pool + transport), or ``"auto"`` (threaded on multi-core
+        hosts, serial on single-core, and serial below a small row
+        threshold — fork only when explicitly requested).  ``None``
+        (the default) reads the ``REPRO_EXECUTOR`` environment
+        variable, falling back to ``"serial"``.  Whatever the kind,
+        **one shared worker pool serves every (model, precision)
+        route**: plans register with the pool by id, so an engine with
+        M models × P precisions still holds ``workers`` processes (or
+        ``threads`` threads), not ``M * P`` pools.  See
+        ``docs/performance.md`` for the selection guide.
     workers, transport, shard_mode:
-        Sharded-executor policy; ignored for ``executor="serial"``.
-        ``workers=None`` means ``os.cpu_count()``.
+        Pool policy: ``workers`` sizes the shared fork pool (``None``
+        means ``os.cpu_count()``) and is the threaded fallback size
+        when ``threads`` is unset; ``transport`` and ``shard_mode``
+        apply to the fork/threaded paths respectively and are ignored
+        for ``executor="serial"``.
+    threads:
+        Thread count for ``executor="threaded"``/``"auto"``; ``None``
+        falls back to ``workers``, then to the effective core count
+        (``sched_getaffinity``, container-aware).
+    profile:
+        Arm per-op-kind timing on every route's executor; cumulative
+        per-kind nanoseconds surface via the serving ``info`` op
+        (``routes[...]["op_stats"]``) and ``repro predict --profile``.
     conv_tile, row_shards:
         Plan-compilation knobs passed through to
         :meth:`~repro.runtime.session.InferenceSession.freeze`.
@@ -143,8 +162,10 @@ class EngineConfig:
     default_model: str | None = None
     precisions: tuple[str, ...] = ("fp64",)
     precision: str | None = None
-    executor: str = "serial"
+    executor: str | None = None
     workers: int | None = None
+    threads: int | None = None
+    profile: bool = False
     transport: str = "pipe"
     shard_mode: str = "auto"
     conv_tile: int | None = None
@@ -222,10 +243,14 @@ class EngineConfig:
         object.__setattr__(self, "precision", precision)
 
         # --- executor policy ------------------------------------------
-        if self.executor not in _EXECUTORS:
+        executor = self.executor
+        if executor is None:
+            executor = os.environ.get("REPRO_EXECUTOR") or "serial"
+        if executor not in _EXECUTORS:
             raise ConfigurationError(
-                f"executor must be one of {_EXECUTORS}, got {self.executor!r}"
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
             )
+        object.__setattr__(self, "executor", executor)
         if self.transport not in _TRANSPORTS:
             raise ConfigurationError(
                 f"transport must be one of {_TRANSPORTS}, got {self.transport!r}"
@@ -238,6 +263,10 @@ class EngineConfig:
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.threads is not None and self.threads < 1:
+            raise ConfigurationError(
+                f"threads must be >= 1, got {self.threads}"
             )
         for knob in ("conv_tile", "row_shards"):
             value = getattr(self, knob)
@@ -323,6 +352,28 @@ class EngineConfig:
             )
         return name
 
+    def resolve_executor(self) -> str:
+        """The concrete executor kind ``"auto"`` resolves to on this host.
+
+        ``"auto"`` picks ``"threaded"`` when the process can schedule
+        on more than one core (``sched_getaffinity``-aware, so a 1-CPU
+        container resolves serial even on a big host) and ``"serial"``
+        otherwise; it never picks the fork pool — IPC sharding is an
+        explicit opt-in.  Every other kind resolves to itself.
+        """
+        if self.executor != "auto":
+            return self.executor
+        return "threaded" if effective_cpu_count() > 1 else "serial"
+
+    def resolve_threads(self) -> int:
+        """Thread-pool size for the threaded executor: ``threads``,
+        else ``workers``, else the effective core count."""
+        if self.threads is not None:
+            return self.threads
+        if self.workers is not None:
+            return self.workers
+        return effective_cpu_count()
+
     def resolve_precision(self, spec) -> str:
         """Normalize a request's precision against the pool."""
         if spec is None:
@@ -380,7 +431,10 @@ class EngineConfig:
             "precisions": list(self.precisions),
             "precision": self.precision,
             "executor": self.executor,
+            "resolved_executor": self.resolve_executor(),
             "workers": self.workers,
+            "threads": self.threads,
+            "profile": self.profile,
             "transport": self.transport,
             "shard_mode": self.shard_mode,
             "conv_tile": self.conv_tile,

@@ -35,7 +35,14 @@ from pathlib import Path
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..runtime.executors import ShardedExecutor
+from ..runtime.executors import (
+    AUTO_MIN_ROWS,
+    ForkWorkerPool,
+    SerialExecutor,
+    ShardedExecutor,
+    ThreadWorkerPool,
+    ThreadedExecutor,
+)
 from ..runtime.session import InferenceSession
 from .config import EngineConfig
 from .pool import SessionPool
@@ -69,6 +76,25 @@ class Engine:
         self._pool = SessionPool(self._freeze)
         self._artifacts: dict[str, object] = {}
         self._closed = False
+        # One shared worker pool for the whole route grid: every pooled
+        # session's executor registers its plan here by id, so M models
+        # × P precisions share `workers` processes (or `threads`
+        # threads) instead of holding a pool each.  Construction is
+        # cheap — nothing forks or spawns until the first parallel call
+        # (or warm_up()).
+        kind = self.config.resolve_executor()
+        if kind == "sharded":
+            self._workpool = ForkWorkerPool(
+                workers=self.config.workers,
+                transport=self.config.transport,
+                task_timeout=self.config.fault_timeout_s,
+            )
+        elif kind == "threaded":
+            self._workpool = ThreadWorkerPool(
+                threads=self.config.resolve_threads()
+            )
+        else:
+            self._workpool = None
         # Pre-adopt sources that are already-frozen sessions (the shim
         # path): the pool serves them, their owner closes them.
         for name, source in self.config.models.items():
@@ -117,7 +143,7 @@ class Engine:
         merged = dict(self.config.models)
         if name in merged:
             raise ConfigurationError(f"model {name!r} is already registered")
-        if self.config.executor == "sharded" and len(self._pool):
+        if self.config.resolve_executor() == "sharded" and len(self._pool):
             # Existing routes already forked their pools — this process
             # may have serving threads by now, and the new route's pool
             # would fork lazily from a threaded process (inherited-lock
@@ -151,14 +177,24 @@ class Engine:
     # Session pool
     # ------------------------------------------------------------------
     def _make_executor(self):
-        if self.config.executor != "sharded":
-            return None
-        return ShardedExecutor(
-            workers=self.config.workers,
-            mode=self.config.shard_mode,
-            transport=self.config.transport,
-            task_timeout=self.config.fault_timeout_s,
-        )
+        """A fresh per-route executor attached to the shared pool."""
+        kind = self.config.resolve_executor()
+        if kind == "sharded":
+            return ShardedExecutor(
+                mode=self.config.shard_mode,
+                pool=self._workpool,
+                profile=self.config.profile,
+            )
+        if kind == "threaded":
+            return ThreadedExecutor(
+                mode=self.config.shard_mode,
+                pool=self._workpool,
+                min_rows=AUTO_MIN_ROWS if self.config.executor == "auto" else 0,
+                profile=self.config.profile,
+            )
+        if self.config.profile:
+            return SerialExecutor(profile=True)
+        return None
 
     def _source(self, name: str):
         """The registry source for ``name``; artifact paths load once."""
@@ -384,11 +420,13 @@ class Engine:
     # Lifecycle / introspection
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close every pooled session the engine owns; idempotent."""
+        """Close every pooled session and the shared pool; idempotent."""
         if self._closed:
             return
         self._closed = True
         self._pool.close()
+        if self._workpool is not None:
+            self._workpool.close()
 
     @property
     def closed(self) -> bool:
@@ -412,12 +450,14 @@ class Engine:
         }
 
     def health(self) -> dict:
-        """Fault posture of the pooled executors (JSON-able).
+        """Fault posture of the shared pool and pooled executors (JSON-able).
 
-        ``degraded`` is True when any pooled session's executor has
-        exhausted its respawn and fallen back to serial execution;
-        ``executors`` carries each sharded route's fault counters.
-        The serving ``info`` op embeds this.
+        ``degraded`` is True when the shared worker pool (or any pooled
+        session's executor) has exhausted its respawn and fallen back
+        to serial execution; ``executors`` carries each sharded route's
+        fault counters and ``pool`` the shared pool's summary (kind,
+        size, started, attached plans).  The serving ``info`` op embeds
+        this.
         """
         degraded = False
         executors: dict = {}
@@ -429,7 +469,28 @@ class Engine:
                 executors[f"{model}/{precision}"] = dict(stats)
             if getattr(session.executor, "degraded", False):
                 degraded = True
-        return {"degraded": degraded, "executors": executors}
+        pool = None
+        if self._workpool is not None:
+            pool = self._workpool.describe()
+            degraded = degraded or self._workpool.degraded
+        return {"degraded": degraded, "executors": executors, "pool": pool}
+
+    def executor_info(self) -> dict:
+        """What's actually executing: kind, parallelism, shared pool.
+
+        ``requested`` is the config's executor field (``"auto"`` stays
+        ``"auto"``); ``kind`` is what it resolved to on this host.  The
+        serving banner and the ``info`` op surface this — before it,
+        you couldn't tell what was serving.
+        """
+        pool = self._workpool
+        return {
+            "requested": self.config.executor,
+            "kind": self.config.resolve_executor(),
+            "workers": pool.workers if pool is not None else 1,
+            "shared_pool": pool.describe() if pool is not None else None,
+            "profile": self.config.profile,
+        }
 
     def describe_routes(self) -> dict:
         """Per pooled route: plan ops, executor, scheduler (JSON-able).
@@ -449,6 +510,8 @@ class Engine:
             scheduler = getattr(session.executor, "scheduler", None)
             if scheduler is not None:
                 route["scheduler"] = scheduler.describe()
+            if getattr(session.executor, "profile", False):
+                route["op_stats"] = session.executor.op_stats()
             routes[f"{model}/{precision}"] = route
         return routes
 

@@ -12,9 +12,13 @@ layer object.  The runtime strips all three, split across three modules:
   a :class:`~repro.precision.PrecisionPolicy` (``"fp32"`` halves
   spectrum memory; ``"fp64"`` is the reference numerics),
 * :mod:`repro.runtime.executors` — the execution strategies:
-  :class:`SerialExecutor` (in-process) and :class:`ShardedExecutor`
-  (fork pool, batch- and block-row-sharded, bitwise-identical results),
-  with the strategy decisions factored into :class:`ShardScheduler`,
+  :class:`SerialExecutor` (in-process), :class:`ThreadedExecutor`
+  (in-process thread pool; the numpy kernels release the GIL) and
+  :class:`ShardedExecutor` (fork pool) — batch- and block-row-sharded,
+  bitwise-identical results either way — with the strategy decisions
+  factored into :class:`ShardScheduler` and the parallelism held by
+  shared, plan-id-keyed :class:`ThreadWorkerPool` /
+  :class:`ForkWorkerPool` instances one engine's routes all attach to,
 * :mod:`repro.runtime.transport` — how activations reach pool workers:
   :class:`PipeTransport` (pickled through the pool pipe) or
   :class:`SharedMemoryTransport` (a double-buffered ring of
@@ -26,10 +30,14 @@ layer object.  The runtime strips all three, split across three modules:
 
 from ..precision import PrecisionPolicy
 from .executors import (
+    ForkWorkerPool,
     PlanExecutor,
     SerialExecutor,
     ShardScheduler,
     ShardedExecutor,
+    ThreadWorkerPool,
+    ThreadedExecutor,
+    effective_cpu_count,
 )
 from .plan import PlanOp, compile_model_plan, compile_records_plan
 from .session import InferenceSession
@@ -41,6 +49,7 @@ from .transport import (
 )
 
 __all__ = [
+    "ForkWorkerPool",
     "InferenceSession",
     "PipeTransport",
     "PlanOp",
@@ -50,8 +59,11 @@ __all__ = [
     "SharedMemoryTransport",
     "ShardScheduler",
     "ShardedExecutor",
+    "ThreadWorkerPool",
+    "ThreadedExecutor",
     "Transport",
     "compile_model_plan",
     "compile_records_plan",
+    "effective_cpu_count",
     "make_transport",
 ]

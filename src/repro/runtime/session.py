@@ -34,9 +34,13 @@ the session boundary; nothing on the hot path silently upcasts.
 :class:`~repro.runtime.executors.PlanExecutor` instead of executing
 itself: :class:`~repro.runtime.executors.SerialExecutor` (default)
 preserves single-process behaviour;
+:class:`~repro.runtime.executors.ThreadedExecutor` runs the same shard
+closures on an in-process thread pool (the GIL-releasing numpy kernels
+overlap on real cores with zero serialization);
 :class:`~repro.runtime.executors.ShardedExecutor` partitions large
 block-circulant spectra across a fork pool and shards ``predict``
-batches, bitwise-identically to serial execution.
+batches.  Both parallel executors are bitwise-identical to serial
+execution by construction.
 
 ``predict`` / ``predict_proba`` stream arbitrarily large input arrays
 through the plan in ``batch_size`` chunks, bounding peak memory by the
@@ -55,7 +59,12 @@ import numpy as np
 from ..exceptions import DeploymentError
 from ..nn.module import Sequential
 from ..precision import PrecisionPolicy
-from .executors import PlanExecutor, SerialExecutor, ShardedExecutor
+from .executors import (
+    PlanExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    ThreadedExecutor,
+)
 from .plan import (
     PlanOp,
     compile_model_plan,
@@ -98,11 +107,13 @@ def _resolve_executor(spec) -> PlanExecutor:
         return spec or SerialExecutor()
     if spec == "serial":
         return SerialExecutor()
+    if spec == "threaded":
+        return ThreadedExecutor()
     if spec == "sharded":
         return ShardedExecutor()
     raise ValueError(
-        f"unknown executor {spec!r}; expected 'serial', 'sharded', "
-        "or a PlanExecutor instance"
+        f"unknown executor {spec!r}; expected 'serial', 'threaded', "
+        "'sharded', or a PlanExecutor instance"
     )
 
 
@@ -118,7 +129,8 @@ class InferenceSession:
     ``precision`` is a :class:`~repro.precision.PrecisionPolicy` or its
     name; ``executor`` is a
     :class:`~repro.runtime.executors.PlanExecutor`, ``"serial"``,
-    ``"sharded"``, or ``None`` (serial).  The session binds the executor
+    ``"threaded"``, ``"sharded"``, or ``None`` (serial).  The session
+    binds the executor
     to its plan; call :meth:`close` (or use the session as a context
     manager) to release a sharded executor's worker pool.
     """
@@ -153,14 +165,17 @@ class InferenceSession:
         output rows per tile; ``row_shards`` partitions large
         block-circulant spectra — linear *and* conv layers, which share
         the same block-row grid — into that many block-row shards
-        (defaults to the executor's worker count for a
-        :class:`~repro.runtime.executors.ShardedExecutor`).  When both
+        (defaults to the executor's worker/thread count for a
+        :class:`~repro.runtime.executors.ShardedExecutor` or
+        :class:`~repro.runtime.executors.ThreadedExecutor`).  When both
         apply to the same conv layer, sharding supersedes tiling (with a
         warning): a poolable shard payload needs the one-shot im2col.
         """
         policy = PrecisionPolicy.resolve(precision)
         executor = _resolve_executor(executor)
-        if row_shards is None and isinstance(executor, ShardedExecutor):
+        if row_shards is None and isinstance(
+            executor, (ShardedExecutor, ThreadedExecutor)
+        ):
             row_shards = executor.workers
         ops = compile_model_plan(
             model, policy=policy, conv_tile=conv_tile, row_shards=row_shards
@@ -186,7 +201,9 @@ class InferenceSession:
         """
         policy = PrecisionPolicy.resolve(precision)
         executor = _resolve_executor(executor)
-        if row_shards is None and isinstance(executor, ShardedExecutor):
+        if row_shards is None and isinstance(
+            executor, (ShardedExecutor, ThreadedExecutor)
+        ):
             row_shards = executor.workers
         ops = compile_records_plan(
             deployed.records,

@@ -51,7 +51,7 @@ from ..exceptions import (
     ServerUnavailable,
     ServingError,
 )
-from ..runtime.executors import ShardedExecutor
+from ..runtime.executors import ShardedExecutor, ThreadedExecutor
 from ..testing import faults
 from .batcher import DeadlineExpired, MicroBatcher
 from .protocol import (
@@ -156,7 +156,10 @@ class InferenceServer:
         if self.chunk_size is not None:
             return self.chunk_size
         executor = session.executor
-        if isinstance(executor, ShardedExecutor) and executor.workers > 1:
+        if (
+            isinstance(executor, (ShardedExecutor, ThreadedExecutor))
+            and executor.workers > 1
+        ):
             if rows >= 2 * executor.workers:
                 return -(-rows // executor.workers)  # ceil division
         return None
@@ -201,7 +204,7 @@ class InferenceServer:
         # Fail fast on unloadable model sources (bad artifact paths)
         # before any thread, port, or ready banner exists.
         self.engine.load_sources()
-        if self.engine.config.executor == "sharded" or any(
+        if self.engine.config.resolve_executor() == "sharded" or any(
             isinstance(source, InferenceSession)
             for source in self.engine.config.models.values()
         ):
@@ -442,10 +445,12 @@ class InferenceServer:
                     for (model, precision), batcher in self._batchers.items()
                 },
                 "routes": self.engine.describe_routes(),
+                "executor": self.engine.executor_info(),
                 "health": {
                     "draining": self._draining,
                     "degraded": engine_health["degraded"],
                     "executors": engine_health["executors"],
+                    "pool": engine_health["pool"],
                     "inflight_requests": self._inflight,
                     "queues": {
                         f"{model}/{precision}": batcher.queue_depth()

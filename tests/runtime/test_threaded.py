@@ -1,0 +1,458 @@
+"""ThreadedExecutor: bitwise parity with serial, shared pools, profiling."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.runtime.plan as plan_mod
+from repro.nn import (
+    BlockCirculantLinear,
+    Flatten,
+    Linear,
+    ReLU,
+    Sequential,
+    Softmax,
+)
+from repro.nn.layers import BlockCirculantConv2d
+from repro.runtime import (
+    ForkWorkerPool,
+    InferenceSession,
+    SerialExecutor,
+    ThreadWorkerPool,
+    ThreadedExecutor,
+    effective_cpu_count,
+)
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(0)
+    return Sequential(
+        BlockCirculantLinear(96, 64, 8, rng=rng),
+        ReLU(),
+        BlockCirculantLinear(64, 40, 4, rng=rng),
+        ReLU(),
+        Linear(40, 10, rng=rng),
+        Softmax(),
+    ).eval()
+
+
+def conv_model():
+    rng = np.random.default_rng(3)
+    return Sequential(
+        BlockCirculantConv2d(3, 8, 3, block_size=4, padding=1, rng=rng),
+        ReLU(),
+        Flatten(),
+        BlockCirculantLinear(512, 32, 8, rng=rng),
+        ReLU(),
+        Linear(32, 5, rng=rng),
+    ).eval()
+
+
+@pytest.fixture
+def shard_everything(monkeypatch):
+    """Let tiny test layers pass the auto-shard size floor."""
+    monkeypatch.setattr(plan_mod, "MIN_SHARD_BYTES", 0)
+
+
+class TestThreadedRows:
+    @pytest.mark.parametrize("precision", ["fp64", "fp32"])
+    def test_rows_bitwise_equals_serial(
+        self, model, rng, shard_everything, precision
+    ):
+        x = rng.normal(size=(5, 96))
+        serial = InferenceSession.freeze(
+            model, precision=precision, row_shards=3
+        )
+        with InferenceSession.freeze(
+            model,
+            precision=precision,
+            executor=ThreadedExecutor(threads=3, mode="rows"),
+            row_shards=3,
+        ) as threaded:
+            assert np.array_equal(threaded.forward(x), serial.forward(x))
+
+    @pytest.mark.parametrize("precision", ["fp64", "fp32"])
+    def test_conv_rows_bitwise_equals_serial(
+        self, rng, shard_everything, precision
+    ):
+        m = conv_model()
+        x = rng.normal(size=(4, 3, 8, 8))
+        serial = InferenceSession.freeze(m, precision=precision, row_shards=2)
+        with InferenceSession.freeze(
+            m,
+            precision=precision,
+            executor=ThreadedExecutor(threads=2, mode="rows"),
+            row_shards=2,
+        ) as threaded:
+            assert np.array_equal(threaded.forward(x), serial.forward(x))
+
+    def test_conv_tile_bitwise_equals_serial(self, rng):
+        # Tiled conv ops have no shard surface; the threaded executor
+        # must fall through to in-thread execution, bitwise-identical.
+        m = conv_model()
+        x = rng.normal(size=(3, 3, 8, 8))
+        serial = InferenceSession.freeze(m, conv_tile=4)
+        with InferenceSession.freeze(
+            m, conv_tile=4, executor=ThreadedExecutor(threads=2, mode="rows")
+        ) as threaded:
+            assert np.array_equal(threaded.forward(x), serial.forward(x))
+
+    def test_row_shards_default_to_thread_count(self, model, shard_everything):
+        with InferenceSession.freeze(
+            model, executor=ThreadedExecutor(threads=3, mode="rows")
+        ) as session:
+            assert "[rows/3]" in session.describe()[0]
+
+    def test_min_rows_gate_runs_serial_and_stays_correct(
+        self, model, rng, shard_everything
+    ):
+        x = rng.normal(size=(2, 96))
+        serial = InferenceSession.freeze(model, row_shards=3)
+        with InferenceSession.freeze(
+            model,
+            executor=ThreadedExecutor(threads=3, mode="rows", min_rows=64),
+            row_shards=3,
+        ) as gated:
+            # Below the gate nothing fans out, but results still match.
+            assert not gated.executor.pool.started
+            assert np.array_equal(gated.forward(x), serial.forward(x))
+
+
+class TestThreadedBatches:
+    @pytest.mark.parametrize("precision", ["fp64", "fp32"])
+    @pytest.mark.parametrize("batch_size", [4, 7, None])
+    def test_predict_proba_bitwise_equals_serial(
+        self, model, rng, precision, batch_size
+    ):
+        x = rng.normal(size=(23, 96))
+        serial = InferenceSession.freeze(model, precision=precision)
+        with InferenceSession.freeze(
+            model,
+            precision=precision,
+            executor=ThreadedExecutor(threads=3, mode="batch"),
+        ) as threaded:
+            assert np.array_equal(
+                threaded.predict_proba(x, batch_size=batch_size),
+                serial.predict_proba(x, batch_size=batch_size),
+            )
+
+    def test_conv_batches_bitwise_equals_serial(self, rng):
+        m = conv_model()
+        x = rng.normal(size=(13, 3, 8, 8))
+        serial = InferenceSession.freeze(m)
+        with InferenceSession.freeze(
+            m, executor=ThreadedExecutor(threads=2, mode="batch")
+        ) as threaded:
+            assert np.array_equal(
+                threaded.predict(x, batch_size=4),
+                serial.predict(x, batch_size=4),
+            )
+
+    def test_auto_mode_matches_serial_both_paths(
+        self, model, rng, shard_everything
+    ):
+        x = rng.normal(size=(17, 96))
+        serial = InferenceSession.freeze(model, row_shards=2)
+        with InferenceSession.freeze(
+            model, executor=ThreadedExecutor(threads=2), row_shards=2
+        ) as threaded:
+            # One chunk -> rows path; several chunks -> batch path.
+            assert np.array_equal(
+                threaded.predict_proba(x), serial.predict_proba(x)
+            )
+            assert np.array_equal(
+                threaded.predict_proba(x, batch_size=5),
+                serial.predict_proba(x, batch_size=5),
+            )
+
+
+class TestThreadedLifecycle:
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError, match="threads must be >= 1"):
+            ThreadedExecutor(threads=0)
+        with pytest.raises(ValueError, match="mode must be one of"):
+            ThreadedExecutor(mode="columns")
+        with pytest.raises(ValueError, match="min_rows"):
+            ThreadedExecutor(min_rows=-1)
+
+    def test_rebinding_rejected(self, model):
+        executor = ThreadedExecutor(threads=2)
+        with InferenceSession.freeze(model, executor=executor):
+            with pytest.raises(RuntimeError, match="already bound"):
+                InferenceSession.freeze(model, executor=executor)
+
+    def test_close_is_idempotent(self, model, rng):
+        session = InferenceSession.freeze(
+            model, executor=ThreadedExecutor(threads=2, mode="batch")
+        )
+        session.predict(rng.normal(size=(8, 96)), batch_size=2)
+        session.close()
+        session.close()
+
+    def test_worker_exception_propagates(self, model, shard_everything):
+        with InferenceSession.freeze(
+            model, executor=ThreadedExecutor(threads=2, mode="rows"),
+            row_shards=2,
+        ) as session:
+            with pytest.raises(Exception):
+                session.forward(np.zeros((4, 97)))  # wrong feature width
+            # The executor survives a failed call.
+            x = np.zeros((4, 96))
+            assert session.forward(x).shape == (4, 10)
+
+    def test_threads_conflicting_with_shared_pool_rejected(self):
+        pool = ThreadWorkerPool(threads=2)
+        try:
+            with pytest.raises(ValueError, match="conflicts"):
+                ThreadedExecutor(threads=3, pool=pool)
+        finally:
+            pool.close()
+
+
+class TestSharedThreadPool:
+    def test_two_routes_share_one_pool(self, model, rng, shard_everything):
+        pool = ThreadWorkerPool(threads=2)
+        serial64 = InferenceSession.freeze(model, precision="fp64")
+        serial32 = InferenceSession.freeze(model, precision="fp32")
+        s64 = InferenceSession.freeze(
+            model,
+            precision="fp64",
+            executor=ThreadedExecutor(pool=pool, mode="batch"),
+        )
+        s32 = InferenceSession.freeze(
+            model,
+            precision="fp32",
+            executor=ThreadedExecutor(pool=pool, mode="batch"),
+        )
+        try:
+            assert s64.executor.pool is s32.executor.pool
+            assert pool.describe()["plans"] == 2
+            x = rng.normal(size=(19, 96))
+            # Interleave calls on both routes through the one pool.
+            for _ in range(3):
+                assert np.array_equal(
+                    s64.predict_proba(x, batch_size=4),
+                    serial64.predict_proba(x, batch_size=4),
+                )
+                assert np.array_equal(
+                    s32.predict_proba(x, batch_size=4),
+                    serial32.predict_proba(x, batch_size=4),
+                )
+            s64.close()
+            assert pool.describe()["plans"] == 1  # eviction, pool lives on
+            assert np.array_equal(
+                s32.predict_proba(x, batch_size=4),
+                serial32.predict_proba(x, batch_size=4),
+            )
+        finally:
+            s32.close()
+            pool.close()
+
+    def test_shared_pool_survives_executor_close(self, model, rng):
+        pool = ThreadWorkerPool(threads=2)
+        try:
+            with InferenceSession.freeze(
+                model, executor=ThreadedExecutor(pool=pool, mode="batch")
+            ) as session:
+                session.predict(rng.normal(size=(8, 96)), batch_size=2)
+            assert pool.started  # close() evicted the plan, not the pool
+            pool.ensure_started()
+        finally:
+            pool.close()
+
+    def test_closed_pool_rejects_registration(self, model):
+        pool = ThreadWorkerPool(threads=2)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            InferenceSession.freeze(
+                model, executor=ThreadedExecutor(pool=pool)
+            )
+
+    def test_concurrent_ensure_started_creates_one_pool(self):
+        pool = ThreadWorkerPool(threads=2)
+        try:
+            seen = []
+            barrier = threading.Barrier(4)
+
+            def hammer():
+                barrier.wait()
+                pool.ensure_started()
+                seen.append(pool._pool)
+
+            workers = [threading.Thread(target=hammer) for _ in range(4)]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            assert len({id(p) for p in seen}) == 1
+        finally:
+            pool.close()
+
+
+class TestSharedForkPool:
+    def test_concurrent_ensure_started_creates_one_pool(
+        self, model, shard_everything
+    ):
+        # The PR-7 race fix: two routes starting at once must not
+        # double-create the multiprocessing pool.
+        from repro.runtime import ShardedExecutor
+
+        pool = ForkWorkerPool(workers=2)
+        session = InferenceSession.freeze(
+            model,
+            executor=ShardedExecutor(mode="rows", pool=pool),
+            row_shards=2,
+        )
+        try:
+            plan_id = session.executor.plan_id
+            seen = []
+            barrier = threading.Barrier(4)
+
+            def hammer():
+                barrier.wait()
+                pool.ensure_started(plan_id)
+                seen.append(pool._pool)
+
+            workers = [threading.Thread(target=hammer) for _ in range(4)]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            assert len({id(p) for p in seen}) == 1
+        finally:
+            session.close()
+            pool.close()
+
+    def test_late_registration_reforks_and_stays_correct(
+        self, model, rng, shard_everything
+    ):
+        # Plan B registers after the pool forked for plan A: the pool
+        # must re-fork so the children inherit B, and both routes stay
+        # bitwise-correct.
+        from repro.runtime import ShardedExecutor
+
+        pool = ForkWorkerPool(workers=2)
+        serial = InferenceSession.freeze(model, row_shards=2)
+        a = InferenceSession.freeze(
+            model, executor=ShardedExecutor(mode="rows", pool=pool),
+            row_shards=2,
+        )
+        try:
+            x = rng.normal(size=(5, 96))
+            assert np.array_equal(a.forward(x), serial.forward(x))
+            first_fork = pool._pool
+            b = InferenceSession.freeze(
+                model, executor=ShardedExecutor(mode="rows", pool=pool),
+                row_shards=2,
+            )
+            try:
+                assert np.array_equal(b.forward(x), serial.forward(x))
+                assert pool._pool is not first_fork  # re-forked for B
+                # A's plan is still inherited by the new children.
+                assert np.array_equal(a.forward(x), serial.forward(x))
+            finally:
+                b.close()
+        finally:
+            a.close()
+            pool.close()
+
+    def test_two_routes_one_fork_pool_bitwise(
+        self, model, rng, shard_everything
+    ):
+        from repro.runtime import ShardedExecutor
+
+        pool = ForkWorkerPool(workers=2)
+        serial64 = InferenceSession.freeze(model, precision="fp64")
+        serial32 = InferenceSession.freeze(model, precision="fp32")
+        s64 = InferenceSession.freeze(
+            model,
+            precision="fp64",
+            executor=ShardedExecutor(mode="batch", pool=pool),
+        )
+        s32 = InferenceSession.freeze(
+            model,
+            precision="fp32",
+            executor=ShardedExecutor(mode="batch", pool=pool),
+        )
+        try:
+            assert pool.describe()["plans"] == 2
+            x = rng.normal(size=(16, 96))
+            for _ in range(2):
+                assert np.array_equal(
+                    s64.predict_proba(x, batch_size=4),
+                    serial64.predict_proba(x, batch_size=4),
+                )
+                assert np.array_equal(
+                    s32.predict_proba(x, batch_size=4),
+                    serial32.predict_proba(x, batch_size=4),
+                )
+            assert pool._pool is not None or not pool.can_fork
+        finally:
+            s64.close()
+            s32.close()
+            pool.close()
+
+    def test_shared_pool_rejects_conflicting_knobs(self):
+        from repro.runtime import ShardedExecutor
+
+        pool = ForkWorkerPool(workers=2)
+        try:
+            with pytest.raises(ValueError, match="fixed by the shared pool"):
+                ShardedExecutor(workers=3, pool=pool)
+        finally:
+            pool.close()
+
+
+class TestProfiling:
+    def test_serial_profile_records_op_kinds(self, model, rng):
+        with InferenceSession.freeze(
+            model, executor=SerialExecutor(profile=True)
+        ) as session:
+            session.predict_proba(rng.normal(size=(6, 96)))
+            stats = session.executor.op_stats()
+        assert "bc_linear" in stats and "linear" in stats
+        entry = stats["bc_linear"]
+        assert entry["calls"] >= 2  # two bc layers in the plan
+        assert entry["total_ns"] > 0
+
+    def test_threaded_profile_records_op_kinds(
+        self, model, rng, shard_everything
+    ):
+        with InferenceSession.freeze(
+            model,
+            executor=ThreadedExecutor(threads=2, mode="rows", profile=True),
+            row_shards=2,
+        ) as session:
+            session.forward(rng.normal(size=(5, 96)))
+            stats = session.executor.op_stats()
+        assert stats["bc_linear"]["calls"] == 2
+        assert stats["bc_linear"]["total_ns"] > 0
+
+    def test_reset_clears_counters(self, model, rng):
+        with InferenceSession.freeze(
+            model, executor=SerialExecutor(profile=True)
+        ) as session:
+            session.forward(rng.normal(size=(3, 96)))
+            assert session.executor.op_stats()
+            session.executor.reset_op_stats()
+            assert session.executor.op_stats() == {}
+
+    def test_profile_off_records_nothing(self, model, rng):
+        with InferenceSession.freeze(model) as session:
+            session.forward(rng.normal(size=(3, 96)))
+            assert session.executor.op_stats() == {}
+
+
+class TestEffectiveCpuCount:
+    def test_positive_int(self):
+        count = effective_cpu_count()
+        assert isinstance(count, int) and count >= 1
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert effective_cpu_count() == 7

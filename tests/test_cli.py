@@ -143,25 +143,25 @@ class TestWorkersFallback:
         assert len(captured.out.strip().splitlines()[0].split()) == 80
 
     def test_multi_cpu_host_keeps_workers(self, monkeypatch):
-        import os
-
+        # The clamp counts *schedulable* cores (sched_getaffinity), not
+        # the host total — a 1-core cgroup on a big machine must clamp.
         import repro.cli as cli_mod
+        import repro.runtime.executors as executors_mod
 
-        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(executors_mod, "effective_cpu_count", lambda: 8)
         assert cli_mod._effective_workers(4) == 4
-        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(executors_mod, "effective_cpu_count", lambda: 1)
         assert cli_mod._effective_workers(4) == 1
         assert cli_mod._effective_workers(1) == 1
 
     def test_runtime_helper_warns(self, monkeypatch):
-        import os
-
+        import repro.runtime.executors as executors_mod
         from repro.runtime.executors import effective_workers
 
-        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(executors_mod, "effective_cpu_count", lambda: 1)
         with pytest.warns(RuntimeWarning, match="single CPU"):
             assert effective_workers(4) == 1
-        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(executors_mod, "effective_cpu_count", lambda: 8)
         assert effective_workers(4) == 4
 
 
