@@ -207,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
         "block-circulant conv memory by the tile instead of the full "
         "im2col matrix)",
     )
+    predict.add_argument(
+        "--no-arena",
+        action="store_true",
+        help="disable the per-plan workspace arena (fall back to "
+        "fresh-buffer execution; results are bitwise-identical)",
+    )
+    predict.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="disable the plan-compile fusion pass (keep affine / "
+        "flatten / activation ops unfused; bitwise-identical)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -301,6 +313,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="overlap-add conv tiling: output rows per tile",
+    )
+    serve.add_argument(
+        "--no-arena",
+        action="store_true",
+        help="disable the per-plan workspace arena "
+        "(bitwise-identical fresh-buffer execution)",
+    )
+    serve.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="disable the plan-compile fusion pass (bitwise-identical)",
     )
 
     profile = sub.add_parser(
@@ -551,6 +574,20 @@ def _print_op_stats(stats: dict) -> None:
         )
 
 
+def _print_arena_info(info: dict) -> None:
+    """The ``--profile`` arena line: workspace buffer footprint, stderr."""
+    if not info.get("enabled"):
+        print("arena: disabled (fresh buffers every call)", file=sys.stderr)
+        return
+    kb = info["nbytes"] / 1024
+    print(
+        f"arena: workspaces={info['workspaces']} "
+        f"buffers={info['buffers']} reserved={kb:.1f} KiB "
+        f"buckets={list(info['buckets'])}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_predict(args) -> int:
     # Declarative path: describe *what* to run as an EngineConfig, let
     # the Engine pool/freeze the session (precomputed spectra at the
@@ -565,6 +602,8 @@ def _cmd_predict(args) -> int:
         threads=args.threads,
         profile=args.profile,
         conv_tile=args.conv_tile,
+        arena=not args.no_arena,
+        fuse=not args.no_fuse,
     )
     inputs, labels = load_inputs(args.data)
     with Engine(config) as engine:
@@ -579,7 +618,9 @@ def _cmd_predict(args) -> int:
                 score = float((predictions == labels).mean())
                 print(f"accuracy: {score:.4f}", file=sys.stderr)
         if args.profile:
-            _print_op_stats(engine.session().executor.op_stats())
+            executor = engine.session().executor
+            _print_op_stats(executor.op_stats())
+            _print_arena_info(executor.arena_info())
     return 0
 
 
@@ -645,6 +686,8 @@ def _cmd_serve(args) -> int:
             threads=args.threads,
             transport=args.transport,
             conv_tile=args.conv_tile,
+            arena=not args.no_arena,
+            fuse=not args.no_fuse,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
         )

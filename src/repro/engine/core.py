@@ -222,6 +222,9 @@ class Engine:
             executor=self._make_executor(),
             conv_tile=self.config.conv_tile,
             row_shards=self.config.row_shards,
+            arena=self.config.arena,
+            batch_buckets=self.config.batch_buckets,
+            fuse=self.config.fuse,
         )
         if hasattr(source, "records"):  # DeployedModel artifact
             return InferenceSession.from_deployed(source, **kwargs)
@@ -506,6 +509,7 @@ class Engine:
             route = {
                 "ops": session.describe(),
                 "executor": repr(session.executor),
+                "arena": session.executor.arena_info(),
             }
             scheduler = getattr(session.executor, "scheduler", None)
             if scheduler is not None:

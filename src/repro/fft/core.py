@@ -14,6 +14,16 @@ runs its butterflies, chirps and packed real transforms *natively* in
 single precision (half the memory traffic); ``numpy.fft`` computes
 internally in double regardless, so the numpy backend rounds its result
 once on the way out — same dtype contract, double-precision arithmetic.
+
+**Destination buffers.**  :func:`rfft` and :func:`irfft` accept an
+``out=`` array shaped and typed like the result (with the transformed
+axis wherever ``axis`` says).  The workspace-arena execution path uses
+this for buffer-stable results: on the pure backend the packed real
+paths write their final unpack stage straight into ``out``; the numpy
+backend cannot hand ``numpy.fft`` a destination, so the result is
+computed normally and copied into ``out`` once.  Either way the returned
+array *is* ``out`` and the values are bitwise-identical to the
+``out=None`` call.
 """
 
 from __future__ import annotations
@@ -58,7 +68,32 @@ def _pure_fft(x: np.ndarray, inverse: bool) -> np.ndarray:
     return fft_bluestein(x, inverse=inverse)
 
 
-def _pure_rfft(x: np.ndarray) -> np.ndarray:
+def _resolve_out(out, shape: tuple[int, ...], dtype, axis: int) -> np.ndarray:
+    """Validate an ``out=`` buffer and return it with ``axis`` moved last.
+
+    ``shape``/``dtype`` describe the result in the *moved* layout (axis
+    last).  The caller passed ``out`` in its own orientation, so move
+    the same axis before checking.  ``casting="no"`` semantics: the
+    dtype must match the result exactly — a silent cast would break the
+    precision contract the arena path relies on.
+    """
+    out = np.asarray(out)
+    moved = np.moveaxis(out, axis, -1)
+    if moved.shape != shape:
+        raise ValueError(
+            f"out has shape {moved.shape} (axis moved last), "
+            f"expected {shape}"
+        )
+    if moved.dtype != np.dtype(dtype):
+        raise ValueError(
+            f"out has dtype {moved.dtype}, expected {np.dtype(dtype)}"
+        )
+    if not moved.flags.writeable:
+        raise ValueError("out buffer is not writeable")
+    return moved
+
+
+def _pure_rfft(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Pure-backend real FFT via the two-for-one packing.
 
     For even ``n`` the real signal is packed into a length-``n/2`` complex
@@ -71,7 +106,11 @@ def _pure_rfft(x: np.ndarray) -> np.ndarray:
     n = x.shape[-1]
     cdtype = np.complex64 if _is_single(x.dtype) else np.complex128
     if n < 2 or n % 2:
-        return _pure_fft(x.astype(cdtype), inverse=False)[..., : n // 2 + 1]
+        result = _pure_fft(x.astype(cdtype), inverse=False)[..., : n // 2 + 1]
+        if out is not None:
+            np.copyto(out, result)
+            return out
+        return result
     m = n // 2
     z = x[..., 0::2] + 1j * x[..., 1::2]
     zf = _pure_fft(z.astype(cdtype, copy=False), inverse=False)  # (..., m)
@@ -81,10 +120,19 @@ def _pure_rfft(x: np.ndarray) -> np.ndarray:
     even = 0.5 * (zf_ext + zf_rev)  # FFT of x[0::2]
     odd = -0.5j * (zf_ext - zf_rev)  # FFT of x[1::2]
     twiddles = twiddle_factors(n, dtype=np.dtype(cdtype).name)[: m + 1]
+    if out is not None:
+        # Final unpack writes straight into the caller's buffer; float
+        # addition is commutative bit-for-bit, so odd*t + even matches
+        # even + t*odd exactly.
+        np.multiply(twiddles, odd, out=out)
+        out += even
+        return out
     return even + twiddles * odd
 
 
-def _pure_irfft(x: np.ndarray, n: int) -> np.ndarray:
+def _pure_irfft(
+    x: np.ndarray, n: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Pure-backend inverse real FFT (two-for-one unpacking for even ``n``).
 
     Inverts :func:`_pure_rfft`: the half spectrum is repacked into the
@@ -104,7 +152,11 @@ def _pure_irfft(x: np.ndarray, n: int) -> np.ndarray:
         if n > 1:
             tail = np.conj(x[..., 1 : (n + 1) // 2])
             full[..., n - tail.shape[-1] :] = tail[..., ::-1]
-        return _pure_fft(full, inverse=True).real / n
+        result = _pure_fft(full, inverse=True).real / n
+        if out is not None:
+            np.copyto(out, result.astype(rdtype, copy=False))
+            return out
+        return result
     m = n // 2
     # numpy's irfft convention: the DC and Nyquist bins are taken as real
     # (their imaginary parts are discarded); match it before unpacking.
@@ -117,7 +169,8 @@ def _pure_irfft(x: np.ndarray, n: int) -> np.ndarray:
     odd = 0.5 * (xk - x_rev) * twiddles[:m]
     z = even + 1j * odd
     zt = _pure_fft(z.astype(cdtype, copy=False), inverse=True) / m
-    out = np.empty(x.shape[:-1] + (n,), dtype=rdtype)
+    if out is None:
+        out = np.empty(x.shape[:-1] + (n,), dtype=rdtype)
     out[..., 0::2] = zt.real
     out[..., 1::2] = zt.imag
     return out
@@ -158,33 +211,58 @@ def ifft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
     return np.moveaxis(result, -1, axis)
 
 
-def rfft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
+def rfft(
+    x: np.ndarray,
+    n: int | None = None,
+    axis: int = -1,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """FFT of real input, returning the ``n // 2 + 1`` non-redundant bins.
 
     This is the transform the deployment format stores for each circulant
     block (paper section IV-A: "simply keep the FFT result FFT(w_i)"),
     halving both storage and per-inference multiply count.  float32 input
-    produces complex64 spectra.
+    produces complex64 spectra.  ``out`` receives the result in place
+    (see the module docstring) and must match its shape and dtype.
     """
     moved = _prepare(x, n, axis)
     if np.iscomplexobj(moved):
         raise TypeError("rfft requires real input; use fft for complex data")
     single = _is_single(moved.dtype)
+    cdtype = np.complex64 if single else np.complex128
+    bins = moved.shape[-1] // 2 + 1
+    out_moved = None
+    if out is not None:
+        out_moved = _resolve_out(
+            out, moved.shape[:-1] + (bins,), cdtype, axis
+        )
     if get_backend() == "numpy":
         result = np.fft.rfft(moved, axis=-1)
         if single:
             result = result.astype(np.complex64)
+        if out_moved is not None:
+            np.copyto(out_moved, result)
+            return out
     else:
         rdtype = np.float32 if single else np.float64
-        result = _pure_rfft(np.asarray(moved, dtype=rdtype))
+        result = _pure_rfft(np.asarray(moved, dtype=rdtype), out=out_moved)
+        if out_moved is not None:
+            return out
     return np.moveaxis(result, -1, axis)
 
 
-def irfft(x: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
+def irfft(
+    x: np.ndarray,
+    n: int,
+    axis: int = -1,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Inverse of :func:`rfft`: half-spectrum back to a length-``n`` real signal.
 
     ``n`` is required because both even and odd lengths map to the same
     half-spectrum size.  complex64 input produces a float32 signal.
+    ``out`` receives the result in place (see the module docstring) and
+    must match its shape and dtype.
     """
     x = np.asarray(x)
     if n <= 0:
@@ -197,10 +275,21 @@ def irfft(x: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
             f"got {moved.shape[-1]}"
         )
     single = _is_single(moved.dtype)
+    rdtype = np.float32 if single else np.float64
+    out_moved = None
+    if out is not None:
+        out_moved = _resolve_out(
+            out, moved.shape[:-1] + (n,), rdtype, axis
+        )
     if get_backend() == "numpy":
         result = np.fft.irfft(moved, n=n, axis=-1)
         if single:
             result = result.astype(np.float32)
+        if out_moved is not None:
+            np.copyto(out_moved, result)
+            return out
     else:
-        result = _pure_irfft(moved, n)
+        result = _pure_irfft(moved, n, out=out_moved)
+        if out_moved is not None:
+            return out
     return np.moveaxis(result, -1, axis)

@@ -7,10 +7,14 @@ layer object.  The runtime strips all three, split across three modules:
 
 * :mod:`repro.runtime.plan` — the compiler: freeze a model (or a
   deployment artifact) into a flat plan of numpy closures with
-  precomputed weight spectra, fused bias+activation, optional
-  overlap-add conv tiling and block-row sharding — all at the dtypes of
-  a :class:`~repro.precision.PrecisionPolicy` (``"fp32"`` halves
-  spectrum memory; ``"fp64"`` is the reference numerics),
+  precomputed weight spectra, fused bias+activation (and the
+  :func:`fuse_plan` pass folding affine / flatten / activation chains),
+  optional overlap-add conv tiling and block-row sharding — all at the
+  dtypes of a :class:`~repro.precision.PrecisionPolicy` (``"fp32"``
+  halves spectrum memory; ``"fp64"`` is the reference numerics),
+* :mod:`repro.runtime.workspace` — :class:`Workspace`, the per-plan
+  arena of reusable batch-bucketed buffers that makes the steady-state
+  hot path allocation-free,
 * :mod:`repro.runtime.executors` — the execution strategies:
   :class:`SerialExecutor` (in-process), :class:`ThreadedExecutor`
   (in-process thread pool; the numpy kernels release the GIL) and
@@ -39,8 +43,9 @@ from .executors import (
     ThreadedExecutor,
     effective_cpu_count,
 )
-from .plan import PlanOp, compile_model_plan, compile_records_plan
+from .plan import PlanOp, compile_model_plan, compile_records_plan, fuse_plan
 from .session import InferenceSession
+from .workspace import DEFAULT_BATCH_BUCKETS, Workspace
 from .transport import (
     PipeTransport,
     SharedMemoryTransport,
@@ -49,6 +54,7 @@ from .transport import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_BUCKETS",
     "ForkWorkerPool",
     "InferenceSession",
     "PipeTransport",
@@ -62,8 +68,10 @@ __all__ = [
     "ThreadWorkerPool",
     "ThreadedExecutor",
     "Transport",
+    "Workspace",
     "compile_model_plan",
     "compile_records_plan",
     "effective_cpu_count",
+    "fuse_plan",
     "make_transport",
 ]

@@ -82,6 +82,7 @@ from ..exceptions import WorkerFault
 from ..testing import faults
 from .plan import PlanOp
 from .transport import Transport, make_transport
+from .workspace import Workspace
 
 __all__ = [
     "PlanExecutor",
@@ -146,6 +147,14 @@ def effective_workers(requested: int) -> int:
 # copy-on-write and look plans up by the id each task carries.
 _WORKER_PLANS: dict[int, list[PlanOp]] = {}
 _WORKER_TRANSPORT: Transport | None = None
+#: Per-plan arena bucket sets, fork-inherited alongside the plan
+#: registry.  Forked children build their own :class:`Workspace` per
+#: plan lazily (post-fork, so arena pages are private, never shared
+#: copy-on-write with the parent or sibling workers); the parent's
+#: ``_WORKER_ARENAS`` stays empty — parent-side execution uses the
+#: executors' thread-local workspaces.
+_WORKER_ARENA_BUCKETS: dict[int, tuple[int, ...] | None] = {}
+_WORKER_ARENAS: dict[int, Workspace] = {}
 #: Process-wide plan-id source (CPython ``count.__next__`` is atomic).
 _plan_ids = itertools.count(1)
 #: Serializes the set-globals-then-fork window across pools, so two
@@ -175,12 +184,29 @@ def _maybe_fault() -> None:
         time.sleep(float(delay["seconds"]))
 
 
+def _worker_workspace(plan_id: int) -> Workspace | None:
+    """This worker's private arena for one plan (lazily built)."""
+    buckets = _WORKER_ARENA_BUCKETS.get(plan_id)
+    if buckets is None:
+        return None
+    ws = _WORKER_ARENAS.get(plan_id)
+    if ws is None:
+        ws = _WORKER_ARENAS[plan_id] = Workspace(buckets)
+    return ws
+
+
 def _worker_run_plan(plan_id: int, task) -> object:
     """Run one inherited plan end to end on one batch chunk."""
     _maybe_fault()
     x = _WORKER_TRANSPORT.worker_recv(task)
+    ws = _worker_workspace(plan_id)
+    op = None
     for op in _WORKER_PLANS[plan_id]:
-        x = op(x)
+        x = op.run(x, ws)
+    if ws is not None and op is not None and op.ws_fn is not None:
+        # The result must outlive this task: the next task on this
+        # worker reuses every arena slot.
+        x = x.copy()
     return _WORKER_TRANSPORT.worker_send(task, x)
 
 
@@ -212,66 +238,140 @@ class PlanExecutor:
     ``profile=True`` arms per-op timing: every executed op adds its
     wall nanoseconds to a per-op-kind counter (the kind is the op name
     up to its ``(`` — fused and sharded variants of a layer aggregate
-    under one key).  :meth:`op_stats` reads the counters; recording is
-    lock-guarded so threaded executors profile safely.
+    under one key).  Counters accumulate *per thread* — the hot path
+    touches no shared state and no lock — and :meth:`op_stats` merges
+    the per-thread stores on read, so threaded executors profile safely
+    and contention-free.
+
+    ``bind(..., arena_buckets=...)`` arms the workspace arena: each
+    executing thread lazily builds a private
+    :class:`~repro.runtime.workspace.Workspace` and the inner loop runs
+    every op's arena form (:meth:`PlanOp.run`).  Results that would
+    otherwise be views into the arena are copied out before returning —
+    the next call reuses every slot, so nothing escaping the executor
+    may alias one.
     """
 
     _ops: list[PlanOp] | None = None
 
     def __init__(self, profile: bool = False):
         self.profile = bool(profile)
-        self._op_ns: dict[str, list[int]] = {}
-        self._op_ns_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._op_stores: list[dict[str, list[int]]] = []
+        self._workspaces: list[Workspace] = []
+        self._tls = threading.local()
+        self._arena_buckets: tuple[int, ...] | None = None
 
-    def bind(self, ops: Sequence[PlanOp]) -> "PlanExecutor":
+    def bind(
+        self,
+        ops: Sequence[PlanOp],
+        arena_buckets: tuple[int, ...] | None = None,
+    ) -> "PlanExecutor":
         if self._ops is not None:
             raise RuntimeError(
                 "executor is already bound to a plan; "
                 "use one executor per session"
             )
         self._ops = list(ops)
+        self._arena_buckets = (
+            None if arena_buckets is None else tuple(arena_buckets)
+        )
         return self
 
     def _record_op(self, name: str, ns: int) -> None:
+        store = getattr(self._tls, "op_ns", None)
+        if store is None:
+            store = {}
+            with self._state_lock:
+                self._op_stores.append(store)
+            self._tls.op_ns = store
         kind = name.split("(", 1)[0]
-        with self._op_ns_lock:
-            cell = self._op_ns.get(kind)
-            if cell is None:
-                self._op_ns[kind] = [1, ns]
-            else:
-                cell[0] += 1
-                cell[1] += ns
+        cell = store.get(kind)
+        if cell is None:
+            store[kind] = [1, ns]
+        else:
+            cell[0] += 1
+            cell[1] += ns
+
+    def _workspace(self) -> Workspace | None:
+        """This thread's arena (lazily built; None when arena is off)."""
+        if self._arena_buckets is None:
+            return None
+        ws = getattr(self._tls, "ws", None)
+        if ws is None:
+            ws = Workspace(self._arena_buckets)
+            with self._state_lock:
+                self._workspaces.append(ws)
+            self._tls.ws = ws
+        return ws
 
     def _run_ops(self, x: np.ndarray, ops=None) -> np.ndarray:
         """The serial inner loop, shared by every executor's fallback
         path, with per-op timing when profiling is armed."""
         ops = self._ops if ops is None else ops
+        ws = self._workspace()
+        op = None
         if not self.profile:
             for op in ops:
-                x = op(x)
-            return x
-        for op in ops:
-            start = time.perf_counter_ns()
-            x = op(x)
-            self._record_op(op.name, time.perf_counter_ns() - start)
+                x = op.run(x, ws)
+        else:
+            for op in ops:
+                start = time.perf_counter_ns()
+                x = op.run(x, ws)
+                self._record_op(op.name, time.perf_counter_ns() - start)
+        if ws is not None and op is not None and op.ws_fn is not None:
+            # The result may be an arena view; the next call overwrites
+            # every slot, so it escapes as a private copy.
+            x = x.copy()
         return x
 
     def op_stats(self) -> dict:
         """Per-op-kind cumulative timings: ``{kind: {calls, total_ns}}``.
 
-        Empty until ``profile=True`` and at least one op has run.  The
-        serving ``info`` op surfaces this per route; ``repro predict
-        --profile`` prints it.
+        Empty until ``profile=True`` and at least one op has run.
+        Merges the per-thread stores on read.  The serving ``info`` op
+        surfaces this per route; ``repro predict --profile`` prints it.
         """
-        with self._op_ns_lock:
-            return {
-                kind: {"calls": calls, "total_ns": total}
-                for kind, (calls, total) in sorted(self._op_ns.items())
-            }
+        with self._state_lock:
+            stores = list(self._op_stores)
+        merged: dict[str, list[int]] = {}
+        for store in stores:
+            # Owner threads append concurrently; snapshotting can lose
+            # the race against a brand-new kind — retry, never block
+            # the hot path with a lock.
+            for _ in range(8):
+                try:
+                    snapshot = dict(store)
+                    break
+                except RuntimeError:
+                    continue
+            else:  # pragma: no cover - pathological contention
+                snapshot = {}
+            for kind, (calls, total) in snapshot.items():
+                cell = merged.setdefault(kind, [0, 0])
+                cell[0] += calls
+                cell[1] += total
+        return {
+            kind: {"calls": calls, "total_ns": total}
+            for kind, (calls, total) in sorted(merged.items())
+        }
 
     def reset_op_stats(self) -> None:
-        with self._op_ns_lock:
-            self._op_ns.clear()
+        with self._state_lock:
+            for store in self._op_stores:
+                store.clear()
+
+    def arena_info(self) -> dict:
+        """Arena posture and resident-buffer footprint across threads."""
+        with self._state_lock:
+            stats = [ws.stats() for ws in self._workspaces]
+        return {
+            "enabled": self._arena_buckets is not None,
+            "buckets": self._arena_buckets,
+            "workspaces": len(stats),
+            "buffers": sum(s["buffers"] for s in stats),
+            "nbytes": sum(s["nbytes"] for s in stats),
+        }
 
     def run(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -395,7 +495,14 @@ class ThreadWorkerPool:
     def started(self) -> bool:
         return self._pool is not None
 
-    def register(self, ops: Sequence[PlanOp]) -> int:
+    def register(
+        self,
+        ops: Sequence[PlanOp],
+        arena_buckets: tuple[int, ...] | None = None,
+    ) -> int:
+        # ``arena_buckets`` is accepted for pool-surface uniformity with
+        # the fork pool but unused: thread workers run the *executor's*
+        # inner loop, so arenas stay thread-local on the executor.
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
@@ -541,12 +648,18 @@ class ForkWorkerPool:
     # ------------------------------------------------------------------
     # Plan registry
     # ------------------------------------------------------------------
-    def register(self, ops: Sequence[PlanOp]) -> int:
+    def register(
+        self,
+        ops: Sequence[PlanOp],
+        arena_buckets: tuple[int, ...] | None = None,
+    ) -> int:
         """Enter a plan into the fork-inheritance registry; returns its id.
 
         Registering after the pool forked is allowed — the pool is
         marked stale for that plan and re-forks on its first pooled
         call — but registering the full grid first forks exactly once.
+        ``arena_buckets`` arms fork-local workspace arenas: children
+        inherit the bucket set and build private arenas lazily.
         """
         with self._lock:
             if self._closed:
@@ -555,6 +668,8 @@ class ForkWorkerPool:
             ops = list(ops)
             self._plans[plan_id] = ops
             _WORKER_PLANS[plan_id] = ops
+            if arena_buckets is not None:
+                _WORKER_ARENA_BUCKETS[plan_id] = tuple(arena_buckets)
             return plan_id
 
     def evict(self, plan_id: int) -> None:
@@ -567,6 +682,8 @@ class ForkWorkerPool:
         with self._lock:
             self._plans.pop(plan_id, None)
             _WORKER_PLANS.pop(plan_id, None)
+            _WORKER_ARENA_BUCKETS.pop(plan_id, None)
+            _WORKER_ARENAS.pop(plan_id, None)
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -792,6 +909,8 @@ class ForkWorkerPool:
             self._terminate_locked()
             for plan_id in list(self._plans):
                 _WORKER_PLANS.pop(plan_id, None)
+                _WORKER_ARENA_BUCKETS.pop(plan_id, None)
+                _WORKER_ARENAS.pop(plan_id, None)
             self._plans.clear()
             self._forked_plans = frozenset()
         self.transport.close()
@@ -895,10 +1014,16 @@ class ThreadedExecutor(PlanExecutor):
     def workers(self) -> int:
         return self.pool.threads
 
-    def bind(self, ops: Sequence[PlanOp]) -> "ThreadedExecutor":
-        super().bind(ops)
+    def bind(
+        self,
+        ops: Sequence[PlanOp],
+        arena_buckets: tuple[int, ...] | None = None,
+    ) -> "ThreadedExecutor":
+        super().bind(ops, arena_buckets=arena_buckets)
         self.scheduler = ShardScheduler(self._ops, mode=self.mode)
-        self.plan_id = self.pool.register(self._ops)
+        self.plan_id = self.pool.register(
+            self._ops, arena_buckets=self._arena_buckets
+        )
         return self
 
     def ensure_started(self) -> "ThreadedExecutor":
@@ -911,6 +1036,8 @@ class ThreadedExecutor(PlanExecutor):
     # Execution
     # ------------------------------------------------------------------
     def _run_rows(self, x: np.ndarray) -> np.ndarray:
+        ws = self._workspace()
+        used_ws = False
         for index, op in enumerate(self._ops):
             jobs = self.scheduler.shard_jobs(index)
             start = time.perf_counter_ns() if self.profile else 0
@@ -921,10 +1048,14 @@ class ThreadedExecutor(PlanExecutor):
                     for _, shard in jobs
                 ]
                 x = op.combine([future.result() for future in futures])
+                used_ws = False
             else:
-                x = op(x)
+                x = op.run(x, ws)
+                used_ws = ws is not None and op.ws_fn is not None
             if self.profile:
                 self._record_op(op.name, time.perf_counter_ns() - start)
+        if used_ws:
+            x = x.copy()
         return x
 
     def run(self, x: np.ndarray) -> np.ndarray:
@@ -1068,10 +1199,16 @@ class ShardedExecutor(PlanExecutor):
         """The live ``multiprocessing`` pool (None until first use)."""
         return self.pool._pool
 
-    def bind(self, ops: Sequence[PlanOp]) -> "ShardedExecutor":
-        super().bind(ops)
+    def bind(
+        self,
+        ops: Sequence[PlanOp],
+        arena_buckets: tuple[int, ...] | None = None,
+    ) -> "ShardedExecutor":
+        super().bind(ops, arena_buckets=arena_buckets)
         self.scheduler = ShardScheduler(self._ops, mode=self.mode)
-        self.plan_id = self.pool.register(self._ops)
+        self.plan_id = self.pool.register(
+            self._ops, arena_buckets=self._arena_buckets
+        )
         return self
 
     def ensure_started(self) -> "ShardedExecutor":
@@ -1113,6 +1250,8 @@ class ShardedExecutor(PlanExecutor):
 
     def _run_rows(self, x: np.ndarray) -> np.ndarray:
         self.pool.ensure_started(self.plan_id)  # bind transport pre-put()
+        ws = self._workspace()
+        used_ws = False
         for index, op in enumerate(self._ops):
             jobs = self.scheduler.shard_jobs(index)
             start = time.perf_counter_ns() if self.profile else 0
@@ -1123,10 +1262,14 @@ class ShardedExecutor(PlanExecutor):
                     self.plan_id, _worker_run_shard, jobs, lambda i: shared
                 )
                 x = op.combine(parts)
+                used_ws = False
             else:
-                x = op(x)
+                x = op.run(x, ws)
+                used_ws = ws is not None and op.ws_fn is not None
             if self.profile:
                 self._record_op(op.name, time.perf_counter_ns() - start)
+        if used_ws:
+            x = x.copy()
         return x
 
     def run(self, x: np.ndarray) -> np.ndarray:

@@ -35,11 +35,26 @@ Three compile-time choices shape the emitted ops:
 
 Fusion: every elementwise activation is folded into the producing compute
 op (``fusable`` ops), so the plan executes one closure per weight layer
-instead of one Python dispatch per ``Module``.
+instead of one Python dispatch per ``Module``.  :func:`fuse_plan`
+generalizes this at the plan level: it folds *every* ``foldable`` op
+(affine, flatten, non-softmax activations — and chains of them) into the
+preceding producer, so e.g. ``conv -> batchnorm -> relu`` and
+``bc_conv+relu -> flatten`` each become a single closure.
+
+**Workspace arenas.**  Every non-sharded compute op also carries a
+``ws_fn`` — the same computation staged through a
+:class:`~repro.runtime.workspace.Workspace` of per-batch-bucket reusable
+buffers (``np.matmul(..., out=...)``, in-place bias/activation, zero-once
+pad buffers) so steady-state inference stops paying the allocator.
+``ws_fn`` is bitwise-identical to ``fn`` by construction: it runs the
+same floating-point operations in the same order, only into caller-owned
+memory.  Executors choose the path; ops with no arena form (sharded,
+conv-tiled) simply leave ``ws_fn`` unset and keep their fresh path.
 """
 
 from __future__ import annotations
 
+import itertools
 import warnings
 from typing import Callable, Sequence
 
@@ -47,6 +62,7 @@ import numpy as np
 
 from ..exceptions import DeploymentError
 from ..fft import irfft, rfft
+from ..fft.backend import get_backend
 from ..nn.functional import im2col
 from ..nn.layers import (
     AvgPool2d,
@@ -74,10 +90,58 @@ __all__ = [
     "PlanOp",
     "compile_model_plan",
     "compile_records_plan",
+    "fuse_plan",
     "pool_windows",
     "softmax",
     "MIN_SHARD_BYTES",
 ]
+
+#: Per-op-instance arena slot prefixes: two ops in one plan (or two
+#: plans sharing a worker pool) can never collide on a workspace slot.
+_OP_IDS = itertools.count()
+
+
+def _fft_writes_out() -> bool:
+    """Whether the active FFT backend writes results into ``out=`` buffers.
+
+    The pure backend's packed real paths target the caller's buffer
+    directly, so arena kernels hand them workspace slots; ``numpy.fft``
+    owns its result allocation, and routing it through ``out=`` would
+    *add* a copy — arena kernels skip it there and let the transform
+    result be the one short-lived temporary.
+    """
+    return get_backend() != "numpy"
+
+
+def _fast_rfft(
+    xb: np.ndarray, single: bool, out: np.ndarray | None = None
+) -> np.ndarray:
+    """numpy-backend rfft without the dispatch wrapper.
+
+    The arena kernels transform small fixed-shape operands on every
+    call, where :func:`repro.fft.rfft`'s size/axis/backend handling
+    costs as much as the transform itself.  The plan knows the operand
+    is real, the axis is last, and no padding applies, so this calls
+    ``numpy.fft`` directly — the exact same call the wrapper would
+    make, bitwise.
+
+    At double precision the transform writes straight into the arena
+    slot passed as ``out``; single precision computes in double (as
+    ``numpy.fft`` always does) and casts, so the double-width
+    intermediate stays a short-lived temporary.
+    """
+    if single:
+        return np.fft.rfft(xb, axis=-1).astype(np.complex64)
+    return np.fft.rfft(xb, axis=-1, out=out)
+
+
+def _fast_irfft(
+    y_spec: np.ndarray, n: int, single: bool, out: np.ndarray | None = None
+) -> np.ndarray:
+    """numpy-backend irfft counterpart of :func:`_fast_rfft`."""
+    if single:
+        return np.fft.irfft(y_spec, n=n, axis=-1).astype(np.float32)
+    return np.fft.irfft(y_spec, n=n, axis=-1, out=out)
 
 #: Below this frequency-major spectra size, auto row-sharding is skipped:
 #: the pool round-trip costs more than the GEMM saves.  (Explicit
@@ -128,7 +192,19 @@ class PlanOp:
     """One step of a frozen plan: a name plus a ``ndarray -> ndarray`` fn.
 
     ``fusable`` marks compute ops (linear, conv) that a following
-    elementwise activation may be folded into.
+    elementwise activation may be folded into.  ``foldable`` marks the
+    other direction: ops cheap enough that :func:`fuse_plan` folds them
+    *into* their producer (affine, flatten, non-softmax activations).
+
+    ``ws_fn`` is the op's arena form — the same computation, bitwise,
+    staged through a :class:`~repro.runtime.workspace.Workspace` instead
+    of fresh allocations; :meth:`run` dispatches to it when the executor
+    supplies a workspace.  ``fresh_out`` records whether the op owns its
+    output buffer (a fresh allocation or an op-private arena slot) — the
+    condition under which a folded successor may run its ``inplace_fn``
+    (an in-place variant, bitwise-equal to ``fn``) on it.  ``flatten``
+    is the one op with ``fresh_out=False``: its output is a view of its
+    *input*, which the op does not own.
 
     Shardable ops additionally carry ``prepare`` (input -> the shared
     payload, e.g. the input's rfft spectrum, computed *once* per call),
@@ -141,7 +217,18 @@ class PlanOp:
     bitwise-identical results to serial execution.
     """
 
-    __slots__ = ("name", "fn", "fusable", "prepare", "shard_fns", "combine")
+    __slots__ = (
+        "name",
+        "fn",
+        "fusable",
+        "prepare",
+        "shard_fns",
+        "combine",
+        "ws_fn",
+        "foldable",
+        "inplace_fn",
+        "fresh_out",
+    )
 
     def __init__(
         self,
@@ -151,6 +238,10 @@ class PlanOp:
         prepare: Callable[[np.ndarray], np.ndarray] | None = None,
         shard_fns: tuple[Callable[[np.ndarray], np.ndarray], ...] | None = None,
         combine: Callable[[list[np.ndarray]], np.ndarray] | None = None,
+        ws_fn: Callable[[np.ndarray, object], np.ndarray] | None = None,
+        foldable: bool = False,
+        inplace_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+        fresh_out: bool = True,
     ):
         self.name = name
         self.fn = fn
@@ -158,24 +249,70 @@ class PlanOp:
         self.prepare = prepare
         self.shard_fns = shard_fns
         self.combine = combine
+        self.ws_fn = ws_fn
+        self.foldable = foldable
+        self.inplace_fn = inplace_fn
+        self.fresh_out = fresh_out
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.fn(x)
 
-    def fuse(self, name: str, activation: Callable[[np.ndarray], np.ndarray]) -> "PlanOp":
-        """A new op applying ``activation`` after this op's computation."""
-        inner = self.fn
+    def run(self, x: np.ndarray, ws=None) -> np.ndarray:
+        """Execute via the arena path when ``ws`` is given and supported."""
+        if ws is not None and self.ws_fn is not None:
+            return self.ws_fn(x, ws)
+        return self.fn(x)
 
-        def fused(x: np.ndarray) -> np.ndarray:
-            return activation(inner(x))
+    def fold(self, op: "PlanOp") -> "PlanOp":
+        """Fold a ``foldable`` successor into this op (one closure).
 
-        fused_op = PlanOp(f"{self.name}+{name}", fused)
+        The fresh path composes out-of-place — exactly the two ops run
+        back to back, so reference numerics are untouched.  The arena
+        path runs the successor's ``inplace_fn`` directly on this op's
+        output when this op owns that buffer (``fresh_out``), which is
+        bitwise-equal by the in-place ufunc contract.  Shard surfaces
+        survive: the successor composes onto ``combine``, so pool
+        workers still run the original shard closures.
+        """
+        inner, post = self.fn, op.fn
+
+        def folded_fn(x: np.ndarray) -> np.ndarray:
+            return post(inner(x))
+
+        folded = PlanOp(
+            f"{self.name}+{op.name}",
+            folded_fn,
+            fusable=self.fusable,
+            foldable=self.foldable and op.foldable,
+            fresh_out=self.fresh_out or op.fresh_out,
+        )
+        if self.ws_fn is not None:
+            inner_ws = self.ws_fn
+            if op.inplace_fn is not None and self.fresh_out:
+                post_ws = op.inplace_fn
+            else:
+                post_ws = post
+            folded.ws_fn = lambda x, ws: post_ws(inner_ws(x, ws))
+        if self.inplace_fn is not None and op.inplace_fn is not None:
+            self_ip, op_ip = self.inplace_fn, op.inplace_fn
+            folded.inplace_fn = lambda x: op_ip(self_ip(x))
         if self.shard_fns is not None:
             inner_combine = self.combine
-            fused_op.prepare = self.prepare
-            fused_op.shard_fns = self.shard_fns
-            fused_op.combine = lambda parts: activation(inner_combine(parts))
-        return fused_op
+            folded.prepare = self.prepare
+            folded.shard_fns = self.shard_fns
+            folded.combine = lambda parts: post(inner_combine(parts))
+        return folded
+
+    def fuse(self, name: str, activation: Callable[[np.ndarray], np.ndarray]) -> "PlanOp":
+        """A new op applying ``activation`` after this op's computation."""
+        return self.fold(
+            PlanOp(
+                name,
+                activation,
+                foldable=True,
+                inplace_fn=_ACTIVATIONS_INPLACE.get(name),
+            )
+        )
 
     def __repr__(self) -> str:
         return f"PlanOp({self.name!r})"
@@ -186,6 +323,28 @@ _ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
     "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
     "tanh": np.tanh,
     "softmax": softmax,
+}
+
+
+def _sigmoid_inplace(x: np.ndarray) -> np.ndarray:
+    # Same ufunc sequence as 1 / (1 + exp(-x)); float addition is
+    # commutative bit-for-bit, so exp(-x) + 1 matches 1 + exp(-x).
+    np.negative(x, out=x)
+    np.exp(x, out=x)
+    x += 1.0
+    np.divide(1.0, x, out=x)
+    return x
+
+
+#: In-place forms of the foldable activations, bitwise-equal to the
+#: out-of-place forms in ``_ACTIVATIONS``.  Only applied by the arena
+#: path to buffers the producing op owns (``fresh_out``).  leaky_relu
+#: has no allocation-free in-place form (``np.where`` needs a fresh
+#: destination) and softmax is never folded, so neither appears here.
+_ACTIVATIONS_INPLACE: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "relu": lambda x: np.maximum(x, 0.0, out=x),
+    "sigmoid": _sigmoid_inplace,
+    "tanh": lambda x: np.tanh(x, out=x),
 }
 
 
@@ -282,7 +441,77 @@ def _bc_linear_op(
         )
         return finish(out)
 
-    return PlanOp(name, fn, fusable=True)
+    # Arena form: same FFT -> GEMM -> IFFT -> bias pipeline, staged
+    # through per-bucket workspace slots.  The explicit copy into the
+    # contiguous frequency-major operand replaces the re-buffering
+    # matmul would do internally per call; matmul writes straight into
+    # its slot; bias adds in place on the op-owned result.  Each step is
+    # bitwise-equal to its fresh counterpart (tests/runtime/test_arena).
+    nb = spectra.shape[2]
+    tag = f"op{next(_OP_IDS)}.bcl"
+    k_pad, k_spec, k_xsfm, k_yfm, k_ysp, k_blk = (
+        tag + ".pad", tag + ".spec", tag + ".xsfm",
+        tag + ".yfm", tag + ".ysp", tag + ".blk",
+    )
+    single = np.dtype(cdtype) == np.complex64
+
+    def ws_fn(x: np.ndarray, ws) -> np.ndarray:
+        batch = x.shape[0]
+        if x.shape[-1] != in_features:
+            raise ValueError(
+                f"expected input with {in_features} features, got shape {x.shape}"
+            )
+        m = ws.bucket(batch)
+        if in_features == q * b:
+            xb = x.reshape(batch, q, b)
+        else:
+            # Zero-once pad slot: columns past in_features are zeroed at
+            # allocation and never written again.
+            padded = ws.zeros(k_pad, (m, q * b), rdtype)[:batch]
+            padded[:, :in_features] = x
+            xb = padded.reshape(batch, q, b)
+        if _fft_writes_out():
+            x_spec = rfft(
+                xb, out=ws.get(k_spec, (m, q, nb), cdtype)[:batch]
+            )
+        elif single:
+            x_spec = _fast_rfft(xb, True)
+        else:
+            x_spec = _fast_rfft(
+                xb, False, out=ws.get(k_spec, (m, q, nb), cdtype)[:batch]
+            )
+        xs_fm = ws.get(k_xsfm, (nb, q, m), cdtype)[..., :batch]
+        np.copyto(xs_fm, x_spec.transpose(2, 1, 0))
+        y_fm = np.matmul(
+            spectra_fm,
+            xs_fm,
+            out=ws.get(k_yfm, (nb, p, m), cdtype)[..., :batch],
+        )
+        y_spec = y_fm.transpose(2, 1, 0)
+        if _fft_writes_out():
+            out_blocks = irfft(
+                y_spec,
+                n=b,
+                out=ws.get(k_blk, (m, p, b), rdtype)[:batch],
+            )
+        elif single:
+            out_blocks = _fast_irfft(y_spec, b, True)
+        else:
+            # numpy's irfft hits a slow path when both ``out=`` and a
+            # strided input are given; stage the transposed spectrum
+            # contiguously first (a plain copy) so the transform runs on
+            # its fast path and still writes into the arena.
+            y_stage = ws.get(k_ysp, (m, p, nb), cdtype)[:batch]
+            np.copyto(y_stage, y_spec)
+            out_blocks = _fast_irfft(
+                y_stage, b, False, out=ws.get(k_blk, (m, p, b), rdtype)[:batch]
+            )
+        out = out_blocks.reshape(batch, -1)[:, :out_features]
+        if bias is not None:
+            out += bias
+        return out
+
+    return PlanOp(name, fn, fusable=True, ws_fn=ws_fn)
 
 
 def _linear_op(
@@ -301,7 +530,19 @@ def _linear_op(
             out = out + bias
         return out
 
-    return PlanOp(f"linear({in_f}->{out_f})", fn, fusable=True)
+    tag = f"op{next(_OP_IDS)}.lin"
+
+    def ws_fn(x: np.ndarray, ws) -> np.ndarray:
+        batch = x.shape[0]
+        m = ws.bucket(batch)
+        out = np.matmul(
+            x, weight_t, out=ws.get(f"{tag}.out", (m, out_f), rdtype)[:batch]
+        )
+        if bias is not None:
+            out += bias
+        return out
+
+    return PlanOp(f"linear({in_f}->{out_f})", fn, fusable=True, ws_fn=ws_fn)
 
 
 def _conv_op(
@@ -328,7 +569,30 @@ def _conv_op(
             out = out + bias[None, :, None, None]
         return out
 
-    return PlanOp(f"conv({in_c}->{out_c},k={k})", fn, fusable=True)
+    tag = f"op{next(_OP_IDS)}.conv"
+
+    def ws_fn(x: np.ndarray, ws) -> np.ndarray:
+        batch, _, height, width = x.shape
+        out_h = (height + 2 * padding - k) // stride + 1
+        out_w = (width + 2 * padding - k) // stride + 1
+        cols = im2col(x, k, stride, padding)
+        m = ws.bucket(batch)
+        gemm = np.matmul(
+            cols,
+            flat_t,
+            out=ws.get(f"{tag}.gemm", (m, out_h * out_w, out_c), rdtype)[
+                :batch
+            ],
+        )
+        # The channels-first reshape copies (same as the fresh path —
+        # the transpose view is not reshapeable), so the result is op-
+        # owned and bias can add in place.
+        out = gemm.transpose(0, 2, 1).reshape(batch, out_c, out_h, out_w)
+        if bias is not None:
+            out += bias[None, :, None, None]
+        return out
+
+    return PlanOp(f"conv({in_c}->{out_c},k={k})", fn, fusable=True, ws_fn=ws_fn)
 
 
 def _bc_conv_op(
@@ -493,8 +757,89 @@ def _bc_conv_op(
         return out
 
     if conv_tile is not None:
+        # Tiled ops keep the fresh path: the tile loop is already the
+        # memory-bounding strategy, and its slab geometry varies per
+        # call position — no stable buffer set to preallocate.
         name = name[:-1] + f",tile={conv_tile})"
-    return PlanOp(name, fn, fusable=True)
+        return PlanOp(name, fn, fusable=True)
+
+    nb = spectra.shape[2]
+    tag = f"op{next(_OP_IDS)}.bcc"
+    k_pad, k_spec, k_xsfm, k_yfm, k_ysp, k_blk = (
+        tag + ".pad", tag + ".spec", tag + ".xsfm",
+        tag + ".yfm", tag + ".ysp", tag + ".blk",
+    )
+    single = np.dtype(cdtype) == np.complex64
+
+    def ws_fn(x: np.ndarray, ws) -> np.ndarray:
+        batch, _, height, width = x.shape
+        out_h = (height + 2 * padding - k) // stride + 1
+        out_w = (width + 2 * padding - k) // stride + 1
+        positions = out_h * out_w
+        cols = im2col(x, k, stride, padding)
+        by_pos = cols.reshape(batch, positions, in_channels, k * k).transpose(
+            0, 1, 3, 2
+        )
+        mrows = ws.bucket(batch) * positions
+        if padded_c != in_channels:
+            padded = ws.zeros(
+                k_pad,
+                (ws.bucket(batch), positions, k * k, padded_c),
+                rdtype,
+            )[:batch]
+            padded[..., :in_channels] = by_pos
+            by_pos = padded
+        blocks = by_pos.reshape(batch * positions, -1, b)
+        rows = blocks.shape[0]
+        qc = blocks.shape[1]
+        if _fft_writes_out():
+            x_spec = rfft(
+                blocks,
+                out=ws.get(k_spec, (mrows, qc, nb), cdtype)[:rows],
+            )
+        elif single:
+            x_spec = _fast_rfft(blocks, True)
+        else:
+            x_spec = _fast_rfft(
+                blocks,
+                False,
+                out=ws.get(k_spec, (mrows, qc, nb), cdtype)[:rows],
+            )
+        xs_fm = ws.get(k_xsfm, (nb, qc, mrows), cdtype)[..., :rows]
+        np.copyto(xs_fm, x_spec.transpose(2, 1, 0))
+        y_fm = np.matmul(
+            spectra_fm,
+            xs_fm,
+            out=ws.get(k_yfm, (nb, p, mrows), cdtype)[..., :rows],
+        )
+        y_spec = y_fm.transpose(2, 1, 0)
+        if _fft_writes_out():
+            out_blocks = irfft(
+                y_spec,
+                n=b,
+                out=ws.get(k_blk, (mrows, p, b), rdtype)[:rows],
+            )
+        elif single:
+            out_blocks = _fast_irfft(y_spec, b, True)
+        else:
+            # Same strided-input + out= slow path as the linear kernel:
+            # stage the spectrum contiguously before transforming.
+            y_stage = ws.get(k_ysp, (mrows, p, nb), cdtype)[:rows]
+            np.copyto(y_stage, y_spec)
+            out_blocks = _fast_irfft(
+                y_stage,
+                b,
+                False,
+                out=ws.get(k_blk, (mrows, p, b), rdtype)[:rows],
+            )
+        out = out_blocks.reshape(rows, -1)[:, :out_channels]
+        out = out.reshape(batch, positions, out_channels)
+        out = out.transpose(0, 2, 1).reshape(batch, out_channels, out_h, out_w)
+        if bias is not None:
+            out += bias[None, :, None, None]
+        return out
+
+    return PlanOp(name, fn, fusable=True, ws_fn=ws_fn)
 
 
 def _affine_op(
@@ -511,7 +856,37 @@ def _affine_op(
             return x * scale[None, :, None, None] + shift[None, :, None, None]
         return x * scale + shift
 
-    return PlanOp("affine", fn, fusable=True)
+    def inplace_fn(x: np.ndarray) -> np.ndarray:
+        if per_channel:
+            x *= scale[None, :, None, None]
+            x += shift[None, :, None, None]
+        else:
+            x *= scale
+            x += shift
+        return x
+
+    tag = f"op{next(_OP_IDS)}.aff"
+
+    def ws_fn(x: np.ndarray, ws) -> np.ndarray:
+        batch = x.shape[0]
+        m = ws.bucket(batch)
+        out = ws.get(f"{tag}.out", (m,) + x.shape[1:], x.dtype)[:batch]
+        if per_channel:
+            np.multiply(x, scale[None, :, None, None], out=out)
+            out += shift[None, :, None, None]
+        else:
+            np.multiply(x, scale, out=out)
+            out += shift
+        return out
+
+    return PlanOp(
+        "affine",
+        fn,
+        fusable=True,
+        ws_fn=ws_fn,
+        foldable=True,
+        inplace_fn=inplace_fn,
+    )
 
 
 def _maxpool_op(kernel: int, stride: int) -> PlanOp:
@@ -519,7 +894,19 @@ def _maxpool_op(kernel: int, stride: int) -> PlanOp:
         windows, out_h, out_w = pool_windows(x, kernel, stride)
         return windows.max(axis=-1).reshape(x.shape[0], x.shape[1], out_h, out_w)
 
-    return PlanOp(f"maxpool(k={kernel})", fn)
+    tag = f"op{next(_OP_IDS)}.maxp"
+
+    def ws_fn(x: np.ndarray, ws) -> np.ndarray:
+        windows, out_h, out_w = pool_windows(x, kernel, stride)
+        batch, chans = x.shape[0], x.shape[1]
+        m = ws.bucket(batch)
+        buf = ws.get(f"{tag}.out", (m, chans, out_h * out_w), x.dtype)[:batch]
+        windows.max(axis=-1, out=buf)
+        return buf.reshape(batch, chans, out_h, out_w)
+
+    # fusable: a pool owns its output buffer, so a folded successor
+    # (flatten, activation) may reshape or mutate it freely.
+    return PlanOp(f"maxpool(k={kernel})", fn, fusable=True, ws_fn=ws_fn)
 
 
 def _avgpool_op(kernel: int, stride: int) -> PlanOp:
@@ -527,15 +914,36 @@ def _avgpool_op(kernel: int, stride: int) -> PlanOp:
         windows, out_h, out_w = pool_windows(x, kernel, stride)
         return windows.mean(axis=-1).reshape(x.shape[0], x.shape[1], out_h, out_w)
 
-    return PlanOp(f"avgpool(k={kernel})", fn)
+    tag = f"op{next(_OP_IDS)}.avgp"
+
+    def ws_fn(x: np.ndarray, ws) -> np.ndarray:
+        windows, out_h, out_w = pool_windows(x, kernel, stride)
+        batch, chans = x.shape[0], x.shape[1]
+        m = ws.bucket(batch)
+        buf = ws.get(f"{tag}.out", (m, chans, out_h * out_w), x.dtype)[:batch]
+        windows.mean(axis=-1, out=buf)
+        return buf.reshape(batch, chans, out_h, out_w)
+
+    return PlanOp(f"avgpool(k={kernel})", fn, fusable=True, ws_fn=ws_fn)
 
 
 def _flatten_op() -> PlanOp:
-    return PlanOp("flatten", lambda x: x.reshape(x.shape[0], -1))
+    # The output is a view of the op's *input*, so a folded successor
+    # must not mutate it (fresh_out=False); the reshape itself is
+    # allocation-free, so it doubles as its own in-place form.
+    fn = lambda x: x.reshape(x.shape[0], -1)  # noqa: E731
+    return PlanOp(
+        "flatten", fn, foldable=True, inplace_fn=fn, fresh_out=False
+    )
 
 
 def _activation_op(name: str, fn: Callable[[np.ndarray], np.ndarray]) -> PlanOp:
-    return PlanOp(name, fn)
+    return PlanOp(
+        name,
+        fn,
+        foldable=name != "softmax",
+        inplace_fn=_ACTIVATIONS_INPLACE.get(name),
+    )
 
 
 def _append_activation(
@@ -543,9 +951,32 @@ def _append_activation(
 ) -> None:
     """Fuse the activation into the previous compute op when possible."""
     if ops and ops[-1].fusable and name != "softmax":
-        ops[-1] = ops[-1].fuse(name, fn)
+        ops[-1] = ops[-1].fold(_activation_op(name, fn))
     else:
         ops.append(_activation_op(name, fn))
+
+
+def fuse_plan(ops: Sequence[PlanOp]) -> list[PlanOp]:
+    """Compile pass: fold every foldable op into its producer.
+
+    Generalizes the per-activation fusion the compilers already do into
+    a pass over the whole op list: affine (folded batch-norm /
+    dequantize), flatten and non-softmax activation ops — and chains of
+    them — merge into the preceding compute op, so e.g.
+    ``conv -> affine+relu -> ... -> bc_conv+relu -> flatten`` executes
+    as ``conv+affine+relu -> ... -> bc_conv+relu+flatten``.  The first
+    op never folds into anything, so user input is never mutated; the
+    fresh path of a folded op is the exact out-of-place composition of
+    its parts, so reference numerics are untouched (bitwise).
+    """
+    fused: list[PlanOp] = []
+    for op in ops:
+        prev = fused[-1] if fused else None
+        if prev is not None and op.foldable and (prev.fusable or prev.foldable):
+            fused[-1] = prev.fold(op)
+        else:
+            fused.append(op)
+    return fused
 
 
 # ----------------------------------------------------------------------

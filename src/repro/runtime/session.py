@@ -42,6 +42,16 @@ block-circulant spectra across a fork pool and shards ``predict``
 batches.  Both parallel executors are bitwise-identical to serial
 execution by construction.
 
+**Allocation-free hot path.**  By default the session runs the
+:func:`~repro.runtime.plan.fuse_plan` compile pass (folding affine /
+flatten / activation chains into their producing compute op) and hands
+the executor a per-plan workspace arena
+(:class:`~repro.runtime.workspace.Workspace`): every thread or fork
+worker reuses a fixed set of buffers keyed by op and bucketed batch
+size, so steady-state calls allocate only the returned output array.
+Both passes are bitwise-identical to the fresh-buffer reference path;
+``fuse=False`` / ``arena=False`` restore it.
+
 ``predict`` / ``predict_proba`` stream arbitrarily large input arrays
 through the plan in ``batch_size`` chunks, bounding peak memory by the
 chunk size rather than the dataset size; ``batch_size=None`` runs one
@@ -69,13 +79,16 @@ from .plan import (
     PlanOp,
     compile_model_plan,
     compile_records_plan,
+    fuse_plan,
     pool_windows,
     softmax,
 )
+from .workspace import DEFAULT_BATCH_BUCKETS, Workspace
 
 __all__ = [
     "InferenceSession",
     "PlanOp",
+    "Workspace",
     "iter_batches",
     "pool_windows",
     "softmax",
@@ -140,12 +153,28 @@ class InferenceSession:
         ops: Sequence[PlanOp],
         precision: str | PrecisionPolicy | None = None,
         executor: PlanExecutor | str | None = None,
+        arena: bool = True,
+        batch_buckets: Sequence[int] | None = None,
+        fuse: bool = True,
     ):
         if not ops:
             raise DeploymentError("inference session has no ops")
         self.ops = list(ops)
+        if fuse:
+            self.ops = fuse_plan(self.ops)
+        self.fused = fuse
+        if arena:
+            self.arena_buckets: tuple[int, ...] | None = (
+                tuple(batch_buckets)
+                if batch_buckets is not None
+                else DEFAULT_BATCH_BUCKETS
+            )
+        else:
+            self.arena_buckets = None
         self.policy = PrecisionPolicy.resolve(precision)
-        self.executor = _resolve_executor(executor).bind(self.ops)
+        self.executor = _resolve_executor(executor).bind(
+            self.ops, arena_buckets=self.arena_buckets
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -158,6 +187,9 @@ class InferenceSession:
         executor: PlanExecutor | str | None = None,
         conv_tile: int | None = None,
         row_shards: int | None = None,
+        arena: bool = True,
+        batch_buckets: Sequence[int] | None = None,
+        fuse: bool = True,
     ) -> "InferenceSession":
         """Snapshot ``model`` into a session (see module docstring).
 
@@ -170,6 +202,16 @@ class InferenceSession:
         :class:`~repro.runtime.executors.ThreadedExecutor`).  When both
         apply to the same conv layer, sharding supersedes tiling (with a
         warning): a poolable shard payload needs the one-shot im2col.
+
+        ``arena`` (default on) gives each executor thread / fork worker
+        a per-plan workspace of reusable buffers so repeated calls
+        allocate nothing on the hot path; ``batch_buckets`` overrides
+        the batch-size rounding grid (see
+        :class:`~repro.runtime.workspace.Workspace`).  ``fuse`` (default
+        on) runs the :func:`~repro.runtime.plan.fuse_plan` compile pass,
+        folding affine / flatten / activation ops into their producing
+        compute op.  Both are bitwise-neutral; disable them to compare
+        against the unfused fresh-buffer reference path.
         """
         policy = PrecisionPolicy.resolve(precision)
         executor = _resolve_executor(executor)
@@ -180,7 +222,14 @@ class InferenceSession:
         ops = compile_model_plan(
             model, policy=policy, conv_tile=conv_tile, row_shards=row_shards
         )
-        return cls(ops, precision=policy, executor=executor)
+        return cls(
+            ops,
+            precision=policy,
+            executor=executor,
+            arena=arena,
+            batch_buckets=batch_buckets,
+            fuse=fuse,
+        )
 
     @classmethod
     def from_deployed(
@@ -190,6 +239,9 @@ class InferenceSession:
         executor: PlanExecutor | str | None = None,
         conv_tile: int | None = None,
         row_shards: int | None = None,
+        arena: bool = True,
+        batch_buckets: Sequence[int] | None = None,
+        fuse: bool = True,
     ) -> "InferenceSession":
         """Build a session from a deployment artifact's layer records.
 
@@ -197,7 +249,8 @@ class InferenceSession:
         :class:`~repro.embedded.deploy.DeployedModel` format.  The
         complex64 artifact spectra are widened (fp64) or used as stored
         (fp32) once here, instead of on every call as the record
-        interpreter does.
+        interpreter does.  ``arena`` / ``batch_buckets`` / ``fuse``
+        behave exactly as in :meth:`freeze`.
         """
         policy = PrecisionPolicy.resolve(precision)
         executor = _resolve_executor(executor)
@@ -211,7 +264,14 @@ class InferenceSession:
             conv_tile=conv_tile,
             row_shards=row_shards,
         )
-        return cls(ops, precision=policy, executor=executor)
+        return cls(
+            ops,
+            precision=policy,
+            executor=executor,
+            arena=arena,
+            batch_buckets=batch_buckets,
+            fuse=fuse,
+        )
 
     # ------------------------------------------------------------------
     # Execution

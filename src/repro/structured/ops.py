@@ -197,6 +197,8 @@ def block_circulant_forward_batch(
     weight_spectra: np.ndarray,
     x_blocks: np.ndarray,
     weight_fm: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+    gemm_out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Batched forward product in the frequency domain.
 
@@ -213,14 +215,26 @@ def block_circulant_forward_batch(
     :meth:`SpectrumCache.get_pair`); without it ``matmul`` re-buffers the
     strided transpose view on every call, which dominates small-batch
     inference.
+
+    ``out`` (shape ``(batch, p, b)``, the policy's real dtype) receives
+    the final output blocks in place; ``gemm_out`` (shape
+    ``(nb, p, batch)``, complex) is the destination for the
+    frequency-major GEMM.  Both are bitwise-neutral: the same
+    floating-point operations run, only into caller-owned buffers — the
+    workspace-arena runtime passes preallocated slots here so repeated
+    calls stop paying the allocator.
     """
     weight_spectra = np.asarray(weight_spectra)
     x_blocks = np.asarray(x_blocks)
     b = x_blocks.shape[-1]
     x_spec = rfft(x_blocks)  # (batch, q, nb)
     w_f = weight_spectra.transpose(2, 0, 1) if weight_fm is None else weight_fm
-    y_spec = np.matmul(w_f, x_spec.transpose(2, 1, 0)).transpose(2, 1, 0)
-    return irfft(y_spec, n=b)
+    if gemm_out is not None:
+        y_fm = np.matmul(w_f, x_spec.transpose(2, 1, 0), out=gemm_out)
+    else:
+        y_fm = np.matmul(w_f, x_spec.transpose(2, 1, 0))
+    y_spec = y_fm.transpose(2, 1, 0)
+    return irfft(y_spec, n=b, out=out)
 
 
 def block_circulant_forward_batch_einsum(

@@ -113,3 +113,83 @@ class TestBackendParity:
         with use_backend("pure"):
             ours = rfft(x)
         assert np.allclose(ours, reference)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDestinationBuffers:
+    """rfft/irfft out=: bitwise-identical results written in place."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 12, 17, 64])
+    def test_rfft_out_bitwise(self, rng, backend, n):
+        x = rng.normal(size=(3, n))
+        with use_backend(backend):
+            reference = rfft(x)
+            out = np.empty_like(reference)
+            returned = rfft(x, out=out)
+        assert returned is out
+        assert np.array_equal(out, reference)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 12, 17, 64])
+    def test_irfft_out_bitwise(self, rng, backend, n):
+        x = rng.normal(size=(3, n))
+        with use_backend(backend):
+            spec = rfft(x)
+            reference = irfft(spec, n=n)
+            out = np.empty_like(reference)
+            returned = irfft(spec, n=n, out=out)
+        assert returned is out
+        assert np.array_equal(out, reference)
+
+    def test_rfft_out_fp32(self, rng, backend):
+        x = rng.normal(size=(4, 16)).astype(np.float32)
+        with use_backend(backend):
+            reference = rfft(x)
+            out = np.empty((4, 9), dtype=np.complex64)
+            rfft(x, out=out)
+        assert out.dtype == reference.dtype == np.complex64
+        assert np.array_equal(out, reference)
+
+    def test_irfft_out_fp32(self, rng, backend):
+        x = rng.normal(size=(4, 16)).astype(np.float32)
+        with use_backend(backend):
+            spec = rfft(x)
+            reference = irfft(spec, n=16)
+            out = np.empty((4, 16), dtype=np.float32)
+            irfft(spec, n=16, out=out)
+        assert out.dtype == reference.dtype == np.float32
+        assert np.array_equal(out, reference)
+
+    def test_out_respects_axis(self, rng, backend):
+        x = rng.normal(size=(5, 8, 3))
+        with use_backend(backend):
+            reference = rfft(x, axis=1)
+            out = np.empty((5, 5, 3), dtype=np.complex128)
+            rfft(x, axis=1, out=out)
+        assert np.array_equal(out, reference)
+
+    def test_rfft_out_shape_mismatch_raises(self, rng, backend):
+        x = rng.normal(size=(3, 8))
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="shape"):
+                rfft(x, out=np.empty((3, 8), dtype=np.complex128))
+
+    def test_rfft_out_dtype_mismatch_raises(self, rng, backend):
+        x = rng.normal(size=(3, 8))
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="dtype"):
+                rfft(x, out=np.empty((3, 5), dtype=np.complex64))
+
+    def test_irfft_out_dtype_mismatch_raises(self, rng, backend):
+        x = rng.normal(size=(3, 8))
+        with use_backend(backend):
+            spec = rfft(x)
+            with pytest.raises(ValueError, match="dtype"):
+                irfft(spec, n=8, out=np.empty((3, 8), dtype=np.float32))
+
+    def test_out_rejects_readonly(self, rng, backend):
+        x = rng.normal(size=(3, 8))
+        buf = np.empty((3, 5), dtype=np.complex128)
+        buf.flags.writeable = False
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="writeable"):
+                rfft(x, out=buf)

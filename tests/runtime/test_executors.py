@@ -191,7 +191,9 @@ class TestRowShardedConv:
 
     def test_fused_activation_survives_conv_sharding(self, shard_everything):
         session = InferenceSession.freeze(conv_model(), row_shards=2)
-        assert session.describe()[0].endswith("+relu")
+        # fuse_plan may fold a trailing flatten in as well, so the relu
+        # is "in" the name rather than necessarily terminating it.
+        assert "+relu" in session.describe()[0]
 
     def test_row_shards_superseding_conv_tile_warns(self, shard_everything):
         with pytest.warns(RuntimeWarning, match="supersedes conv_tile"):
