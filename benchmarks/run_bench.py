@@ -1153,6 +1153,117 @@ def bench_resilience(repeats: int, quick: bool = False) -> dict:
     }
 
 
+def bench_router(repeats: int, quick: bool = False) -> dict:
+    """Front-tier routing cost: rows/s through 1 vs 2 local backends.
+
+    The same engine/server stack measured twice behind a
+    :class:`~repro.router.RouterServer` — once fronting a single
+    backend (the pure indirection cost vs ``serving``'s direct
+    numbers) and once fronting two (what least-loaded-of-two placement
+    buys when cores allow; on a single effective CPU the two backends
+    just time-slice).  Every response is checked bitwise against the
+    serial session: the router forwards payloads as opaque bytes, so
+    parity must be exact at any concurrency.
+    """
+    from contextlib import AsyncExitStack
+
+    from repro.engine import Engine
+    from repro.router import RouterConfig, RouterServer
+    from repro.serving import AsyncServeClient, InferenceServer
+
+    rng = np.random.default_rng(23)
+    p, q, b = (8, 12, 32) if quick else (16, 24, 64)
+    layer = BlockCirculantLinear(q * b, p * b, b, rng=rng)
+    layer.eval()
+    model = Sequential(layer)
+    serial = InferenceSession.freeze(model)
+    rows = 8
+    requests_per_client = 2 if quick else 4
+    client_counts = (1, 4) if quick else (1, 8, 32)
+
+    async def run_fleet(n_backends: int, n_clients: int) -> dict:
+        engines = [Engine(model=model) for _ in range(n_backends)]
+        try:
+            async with AsyncExitStack() as stack:
+                servers = []
+                for engine in engines:
+                    server = InferenceServer(engine, port=0, max_wait_ms=1.0)
+                    await stack.enter_async_context(server)
+                    servers.append(server)
+                router = RouterServer(RouterConfig(
+                    backends=tuple(
+                        f"127.0.0.1:{s.port}" for s in servers
+                    ),
+                    probe_interval_s=0.2,
+                ))
+                await stack.enter_async_context(router)
+                parity = True
+
+                async def one_client(client_id: int) -> None:
+                    nonlocal parity
+                    c_rng = np.random.default_rng(400 + client_id)
+                    client = await AsyncServeClient.connect(
+                        "127.0.0.1", router.port
+                    )
+                    try:
+                        for _ in range(requests_per_client):
+                            x = c_rng.normal(size=(rows, q * b))
+                            proba = await client.predict_proba(x)
+                            parity &= bool(np.array_equal(
+                                proba, serial.predict_proba(x)
+                            ))
+                    finally:
+                        await client.close()
+
+                start = time.perf_counter()
+                await asyncio.gather(
+                    *[one_client(i) for i in range(n_clients)]
+                )
+                wall = time.perf_counter() - start
+                forwards = router.stats["forwards"]
+            total_rows = n_clients * requests_per_client * rows
+            return {
+                "rows_per_s": total_rows / wall,
+                "bitwise_identical": parity,
+                "forwards": forwards,
+            }
+        finally:
+            for engine in engines:
+                engine.close()
+
+    fleets: dict = {}
+    for n_backends in (1, 2):
+        per_clients: dict = {}
+        for n_clients in client_counts:
+            best = None
+            for _ in range(max(1, repeats // 2)):
+                outcome = asyncio.run(run_fleet(n_backends, n_clients))
+                if best is None or (
+                    outcome["rows_per_s"] > best["rows_per_s"]
+                ):
+                    best = outcome
+            per_clients[str(n_clients)] = best
+        fleets[f"backends_{n_backends}"] = per_clients
+
+    return {
+        "config": {
+            "p": p, "q": q, "b": b, "rows": rows,
+            "requests_per_client": requests_per_client,
+            "client_counts": list(client_counts),
+        },
+        "cpus": os.cpu_count(),
+        "effective_cpus": _effective_cpus(),
+        **fleets,
+        "two_backend_speedup": {
+            clients: (
+                fleets["backends_2"][clients]["rows_per_s"]
+                / fleets["backends_1"][clients]["rows_per_s"]
+            )
+            for clients in fleets["backends_1"]
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1194,6 +1305,7 @@ def main(argv: list[str] | None = None) -> int:
         "arena": bench_arena(repeats, quick=args.quick),
         "pipeline": bench_pipeline(repeats, quick=args.quick),
         "resilience": bench_resilience(repeats, quick=args.quick),
+        "router": bench_router(repeats, quick=args.quick),
     }
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
@@ -1293,6 +1405,17 @@ def main(argv: list[str] | None = None) -> int:
           f"2x over-admission: {oa['shed']}/{oa['offered']} shed "
           f"({oa['shed_rate']:.0%}), served parity "
           f"{'OK' if oa['served_bitwise_identical'] else 'FAIL'}")
+    rtr = report["router"]
+    for fleet in ("backends_1", "backends_2"):
+        cells = rtr[fleet]
+        summary = ", ".join(
+            f"{n} client(s): {row['rows_per_s']:.0f} rows/s"
+            for n, row in cells.items()
+        )
+        parity = all(row["bitwise_identical"] for row in cells.values())
+        print(f"router ({fleet.replace('_', ' ')}, "
+              f"{rtr['effective_cpus']}/{rtr['cpus']} cpu(s)): {summary}; "
+              f"bitwise {'OK' if parity else 'FAIL'}")
     print(f"wrote {args.out}")
     return 0
 

@@ -28,7 +28,6 @@ Run:  PYTHONPATH=src python examples/chaos_client.py
 import argparse
 import asyncio
 import os
-import re
 import subprocess
 import sys
 import tempfile
@@ -44,9 +43,9 @@ from repro.embedded import DeployedModel  # noqa: E402
 from repro.exceptions import ServerUnavailable  # noqa: E402
 from repro.runtime import InferenceSession  # noqa: E402
 from repro.serving import AsyncServeClient, ServeClient  # noqa: E402
+from repro.serving.protocol import parse_banner  # noqa: E402
 from repro.zoo import build_arch1  # noqa: E402
 
-BANNER = re.compile(r"serving on (\S+):(\d+)")
 
 
 def launch_server(artifact: Path, args, fault_spec: str):
@@ -80,9 +79,9 @@ def launch_server(artifact: Path, args, fault_spec: str):
             line = proc.stdout.readline()
             if not line:
                 raise RuntimeError("server exited before announcing its port")
-            match = BANNER.match(line)
-            if match:
-                return proc, match.group(1), int(match.group(2))
+            parsed = parse_banner(line)
+            if parsed is not None:
+                return proc, parsed[0], parsed[1]
     finally:
         selector.close()
 

@@ -26,7 +26,6 @@ Run:  PYTHONPATH=src python examples/serve_client.py
 import argparse
 import asyncio
 import os
-import re
 import subprocess
 import sys
 import tempfile
@@ -41,9 +40,9 @@ sys.path.insert(0, str(SRC))
 from repro.embedded import DeployedModel  # noqa: E402
 from repro.runtime import InferenceSession  # noqa: E402
 from repro.serving import AsyncServeClient, ServeClient  # noqa: E402
+from repro.serving.protocol import parse_banner  # noqa: E402
 from repro.zoo import build_arch1  # noqa: E402
 
-BANNER = re.compile(r"serving on (\S+):(\d+)")
 
 
 def launch_server(artifact: Path, args) -> tuple[subprocess.Popen, str, int]:
@@ -81,9 +80,9 @@ def launch_server(artifact: Path, args) -> tuple[subprocess.Popen, str, int]:
             line = proc.stdout.readline()
             if not line:
                 raise RuntimeError("server exited before announcing its port")
-            match = BANNER.match(line)
-            if match:
-                return proc, match.group(1), int(match.group(2))
+            parsed = parse_banner(line)
+            if parsed is not None:
+                return proc, parsed[0], parsed[1]
     finally:
         selector.close()
 

@@ -17,6 +17,10 @@ Mirrors the paper's Fig. 4 pipeline from a shell:
   micro-batching TCP service (``--model name=path`` is repeatable;
   requests route per-model and per-precision, see :mod:`repro.engine`
   and :mod:`repro.serving`),
+* ``route``   — front a fleet of ``serve`` backends with one
+  health-probing, failover-capable router port (static ``--backend``
+  addresses and/or ``--spawn N`` local child processes, see
+  :mod:`repro.router`),
 * ``profile`` — predict per-image latency and energy on the Table I
   devices,
 * ``info``    — parameter/storage/compression report for an architecture.
@@ -324,6 +328,98 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fuse",
         action="store_true",
         help="disable the plan-compile fusion pass (bitwise-identical)",
+    )
+
+    route = sub.add_parser(
+        "route",
+        help="front a fleet of `repro serve` backends with one "
+        "health-probing, failover-capable router port",
+    )
+    route.add_argument(
+        "--backend",
+        dest="backends",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="address of an already-running `repro serve` backend "
+        "(repeatable; combinable with --spawn)",
+    )
+    route.add_argument(
+        "--spawn",
+        type=int,
+        default=0,
+        metavar="N",
+        help="launch N local `repro serve` child processes on ephemeral "
+        "ports and own their lifecycle (requires --model)",
+    )
+    route.add_argument(
+        "--model",
+        dest="models",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="artifact registry for spawned children (repeatable; a "
+        "bare PATH registers as the default model).  Static backends "
+        "advertise their own registries over the info op.",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="router TCP port (default: the repro serving port; "
+        "0 = ephemeral)",
+    )
+    route.add_argument(
+        "--precisions",
+        default=None,
+        metavar="P1[,P2]",
+        help="precision pool passed to spawned children "
+        "(--precisions fp64,fp32)",
+    )
+    route.add_argument(
+        "--spawn-arg",
+        dest="spawn_args",
+        action="append",
+        default=[],
+        metavar="ARG",
+        help="extra argument appended verbatim to each spawned child's "
+        "`repro serve` command line (repeatable, e.g. "
+        "--spawn-arg=--max-batch --spawn-arg=64)",
+    )
+    route.add_argument(
+        "--probe-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="seconds between health probes per backend (the info op)",
+    )
+    route.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-probe timeout; exceeding it marks the backend down",
+    )
+    route.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="timeout for one forwarded request round-trip",
+    )
+    route.add_argument(
+        "--pool-size",
+        type=_positive_int,
+        default=2,
+        help="idle persistent connections kept per backend",
+    )
+    route.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        help="distinct backends tried per predict before giving up "
+        "(default: every routable candidate)",
     )
 
     profile = sub.add_parser(
@@ -741,6 +837,96 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_route(args) -> int:
+    # Same banner contract as `serve`: the first stdout line is the
+    # machine-readable `serving on host:port` line, then a config line.
+    import asyncio
+    import signal as _signal
+
+    from .router import RouterConfig, RouterServer
+    from .serving import DEFAULT_PORT
+    from .serving.protocol import format_banner
+
+    models: dict[str, str] = {}
+    try:
+        for spec in args.models:
+            name, sep, path = spec.partition("=")
+            if not sep:
+                name, path = DEFAULT_MODEL_NAME, spec
+            if name in models:
+                raise ValueError(f"model {name!r} registered twice")
+            models[name] = path
+        precisions = None
+        if args.precisions is not None:
+            precisions = tuple(
+                p.strip() for p in args.precisions.split(",") if p.strip()
+            )
+        config = RouterConfig(
+            backends=tuple(args.backends),
+            spawn=args.spawn,
+            models=models,
+            spawn_precisions=precisions,
+            spawn_args=tuple(args.spawn_args),
+            host=args.host,
+            port=DEFAULT_PORT if args.port is None else args.port,
+            probe_interval_s=args.probe_interval,
+            probe_timeout_s=args.probe_timeout,
+            request_timeout_s=args.request_timeout,
+            pool_size=args.pool_size,
+            max_attempts=args.max_attempts,
+        )
+    except ValueError as exc:  # covers ConfigurationError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if os.environ.get("REPRO_FAULTS"):
+        # Router-tier fault points (e.g. router.backend_down) arm here;
+        # the spawner strips REPRO_FAULTS from child environments so
+        # the same spec does not also arm inside every backend.
+        from .testing import faults
+
+        try:
+            faults.arm_from_env()
+        except ValueError as exc:
+            print(f"error: bad REPRO_FAULTS: {exc}", file=sys.stderr)
+            return 2
+
+    async def _serve() -> None:
+        router = RouterServer(config)
+        await router.start()
+        loop = asyncio.get_running_loop()
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, router.begin_drain)
+            except (NotImplementedError, RuntimeError):
+                break  # platform without signal support: Ctrl-C path
+        print(format_banner(router.host, router.port), flush=True)
+        fleet = ",".join(b.address for b in router.backends)
+        print(
+            f"backends={fleet} spawn={config.spawn} "
+            f"routable={sum(1 for b in router.backends if b.routable)}"
+            f"/{len(router.backends)} "
+            f"probe_interval_s={config.probe_interval_s} "
+            f"pool_size={config.pool_size}",
+            flush=True,
+        )
+        try:
+            await router.serve_forever()
+        finally:
+            await router.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except (OSError, ReproError) as exc:
+        # Unbindable port, a spawn that never came up: a clean CLI
+        # error, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_profile(args) -> int:
     model = build_model_from_string(args.architecture)
     shape = _input_shape(args.architecture)
@@ -780,6 +966,7 @@ _COMMANDS = {
     "deploy": _cmd_deploy,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
+    "route": _cmd_route,
     "profile": _cmd_profile,
     "info": _cmd_info,
 }

@@ -389,6 +389,7 @@ class Engine:
         import signal as _signal
 
         from ..serving import DEFAULT_PORT, InferenceServer
+        from ..serving.protocol import format_banner
 
         server = InferenceServer(
             self,
@@ -406,7 +407,7 @@ class Engine:
                     loop.add_signal_handler(sig, server.begin_drain)
                 except (NotImplementedError, RuntimeError):
                     break  # platform without signal support: Ctrl-C path
-            print(f"serving on {server.host}:{server.port}", flush=True)
+            print(format_banner(server.host, server.port), flush=True)
             if on_ready is not None:
                 on_ready(server)
             try:

@@ -1,0 +1,486 @@
+"""The asyncio front-tier router: many engine processes, one port.
+
+:class:`RouterServer` speaks the exact frame protocol of
+:mod:`repro.serving.protocol` to clients — the existing
+:class:`~repro.serving.ServeClient` / :class:`~repro.serving.AsyncServeClient`
+work against it unchanged — and multiplexes predict traffic over a
+fleet of backend ``repro serve`` processes (static addresses, spawned
+children, or both).  Per request it:
+
+1. resolves the routing fields (``model`` / ``precision``) from the
+   request header — the payload stays opaque bytes end to end, never
+   re-serialized,
+2. asks the :class:`~repro.router.placement.PlacementPolicy` for a
+   backend (healthy candidates advertising the route,
+   least-loaded-of-two, sticky tie-break),
+3. forwards the frame and relays the response verbatim,
+4. **fails over** on transport death: predicts are idempotent (pure
+   functions of their rows), so a request whose backend dies
+   mid-flight replays bitwise-identically on a survivor.  Shed
+   responses (``overloaded``) try the other candidates and — only when
+   *every* candidate shed — propagate with the **max** backend
+   ``retry_after_ms`` (the honest wait for capacity anywhere).
+   Deliberate errors (``deadline_expired``, unknown models, malformed
+   frames) are relayed verbatim and never retried: repeating them
+   cannot succeed, and a deadline that expired on one backend is no
+   less expired on the next.
+
+Health is probed over the same wire (the ``info`` op) on a fixed
+interval per backend; see :mod:`repro.router.backend` for the state
+machine and :mod:`repro.router.placement` for how the capacity numbers
+(queued rows, shed counters, fused-batch EMA) become placement.
+
+Drain (the ``drain`` op, or SIGTERM under ``repro route``) refuses new
+predicts, lets in-flight forwards complete and flush, fans ``drain``
+out to every *spawned* child (static backends belong to someone else),
+waits for the children to exit, then closes the listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..exceptions import ServingError
+from ..serving.protocol import read_frame, send_frame
+from ..testing import faults
+from .backend import BackendHandle
+from .config import RouterConfig
+from .placement import PlacementPolicy
+from .spawn import SpawnedBackend, spawn_backends
+
+__all__ = ["RouterServer"]
+
+
+class RouterServer:
+    """Route the frame protocol over a fleet of engine backends.
+
+    Parameters
+    ----------
+    config:
+        A validated :class:`~repro.router.RouterConfig`; alternatively
+        pass its fields as keyword arguments.
+    policy:
+        Placement override (defaults to a fresh
+        :class:`~repro.router.placement.PlacementPolicy`); tests inject
+        seeded policies here.
+    """
+
+    def __init__(
+        self,
+        config: RouterConfig | None = None,
+        policy: PlacementPolicy | None = None,
+        **fields,
+    ):
+        if config is not None and fields:
+            raise ServingError(
+                "pass either a RouterConfig or config fields, not both"
+            )
+        self.config = config if config is not None else RouterConfig(**fields)
+        self.policy = policy if policy is not None else PlacementPolicy()
+        self.host = self.config.host
+        self.port = self.config.port
+        self.backends: list[BackendHandle] = []
+        self.spawned: list[SpawnedBackend] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._probe_tasks: list[asyncio.Task] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._draining = False
+        self._drain_task: asyncio.Task | None = None
+        self._inflight = 0
+        self.stats = {
+            "connections": 0,
+            "requests": 0,
+            "forwards": 0,
+            "replays": 0,
+            "shed_all": 0,
+            "no_backend": 0,
+            "errors": 0,
+            "disconnects": 0,
+            "backends_killed": 0,  # router.backend_down firings
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _handle_for(self, address: str, process=None) -> BackendHandle:
+        config = self.config
+        return BackendHandle(
+            address,
+            pool_size=config.pool_size,
+            connect_timeout_s=config.connect_timeout_s,
+            request_timeout_s=config.request_timeout_s,
+            probe_timeout_s=config.probe_timeout_s,
+            max_payload=config.max_payload,
+            process=process,
+        )
+
+    async def start(self) -> "RouterServer":
+        """Spawn the local fleet, probe everyone once, open the port."""
+        if self._server is not None:
+            raise ServingError("router is already started")
+        self._loop = asyncio.get_running_loop()
+        if self.config.spawn:
+            # Blocking on purpose: the listener is not open yet, and the
+            # children must be up (banner printed) before the router can
+            # honestly announce readiness itself.
+            self.spawned = spawn_backends(self.config)
+        self.backends = [
+            self._handle_for(address) for address in self.config.backends
+        ] + [
+            self._handle_for(child.address, process=child.process)
+            for child in self.spawned
+        ]
+        # One synchronous probe round so placement knows the fleet's
+        # models/health before the first client request arrives.
+        await asyncio.gather(
+            *(backend.probe() for backend in self.backends),
+            return_exceptions=True,
+        )
+        self._probe_tasks = [
+            self._loop.create_task(self._probe_loop(backend))
+            for backend in self.backends
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def _probe_loop(self, backend: BackendHandle) -> None:
+        while True:
+            await asyncio.sleep(self.config.probe_interval_s)
+            try:
+                await backend.probe()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # defensive: a probe bug must not
+                backend.mark_down(f"probe crashed: {exc}")  # kill the loop
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse new work, finish in-flight, drain children, close.
+
+        Safe from a signal handler; idempotent.
+        """
+        if self._draining or self._loop is None:
+            return
+        self._draining = True
+        self._drain_task = self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        while self._inflight > 0:
+            await asyncio.sleep(0.005)
+        # In-flight forwards are answered; now drain the fleet we own.
+        # Static backends are someone else's lifecycle — never drained.
+        for backend in self.backends:
+            if backend.process is None:
+                continue
+            try:
+                await backend.request(
+                    {"op": "drain"}, timeout_s=self.config.probe_timeout_s
+                )
+            except ServingError:
+                pass  # already down/dead: reaping below still applies
+        loop = asyncio.get_running_loop()
+        for child in self.spawned:
+            try:
+                await asyncio.wait_for(
+                    loop.run_in_executor(None, child.process.wait), 30.0
+                )
+            except asyncio.TimeoutError:
+                child.terminate()
+        if self._server is not None:
+            self._server.close()
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled or drained."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Tear everything down: listener, probes, pools, children."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._probe_tasks:
+            task.cancel()
+        if self._probe_tasks:
+            await asyncio.gather(*self._probe_tasks, return_exceptions=True)
+        self._probe_tasks = []
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._drain_task = None
+        for backend in self.backends:
+            await backend.aclose_connections()
+        for child in self.spawned:
+            child.terminate()
+
+    async def __aenter__(self) -> "RouterServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling (mirrors InferenceServer's loop)
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self.stats["connections"] += 1
+        try:
+            while True:
+                try:
+                    header, payload = await read_frame(
+                        reader, max_payload=self.config.max_payload
+                    )
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        self.stats["disconnects"] += 1
+                    break
+                except ConnectionError:
+                    self.stats["disconnects"] += 1
+                    break
+                except ServingError as exc:
+                    # Malformed/oversized frame: the stream offset is
+                    # unrecoverable; answer once and hang up.
+                    self.stats["errors"] += 1
+                    try:
+                        await send_frame(
+                            writer, {"status": "error", "message": str(exc)}
+                        )
+                    except Exception:
+                        pass
+                    break
+                self._inflight += 1
+                try:
+                    response, out_payload = await self._dispatch(
+                        header, payload
+                    )
+                    if "id" in header and "id" not in response:
+                        response["id"] = header["id"]
+                    try:
+                        await send_frame(writer, response, out_payload)
+                    except (ConnectionError, asyncio.IncompleteReadError):
+                        self.stats["disconnects"] += 1
+                        break
+                finally:
+                    self._inflight -= 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except BaseException:
+                pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, header: dict, payload: bytes):
+        op = header.get("op")
+        if op == "ping":
+            return {"status": "ok", "op": "ping", "router": True}, b""
+        if op == "drain":
+            self.begin_drain()
+            return {"status": "ok", "op": "drain", "draining": True}, b""
+        if op == "info":
+            return self._info(), b""
+        if op in ("predict", "predict_proba"):
+            if self._draining:
+                return (
+                    {
+                        "status": "error",
+                        "code": "server_unavailable",
+                        "message": "router is draining and accepts no "
+                        "new requests",
+                    },
+                    b"",
+                )
+            if not payload:
+                return (
+                    {
+                        "status": "error",
+                        "message": f"{op} requires an array payload",
+                    },
+                    b"",
+                )
+            self.stats["requests"] += 1
+            self._maybe_kill_backend()
+            model = header.get("model")
+            precision = header.get("precision")
+            if (model is not None and not isinstance(model, str)) or (
+                precision is not None and not isinstance(precision, str)
+            ):
+                return (
+                    {
+                        "status": "error",
+                        "message": "model and precision header fields "
+                        "must be strings",
+                    },
+                    b"",
+                )
+            return await self._forward(header, payload, model, precision)
+        return {"status": "error", "message": f"unknown op {op!r}"}, b""
+
+    def _maybe_kill_backend(self) -> None:
+        """The ``router.backend_down`` fault point: drop one child."""
+        if not faults.enabled:
+            return
+        if faults.take("router.backend_down") is None:
+            return
+        for child in self.spawned:
+            if child.process.poll() is None:
+                child.kill()
+                self.stats["backends_killed"] += 1
+                return
+
+    async def _forward(
+        self,
+        header: dict,
+        payload: bytes,
+        model: str | None,
+        precision: str | None,
+    ):
+        """The failover loop: place, forward, and replay on death.
+
+        Predicts are idempotent (pure functions of their rows), so
+        replaying on a survivor after a transport failure is safe and
+        bitwise-equivalent; the client's stable ``request_id`` rides
+        along unchanged on every attempt.
+        """
+        tried: set[str] = set()
+        sheds: list[float | None] = []
+        budget = (
+            len(self.backends)
+            if self.config.max_attempts is None
+            else self.config.max_attempts
+        )
+        while len(tried) < budget:
+            candidates = self.policy.candidates(
+                self.backends, model, precision, exclude=tried
+            )
+            if not candidates:
+                break
+            backend = self.policy.choose(candidates, model, precision)
+            tried.add(backend.address)
+            if len(tried) > 1:
+                self.stats["replays"] += 1
+            backend.inflight_rows += _payload_rows_hint(header)
+            try:
+                response, out = await backend.request(header, payload)
+            except ServingError:
+                # request() marked the backend down; its sticky routes
+                # must re-place instead of chasing a corpse.
+                self.policy.forget(backend.address)
+                continue
+            finally:
+                backend.inflight_rows = max(
+                    0, backend.inflight_rows - _payload_rows_hint(header)
+                )
+            if response.get("status") == "ok":
+                self.stats["forwards"] += 1
+                backend.stats["forwards"] += 1
+                return response, out
+            code = response.get("code")
+            if code == "overloaded":
+                sheds.append(response.get("retry_after_ms"))
+                continue
+            if code == "server_unavailable":
+                # Draining (or mid-drain refusal): not an error, just
+                # not *this* backend; the probe loop will reclassify it.
+                continue
+            # Deliberate error (deadline_expired, unknown model, bad
+            # frame): relay verbatim, never retry — repeating it on
+            # another backend cannot succeed.
+            self.stats["errors"] += 1
+            return response, out
+        if sheds:
+            # Every candidate shed: overloaded fleet-wide.  The honest
+            # retry hint is the *max* — capacity returns somewhere only
+            # once the slowest-draining backend has drained.
+            self.stats["shed_all"] += 1
+            hints = [h for h in sheds if h is not None]
+            response = {
+                "status": "error",
+                "code": "overloaded",
+                "message": f"all {len(sheds)} candidate backend(s) shed "
+                "the request",
+            }
+            if hints:
+                response["retry_after_ms"] = float(max(hints))
+            return response, b""
+        self.stats["no_backend"] += 1
+        routable = [b for b in self.backends if b.routable]
+        if routable:
+            message = (
+                f"no backend serves model={model!r} precision={precision!r}"
+            )
+            return {"status": "error", "message": message}, b""
+        return (
+            {
+                "status": "error",
+                "code": "server_unavailable",
+                "message": "no healthy backend available "
+                f"({len(self.backends)} known, all down or draining)",
+            },
+            b"",
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _info(self) -> dict:
+        backends = {b.address: b.describe() for b in self.backends}
+        states = [b.state for b in self.backends]
+        return {
+            "status": "ok",
+            "op": "info",
+            "router": True,
+            "config": self.config.describe(),
+            "stats": dict(self.stats),
+            "health": {
+                "draining": self._draining,
+                "inflight_requests": self._inflight,
+                "backends_total": len(self.backends),
+                "backends_routable": sum(
+                    1 for b in self.backends if b.routable
+                ),
+                "states": {
+                    state: states.count(state) for state in set(states)
+                },
+            },
+            "backends": backends,
+            # The union routing surface, so a client can discover what
+            # the fleet serves without probing backends itself.
+            "models": sorted(
+                {name for b in self.backends for name in b.models}
+            ),
+            "precisions": sorted(
+                {prec for b in self.backends for prec in b.precisions}
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RouterServer({self.host}:{self.port}, "
+            f"backends={len(self.backends)}, draining={self._draining})"
+        )
+
+
+def _payload_rows_hint(header: dict) -> int:
+    """Local in-flight load unit: one request ~ its row count when the
+    client declared one, else 1 (enough for least-loaded-of-two)."""
+    rows = header.get("rows")
+    if isinstance(rows, int) and not isinstance(rows, bool) and rows > 0:
+        return rows
+    return 1

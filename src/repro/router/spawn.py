@@ -1,0 +1,129 @@
+"""Launching a local backend fleet: ``repro serve`` child processes.
+
+The router's ``spawn`` mode turns one machine into a multi-process
+deployment: each child is a full ``repro serve`` engine process bound
+to an ephemeral port, announced by the shared ready banner
+(:func:`repro.serving.protocol.parse_banner` — the same contract every
+smoke script waits on).  The router owns the children: it fans
+``drain`` out to them on shutdown, reaps their exit codes, and kills
+whatever is left if a drain never completes.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import subprocess
+import sys
+import time
+
+from ..exceptions import ConfigurationError
+from ..serving.protocol import parse_banner
+from .config import RouterConfig
+
+__all__ = ["SpawnedBackend", "spawn_backends", "build_serve_command"]
+
+#: Seconds a child gets to print its ready banner before spawning fails.
+BANNER_TIMEOUT_S = 60.0
+
+
+class SpawnedBackend:
+    """One launched ``repro serve`` child: its process and its address."""
+
+    def __init__(self, process: subprocess.Popen, host: str, port: int):
+        self.process = process
+        self.host = host
+        self.port = port
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def kill(self) -> None:
+        """SIGKILL the child (the ``router.backend_down`` fault path)."""
+        if self.process.poll() is None:
+            self.process.kill()
+
+    def terminate(self, timeout_s: float = 10.0) -> int | None:
+        """Best-effort stop: terminate, wait, then kill; exit code."""
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+        return self.process.poll()
+
+
+def build_serve_command(config: RouterConfig) -> list[str]:
+    """The child command line: every model, ephemeral port, extras."""
+    command = [sys.executable, "-m", "repro", "serve", "--port", "0"]
+    for name, path in config.models.items():
+        command += ["--model", f"{name}={path}"]
+    if config.spawn_precisions is not None:
+        command += ["--precisions", ",".join(config.spawn_precisions)]
+    command += list(config.spawn_args)
+    return command
+
+
+def _await_banner(proc: subprocess.Popen, timeout_s: float) -> tuple[str, int]:
+    """Read the child's stdout until the ready banner (or fail loudly)."""
+    selector = selectors.DefaultSelector()
+    selector.register(proc.stdout, selectors.EVENT_READ)
+    deadline = time.monotonic() + timeout_s
+    try:
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not selector.select(timeout=remaining):
+                raise ConfigurationError(
+                    "spawned backend did not print its ready banner "
+                    f"within {timeout_s:.0f}s"
+                )
+            line = proc.stdout.readline()
+            if not line:
+                raise ConfigurationError(
+                    "spawned backend exited before announcing its port "
+                    f"(exit code {proc.poll()})"
+                )
+            parsed = parse_banner(line)
+            if parsed is not None:
+                return parsed
+    finally:
+        selector.close()
+
+
+def spawn_backends(
+    config: RouterConfig, env: dict | None = None
+) -> list[SpawnedBackend]:
+    """Launch ``config.spawn`` children; wait for every ready banner.
+
+    On any failure the children already launched are terminated before
+    the error propagates — a half-spawned fleet never leaks.  ``env``
+    extends (not replaces) the inherited environment; ``REPRO_FAULTS``
+    is stripped from the children so faults armed at the *router* tier
+    (e.g. ``router.backend_down``) do not also arm inside every
+    backend.
+    """
+    child_env = dict(os.environ)
+    child_env.pop("REPRO_FAULTS", None)
+    if env:
+        child_env.update(env)
+    command = build_serve_command(config)
+    spawned: list[SpawnedBackend] = []
+    try:
+        for _ in range(config.spawn):
+            proc = subprocess.Popen(
+                command,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+                env=child_env,
+            )
+            host, port = _await_banner(proc, BANNER_TIMEOUT_S)
+            spawned.append(SpawnedBackend(proc, host, port))
+    except BaseException:
+        for backend in spawned:
+            backend.terminate(timeout_s=5.0)
+        raise
+    return spawned

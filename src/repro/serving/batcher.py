@@ -228,12 +228,31 @@ class MicroBatcher:
         backlog = (self._inflight_rows / self.max_batch) * batch_ms
         return max(1.0, self.max_wait_ms + backlog)
 
+    @property
+    def batch_ms_ema(self) -> float:
+        """Recent fused-batch latency EMA in ms (0.0 before any batch).
+
+        The same number :meth:`retry_after_ms` builds its drain
+        estimate from; exposed so capacity observers (the multi-node
+        router's placement policy reads it off ``info.health``) can
+        weigh a backend's queue depth by how fast it actually drains.
+        """
+        return self._batch_ms_ema or 0.0
+
     def queue_depth(self) -> dict:
-        """Backlog snapshot for the server's ``info`` health block."""
+        """Backlog snapshot for the server's ``info`` health block.
+
+        ``pending_rows`` / ``inflight_rows`` are the queued-row depth
+        (pre-flush and admitted-but-unresolved); ``batch_ms_ema`` is
+        the fused-batch latency estimate — together they are the
+        capacity signal a front-tier router steers by.
+        """
         return {
             "pending_rows": self._pending_rows,
             "inflight_rows": self._inflight_rows,
             "by_level": dict(self._inflight_by_level),
+            "batch_ms_ema": self.batch_ms_ema,
+            "retry_after_ms": self.retry_after_ms(),
         }
 
     def _schedule_flush(self, newcomer: _Pending) -> None:

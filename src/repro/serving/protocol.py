@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import io
 import json
+import re
 import socket
 import struct
 
@@ -40,6 +41,8 @@ __all__ = [
     "DEFAULT_PORT",
     "MAX_HEADER_BYTES",
     "DEFAULT_MAX_PAYLOAD",
+    "format_banner",
+    "parse_banner",
     "pack_array",
     "pack_array_views",
     "unpack_array",
@@ -59,6 +62,31 @@ MAX_HEADER_BYTES = 1 << 20
 DEFAULT_MAX_PAYLOAD = 1 << 28  # 256 MiB of activations per request
 
 _LENGTHS = struct.Struct(">II")
+
+#: The ready banner every serving process prints as its *first* stdout
+#: line.  Scripts, the CI smoke jobs, and the router's backend spawner
+#: all wait on this line, so its shape is a contract: use
+#: :func:`format_banner` to emit it and :func:`parse_banner` to match
+#: it instead of hand-rolling the regex.
+_BANNER = re.compile(r"serving on (\S+):(\d+)\s*$")
+
+
+def format_banner(host: str, port: int) -> str:
+    """The machine-readable ready line: ``serving on host:port``."""
+    return f"serving on {host}:{port}"
+
+
+def parse_banner(line: str) -> tuple[str, int] | None:
+    """``(host, port)`` if ``line`` is a ready banner, else ``None``.
+
+    Matches anywhere in the line is *not* allowed — the banner must be
+    the whole line (leading/trailing whitespace tolerated), exactly as
+    :func:`format_banner` prints it.
+    """
+    match = _BANNER.match(line.strip())
+    if match is None:
+        return None
+    return match.group(1), int(match.group(2))
 
 
 def pack_array(arr: np.ndarray) -> bytes:

@@ -457,6 +457,17 @@ class InferenceServer:
                         for (model, precision), batcher
                         in self._batchers.items()
                     },
+                    # Aggregates a router can read without walking the
+                    # per-route queue map: total admitted-but-unresolved
+                    # rows and the slowest route's fused-batch latency.
+                    "queued_rows": sum(
+                        b.queue_depth()["inflight_rows"]
+                        for b in self._batchers.values()
+                    ),
+                    "batch_ms_ema": max(
+                        (b.batch_ms_ema for b in self._batchers.values()),
+                        default=0.0,
+                    ),
                     "max_queue_rows": self._limits.max_rows,
                     "shed": self.stats["shed"],
                     "rate_limited": self.stats["rate_limited"],

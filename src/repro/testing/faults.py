@@ -42,6 +42,12 @@ Known fault points (the hook sites interpret the params):
 ``admission.shed``         admission control sheds the request as
                            ``overloaded`` regardless of actual capacity
                            (params: ``retry_after_ms``)
+``router.backend_down``    the front-tier router SIGKILLs one of its
+                           *spawned* backend engine processes at the next
+                           predict dispatch — a node dying mid-traffic;
+                           the router must fail over and replay on the
+                           survivors (no-op on routers with only static
+                           backends)
 =========================  ==================================================
 
 Subprocess servers arm from the environment: ``repro serve`` calls

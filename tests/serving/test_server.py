@@ -485,6 +485,38 @@ class TestServerRobustness:
         assert info["routes"]["default/fp64"]["scheduler"]["mode"] == "auto"
         engine.close()
 
+    def test_info_health_capacity_fields_move_under_load(self, rng):
+        """The router steers by ``health.queued_rows`` / ``batch_ms_ema``:
+        both must exist as numbers and move once traffic has flowed."""
+        engine = small_engine()
+
+        async def scenario(server):
+            async with await AsyncServeClient.connect(
+                port=server.port
+            ) as client:
+                before = await client.info()
+                for _ in range(4):
+                    await client.predict_proba(rng.normal(size=(8, 96)))
+                after = await client.info()
+                return before, after
+
+        before, after = serve(engine, scenario)
+        for info in (before, after):
+            assert isinstance(info["health"]["queued_rows"], int)
+            assert isinstance(info["health"]["batch_ms_ema"], float)
+        # Idle server: nothing queued, nothing measured yet.
+        assert before["health"]["queued_rows"] == 0
+        assert before["health"]["batch_ms_ema"] == 0.0
+        # After fused batches the EMA has a real measurement.
+        assert after["health"]["batch_ms_ema"] > 0.0
+        # Per-route queues expose the same capacity surface.
+        route = after["health"]["queues"]["default/fp64"]
+        assert route["pending_rows"] == 0  # drained between requests
+        assert isinstance(route["inflight_rows"], int)
+        assert route["batch_ms_ema"] > 0.0
+        assert route["retry_after_ms"] > 0.0
+        engine.close()
+
     def test_port_zero_binds_ephemeral(self):
         engine = small_engine()
 
