@@ -1264,6 +1264,114 @@ def bench_router(repeats: int, quick: bool = False) -> dict:
     }
 
 
+def bench_streaming(repeats: int, quick: bool = False) -> dict:
+    """Streaming serving: per-push latency + fused multi-stream throughput.
+
+    N concurrent clients each hold one open stream against an
+    in-process :class:`InferenceServer` and push ragged chunks of a
+    causal FFTNet sequence; the micro-batcher fuses concurrent pushes
+    into shared ``push_many`` steps.  Reported per stream count: push
+    latency p50/p99, fused rows/s, the fused-streams high-water mark,
+    and a bitwise parity flag — each stream's concatenated incremental
+    rows vs the offline batch session (the `docs/streaming.md`
+    contract; any drift is a FAIL, not a tolerance).
+    """
+    from repro.engine import Engine, EngineConfig
+    from repro.serving import AsyncServeClient, InferenceServer
+    from repro.zoo import build_fftnet
+
+    model = build_fftnet(
+        channels=8, depth=3, classes=6, rng=np.random.default_rng(29)
+    )
+    offline = InferenceSession.freeze(model)
+    stream_counts = (1, 8) if quick else (1, 8, 32)
+    pushes = 4 if quick else 16
+    chunk_rows = 4
+
+    async def run_streams(n_streams: int) -> dict:
+        engine = Engine(config=EngineConfig(
+            models={"fftnet": model},
+            default_model="fftnet",
+            max_streams=max(stream_counts) + 1,
+        ))
+        try:
+            async with InferenceServer(
+                engine, port=0, max_wait_ms=1.0
+            ) as server:
+                parity = True
+                latencies: list[float] = []
+
+                async def one_stream(stream_id: int) -> None:
+                    nonlocal parity
+                    s_rng = np.random.default_rng(500 + stream_id)
+                    total = pushes * chunk_rows
+                    full = s_rng.normal(size=(total, 1))
+                    client = await AsyncServeClient.connect(
+                        "127.0.0.1", server.port
+                    )
+                    outs = []
+                    try:
+                        async with await client.stream() as stream:
+                            for k in range(pushes):
+                                chunk = full[
+                                    k * chunk_rows : (k + 1) * chunk_rows
+                                ]
+                                start = time.perf_counter()
+                                outs.append(await stream.push(chunk))
+                                latencies.append(
+                                    time.perf_counter() - start
+                                )
+                    finally:
+                        await client.close()
+                    expected = offline.predict_proba(full[None])[0]
+                    parity &= bool(np.array_equal(
+                        np.concatenate(outs), expected
+                    ))
+
+                start = time.perf_counter()
+                await asyncio.gather(
+                    *[one_stream(i) for i in range(n_streams)]
+                )
+                wall = time.perf_counter() - start
+                fused_max = max(
+                    b.stats["fused_streams_max"]
+                    for b in server._batchers.values()
+                )
+            ordered = sorted(latencies)
+            return {
+                "rows_per_s": n_streams * pushes * chunk_rows / wall,
+                "push_p50_ms": 1e3 * ordered[len(ordered) // 2],
+                "push_p99_ms": 1e3 * ordered[
+                    min(len(ordered) - 1, int(len(ordered) * 0.99))
+                ],
+                "fused_streams_max": fused_max,
+                "bitwise_identical": parity,
+            }
+        finally:
+            engine.close()
+
+    per_count: dict = {}
+    for n_streams in stream_counts:
+        best = None
+        for _ in range(max(1, repeats // 2)):
+            outcome = asyncio.run(run_streams(n_streams))
+            if best is None or outcome["rows_per_s"] > best["rows_per_s"]:
+                best = outcome
+        per_count[str(n_streams)] = best
+
+    return {
+        "config": {
+            "arch": "fftnet(channels=8, depth=3, classes=6)",
+            "pushes": pushes,
+            "chunk_rows": chunk_rows,
+            "stream_counts": list(stream_counts),
+        },
+        "cpus": os.cpu_count(),
+        "effective_cpus": _effective_cpus(),
+        "streams": per_count,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1306,6 +1414,7 @@ def main(argv: list[str] | None = None) -> int:
         "pipeline": bench_pipeline(repeats, quick=args.quick),
         "resilience": bench_resilience(repeats, quick=args.quick),
         "router": bench_router(repeats, quick=args.quick),
+        "streaming": bench_streaming(repeats, quick=args.quick),
     }
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
@@ -1416,6 +1525,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"router ({fleet.replace('_', ' ')}, "
               f"{rtr['effective_cpus']}/{rtr['cpus']} cpu(s)): {summary}; "
               f"bitwise {'OK' if parity else 'FAIL'}")
+    strm = report["streaming"]
+    stream_cells = strm["streams"]
+    stream_summary = ", ".join(
+        f"{n} stream(s): {row['rows_per_s']:.0f} rows/s "
+        f"(push p50 {row['push_p50_ms']:.1f}/p99 {row['push_p99_ms']:.1f} ms, "
+        f"fused<={row['fused_streams_max']})"
+        for n, row in stream_cells.items()
+    )
+    stream_parity = all(
+        row["bitwise_identical"] for row in stream_cells.values()
+    )
+    print(f"streaming ({strm['effective_cpus']}/{strm['cpus']} cpu(s)): "
+          f"{stream_summary}; incremental-vs-batch bitwise "
+          f"{'OK' if stream_parity else 'FAIL'}")
     print(f"wrote {args.out}")
     return 0
 

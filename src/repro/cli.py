@@ -313,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="flush a partial micro-batch after this many milliseconds",
     )
     serve.add_argument(
+        "--max-streams",
+        type=_positive_int,
+        default=64,
+        help="open incremental-inference streams allowed at once; a "
+        "stream_open beyond this is shed as overloaded (each open "
+        "stream holds its per-layer history in server memory)",
+    )
+    serve.add_argument(
         "--conv-tile",
         type=_positive_int,
         default=None,
@@ -786,6 +794,7 @@ def _cmd_serve(args) -> int:
             fuse=not args.no_fuse,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
+            max_streams=args.max_streams,
         )
     except ValueError as exc:  # covers ConfigurationError
         print(f"error: {exc}", file=sys.stderr)

@@ -16,6 +16,11 @@ from .synthetic_mnist import (
     generate_mnist,
     load_synthetic_mnist,
 )
+from .synthetic_wave import (
+    generate_wave,
+    load_synthetic_wave,
+    quantize_wave,
+)
 from .transforms import (
     Compose,
     affine_warp,
@@ -34,6 +39,9 @@ __all__ = [
     "generate_cifar",
     "load_synthetic_cifar",
     "CLASS_NAMES",
+    "generate_wave",
+    "load_synthetic_wave",
+    "quantize_wave",
     "bilinear_resize",
     "affine_warp",
     "normalize",

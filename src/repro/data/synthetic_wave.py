@@ -1,0 +1,89 @@
+"""Procedural waveform dataset for the streaming sequence stack.
+
+The FFTNet-style streaming architecture (``repro.zoo`` ``"fftnet"``)
+is an autoregressive next-sample classifier: given the waveform so far,
+predict the quantization bin of the *next* sample — the vocoder training
+objective scaled down to a synthetic signal.  Each example is a sum of a
+few random harmonics with per-example frequency, phase, and amplitude
+(plus optional noise), normalized to ``[-1, 1]``; labels quantize the
+next sample into :data:`NUM_CLASSES` uniform bins, teacher-forcing
+style: ``label[t] = bin(x[t + 1])``.
+
+Inputs are time-major ``(n, length, 1)`` float arrays — the layout every
+sequence layer in :mod:`repro.nn.layers.fftnet1d` consumes — and labels
+are ``(n, length)`` int64 bins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+__all__ = [
+    "NUM_CLASSES",
+    "WAVE_LENGTH",
+    "generate_wave",
+    "load_synthetic_wave",
+    "quantize_wave",
+]
+
+NUM_CLASSES = 16
+WAVE_LENGTH = 128
+
+
+def quantize_wave(samples: np.ndarray, classes: int = NUM_CLASSES) -> np.ndarray:
+    """Uniform ``[-1, 1]`` quantization bins for waveform samples."""
+    bins = ((np.clip(samples, -1.0, 1.0) + 1.0) / 2.0) * classes
+    return np.minimum(bins.astype(np.int64), classes - 1)
+
+
+def generate_wave(
+    count: int,
+    rng: np.random.Generator,
+    length: int = WAVE_LENGTH,
+    noise: float = 0.02,
+    classes: int = NUM_CLASSES,
+    harmonics: int = 3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``count`` waveforms plus next-sample-bin labels.
+
+    Returns ``(inputs, labels)`` with inputs ``(count, length, 1)`` in
+    ``[-1, 1]`` and labels ``(count, length)`` in ``[0, classes)``.
+    ``length + 1`` samples are synthesized per example so every position
+    — including the last — has a true next sample to quantize.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if length < 2:
+        raise ValueError(f"length must be >= 2, got {length}")
+    t = np.arange(length + 1, dtype=np.float64)
+    waves = np.zeros((count, length + 1), dtype=np.float64)
+    for _ in range(harmonics):
+        freq = rng.uniform(0.01, 0.12, size=(count, 1))
+        phase = rng.uniform(0.0, 2.0 * np.pi, size=(count, 1))
+        amp = rng.uniform(0.3, 1.0, size=(count, 1))
+        waves += amp * np.sin(2.0 * np.pi * freq * t[None, :] + phase)
+    if noise > 0:
+        waves += rng.normal(scale=noise, size=waves.shape)
+    # Normalize each example to [-1, 1] so the quantization grid is used.
+    peak = np.abs(waves).max(axis=1, keepdims=True)
+    waves /= np.maximum(peak, 1e-9)
+    inputs = waves[:, :length, None]
+    labels = quantize_wave(waves[:, 1:], classes)
+    return inputs, labels
+
+
+def load_synthetic_wave(
+    train_size: int = 512,
+    test_size: int = 128,
+    seed: int = 0,
+    noise: float = 0.02,
+    length: int = WAVE_LENGTH,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Train/test waveform datasets from independent generator streams."""
+    train_rng = np.random.default_rng(seed)
+    test_rng = np.random.default_rng(seed + 1_000_003)
+    train = ArrayDataset(*generate_wave(train_size, train_rng, length, noise))
+    test = ArrayDataset(*generate_wave(test_size, test_rng, length, noise))
+    return train, test

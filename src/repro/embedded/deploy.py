@@ -51,14 +51,18 @@ from ..nn.layers import (
     BlockCirculantLinear,
     Conv2d,
     Dropout,
+    FFTLayer1d,
     Flatten,
     LeakyReLU,
     Linear,
     MaxPool2d,
+    Pointwise1d,
     ReLU,
     Sigmoid,
     Softmax,
     Tanh,
+    seq_matmul,
+    shift_right,
 )
 from ..nn.module import Sequential
 from ..runtime import InferenceSession
@@ -248,6 +252,40 @@ class DeployedModel:
                         "padding": layer.padding,
                     }
                 )
+            elif isinstance(layer, FFTLayer1d):
+                # Both taps stack into one (2, out, in) weight — [0] is
+                # the dilated left tap, [1] the current-sample right tap
+                # — so the shared quantization path covers them with a
+                # single per-tensor Q-format.
+                stacked = np.stack(
+                    [layer.weight_l.data, layer.weight_r.data]
+                )
+                records.append(
+                    {
+                        "kind": "fft1d",
+                        **weight_fields(
+                            stacked,
+                            None if layer.bias is None else layer.bias.data,
+                            spectral=False,
+                        ),
+                        "in_channels": layer.in_channels,
+                        "out_channels": layer.out_channels,
+                        "dilation": layer.dilation,
+                    }
+                )
+            elif isinstance(layer, Pointwise1d):
+                records.append(
+                    {
+                        "kind": "pointwise1d",
+                        **weight_fields(
+                            layer.weight.data,
+                            None if layer.bias is None else layer.bias.data,
+                            spectral=False,
+                        ),
+                        "in_channels": layer.in_channels,
+                        "out_channels": layer.out_channels,
+                    }
+                )
             elif isinstance(layer, ReLU):
                 records.append({"kind": "relu"})
             elif isinstance(layer, LeakyReLU):
@@ -313,6 +351,31 @@ class DeployedModel:
             if record["bias"] is not None:
                 out = out + record["bias"]
             return out
+        if kind == "fft1d":
+            weight = record["weight"].astype(np.float64)
+            in_c, out_c = record["in_channels"], record["out_channels"]
+            dilation = record["dilation"]
+            batch, steps, _ = x.shape
+            xl = shift_right(x, dilation)
+            out = seq_matmul(
+                x.reshape(-1, in_c), np.ascontiguousarray(weight[1].T)
+            )
+            out += seq_matmul(
+                xl.reshape(-1, in_c), np.ascontiguousarray(weight[0].T)
+            )
+            if record["bias"] is not None:
+                out += record["bias"].astype(np.float64)
+            return out.reshape(batch, steps, out_c)
+        if kind == "pointwise1d":
+            weight = record["weight"].astype(np.float64)
+            in_c, out_c = record["in_channels"], record["out_channels"]
+            batch, steps, _ = x.shape
+            out = seq_matmul(
+                x.reshape(-1, in_c), np.ascontiguousarray(weight.T)
+            )
+            if record["bias"] is not None:
+                out += record["bias"].astype(np.float64)
+            return out.reshape(batch, steps, out_c)
         if kind == "conv":
             weight = record["weight"].astype(np.float64)
             out_c, in_c, k, _ = weight.shape

@@ -160,6 +160,18 @@ class EngineConfig:
         tighter than ``max_queue_rows``; keeps a low-priority flood from
         occupying the whole queue.  Keys must name ``priority_classes``
         members.
+    max_streams:
+        Open-stream cap for the serving front-end: ``stream_open``
+        beyond it is shed with a typed ``overloaded`` error.  Unlike a
+        request, an open stream holds per-layer activation history
+        between pushes, so the cap bounds resident memory, not just
+        concurrency.
+    max_stream_state_bytes:
+        Optional total budget for all open streams' resident history
+        (``None`` = bounded by ``max_streams`` alone).  A plan's
+        per-stream state size is fixed at compile time, so admission is
+        exact — no stream is ever admitted that could later exceed the
+        budget.
     rate_limit_rps:
         Optional global requests-per-second admission limit for the
         serving front-end (token bucket; ``None`` = unlimited).
@@ -195,6 +207,8 @@ class EngineConfig:
     max_payload: int = 1 << 28
     max_queue_rows: int = 1024
     queue_class_caps: Mapping[str, int] = field(default_factory=dict)
+    max_streams: int = 64
+    max_stream_state_bytes: int | None = None
     rate_limit_rps: float | None = None
     rate_burst: int | None = None
     fault_timeout_s: float | None = 60.0
@@ -359,6 +373,18 @@ class EngineConfig:
                     f"max_queue_rows={self.max_queue_rows}"
                 )
         object.__setattr__(self, "queue_class_caps", caps)
+        if self.max_streams < 1:
+            raise ConfigurationError(
+                f"max_streams must be >= 1, got {self.max_streams}"
+            )
+        if (
+            self.max_stream_state_bytes is not None
+            and self.max_stream_state_bytes < 1
+        ):
+            raise ConfigurationError(
+                f"max_stream_state_bytes must be >= 1 or None, "
+                f"got {self.max_stream_state_bytes}"
+            )
         if self.rate_limit_rps is not None and self.rate_limit_rps <= 0:
             raise ConfigurationError(
                 f"rate_limit_rps must be positive, got {self.rate_limit_rps}"
@@ -494,6 +520,8 @@ class EngineConfig:
             "max_payload": self.max_payload,
             "max_queue_rows": self.max_queue_rows,
             "queue_class_caps": dict(self.queue_class_caps),
+            "max_streams": self.max_streams,
+            "max_stream_state_bytes": self.max_stream_state_bytes,
             "rate_limit_rps": self.rate_limit_rps,
             "rate_burst": self.rate_burst,
             "fault_timeout_s": self.fault_timeout_s,

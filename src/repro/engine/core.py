@@ -28,6 +28,7 @@ facade; see ``docs/engine.md`` for the migration table.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from pathlib import Path
@@ -75,6 +76,8 @@ class Engine:
         self.config = config if config is not None else EngineConfig(**fields)
         self._pool = SessionPool(self._freeze)
         self._artifacts: dict[str, object] = {}
+        self._stream_plans: dict[tuple[str, str], object] = {}
+        self._stream_lock = threading.Lock()
         self._closed = False
         # One shared worker pool for the whole route grid: every pooled
         # session's executor registers its plan here by id, so M models
@@ -244,6 +247,42 @@ class Engine:
             self.config.resolve_model(model),
             self.config.resolve_precision(precision),
         )
+
+    def stream_plan(self, model: str | None = None, precision=None):
+        """The pooled :class:`~repro.streaming.StreamPlan` for a route.
+
+        Compiled lazily from the same registry source the batch session
+        pool uses, one plan per (model, precision) pair, shared by every
+        stream on the route (the plan is immutable; all per-stream state
+        lives in the :class:`~repro.streaming.StreamState` objects it
+        opens).  Raises :class:`~repro.exceptions.DeploymentError` when
+        the model's layers are not streamable and
+        :class:`~repro.exceptions.ConfigurationError` for adopted bare
+        sessions (a frozen batch plan cannot be re-derived into an
+        incremental one).
+        """
+        if self._closed:
+            raise ConfigurationError("engine is closed")
+        model = self.config.resolve_model(model)
+        precision = self.config.resolve_precision(precision)
+        key = (model, precision)
+        with self._stream_lock:
+            plan = self._stream_plans.get(key)
+            if plan is None:
+                from ..precision import PrecisionPolicy
+                from ..streaming import compile_stream_plan
+
+                source = self._source(model)
+                if isinstance(source, InferenceSession):
+                    raise ConfigurationError(
+                        f"model {model!r} is an adopted frozen session; "
+                        "streaming needs the model or its artifact records"
+                    )
+                plan = compile_stream_plan(
+                    source, PrecisionPolicy.resolve(precision)
+                )
+                self._stream_plans[key] = plan
+        return plan
 
     def load_sources(self) -> "Engine":
         """Resolve every registered source now; fail fast on bad paths.

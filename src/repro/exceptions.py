@@ -57,6 +57,23 @@ class ServerUnavailable(ServingError):
     """
 
 
+class StreamBroken(ServingError):
+    """A stream died mid-conversation and cannot be transparently resumed.
+
+    ``stream_push`` is not idempotent — the server may have applied a
+    push whose reply was lost, so replaying it would corrupt the
+    stream's position.  When the connection carrying a stream drops (or
+    the backend behind a router dies), clients therefore raise this
+    instead of reconnect-and-replay; the caller must open a fresh stream
+    and re-feed whatever suffix it still holds.  ``pushed`` is the
+    number of samples the client knows the server acknowledged.
+    """
+
+    def __init__(self, message: str, pushed: int = 0):
+        super().__init__(message)
+        self.pushed = pushed
+
+
 class WorkerFault(ReproError, RuntimeError):
     """A pool worker died or stopped responding mid-task.
 

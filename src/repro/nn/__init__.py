@@ -18,9 +18,11 @@ from .layers import (
     BlockCirculantLinear,
     Conv2d,
     Dropout,
+    FFTLayer1d,
     Flatten,
     LeakyReLU,
     Linear,
+    Pointwise1d,
     MaxPool2d,
     ReLU,
     Sigmoid,
@@ -45,6 +47,8 @@ __all__ = [
     "BlockCirculantLinear",
     "Conv2d",
     "BlockCirculantConv2d",
+    "FFTLayer1d",
+    "Pointwise1d",
     "ReLU",
     "LeakyReLU",
     "Sigmoid",

@@ -20,10 +20,15 @@ from .common import (
     Tanh,
 )
 from .conv2d import Conv2d
+from .fftnet1d import FFTLayer1d, Pointwise1d, seq_matmul, shift_right
 from .linear import Linear
 
 __all__ = [
     "Linear",
+    "FFTLayer1d",
+    "Pointwise1d",
+    "seq_matmul",
+    "shift_right",
     "BlockCirculantLinear",
     "Conv2d",
     "BlockCirculantConv2d",

@@ -40,6 +40,11 @@ class CrossEntropyLoss(Module):
 
     def __call__(self, logits, labels) -> Tensor:
         logits = as_tensor(logits)
+        if logits.ndim == 3:
+            # Sequence logits (batch, T, classes) with per-position
+            # labels (batch, T): every position is one classification.
+            logits = logits.reshape(-1, logits.shape[-1])
+            labels = np.asarray(labels).reshape(-1)
         if logits.ndim != 2:
             raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
         batch, classes = logits.shape

@@ -19,7 +19,17 @@ def _logits_array(logits) -> np.ndarray:
 
 
 def accuracy(logits, labels) -> float:
-    """Fraction of samples whose argmax score matches the label."""
+    """Fraction of samples whose argmax score matches the label.
+
+    Sequence scores ``(batch, T, classes)`` with per-position labels
+    ``(batch, T)`` are flattened to one classification per position.
+    """
+    if isinstance(logits, Tensor):
+        logits = logits.data
+    logits = np.asarray(logits)
+    if logits.ndim == 3:
+        logits = logits.reshape(-1, logits.shape[-1])
+        labels = np.asarray(labels).reshape(-1)
     logits = _logits_array(logits)
     labels = np.asarray(labels)
     if labels.shape != (logits.shape[0],):

@@ -39,7 +39,7 @@ from ..precision import PrecisionPolicy
 
 __all__ = ["PipelineConfig"]
 
-_SYNTHETIC_DATASETS = ("synthetic_mnist", "synthetic_cifar")
+_SYNTHETIC_DATASETS = ("synthetic_mnist", "synthetic_cifar", "synthetic_wave")
 
 
 def shape_compatible(
@@ -77,6 +77,9 @@ def _infer_input_shape(architecture, arch_options: Mapping) -> tuple:
             return (int(in_features),)
         in_channels = getattr(layer, "in_channels", None)
         if in_channels is not None:
+            if getattr(layer, "sequence_layer", False):
+                # Time-major sequence layers: (T, channels), any length.
+                return (None, int(in_channels))
             return (int(in_channels), None, None)
     raise ConfigurationError(
         "cannot infer the input shape of the given Sequential "
@@ -226,6 +229,14 @@ class PipelineConfig:
                 "synthetic_cifar feeds (3, 32, 32) images; architecture "
                 f"expects shape {input_shape}"
             )
+        if dataset == "synthetic_wave":
+            from ..data.synthetic_wave import WAVE_LENGTH
+
+            if not shape_compatible(input_shape, (WAVE_LENGTH, 1)):
+                raise ConfigurationError(
+                    f"synthetic_wave feeds time-major ({WAVE_LENGTH}, 1) "
+                    f"sequences; architecture expects shape {input_shape}"
+                )
 
         # --- budgets and policies -------------------------------------
         for name, minimum in (

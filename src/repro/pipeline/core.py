@@ -157,6 +157,19 @@ class Pipeline:
             self._data = (
                 train.inputs, train.labels, test.inputs, test.labels,
             )
+        elif config.dataset == "synthetic_wave":
+            from ..data import load_synthetic_wave
+
+            kwargs = {} if config.noise is None else {"noise": config.noise}
+            train, test = load_synthetic_wave(
+                train_size=config.train_size,
+                test_size=config.test_size,
+                seed=config.seed,
+                **kwargs,
+            )
+            self._data = (
+                train.inputs, train.labels, test.inputs, test.labels,
+            )
         else:
             from ..data import train_test_split
             from ..io import load_inputs

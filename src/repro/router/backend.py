@@ -96,6 +96,10 @@ class BackendHandle:
         self.batch_ms_ema = 0.0
         self.shed = 0
         self.probes = 0
+        #: Streaming posture from the last successful probe
+        #: (``health.streams`` of the backend's ``info``); empty until a
+        #: streaming-aware backend answers.
+        self.streams: dict = {}
         #: Rows forwarded by this router and not yet answered — the
         #: fresh half of the load signal (probe numbers go stale
         #: between probe intervals; local in-flight never does).
@@ -116,6 +120,16 @@ class BackendHandle:
             raise ServerUnavailable(
                 f"cannot connect to backend {self.address}: {exc}"
             ) from exc
+
+    async def open_connection(self):
+        """A fresh, caller-owned connection, outside the pool.
+
+        The router's stream relays use this: a pinned stream must keep
+        one backend connection for its whole life (the backend's stream
+        registry is per-connection), which the shared forward pool
+        cannot promise.
+        """
+        return await self._open()
 
     async def _acquire(self):
         if self._idle:
@@ -230,6 +244,8 @@ class BackendHandle:
         self.queued_rows = int(health.get("queued_rows", 0))
         self.batch_ms_ema = float(health.get("batch_ms_ema", 0.0))
         self.shed = int(health.get("shed", 0))
+        streams = health.get("streams")
+        self.streams = dict(streams) if isinstance(streams, dict) else {}
         if health.get("draining"):
             self.state = DRAINING
         elif health.get("degraded"):
@@ -283,6 +299,7 @@ class BackendHandle:
             "inflight_rows": self.inflight_rows,
             "batch_ms_ema": self.batch_ms_ema,
             "shed": self.shed,
+            "streams": dict(self.streams),
             "load": self.load(),
             "probes": self.probes,
             "stats": dict(self.stats),

@@ -34,13 +34,28 @@ Drain (the ``drain`` op, or SIGTERM under ``repro route``) refuses new
 predicts, lets in-flight forwards complete and flush, fans ``drain``
 out to every *spawned* child (static backends belong to someone else),
 waits for the children to exit, then closes the listener.
+
+**Streams are pinned, never failed over.**  A ``stream_open`` is placed
+like a predict (and may try other candidates while nothing is at
+stake), but once open the stream's state lives in *one* backend's
+per-connection registry, so every ``stream_push`` must travel down the
+same backend connection — the router keeps a dedicated relay connection
+per (client connection, backend) pair, outside the probe/forward pools.
+When that backend dies mid-stream the router does **not** replay the
+push on a survivor (the push may already have been applied; a replay
+would corrupt the stream's position): it marks the backend down, drops
+every stream pinned to it, and relays ``server_unavailable``, which the
+client surfaces as :class:`~repro.exceptions.StreamBroken`.  Stream
+handles are rewritten at the boundary (router-issued ids map to
+backend-issued ids) so concurrent client connections never collide.
+See ``docs/streaming.md``.
 """
 
 from __future__ import annotations
 
 import asyncio
 
-from ..exceptions import ServingError
+from ..exceptions import ServerUnavailable, ServingError
 from ..serving.protocol import read_frame, send_frame
 from ..testing import faults
 from .backend import BackendHandle
@@ -87,6 +102,7 @@ class RouterServer:
         self._draining = False
         self._drain_task: asyncio.Task | None = None
         self._inflight = 0
+        self._pins_open = 0  # streams currently pinned, all connections
         self.stats = {
             "connections": 0,
             "requests": 0,
@@ -97,6 +113,9 @@ class RouterServer:
             "errors": 0,
             "disconnects": 0,
             "backends_killed": 0,  # router.backend_down firings
+            "stream_opens": 0,
+            "stream_pushes": 0,
+            "streams_broken": 0,  # pins dropped by backend death
         }
 
     # ------------------------------------------------------------------
@@ -238,6 +257,13 @@ class RouterServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
         self.stats["connections"] += 1
+        # Per-connection streaming context: ``pins`` maps router-issued
+        # stream ids to their backend + backend-issued id; ``conns``
+        # holds one dedicated relay connection per pinned backend
+        # (stream state lives in the *backend's* per-connection
+        # registry, so pushes must keep using the same backend
+        # connection — the shared forward pools would scatter them).
+        ctx = {"pins": {}, "conns": {}, "seq": 0}
         try:
             while True:
                 try:
@@ -265,7 +291,7 @@ class RouterServer:
                 self._inflight += 1
                 try:
                     response, out_payload = await self._dispatch(
-                        header, payload
+                        header, payload, ctx
                     )
                     if "id" in header and "id" not in response:
                         response["id"] = header["id"]
@@ -277,6 +303,18 @@ class RouterServer:
                 finally:
                     self._inflight -= 1
         finally:
+            # Closing the relay connections is all the cleanup streams
+            # need: each backend's own per-connection registry frees the
+            # state when it sees EOF.  The client vanishing mid-stream
+            # therefore leaks nothing anywhere.
+            self._pins_open -= len(ctx["pins"])
+            ctx["pins"].clear()
+            for conn in ctx["conns"].values():
+                try:
+                    conn[1].close()
+                except Exception:
+                    pass
+            ctx["conns"].clear()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -286,8 +324,9 @@ class RouterServer:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    async def _dispatch(self, header: dict, payload: bytes):
+    async def _dispatch(self, header: dict, payload: bytes, ctx=None):
         op = header.get("op")
+        ctx = {"pins": {}, "conns": {}, "seq": 0} if ctx is None else ctx
         if op == "ping":
             return {"status": "ok", "op": "ping", "router": True}, b""
         if op == "drain":
@@ -295,6 +334,114 @@ class RouterServer:
             return {"status": "ok", "op": "drain", "draining": True}, b""
         if op == "info":
             return self._info(), b""
+        if op == "stream_open":
+            if self._draining:
+                return (
+                    {
+                        "status": "error",
+                        "code": "server_unavailable",
+                        "message": "router is draining and accepts no "
+                        "new streams",
+                    },
+                    b"",
+                )
+            model = header.get("model")
+            precision = header.get("precision")
+            if (model is not None and not isinstance(model, str)) or (
+                precision is not None and not isinstance(precision, str)
+            ):
+                return (
+                    {
+                        "status": "error",
+                        "message": "model and precision header fields "
+                        "must be strings",
+                    },
+                    b"",
+                )
+            return await self._open_stream(ctx, header, model, precision)
+        if op == "stream_push":
+            if self._draining:
+                # The router is going away; pinned backend connections
+                # close with it.  Typed so the client breaks the stream
+                # instead of retrying in place.
+                return (
+                    {
+                        "status": "error",
+                        "code": "server_unavailable",
+                        "message": "router is draining; open streams "
+                        "are broken",
+                    },
+                    b"",
+                )
+            pin = ctx["pins"].get(header.get("stream"))
+            if pin is None:
+                return (
+                    {
+                        "status": "error",
+                        "message": f"unknown stream "
+                        f"{header.get('stream')!r} on this connection",
+                    },
+                    b"",
+                )
+            self._maybe_kill_backend()
+            forwarded = dict(header)
+            forwarded["stream"] = pin["sid"]
+            try:
+                response, out = await self._relay(
+                    ctx, pin["backend"], forwarded, payload
+                )
+            except ServerUnavailable as exc:
+                # The pinned backend died with the push in flight.  The
+                # push may or may not have been applied, so replaying it
+                # elsewhere is forbidden — and the stream's state died
+                # with the backend connection anyway.  _relay already
+                # dropped every pin on that backend.
+                return (
+                    {
+                        "status": "error",
+                        "code": "server_unavailable",
+                        "message": str(exc),
+                    },
+                    b"",
+                )
+            if response.get("status") == "ok":
+                self.stats["stream_pushes"] += 1
+                pin["backend"].stats["forwards"] += 1
+            if "stream" in response:
+                response["stream"] = header.get("stream")
+            return response, out
+        if op == "stream_close":
+            pin = ctx["pins"].pop(header.get("stream"), None)
+            if pin is None:
+                return (
+                    {
+                        "status": "error",
+                        "message": f"unknown stream "
+                        f"{header.get('stream')!r} on this connection",
+                    },
+                    b"",
+                )
+            self._pins_open -= 1
+            forwarded = dict(header)
+            forwarded["stream"] = pin["sid"]
+            try:
+                response, out = await self._relay(
+                    ctx, pin["backend"], forwarded, payload
+                )
+            except ServerUnavailable as exc:
+                # Backend gone: its registry freed the state when the
+                # relay connection died, so the close is moot.
+                return (
+                    {
+                        "status": "error",
+                        "code": "server_unavailable",
+                        "message": str(exc),
+                    },
+                    b"",
+                )
+            if "stream" in response:
+                response["stream"] = header.get("stream")
+            return response, out
         if op in ("predict", "predict_proba"):
             if self._draining:
                 return (
@@ -404,6 +551,15 @@ class RouterServer:
             # another backend cannot succeed.
             self.stats["errors"] += 1
             return response, out
+        return self._unplaceable(sheds, model, precision)
+
+    def _unplaceable(
+        self,
+        sheds: list,
+        model: str | None,
+        precision: str | None,
+    ):
+        """The error frame when no candidate accepted the request."""
         if sheds:
             # Every candidate shed: overloaded fleet-wide.  The honest
             # retry hint is the *max* — capacity returns somewhere only
@@ -437,6 +593,125 @@ class RouterServer:
         )
 
     # ------------------------------------------------------------------
+    # Streams: pinned relays, no failover
+    # ------------------------------------------------------------------
+    async def _relay(
+        self, ctx: dict, backend, header: dict, payload=b""
+    ) -> tuple[dict, bytes]:
+        """One round-trip on this connection's dedicated relay.
+
+        Opens the relay connection on first use (one per backend per
+        client connection; a client's streams on the same backend share
+        it, since the client side is sequential anyway).  A transport
+        failure marks the backend down, drops **every** stream this
+        connection had pinned there — their state died with the
+        backend — and raises
+        :class:`~repro.exceptions.ServerUnavailable`.
+        """
+        conn = ctx["conns"].get(backend.address)
+        try:
+            if conn is None:
+                conn = await backend.open_connection()
+                ctx["conns"][backend.address] = conn
+            await send_frame(conn[1], header, payload)
+            return await asyncio.wait_for(
+                read_frame(conn[0], self.config.max_payload),
+                self.config.request_timeout_s,
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+        ) as exc:
+            backend.mark_down(f"stream relay failed: {exc}")
+            self._drop_backend_pins(ctx, backend.address)
+            raise ServerUnavailable(
+                f"backend {backend.address} died mid-stream: {exc}"
+            ) from exc
+        except ServerUnavailable:
+            # open_connection refused: nothing was pinned over this
+            # relay yet that wasn't already dead.
+            self._drop_backend_pins(ctx, backend.address)
+            raise
+
+    def _drop_backend_pins(self, ctx: dict, address: str) -> None:
+        """Forget every stream this connection pinned to ``address``."""
+        conn = ctx["conns"].pop(address, None)
+        if conn is not None:
+            try:
+                conn[1].close()
+            except Exception:
+                pass
+        dead = [
+            rid
+            for rid, pin in ctx["pins"].items()
+            if pin["backend"].address == address
+        ]
+        for rid in dead:
+            del ctx["pins"][rid]
+        if dead:
+            self._pins_open -= len(dead)
+            self.stats["streams_broken"] += len(dead)
+
+    async def _open_stream(
+        self,
+        ctx: dict,
+        header: dict,
+        model: str | None,
+        precision: str | None,
+    ):
+        """Place and open a stream; pin it to the chosen backend.
+
+        Placement retries other candidates on transport failure or shed
+        — safe here and only here, because until the open succeeds the
+        stream has no state anywhere.  The backend's stream id is
+        rewritten to a router-issued one so ids stay unique per client
+        connection regardless of which backend minted them.
+        """
+        tried: set = set()
+        sheds: list = []
+        budget = (
+            len(self.backends)
+            if self.config.max_attempts is None
+            else self.config.max_attempts
+        )
+        while len(tried) < budget:
+            candidates = self.policy.candidates(
+                self.backends, model, precision, exclude=tried
+            )
+            if not candidates:
+                break
+            backend = self.policy.choose(candidates, model, precision)
+            tried.add(backend.address)
+            try:
+                response, out = await self._relay(ctx, backend, header)
+            except ServerUnavailable:
+                self.policy.forget(backend.address)
+                continue
+            if response.get("status") == "ok":
+                ctx["seq"] += 1
+                rid = f"r{ctx['seq']}"
+                ctx["pins"][rid] = {
+                    "backend": backend,
+                    "sid": response.get("stream"),
+                }
+                self._pins_open += 1
+                self.stats["stream_opens"] += 1
+                backend.stats["forwards"] += 1
+                response["stream"] = rid
+                return response, out
+            code = response.get("code")
+            if code == "overloaded":
+                sheds.append(response.get("retry_after_ms"))
+                continue
+            if code == "server_unavailable":
+                continue
+            self.stats["errors"] += 1
+            return response, out
+        return self._unplaceable(sheds, model, precision)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def _info(self) -> dict:
@@ -457,6 +732,28 @@ class RouterServer:
                 ),
                 "states": {
                     state: states.count(state) for state in set(states)
+                },
+                # Fleet-wide streaming posture: sums over each
+                # backend's last-probed ``health.streams`` block, plus
+                # the router's own live pin count (fresher than any
+                # probe, and the only number that sees streams the
+                # router itself is carrying).
+                "streams": {
+                    "pinned": self._pins_open,
+                    "open": sum(
+                        int(b.streams.get("open", 0)) for b in self.backends
+                    ),
+                    "state_bytes": sum(
+                        int(b.streams.get("state_bytes", 0))
+                        for b in self.backends
+                    ),
+                    "pushes_per_s": sum(
+                        float(b.streams.get("pushes_per_s", 0.0))
+                        for b in self.backends
+                    ),
+                    "opened": self.stats["stream_opens"],
+                    "pushes": self.stats["stream_pushes"],
+                    "broken": self.stats["streams_broken"],
                 },
             },
             "backends": backends,

@@ -45,6 +45,10 @@ from .executors import (
 )
 from .plan import PlanOp, compile_model_plan, compile_records_plan, fuse_plan
 from .session import InferenceSession
+
+# Imported after .plan so repro.streaming can reuse the batch plan's
+# activation table without a cycle.
+from ..streaming import StreamPlan, StreamState, compile_stream_plan
 from .workspace import DEFAULT_BATCH_BUCKETS, Workspace
 from .transport import (
     PipeTransport,
@@ -65,12 +69,15 @@ __all__ = [
     "SharedMemoryTransport",
     "ShardScheduler",
     "ShardedExecutor",
+    "StreamPlan",
+    "StreamState",
     "ThreadWorkerPool",
     "ThreadedExecutor",
     "Transport",
     "Workspace",
     "compile_model_plan",
     "compile_records_plan",
+    "compile_stream_plan",
     "effective_cpu_count",
     "fuse_plan",
     "make_transport",

@@ -72,14 +72,18 @@ from ..nn.layers import (
     BlockCirculantLinear,
     Conv2d,
     Dropout,
+    FFTLayer1d,
     Flatten,
     LeakyReLU,
     Linear,
     MaxPool2d,
+    Pointwise1d,
     ReLU,
     Sigmoid,
     Softmax,
     Tanh,
+    seq_matmul,
+    shift_right,
 )
 from ..nn.module import Sequential
 from ..precision import FP64, PrecisionPolicy
@@ -543,6 +547,64 @@ def _linear_op(
         return out
 
     return PlanOp(f"linear({in_f}->{out_f})", fn, fusable=True, ws_fn=ws_fn)
+
+
+def _fft1d_op(
+    weight_l: np.ndarray,
+    weight_r: np.ndarray,
+    bias: np.ndarray | None,
+    dilation: int,
+    policy: PrecisionPolicy = FP64,
+) -> PlanOp:
+    """Two-tap causal dilated sequence layer on time-major input.
+
+    ``y[t] = W_r x[t] + W_l x[t-d] + b`` over ``(batch, T, C)``.  Both
+    GEMMs go through :func:`~repro.nn.layers.fftnet1d.seq_matmul` — the
+    row-count-stable kernel — and the adds are elementwise, so any
+    row-chunking of the timeline (the incremental stream plan pushing K
+    samples at a time) reproduces this op's outputs bitwise.
+    """
+    rdtype = policy.real_dtype
+    wl_t = np.ascontiguousarray(np.asarray(weight_l, dtype=rdtype).T)
+    wr_t = np.ascontiguousarray(np.asarray(weight_r, dtype=rdtype).T)
+    bias = None if bias is None else np.asarray(bias, dtype=rdtype)
+    in_c, out_c = wr_t.shape
+
+    def fn(x: np.ndarray) -> np.ndarray:
+        batch, steps, _ = x.shape
+        xl = shift_right(x, dilation)
+        out = seq_matmul(x.reshape(-1, in_c), wr_t)
+        out += seq_matmul(xl.reshape(-1, in_c), wl_t)
+        if bias is not None:
+            out += bias
+        return out.reshape(batch, steps, out_c)
+
+    return PlanOp(f"fft1d({in_c}->{out_c},d={dilation})", fn, fusable=True)
+
+
+def _pointwise1d_op(
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    policy: PrecisionPolicy = FP64,
+) -> PlanOp:
+    """Per-timestep projection on time-major input (1x1 conv).
+
+    Shares :func:`seq_matmul` with the stream plan for bitwise
+    row-chunking stability (see :func:`_fft1d_op`).
+    """
+    rdtype = policy.real_dtype
+    weight_t = np.ascontiguousarray(np.asarray(weight, dtype=rdtype).T)
+    bias = None if bias is None else np.asarray(bias, dtype=rdtype)
+    in_c, out_c = weight_t.shape
+
+    def fn(x: np.ndarray) -> np.ndarray:
+        batch, steps, _ = x.shape
+        out = seq_matmul(x.reshape(-1, in_c), weight_t)
+        if bias is not None:
+            out += bias
+        return out.reshape(batch, steps, out_c)
+
+    return PlanOp(f"pointwise1d({in_c}->{out_c})", fn, fusable=True)
 
 
 def _conv_op(
@@ -1021,6 +1083,24 @@ def compile_model_plan(
                     policy=policy,
                 ),
             )
+        elif isinstance(layer, FFTLayer1d):
+            ops.append(
+                _fft1d_op(
+                    layer.weight_l.data,
+                    layer.weight_r.data,
+                    None if layer.bias is None else layer.bias.data,
+                    layer.dilation,
+                    policy=policy,
+                ),
+            )
+        elif isinstance(layer, Pointwise1d):
+            ops.append(
+                _pointwise1d_op(
+                    layer.weight.data,
+                    None if layer.bias is None else layer.bias.data,
+                    policy=policy,
+                ),
+            )
         elif isinstance(layer, BlockCirculantConv2d):
             spectra, spectra_fm = layer.weight_spectra(spectrum_dtype)
             ops.append(
@@ -1119,6 +1199,21 @@ def compile_records_plan(
             )
         elif kind == "linear":
             ops.append(_linear_op(record["weight"], record["bias"], policy=policy))
+        elif kind == "fft1d":
+            stacked = np.asarray(record["weight"])
+            ops.append(
+                _fft1d_op(
+                    stacked[0],
+                    stacked[1],
+                    record["bias"],
+                    record["dilation"],
+                    policy=policy,
+                ),
+            )
+        elif kind == "pointwise1d":
+            ops.append(
+                _pointwise1d_op(record["weight"], record["bias"], policy=policy)
+            )
         elif kind == "bc_conv":
             ops.append(
                 _bc_conv_op(

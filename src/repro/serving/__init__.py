@@ -25,7 +25,10 @@ this package gives it a front door:
   :class:`AsyncServeClient` (asyncio), both with optional per-request
   ``model`` / ``precision`` / ``priority`` / ``deadline_ms`` fields,
   connect/read timeouts, and bounded retry with exponential backoff
-  honoring the server's ``retry_after_ms``.
+  honoring the server's ``retry_after_ms``; their ``stream()`` methods
+  return :class:`Stream` / :class:`AsyncStream` handles for stateful
+  incremental inference (``stream_open`` / ``stream_push`` /
+  ``stream_close`` ops — see ``docs/streaming.md``).
 
 Entry points: ``repro serve`` on the command line,
 :meth:`repro.engine.Engine.serve` from code, or construct
@@ -35,15 +38,16 @@ server (as the tests and benchmarks do).  Fault-tolerance behavior
 ``docs/robustness.md``.
 """
 
-from ..exceptions import Overloaded, ServerUnavailable
+from ..exceptions import Overloaded, ServerUnavailable, StreamBroken
 from .batcher import DeadlineExpired, MicroBatcher
-from .client import AsyncServeClient, ServeClient
+from .client import AsyncServeClient, AsyncStream, ServeClient, Stream
 from .protocol import DEFAULT_PORT
 from .resilience import QueueLimits, TokenBucket
 from .server import InferenceServer
 
 __all__ = [
     "AsyncServeClient",
+    "AsyncStream",
     "DEFAULT_PORT",
     "DeadlineExpired",
     "InferenceServer",
@@ -52,5 +56,7 @@ __all__ = [
     "QueueLimits",
     "ServeClient",
     "ServerUnavailable",
+    "Stream",
+    "StreamBroken",
     "TokenBucket",
 ]

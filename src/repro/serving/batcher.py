@@ -67,13 +67,23 @@ class DeadlineExpired(ServingError):
 
 @dataclass
 class _Pending:
-    """One queued request: rows plus its scheduling fields."""
+    """One queued request: rows plus its scheduling fields.
+
+    ``state`` distinguishes the two kinds of work the batcher fuses:
+    ``None`` for a stateless predict (rows concatenate into one batch
+    call) and a :class:`~repro.streaming.StreamState` for a stream push
+    (rows are that stream's new samples; the group runs as one
+    ``push_many`` fused step).  The two kinds share the queue, the
+    flush window, priority ordering, and admission limits, but never
+    fuse with each other.
+    """
 
     rows: np.ndarray
     future: asyncio.Future
     priority: int = 0
     deadline: float | None = None  # absolute loop time, None = no deadline
     seq: int = 0  # arrival order; tie-break within a priority level
+    state: object | None = None  # StreamState for stream pushes
 
     sort_key = property(lambda self: (-self.priority, self.seq))
 
@@ -104,6 +114,13 @@ class MicroBatcher:
         ``submit`` sheds with :class:`~repro.exceptions.Overloaded`
         when admitting the request would exceed them.  ``None`` (the
         default) admits everything, exactly as before.
+    stream_runner:
+        ``(states, chunks) -> outputs`` callable for fused stream
+        pushes (the route's
+        :meth:`~repro.streaming.StreamPlan.push_many`); required before
+        the first :meth:`submit_stream`.  Stream pushes wait in the
+        same pending window as predicts and obey the same limits, but
+        flush as their own fused call.
     """
 
     def __init__(
@@ -113,12 +130,14 @@ class MicroBatcher:
         max_wait_ms: float = 2.0,
         executor=None,
         limits: QueueLimits | None = None,
+        stream_runner: Callable | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         self._runner = runner
+        self._stream_runner = stream_runner
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self._executor = executor
@@ -141,6 +160,9 @@ class MicroBatcher:
             "max_batch_rows": 0,
             "expired": 0,
             "shed": 0,
+            "stream_batches": 0,
+            "stream_rows": 0,
+            "fused_streams_max": 0,  # most streams fused into one step
         }
 
     async def submit(
@@ -159,6 +181,39 @@ class MicroBatcher:
         row budget (or its priority class's) is shed immediately with
         :class:`~repro.exceptions.Overloaded` instead of queueing.
         """
+        return await self._enqueue(rows, priority, deadline_ms, state=None)
+
+    async def submit_stream(
+        self,
+        state,
+        rows: np.ndarray,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
+        """Queue a stream push and return its new output rows.
+
+        ``state`` is the stream's
+        :class:`~repro.streaming.StreamState`; ``rows`` are its new
+        samples.  Scheduling (flush windows, priority, deadlines) and
+        admission limits are exactly :meth:`submit`'s; at flush time
+        every pending push in the window runs as *one* fused
+        ``stream_runner`` call across all its streams.  A shed or
+        deadline-expired push never touches the stream's state — the
+        caller may safely resend the same samples.  The caller must not
+        submit the same stream concurrently (the server's per-stream
+        busy flag and per-connection sequencing enforce this).
+        """
+        if self._stream_runner is None:
+            raise ServingError("batcher has no stream_runner configured")
+        return await self._enqueue(rows, priority, deadline_ms, state=state)
+
+    async def _enqueue(
+        self,
+        rows: np.ndarray,
+        priority: int,
+        deadline_ms: float | None,
+        state,
+    ) -> np.ndarray:
         if self._closed:
             raise ServingError("batcher is closed")
         if rows.ndim < 1 or rows.shape[0] < 1:
@@ -189,6 +244,7 @@ class MicroBatcher:
             priority=priority,
             deadline=deadline,
             seq=self._seq,
+            state=state,
         )
         self._seq += 1
         self._pending.append(pending)
@@ -321,12 +377,22 @@ class MicroBatcher:
         # differ run as their own fused batch.  Bucket insertion order
         # follows the priority sort, so the bucket containing the
         # highest-priority request runs first.
+        # Stream pushes bucket separately from predicts (first key
+        # element): their rows are per-stream suffixes fused via
+        # push_many, not batch rows fused via concatenation.
         buckets: dict = {}
         for pending in group:
-            key = (str(pending.rows.dtype), pending.rows.shape[1:])
+            key = (
+                pending.state is not None,
+                str(pending.rows.dtype),
+                pending.rows.shape[1:],
+            )
             buckets.setdefault(key, []).append(pending)
-        for bucket in buckets.values():
-            await self._run_bucket(bucket)
+        for key, bucket in buckets.items():
+            if key[0]:
+                await self._run_stream_bucket(bucket)
+            else:
+                await self._run_bucket(bucket)
 
     async def _run_bucket(self, bucket: list[_Pending]) -> None:
         started = time.perf_counter()
@@ -365,6 +431,43 @@ class MicroBatcher:
             if not pending.future.done():
                 pending.future.set_result(outputs[start:stop])
             start = stop
+
+    async def _run_stream_bucket(self, bucket: list[_Pending]) -> None:
+        """One fused ``push_many`` step over the bucket's streams."""
+        started = time.perf_counter()
+        states = [pending.state for pending in bucket]
+        chunks = [pending.rows for pending in bucket]
+        try:
+            if self._executor is None:
+                outputs = self._stream_runner(states, chunks)
+            else:
+                outputs = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self._stream_runner, states, chunks
+                )
+        except Exception as exc:
+            for pending in bucket:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        ServingError(f"stream inference failed: {exc}")
+                    )
+            return
+        batch_ms = (time.perf_counter() - started) * 1e3
+        self._batch_ms_ema = (
+            batch_ms
+            if self._batch_ms_ema is None
+            else 0.8 * self._batch_ms_ema + 0.2 * batch_ms
+        )
+        fused_rows = sum(chunk.shape[0] for chunk in chunks)
+        self.stats["batches"] += 1
+        self.stats["stream_batches"] += 1
+        self.stats["rows"] += fused_rows
+        self.stats["stream_rows"] += fused_rows
+        self.stats["fused_streams_max"] = max(
+            self.stats["fused_streams_max"], len(bucket)
+        )
+        for pending, out in zip(bucket, outputs):
+            if not pending.future.done():
+                pending.future.set_result(out)
 
     async def drain(self) -> None:
         """Flush the pending group and wait for all running batches."""

@@ -28,6 +28,16 @@ make replays idempotent.  Deliberate errors — deadline expiry, unknown
 models, malformed frames — are **never** retried: repeating them cannot
 succeed.  After the retry budget the last typed error is raised.
 ``retries=0`` restores the old fail-fast behavior exactly.
+
+Reconnect-and-replay is only safe for ops on the
+:data:`IDEMPOTENT_OPS` whitelist.  A ``stream_push`` is *not* on it:
+the server applies a push to the stream's history buffers, so replaying
+one that may or may not have been applied would silently corrupt the
+stream's position.  When the connection dies with a stream open, both
+clients raise :class:`~repro.exceptions.StreamBroken` — carrying how
+many samples were definitely applied — and the caller decides whether
+to re-open and re-feed.  See :class:`Stream` / :class:`AsyncStream` and
+``docs/streaming.md``.
 """
 
 from __future__ import annotations
@@ -40,7 +50,12 @@ import uuid
 
 import numpy as np
 
-from ..exceptions import Overloaded, ServerUnavailable, ServingError
+from ..exceptions import (
+    Overloaded,
+    ServerUnavailable,
+    ServingError,
+    StreamBroken,
+)
 from .batcher import DeadlineExpired
 from .protocol import (
     DEFAULT_MAX_PAYLOAD,
@@ -53,12 +68,27 @@ from .protocol import (
     unpack_array,
 )
 
-__all__ = ["ServeClient", "AsyncServeClient"]
+__all__ = ["ServeClient", "AsyncServeClient", "Stream", "AsyncStream",
+           "IDEMPOTENT_OPS"]
 
 #: Default connect timeout: distinct from (and much tighter than) the
 #: read timeout — an unreachable host should fail in seconds, while a
 #: slow batch may legitimately take the full read timeout.
 DEFAULT_CONNECT_TIMEOUT = 5.0
+
+#: Ops safe to replay on a fresh connection after the old one died
+#: mid-request.  Everything here either reads state (``ping``,
+#: ``info``), is level-triggered (``drain``), is applied exactly once
+#: per *response* the caller observes (``predict`` — a replayed predict
+#: recomputes the same pure function), or allocates a resource the
+#: caller only learns about from the response (``stream_open`` — a
+#: half-applied open leaks nothing: the dead connection's registry
+#: freed it).  ``stream_push``/``stream_close`` are deliberately
+#: absent — they mutate per-connection stream state that the fresh
+#: connection does not have.
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "info", "drain", "predict", "predict_proba", "stream_open"}
+)
 
 
 def _check(header: dict) -> dict:
@@ -167,6 +197,10 @@ class ServeClient:
         self._max_payload = max_payload
         self._policy = _RetryPolicy(retries, backoff_ms, backoff_max_ms)
         self._sock: socket.socket | None = None
+        # Bumped on every (re)connect; a Stream records the epoch it was
+        # opened under, so it can detect that its server-side state died
+        # with the old connection.
+        self._conn_epoch = 0
         self._connect()
 
     def _connect(self) -> None:
@@ -186,6 +220,7 @@ class ServeClient:
             ) from exc
         sock.settimeout(self._timeout)
         self._sock = sock
+        self._conn_epoch += 1
 
     def _once(self, header: dict, payload) -> tuple[dict, bytes]:
         if self._sock is None:
@@ -217,8 +252,15 @@ class ServeClient:
                 time.sleep(self._policy.delay_s(attempt, exc.retry_after_ms))
             except ServerUnavailable:
                 # The stream may be desynchronized (or dead): retries
-                # must replay on a fresh connection.
-                if attempt >= self._policy.retries:
+                # must replay on a fresh connection — which is only
+                # sound for ops documented idempotent.  Anything else
+                # (a stream_push above all) may already have been
+                # applied; replaying it would corrupt server state, so
+                # it fails here and the caller decides.
+                if (
+                    header.get("op") not in IDEMPOTENT_OPS
+                    or attempt >= self._policy.retries
+                ):
                     raise
                 time.sleep(self._policy.delay_s(attempt, None))
                 try:
@@ -270,6 +312,30 @@ class ServeClient:
         )
         return unpack_array(payload)
 
+    def stream(
+        self,
+        model: str | None = None,
+        precision=None,
+        priority=None,
+    ) -> "Stream":
+        """Open a server-side stream; returns a :class:`Stream`.
+
+        Use as a context manager so the server's state is released even
+        on error paths::
+
+            with client.stream() as s:
+                for chunk in chunks:
+                    proba = s.push(chunk)
+
+        The open itself is idempotent (retried like a predict); every
+        subsequent :meth:`Stream.push` is pinned to this connection and
+        never replayed.
+        """
+        header, _ = self._request(
+            _predict_header("stream_open", model, precision, priority, None)
+        )
+        return Stream(self, header)
+
     def close(self) -> None:
         if self._sock is None:
             return
@@ -284,6 +350,149 @@ class ServeClient:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class Stream:
+    """A server-side incremental inference stream, bound to one client.
+
+    Created by :meth:`ServeClient.stream`.  :meth:`push` sends new
+    samples and returns their class probabilities — bitwise identical
+    to what a full-sequence ``predict_proba`` over everything pushed so
+    far would have produced for those rows.
+
+    Failure semantics (the part that differs from predicts):
+
+    * ``Overloaded`` — the push was *shed before touching stream
+      state*, so it is retried on the same connection with backoff.
+    * ``DeadlineExpired`` — the push expired in the queue, also before
+      touching state; the exception propagates but the stream stays
+      usable (resend the same chunk if you still want it).
+    * ``ServerUnavailable`` / connection death — the server may or may
+      not have applied the push, and its state died with the
+      connection either way: the stream is **broken**, and every later
+      call raises :class:`~repro.exceptions.StreamBroken` whose
+      ``pushed`` counts the samples definitely applied.  Re-feeding is
+      the caller's decision; nothing is replayed implicitly.
+
+    Attributes ``stream_id``, ``samples`` (server-confirmed applied
+    samples), ``receptive_field``, ``classes``, ``state_bytes`` mirror
+    the server's open/push responses.
+    """
+
+    def __init__(self, client: ServeClient, opened: dict):
+        self._client = client
+        self._epoch = client._conn_epoch
+        self.stream_id = opened["stream"]
+        self.model = opened.get("model")
+        self.precision = opened.get("precision")
+        self.in_channels = opened.get("in_channels")
+        self.classes = opened.get("classes")
+        self.receptive_field = opened.get("receptive_field")
+        self.state_bytes = opened.get("state_bytes")
+        self.samples = 0
+        self.pushes = 0
+        self._closed = False
+        self._broken: StreamBroken | None = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        return self._broken is not None
+
+    def _guard(self) -> None:
+        if self._closed:
+            raise ServingError(
+                f"stream {self.stream_id} is closed"
+            )
+        if self._broken is not None:
+            raise StreamBroken(str(self._broken), pushed=self.samples)
+        if self._client._conn_epoch != self._epoch:
+            # The client reconnected underneath us (a retried predict on
+            # the same client object, say): the server-side state is
+            # gone even though no push of *ours* failed.
+            self._break("client reconnected; stream state was lost")
+
+    def _break(self, why: str) -> None:
+        self._broken = StreamBroken(
+            f"stream {self.stream_id} broken after {self.samples} "
+            f"samples: {why}",
+            pushed=self.samples,
+        )
+        raise self._broken
+
+    def push(
+        self, chunk: np.ndarray, deadline_ms: float | None = None
+    ) -> np.ndarray:
+        """Push ``chunk`` (samples, channels); probabilities for them."""
+        self._guard()
+        header = {"op": "stream_push", "stream": self.stream_id,
+                  "request_id": uuid.uuid4().hex}
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        payload = pack_array(np.asarray(chunk))
+        attempt = 0
+        while True:
+            try:
+                response, out = self._client._once(header, payload)
+                break
+            except Overloaded as exc:
+                # Shed at admission: state untouched, connection intact
+                # (the server answered).  Same-connection resend is the
+                # one replay that is always safe.
+                if attempt >= self._client._policy.retries:
+                    raise
+                time.sleep(
+                    self._client._policy.delay_s(attempt, exc.retry_after_ms)
+                )
+                attempt += 1
+            except DeadlineExpired:
+                # Expired in the queue, never applied; stream intact.
+                raise
+            except ServerUnavailable as exc:
+                self._break(str(exc))
+            except ServingError:
+                # A protocol-level error leaves the applied-sample count
+                # ambiguous only if it killed the connection — it did
+                # not (the server answered) — but the stream's handle
+                # may be rejected (server restarted registry?).  Treat
+                # as fatal for this stream, not for the client.
+                raise
+        self.samples = int(response.get("samples", self.samples))
+        self.pushes += 1
+        return unpack_array(out)
+
+    def close(self) -> None:
+        """Release the server-side state; idempotent, never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._broken is not None:
+            return  # state died with the connection; nothing to free
+        if self._client._conn_epoch != self._epoch:
+            return  # reconnected: old connection's registry freed it
+        try:
+            self._client._once(
+                {"op": "stream_close", "stream": self.stream_id}, b""
+            )
+        except (ServingError, ServerUnavailable):
+            pass  # server gone or handle unknown: state is free anyway
+
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = (
+            "broken" if self.broken else "closed" if self._closed else "open"
+        )
+        return (
+            f"Stream({self.stream_id}, {state}, samples={self.samples})"
+        )
 
 
 class AsyncServeClient:
@@ -313,6 +522,7 @@ class AsyncServeClient:
         self._host: str | None = None
         self._port: int | None = None
         self._connect_timeout = DEFAULT_CONNECT_TIMEOUT
+        self._conn_epoch = 1  # bumped on reconnect; see ServeClient
 
     @classmethod
     async def connect(
@@ -360,6 +570,7 @@ class AsyncServeClient:
         self._reader, self._writer = await self._open(
             self._host, self._port, self._connect_timeout
         )
+        self._conn_epoch += 1
 
     async def _once(self, header: dict, payload) -> tuple[dict, bytes]:
         try:
@@ -392,7 +603,13 @@ class AsyncServeClient:
             except ServerUnavailable:
                 # Without an address there is no reconnecting — and the
                 # stream offset may be garbage — so fail immediately.
-                if self._host is None or attempt >= self._policy.retries:
+                # Non-idempotent ops (stream pushes) never replay at
+                # all; see IDEMPOTENT_OPS.
+                if (
+                    header.get("op") not in IDEMPOTENT_OPS
+                    or self._host is None
+                    or attempt >= self._policy.retries
+                ):
                     raise
                 await asyncio.sleep(self._policy.delay_s(attempt, None))
                 try:
@@ -444,6 +661,24 @@ class AsyncServeClient:
         )
         return unpack_array(payload)
 
+    async def stream(
+        self,
+        model: str | None = None,
+        precision=None,
+        priority=None,
+    ) -> "AsyncStream":
+        """Open a server-side stream; returns an :class:`AsyncStream`.
+
+        Usage (note the ``await`` — the open is a round trip)::
+
+            async with await client.stream() as s:
+                proba = await s.push(chunk)
+        """
+        header, _ = await self._request(
+            _predict_header("stream_open", model, precision, priority, None)
+        )
+        return AsyncStream(self, header)
+
     async def close(self) -> None:
         self._writer.close()
         try:
@@ -456,3 +691,106 @@ class AsyncServeClient:
 
     async def __aexit__(self, *exc) -> None:
         await self.close()
+
+
+class AsyncStream:
+    """Asyncio twin of :class:`Stream`; same failure semantics."""
+
+    def __init__(self, client: AsyncServeClient, opened: dict):
+        self._client = client
+        self._epoch = client._conn_epoch
+        self.stream_id = opened["stream"]
+        self.model = opened.get("model")
+        self.precision = opened.get("precision")
+        self.in_channels = opened.get("in_channels")
+        self.classes = opened.get("classes")
+        self.receptive_field = opened.get("receptive_field")
+        self.state_bytes = opened.get("state_bytes")
+        self.samples = 0
+        self.pushes = 0
+        self._closed = False
+        self._broken: StreamBroken | None = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        return self._broken is not None
+
+    def _guard(self) -> None:
+        if self._closed:
+            raise ServingError(f"stream {self.stream_id} is closed")
+        if self._broken is not None:
+            raise StreamBroken(str(self._broken), pushed=self.samples)
+        if self._client._conn_epoch != self._epoch:
+            self._break("client reconnected; stream state was lost")
+
+    def _break(self, why: str) -> None:
+        self._broken = StreamBroken(
+            f"stream {self.stream_id} broken after {self.samples} "
+            f"samples: {why}",
+            pushed=self.samples,
+        )
+        raise self._broken
+
+    async def push(
+        self, chunk: np.ndarray, deadline_ms: float | None = None
+    ) -> np.ndarray:
+        """Push ``chunk`` (samples, channels); probabilities for them."""
+        self._guard()
+        header = {"op": "stream_push", "stream": self.stream_id,
+                  "request_id": uuid.uuid4().hex}
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        payload = pack_array(np.asarray(chunk))
+        attempt = 0
+        while True:
+            try:
+                response, out = await self._client._once(header, payload)
+                break
+            except Overloaded as exc:
+                if attempt >= self._client._policy.retries:
+                    raise
+                await asyncio.sleep(
+                    self._client._policy.delay_s(attempt, exc.retry_after_ms)
+                )
+                attempt += 1
+            except DeadlineExpired:
+                raise  # never applied; stream intact
+            except ServerUnavailable as exc:
+                self._break(str(exc))
+        self.samples = int(response.get("samples", self.samples))
+        self.pushes += 1
+        return unpack_array(out)
+
+    async def close(self) -> None:
+        """Release the server-side state; idempotent, never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._broken is not None:
+            return
+        if self._client._conn_epoch != self._epoch:
+            return
+        try:
+            await self._client._once(
+                {"op": "stream_close", "stream": self.stream_id}, b""
+            )
+        except (ServingError, ServerUnavailable):
+            pass
+
+    async def __aenter__(self) -> "AsyncStream":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        state = (
+            "broken" if self.broken else "closed" if self._closed else "open"
+        )
+        return (
+            f"AsyncStream({self.stream_id}, {state}, samples={self.samples})"
+        )

@@ -92,10 +92,22 @@ class QueueLimits:
     rows); ``class_caps`` maps a priority *level* (the integer requests
     carry on the wire) to that class's own smaller cap.  A request is
     shed when admitting its rows would exceed either bound.
+
+    Streams are the third bounded resource: unlike a request, an open
+    stream *holds* memory between calls (its per-layer activation
+    history), so ``max_streams`` caps how many may be open at once and
+    ``max_stream_state_bytes`` caps their total resident history.  Both
+    are enforced at ``stream_open`` via :meth:`admits_stream` — the one
+    moment the full cost of a stream is known, because a plan's
+    per-stream state size is fixed before any data arrives.
     """
 
     def __init__(
-        self, max_rows: int, class_caps: Mapping[int, int] | None = None
+        self,
+        max_rows: int,
+        class_caps: Mapping[int, int] | None = None,
+        max_streams: int = 64,
+        max_stream_state_bytes: int | None = None,
     ):
         if max_rows < 1:
             raise ValueError(f"max_rows must be >= 1, got {max_rows}")
@@ -105,8 +117,17 @@ class QueueLimits:
                 raise ValueError(
                     f"class cap for level {level} must be >= 1, got {cap}"
                 )
+        if max_streams < 1:
+            raise ValueError(f"max_streams must be >= 1, got {max_streams}")
+        if max_stream_state_bytes is not None and max_stream_state_bytes < 1:
+            raise ValueError(
+                f"max_stream_state_bytes must be >= 1 or None, "
+                f"got {max_stream_state_bytes}"
+            )
         self.max_rows = int(max_rows)
         self.class_caps = caps
+        self.max_streams = int(max_streams)
+        self.max_stream_state_bytes = max_stream_state_bytes
 
     @classmethod
     def from_config(cls, config) -> "QueueLimits":
@@ -115,7 +136,14 @@ class QueueLimits:
             config.resolve_priority(name): cap
             for name, cap in config.queue_class_caps.items()
         }
-        return cls(config.max_queue_rows, caps)
+        return cls(
+            config.max_queue_rows,
+            caps,
+            max_streams=getattr(config, "max_streams", 64),
+            max_stream_state_bytes=getattr(
+                config, "max_stream_state_bytes", None
+            ),
+        )
 
     def admits(
         self, rows: int, level: int, queued: int, queued_at_level: int
@@ -126,8 +154,20 @@ class QueueLimits:
         cap = self.class_caps.get(level)
         return cap is None or queued_at_level + rows <= cap
 
+    def admits_stream(
+        self, open_streams: int, open_bytes: int, new_bytes: int
+    ) -> bool:
+        """Would one more stream holding ``new_bytes`` stay in budget?"""
+        if open_streams + 1 > self.max_streams:
+            return False
+        return (
+            self.max_stream_state_bytes is None
+            or open_bytes + new_bytes <= self.max_stream_state_bytes
+        )
+
     def __repr__(self) -> str:
         return (
             f"QueueLimits(max_rows={self.max_rows}, "
-            f"class_caps={self.class_caps})"
+            f"class_caps={self.class_caps}, "
+            f"max_streams={self.max_streams})"
         )

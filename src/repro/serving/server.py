@@ -47,6 +47,7 @@ import numpy as np
 
 from ..exceptions import (
     ConfigurationError,
+    DeploymentError,
     Overloaded,
     ServerUnavailable,
     ServingError,
@@ -139,6 +140,16 @@ class InferenceServer:
         self._draining = False
         self._drain_task: asyncio.Task | None = None
         self._inflight = 0  # requests read but not yet fully responded
+        # Stream accounting, aggregated over every connection's registry
+        # (the registries themselves are per-connection, so an abrupt
+        # disconnect frees its streams by construction — these totals
+        # are decremented in the connection's cleanup path).
+        self._stream_seq = 0
+        self._streams_open = 0
+        self._stream_state_bytes = 0
+        self._stream_pushes = 0  # monotonic; feeds the pushes/s rate
+        self._push_mark: tuple[float, int] = (time.monotonic(), 0)
+        self._push_rate = 0.0
         self.stats = {
             "connections": 0,
             "requests": 0,
@@ -147,6 +158,10 @@ class InferenceServer:
             "shed": 0,
             "rate_limited": 0,
             "disconnects": 0,
+            "stream_opens": 0,
+            "stream_pushes": 0,
+            "stream_rows": 0,
+            "stream_closes": 0,
         }
 
     # ------------------------------------------------------------------
@@ -182,12 +197,21 @@ class InferenceServer:
                     batch, batch_size=self._auto_chunk(session, batch.shape[0])
                 )
 
+            def run_streams(states, chunks):
+                # The plan is pooled by the engine; resolving it here
+                # (on the inference thread) keeps non-streamable routes
+                # from ever paying for — or failing on — stream
+                # compilation.  proba=True mirrors predict_proba.
+                plan = self.engine.stream_plan(model, precision)
+                return plan.push_many(states, chunks, proba=True)
+
             batcher = MicroBatcher(
                 run_batch,
                 max_batch=self.max_batch,
                 max_wait_ms=self.max_wait_ms,
                 executor=self._infer_thread,
                 limits=self._limits,
+                stream_runner=run_streams,
             )
             self._batchers[key] = batcher
         return batcher
@@ -292,6 +316,12 @@ class InferenceServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
         self.stats["connections"] += 1
+        # The connection's stream registry: handle -> entry.  Scoping it
+        # to the connection makes the zero-leak guarantee structural —
+        # when this coroutine exits (clean close, abrupt disconnect, a
+        # cut cable), the registry dies with it and the cleanup below
+        # returns every stream's bytes to the server totals.
+        streams: dict[str, dict] = {}
         try:
             while True:
                 try:
@@ -331,7 +361,7 @@ class InferenceServer:
                 try:
                     try:
                         response, out_payload = await self._dispatch(
-                            header, payload
+                            header, payload, streams
                         )
                     except Overloaded as exc:
                         # Shed, not failed: the client must back off and
@@ -392,6 +422,9 @@ class InferenceServer:
                 finally:
                     self._inflight -= 1
         finally:
+            for entry in streams.values():
+                self._free_stream(entry)
+            streams.clear()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -417,10 +450,44 @@ class InferenceServer:
             config.resolve_priority(header.get("priority")),
         )
 
+    def _free_stream(self, entry: dict) -> None:
+        """Return one stream's budget to the server totals."""
+        self._streams_open -= 1
+        self._stream_state_bytes -= entry["plan"].state_bytes
+
+    def _stream_push_rate(self) -> float:
+        """Pushes/second since the last ``info`` call (lazy rate).
+
+        Computed from the monotonic push counter between observations,
+        so the hot path pays one integer increment per push and the
+        rate costs nothing until someone asks.
+        """
+        now = time.monotonic()
+        mark_t, mark_n = self._push_mark
+        dt = now - mark_t
+        if dt >= 0.05:
+            self._push_rate = (self._stream_pushes - mark_n) / dt
+            self._push_mark = (now, self._stream_pushes)
+        return self._push_rate
+
+    def _check_deadline(self, deadline_ms) -> None:
+        if deadline_ms is not None and (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or deadline_ms < 0
+        ):
+            # Type-check before comparing: a JSON string here must
+            # be a clean protocol error, not an "internal error".
+            raise ServingError(
+                f"deadline_ms must be a non-negative number, "
+                f"got {deadline_ms!r}"
+            )
+
     async def _dispatch(
-        self, header: dict, payload: bytes
+        self, header: dict, payload: bytes, streams: dict | None = None
     ) -> tuple[dict, object]:
         op = header.get("op")
+        streams = {} if streams is None else streams
         if op == "ping":
             return {"status": "ok", "op": "ping"}, b""
         if op == "drain":
@@ -471,9 +538,197 @@ class InferenceServer:
                     "max_queue_rows": self._limits.max_rows,
                     "shed": self.stats["shed"],
                     "rate_limited": self.stats["rate_limited"],
+                    # The streaming posture: how many conversations are
+                    # resident, how much history they hold, and how hot
+                    # the push path is.  A router aggregates this block
+                    # across its fleet.
+                    "streams": {
+                        "open": self._streams_open,
+                        "state_bytes": self._stream_state_bytes,
+                        "max_streams": self._limits.max_streams,
+                        "max_state_bytes": (
+                            self._limits.max_stream_state_bytes
+                        ),
+                        "opened": self.stats["stream_opens"],
+                        "closed": self.stats["stream_closes"],
+                        "pushes": self.stats["stream_pushes"],
+                        "pushed_rows": self.stats["stream_rows"],
+                        "pushes_per_s": self._stream_push_rate(),
+                    },
                 },
             }
             return info, b""
+        if op == "stream_open":
+            if self._draining:
+                raise ServerUnavailable(
+                    "server is draining and accepts no new streams"
+                )
+            model, precision, priority = self._resolve_route(header)
+            if not self._limits.admits_stream(
+                self._streams_open, self._stream_state_bytes, 0
+            ):
+                raise Overloaded(
+                    f"stream capacity exhausted: {self._streams_open} "
+                    f"streams open (limit {self._limits.max_streams})"
+                )
+            # Plan compilation happens on the inference thread (like
+            # session freezing); a non-streamable model answers with a
+            # typed error frame, the connection stays up.
+            try:
+                plan = await asyncio.get_running_loop().run_in_executor(
+                    self._infer_thread,
+                    self.engine.stream_plan,
+                    model,
+                    precision,
+                )
+            except DeploymentError as exc:
+                raise ServingError(str(exc)) from exc
+            if not self._limits.admits_stream(
+                self._streams_open, self._stream_state_bytes, plan.state_bytes
+            ):
+                raise Overloaded(
+                    f"stream state budget exhausted: "
+                    f"{self._stream_state_bytes} bytes resident "
+                    f"(limit {self._limits.max_stream_state_bytes})"
+                )
+            self._stream_seq += 1
+            handle = f"s{self._stream_seq}"
+            streams[handle] = {
+                "plan": plan,
+                "state": plan.open(),
+                "model": model,
+                "precision": precision,
+                "priority": priority,
+                "busy": False,
+            }
+            self._streams_open += 1
+            self._stream_state_bytes += plan.state_bytes
+            self.stats["stream_opens"] += 1
+            return (
+                {
+                    "status": "ok",
+                    "op": "stream_open",
+                    "stream": handle,
+                    "model": model,
+                    "precision": precision,
+                    "in_channels": plan.in_channels,
+                    "classes": plan.out_channels,
+                    "receptive_field": plan.receptive_field,
+                    "state_bytes": plan.state_bytes,
+                },
+                b"",
+            )
+        if op == "stream_push":
+            if self._draining:
+                # Typed as unavailable, NOT retryable-in-place: the
+                # client surfaces this as a broken stream (the server
+                # is going away; its state goes with it).
+                raise ServerUnavailable(
+                    "server is draining; open streams are broken"
+                )
+            entry = streams.get(header.get("stream"))
+            if entry is None:
+                raise ServingError(
+                    f"unknown stream {header.get('stream')!r} on this "
+                    "connection"
+                )
+            if not payload:
+                raise ServingError("stream_push requires an array payload")
+            if entry["busy"]:
+                # Per-connection sequencing makes this unreachable for
+                # well-behaved clients; defend anyway so a pipelining
+                # client cannot corrupt its own stream's ordering.
+                raise ServingError(
+                    f"stream {header.get('stream')!r} already has a push "
+                    "in flight"
+                )
+            if faults.enabled:
+                shed = faults.take("admission.shed", retry_after_ms=50.0)
+                if shed is not None:
+                    raise Overloaded(
+                        "request shed by injected fault",
+                        retry_after_ms=float(shed["retry_after_ms"]),
+                    )
+            if self._bucket is not None:
+                wait_s = self._bucket.try_acquire()
+                if wait_s > 0.0:
+                    self.stats["rate_limited"] += 1
+                    raise Overloaded(
+                        f"rate limit exceeded "
+                        f"({self._bucket.rate:g} requests/s)",
+                        retry_after_ms=wait_s * 1e3,
+                    )
+            deadline_ms = header.get("deadline_ms")
+            self._check_deadline(deadline_ms)
+            plan = entry["plan"]
+            chunk = unpack_array(payload)
+            if chunk.ndim == 1 and plan.in_channels == 1:
+                chunk = chunk[:, None]
+            if chunk.ndim != 2 or chunk.shape[1] != plan.in_channels:
+                raise ServingError(
+                    f"stream chunk must be (samples, {plan.in_channels}), "
+                    f"got shape {chunk.shape}"
+                )
+            if chunk.shape[0] < 1:
+                raise ServingError("stream_push needs at least one sample")
+            # Same front-door cast as predict: any input dtype fuses
+            # into the same stream bucket with identical results.
+            chunk = np.asarray(chunk, dtype=plan.policy.real_dtype)
+            priority = (
+                entry["priority"]
+                if header.get("priority") is None
+                else self.engine.config.resolve_priority(header["priority"])
+            )
+            start = time.perf_counter()
+            entry["busy"] = True
+            try:
+                out = await self._batcher_for(
+                    entry["model"], entry["precision"]
+                ).submit_stream(
+                    entry["state"],
+                    chunk,
+                    priority=priority,
+                    deadline_ms=deadline_ms,
+                )
+            except DeadlineExpired:
+                self.stats["expired"] += 1
+                raise
+            finally:
+                entry["busy"] = False
+            latency_ms = (time.perf_counter() - start) * 1e3
+            self._stream_pushes += 1
+            self.stats["stream_pushes"] += 1
+            self.stats["stream_rows"] += int(chunk.shape[0])
+            return (
+                {
+                    "status": "ok",
+                    "op": "stream_push",
+                    "stream": header.get("stream"),
+                    "rows": int(chunk.shape[0]),
+                    "samples": int(entry["state"].samples),
+                    "latency_ms": latency_ms,
+                },
+                pack_array_views(out),
+            )
+        if op == "stream_close":
+            entry = streams.pop(header.get("stream"), None)
+            if entry is None:
+                raise ServingError(
+                    f"unknown stream {header.get('stream')!r} on this "
+                    "connection"
+                )
+            self._free_stream(entry)
+            self.stats["stream_closes"] += 1
+            return (
+                {
+                    "status": "ok",
+                    "op": "stream_close",
+                    "stream": header.get("stream"),
+                    "samples": int(entry["state"].samples),
+                    "pushes": int(entry["state"].pushes),
+                },
+                b"",
+            )
         if op in ("predict", "predict_proba"):
             if self._draining:
                 raise ServerUnavailable(

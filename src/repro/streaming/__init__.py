@@ -1,0 +1,27 @@
+"""Stateful low-latency streaming inference over causal sequence models.
+
+Batch serving answers "here is a whole sequence, classify every step";
+streaming serving answers "here are the next ``K`` samples of a live
+conversation, extend the outputs" — at per-push latencies where
+recomputing the whole prefix would blow the budget.  This package is
+the model-side half of that story (the wire protocol, server stream
+registry and client API live in :mod:`repro.serving`):
+
+* :class:`StreamPlan` / :func:`compile_stream_plan` — the incremental
+  twin of the batch plan compiler: push suffix chunks, get exactly the
+  new output rows, **bitwise identical** to the batch plan over the
+  concatenated sequence (see :mod:`repro.streaming.plan` for why parity
+  is structural, not approximate),
+* :class:`StreamState` — the per-conversation carry: one
+  ``(dilation, channels)`` history buffer per two-tap layer, with exact
+  byte accounting the server budgets against.
+
+``StreamPlan.push_many`` is the cross-stream fusion primitive the
+server's micro-batcher drives: many streams' pending chunks, one fused
+GEMM step, per-stream rows scattered back out — bitwise unchanged.
+"""
+
+from .plan import StreamPlan, compile_stream_plan
+from .state import StreamState
+
+__all__ = ["StreamPlan", "StreamState", "compile_stream_plan"]

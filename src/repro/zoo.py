@@ -30,9 +30,11 @@ from .nn import (
     BlockCirculantConv2d,
     BlockCirculantLinear,
     Conv2d,
+    FFTLayer1d,
     Flatten,
     Linear,
     MaxPool2d,
+    Pointwise1d,
     ReLU,
     Sequential,
 )
@@ -45,6 +47,7 @@ __all__ = [
     "build_arch2",
     "build_arch3",
     "build_arch3_reduced",
+    "build_fftnet",
     "entry",
     "get",
     "names",
@@ -234,6 +237,40 @@ def get(name: str, **kwargs) -> Sequential:
     return entry(name).build(**kwargs)
 
 
+def build_fftnet(
+    channels: int = 32,
+    depth: int = 4,
+    classes: int = 16,
+    in_channels: int = 1,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """FFTNet-style causal dilated sequence classifier (streaming arch).
+
+    ``depth`` two-tap :class:`~repro.nn.FFTLayer1d` stages with dilations
+    ``2^(depth-1), ..., 2, 1`` (receptive field ``2^depth`` samples),
+    each followed by ReLU, then a ReLU'd :class:`~repro.nn.Pointwise1d`
+    hidden projection and a pointwise classifier over the waveform
+    quantization bins.  Time-major ``(batch, T, in_channels)`` in,
+    ``(batch, T, classes)`` logits out — the architecture
+    ``repro.streaming`` serves incrementally, one suffix push at a time.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    rng = rng or np.random.default_rng()
+    layers: list = []
+    width = in_channels
+    for level in range(depth):
+        dilation = 2 ** (depth - 1 - level)
+        layers += [FFTLayer1d(width, channels, dilation, rng=rng), ReLU()]
+        width = channels
+    layers += [
+        Pointwise1d(width, channels, rng=rng),
+        ReLU(),
+        Pointwise1d(channels, classes, rng=rng),
+    ]
+    return Sequential(*layers)
+
+
 register(
     "arch1", build_arch1, (256,), "synthetic_mnist",
     "Paper Arch. 1: 256 -> 128 (BC) -> 128 (BC) -> 10, MNIST 16x16",
@@ -249,4 +286,9 @@ register(
 register(
     "arch3_reduced", build_arch3_reduced, (3, 32, 32), "synthetic_cifar",
     "Width-reduced Arch. 3 for CI-scale training on synthetic CIFAR",
+)
+register(
+    "fftnet", build_fftnet, (None, 1), "synthetic_wave",
+    "FFTNet-style causal dilated sequence net (streaming), "
+    "time-major (T, 1) waveform in, per-sample class logits out",
 )
